@@ -1,0 +1,134 @@
+// E13 -- Fine-grain synchronization overheads (paper §3.1.1, §3.2:
+// dataflow sync slots, futures with localized buffering of requests,
+// atomic blocks of memory operations).
+//
+// Real-host costs of the primitives on the fine-grain critical path.
+// Expected shape: a slot signal costs a few nanoseconds (one CAS); future
+// fulfillment is linear in the number of buffered consumers (the price of
+// eager buffering); uncontended atomic blocks cost two lock ops per
+// stripe; barrier cost grows with participants.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sync/atomic_block.h"
+#include "sync/barrier.h"
+#include "sync/future.h"
+#include "sync/sync_slot.h"
+
+using namespace htvm;
+
+namespace {
+
+void BM_SyncSlotSignal(benchmark::State& state) {
+  sync::SyncSlot slot;
+  slot.arm(~0u, [] {});  // never fires during the loop
+  for (auto _ : state) {
+    slot.signal();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncSlotSignal);
+
+void BM_SyncSlotArmFireRearm(benchmark::State& state) {
+  sync::SyncSlot slot;
+  int fired = 0;
+  slot.arm(1, [&fired] { ++fired; });
+  for (auto _ : state) {
+    slot.signal();
+    slot.rearm();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncSlotArmFireRearm);
+
+void BM_FutureSetWithBufferedConsumers(benchmark::State& state) {
+  const auto consumers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sync::Future<int> future;
+    long sink = 0;
+    for (int i = 0; i < consumers; ++i)
+      future.on_ready([&sink](const int& v) { sink += v; });
+    state.ResumeTiming();
+    future.set(1);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * consumers);
+}
+BENCHMARK(BM_FutureSetWithBufferedConsumers)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512);
+
+void BM_FutureReadyConsume(benchmark::State& state) {
+  sync::Future<int> future;
+  future.set(42);
+  long sink = 0;
+  for (auto _ : state) {
+    future.on_ready([&sink](const int& v) { sink += v; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FutureReadyConsume);
+
+void BM_AtomicBlockUncontended(benchmark::State& state) {
+  sync::AtomicDomain domain;
+  const auto words = static_cast<int>(state.range(0));
+  std::vector<long> data(static_cast<std::size_t>(words) * 64);
+  for (auto _ : state) {
+    switch (words) {
+      case 1:
+        domain.atomically({&data[0]}, [&] { ++data[0]; });
+        break;
+      case 2:
+        domain.atomically({&data[0], &data[64]}, [&] {
+          ++data[0];
+          ++data[64];
+        });
+        break;
+      default:
+        domain.atomically({&data[0], &data[64], &data[128], &data[192]},
+                          [&] { ++data[0]; });
+        break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicBlockUncontended)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_AtomicBlockContended(benchmark::State& state) {
+  static sync::AtomicDomain domain;
+  static long shared_word = 0;
+  for (auto _ : state) {
+    domain.atomically({&shared_word}, [&] { ++shared_word; });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicBlockContended)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_BarrierTwoThreads(benchmark::State& state) {
+  // Ping-pong through a barrier from the measuring thread plus a helper.
+  sync::Barrier barrier(2);
+  std::atomic<bool> stop{false};
+  std::thread helper([&] {
+    while (!stop.load(std::memory_order_acquire)) barrier.arrive_and_wait();
+  });
+  for (auto _ : state) {
+    barrier.arrive_and_wait();
+  }
+  stop.store(true, std::memory_order_release);
+  barrier.arrive();  // release the helper from its final wait
+  helper.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BarrierTwoThreads);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E14 -- Split-phase collectives vs global barriers (paper §1: "synchronous
+// global barriers" are named among the productivity/performance problems
+// HTVM is designed to avoid; §3.2's parcel-driven split transactions are
+// the replacement mechanism).
+//
+// (a) analytic model on the machine description: an allreduce implemented
+//     as a flat barrier + shared cell (every node serializes on one home
+//     location) vs a binomial tree of parcels (depth ceil(log2 n)).
+// (b) real runtime: tree allreduce wall time over node counts; every
+//     completion is a dataflow continuation -- no worker ever spins.
+#include <chrono>
+#include <cmath>
+
+#include "common.h"
+#include "litlx/litlx.h"
+
+using namespace htvm;
+
+namespace {
+
+double tree_allreduce_seconds(std::uint32_t nodes, int rounds) {
+  litlx::MachineOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = 1;
+  opts.config.node_memory_bytes = 1 << 20;
+  litlx::Machine machine(opts);
+  // Warm-up round (handler paths, allocator pools).
+  litlx::Machine::await(litlx::allreduce_i64(
+      machine, [](std::uint32_t n) { return std::int64_t{n}; },
+      [](std::int64_t a, std::int64_t b) { return a + b; },
+      [](std::uint32_t, std::int64_t) {}));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    litlx::Machine::await(litlx::allreduce_i64(
+        machine, [](std::uint32_t n) { return std::int64_t{n}; },
+        [](std::int64_t a, std::int64_t b) { return a + b; },
+        [](std::uint32_t, std::int64_t) {}));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+             .count() /
+         rounds;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E14: split-phase tree collectives vs global barrier+shared-cell",
+      "dataflow collectives complete in O(log n) network steps; a barrier "
+      "plus shared counter serializes O(n) round trips at one home node");
+
+  // (a) analytic cost on the cluster network model.
+  bench::TextTable model(
+      {"nodes", "barrier_flat_cycles", "tree_parcel_cycles", "ratio"});
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    machine::MachineConfig c = machine::MachineConfig::cluster(n, 1);
+    // Flat: every non-home node does a remote RMW on the home cell
+    // (serialized at the home memory port), then a release broadcast of
+    // one word each -- 2(n-1) sequential round trips in the worst case.
+    const std::uint64_t rt = c.remote_access_cycles(1, 0, 8);
+    const std::uint64_t flat = 2ull * (n - 1) * rt;
+    // Tree: ceil(log2 n) levels up + the same down, one parcel latency
+    // per level (transfers at one level proceed in parallel).
+    const auto levels = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    const std::uint64_t hop = c.network_cycles(0, 1, 16) +
+                              c.thread_costs.sgt_spawn_cycles;
+    const std::uint64_t tree = 2 * levels * hop;
+    model.add_row({std::to_string(n), bench::TextTable::fmt(flat),
+                   bench::TextTable::fmt(tree),
+                   bench::TextTable::fmt(
+                       static_cast<double>(flat) /
+                           static_cast<double>(tree),
+                       1)});
+  }
+  std::printf("--- (a) analytic allreduce cost (cluster network) ---\n");
+  bench::print_table(model);
+
+  // (b) real runtime wall time of the tree allreduce.
+  std::printf("--- (b) real runtime: tree allreduce wall time ---\n");
+  bench::TextTable real_table({"nodes", "allreduce_us"});
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    const double seconds = tree_allreduce_seconds(n, 20);
+    real_table.add_row(
+        {std::to_string(n), bench::TextTable::fmt(seconds * 1e6, 1)});
+  }
+  bench::print_table(real_table);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E1 -- Thread-level cost hierarchy (paper §3.1.1: LGTs have
+// "considerable cost associated with such a coarse thread invocation and
+// management"; SGT invocation cost is "much lower"; TGTs are "much
+// lighter" still).
+//
+// Measures real spawn+completion overheads of the three levels on the
+// host runtime (google-benchmark), plus the LGT context-switch cost (the
+// fiber yield/resume pair) and the SGT frame allocate/release cycle.
+// Expected shape (items/s): TGT >> SGT >> LGT, typically by an order of
+// magnitude per level, matching the modeled spawn-cycle defaults.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "mem/frame.h"
+#include "runtime/fiber.h"
+#include "runtime/runtime.h"
+
+using namespace htvm;
+
+namespace {
+
+rt::RuntimeOptions bench_options() {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  return opts;
+}
+
+rt::Runtime& shared_runtime() {
+  static rt::Runtime runtime(bench_options());
+  return runtime;
+}
+
+void BM_SpawnTgt(benchmark::State& state) {
+  rt::Runtime& runtime = shared_runtime();
+  constexpr int kBatch = 1024;
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    runtime.spawn_sgt([&runtime, &sink] {
+      for (int i = 0; i < kBatch; ++i)
+        runtime.spawn_tgt([&sink] { sink.fetch_add(1); });
+    });
+    runtime.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpawnTgt)->Unit(benchmark::kMillisecond);
+
+void BM_SpawnSgt(benchmark::State& state) {
+  rt::Runtime& runtime = shared_runtime();
+  constexpr int kBatch = 1024;
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i)
+      runtime.spawn_sgt([&sink] { sink.fetch_add(1); });
+    runtime.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpawnSgt)->Unit(benchmark::kMillisecond);
+
+void BM_SpawnLgt(benchmark::State& state) {
+  rt::Runtime& runtime = shared_runtime();
+  constexpr int kBatch = 64;  // LGTs are heavy: smaller batch
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i)
+      runtime.spawn_lgt(0, [&sink] { sink.fetch_add(1); });
+    runtime.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpawnLgt)->Unit(benchmark::kMillisecond);
+
+void BM_LgtContextSwitch(benchmark::State& state) {
+  // The raw fiber yield/resume pair -- the "context switching built in
+  // the application's instruction stream".
+  constexpr int kSwitches = 1024;
+  for (auto _ : state) {
+    int hops = 0;
+    rt::Fiber fiber([&hops] {
+      for (int i = 0; i < kSwitches; ++i) {
+        ++hops;
+        rt::Fiber::yield();
+      }
+    });
+    for (int i = 0; i <= kSwitches; ++i) fiber.resume();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * kSwitches);
+}
+BENCHMARK(BM_LgtContextSwitch);
+
+void BM_SgtFrameAllocRelease(benchmark::State& state) {
+  mem::FrameAllocator frames;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* frame = frames.allocate(bytes);
+    benchmark::DoNotOptimize(frame);
+    frames.release(frame, bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgtFrameAllocRelease)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E2 -- Latency hiding by multithreading (paper §1, §3.2: coarse-grain
+// multithreading "for keeping the processors busy in the presence of
+// remote requests").
+//
+// On the simulated machine, one thread unit runs k concurrent threads,
+// each alternating compute(w) with a remote stall(L). Efficiency = useful
+// compute cycles / makespan. Expected shape: efficiency(k=1) = w/(w+L);
+// efficiency rises ~linearly with k until k ~ 1 + L/w, then saturates
+// near 1. More remote latency needs more threads -- the paper's central
+// latency-tolerance argument.
+#include <vector>
+
+#include "common.h"
+#include "sim/machine.h"
+
+using namespace htvm;
+
+namespace {
+
+double run(std::uint32_t threads, sim::Cycle work, sim::Cycle latency,
+           int rounds) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = 1;
+  sim::SimMachine m(cfg);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    m.spawn_at(0, [=](sim::SimContext& ctx) -> sim::SimTask {
+      for (int r = 0; r < rounds; ++r) {
+        co_await ctx.compute(work);
+        co_await ctx.stall(latency);
+      }
+    });
+  }
+  const sim::Cycle makespan = m.run();
+  const double useful =
+      static_cast<double>(work) * rounds * threads;
+  return useful / static_cast<double>(makespan);
+}
+
+// Bandwidth-limited variant: the stall is a real DRAM access contending
+// for a bounded number of memory ports (paper §2: latency varies with
+// "the number of concurrent accesses, and the available memory
+// bandwidth"). Past the bandwidth point more threads stop helping.
+double run_bandwidth(std::uint32_t threads, sim::Cycle work, int rounds,
+                     std::uint32_t ports) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = 1;
+  cfg.latency_local_dram = 400;
+  sim::SimMachine m(cfg);
+  if (ports) m.set_memory_ports(ports);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    m.spawn_at(0, [=](sim::SimContext& ctx) -> sim::SimTask {
+      for (int r = 0; r < rounds; ++r) {
+        co_await ctx.compute(work);
+        co_await ctx.load(machine::MemLevel::kLocalDram);
+      }
+    });
+  }
+  const sim::Cycle makespan = m.run();
+  return static_cast<double>(work) * rounds * threads /
+         static_cast<double>(makespan);
+}
+
+}  // namespace
+
+int main() {
+  htvm::bench::print_header(
+      "E2: latency hiding by multithreading (sim, 1 TU)",
+      "enough threads per thread unit overlap remote latency with compute; "
+      "efficiency saturates near 1 at k ~ 1 + L/w");
+
+  const sim::Cycle work = 100;
+  const int rounds = 20;
+  htvm::bench::TextTable table(
+      {"latency_cycles", "k=1", "k=2", "k=4", "k=8", "k=16", "k=32",
+       "k=64", "saturation_k"});
+  for (sim::Cycle latency : {50u, 100u, 400u, 900u, 2000u, 6300u}) {
+    std::vector<std::string> row{std::to_string(latency)};
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      row.push_back(
+          htvm::bench::TextTable::fmt(run(k, work, latency, rounds), 3));
+    }
+    row.push_back(htvm::bench::TextTable::fmt(
+        std::uint64_t{1 + latency / work}));
+    table.add_row(row);
+  }
+  htvm::bench::print_table(table);
+
+  // Bandwidth wall: with bounded DRAM ports, adding threads saturates at
+  // the bandwidth bound ports * work / dram_latency, not at 1.0.
+  std::printf("--- bandwidth-limited stalls (DRAM latency 400, work 100) "
+              "---\n");
+  htvm::bench::TextTable bw({"ports", "k=1", "k=4", "k=16", "k=64",
+                             "bandwidth_bound"});
+  for (const std::uint32_t ports : {0u, 1u, 2u, 4u}) {
+    std::vector<std::string> row{
+        ports == 0 ? std::string("inf") : std::to_string(ports)};
+    for (const std::uint32_t k : {1u, 4u, 16u, 64u}) {
+      row.push_back(
+          htvm::bench::TextTable::fmt(run_bandwidth(k, 100, 20, ports), 3));
+    }
+    row.push_back(ports == 0
+                      ? std::string("1.000")
+                      : htvm::bench::TextTable::fmt(
+                            std::min(1.0, ports * 100.0 / 400.0), 3));
+    bw.add_row(row);
+  }
+  htvm::bench::print_table(bw);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E3 -- Dynamic vs static loop scheduling under load imbalance (paper
+// §3.3: "Static scheduling tends to cause load imbalance ... dynamic
+// scheduling has been developed and shown promising performance
+// improvement").
+//
+// Workers on the simulated machine pull chunks from each scheduler and
+// execute per-iteration costs drawn from several distributions; a fixed
+// dispatch overhead per chunk models the scheduler's runtime cost (which
+// is what static scheduling avoids -- the tradeoff the paper discusses).
+// Expected shape: static wins narrowly on uniform loops (no dispatch
+// overhead, perfect split); dynamic/guided/factoring win big under skew;
+// the makespan of the best dynamic policy approaches the ideal
+// sum(cost)/W.
+#include <memory>
+
+#include "common.h"
+#include "sched/schedulers.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+using namespace htvm;
+
+namespace {
+
+constexpr std::int64_t kIterations = 4096;
+constexpr std::uint32_t kWorkers = 16;
+constexpr sim::Cycle kDispatchOverhead = 40;  // per chunk claim
+
+std::vector<std::uint64_t> make_costs(const std::string& shape,
+                                      std::int64_t n) {
+  util::Xoshiro256 rng(2026);
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& c = costs[static_cast<std::size_t>(i)];
+    if (shape == "uniform") {
+      c = 100;
+    } else if (shape == "linear") {
+      c = 1 + static_cast<std::uint64_t>(i) * 200 /
+                  static_cast<std::uint64_t>(n);
+    } else if (shape == "bimodal") {
+      c = (i % 100 == 0) ? 10000 : 100;
+    } else {  // random heavy-tailed
+      const double u = rng.next_double();
+      c = static_cast<std::uint64_t>(100.0 / (0.01 + u * u));
+    }
+  }
+  return costs;
+}
+
+struct Outcome {
+  sim::Cycle makespan = 0;
+  double imbalance = 0.0;
+};
+
+Outcome run(const std::string& policy,
+            const std::vector<std::uint64_t>& costs) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = kWorkers;
+  sim::SimMachine m(cfg);
+  auto sched = sched::make_scheduler(policy);
+  sched->reset(static_cast<std::int64_t>(costs.size()), kWorkers);
+  // The scheduler object is shared state; the simulator is single-threaded
+  // under the hood, so claims are naturally serialized and deterministic.
+  auto* sched_raw = sched.get();
+  for (std::uint32_t w = 0; w < kWorkers; ++w) {
+    m.spawn_at(w, [&costs, sched_raw, w](sim::SimContext& ctx) -> sim::SimTask {
+      while (auto chunk = sched_raw->next(w)) {
+        co_await ctx.compute(kDispatchOverhead);
+        std::uint64_t work = 0;
+        for (std::int64_t i = chunk->begin; i < chunk->end; ++i)
+          work += costs[static_cast<std::size_t>(i)];
+        co_await ctx.compute(work);
+      }
+    });
+  }
+  Outcome out;
+  out.makespan = m.run();
+  out.imbalance = m.busy_imbalance();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E3: loop scheduling under imbalance (sim, 16 TUs, 4096 iters)",
+      "dynamic scheduling beats static under skewed iteration costs; "
+      "static is competitive only on uniform loops");
+
+  for (const std::string shape :
+       {"uniform", "linear", "bimodal", "random"}) {
+    const auto costs = make_costs(shape, kIterations);
+    std::uint64_t total = 0;
+    for (auto c : costs) total += c;
+    const double ideal = static_cast<double>(total) / kWorkers;
+
+    bench::TextTable table(
+        {"policy", "makespan", "vs_ideal", "imbalance"});
+    for (const std::string& policy : sched::scheduler_names()) {
+      const Outcome o = run(policy, costs);
+      table.add_row({policy, bench::TextTable::fmt(o.makespan),
+                     bench::TextTable::fmt(
+                         static_cast<double>(o.makespan) / ideal, 3),
+                     bench::TextTable::fmt(o.imbalance, 3)});
+    }
+    std::printf("--- iteration cost distribution: %s (ideal makespan %.0f) "
+                "---\n",
+                shape.c_str(), ideal);
+    bench::print_table(table);
+  }
+
+  // Worker sweep: guided vs static_block on the linear skew.
+  const auto costs = make_costs("linear", kIterations);
+  bench::TextTable sweep({"workers", "static_block", "guided", "speedup"});
+  for (std::uint32_t w : {2u, 4u, 8u, 16u, 32u}) {
+    machine::MachineConfig cfg;
+    cfg.nodes = 1;
+    cfg.thread_units_per_node = w;
+    auto run_with = [&](const std::string& policy) {
+      sim::SimMachine m(cfg);
+      auto sched = sched::make_scheduler(policy);
+      sched->reset(static_cast<std::int64_t>(costs.size()), w);
+      auto* sched_raw = sched.get();
+      for (std::uint32_t i = 0; i < w; ++i) {
+        m.spawn_at(i, [&costs, sched_raw, i](sim::SimContext& ctx)
+                       -> sim::SimTask {
+          while (auto chunk = sched_raw->next(i)) {
+            co_await ctx.compute(kDispatchOverhead);
+            std::uint64_t work = 0;
+            for (std::int64_t k = chunk->begin; k < chunk->end; ++k)
+              work += costs[static_cast<std::size_t>(k)];
+            co_await ctx.compute(work);
+          }
+        });
+      }
+      return m.run();
+    };
+    const sim::Cycle t_static = run_with("static_block");
+    const sim::Cycle t_guided = run_with("guided");
+    sweep.add_row({std::to_string(w), bench::TextTable::fmt(t_static),
+                   bench::TextTable::fmt(t_guided),
+                   bench::TextTable::fmt(static_cast<double>(t_static) /
+                                             static_cast<double>(t_guided),
+                                         2)});
+  }
+  std::printf("--- worker sweep on linear skew ---\n");
+  bench::print_table(sweep);
+  return 0;
+}

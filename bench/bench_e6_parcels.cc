@@ -1,0 +1,99 @@
+// E6 -- Parcel-driven split-transaction computation (paper §3.2:
+// "Parcel(intelligent messages)-driven split-transaction computation, to
+// reduce communication and to enable the moving of the work to the data
+// (when it makes sense)").
+//
+// A chain of K read-modify-write updates against an object living on a
+// remote node, three ways on the simulated machine:
+//   blocking-rpc   each update is a blocking remote round trip (2K trips);
+//   data-to-work   the object is pulled over, updated locally K times, and
+//                  pushed back (2 bulk transfers -- loses when others need
+//                  the object, modeled via an object-size sweep);
+//   work-to-data   ONE parcel carries the update closure to the object's
+//                  node; updates run at local latency; one reply returns.
+// Expected shape: work-to-data wins and its advantage grows with K and
+// with object size; data-to-work beats RPC only while the object is small.
+#include "common.h"
+#include "sim/machine.h"
+
+using namespace htvm;
+
+namespace {
+
+machine::MachineConfig wide_config() {
+  auto cfg = machine::MachineConfig::cluster(4, 2);
+  return cfg;
+}
+
+sim::Cycle run_blocking_rpc(int updates, std::uint64_t /*object_bytes*/) {
+  sim::SimMachine m(wide_config());
+  m.spawn_at(0, [=](sim::SimContext& ctx) -> sim::SimTask {
+    for (int k = 0; k < updates; ++k) {
+      co_await ctx.remote_load(1, 8);   // fetch word
+      co_await ctx.compute(20);         // update
+      co_await ctx.remote_load(1, 8);   // write back (round trip)
+    }
+  });
+  return m.run();
+}
+
+sim::Cycle run_data_to_work(int updates, std::uint64_t object_bytes) {
+  sim::SimMachine m(wide_config());
+  m.spawn_at(0, [=](sim::SimContext& ctx) -> sim::SimTask {
+    co_await ctx.remote_load(1, object_bytes);  // pull the object
+    for (int k = 0; k < updates; ++k) {
+      co_await ctx.load(machine::MemLevel::kLocalDram);
+      co_await ctx.compute(20);
+    }
+    co_await ctx.remote_load(1, object_bytes);  // push it back
+  });
+  return m.run();
+}
+
+sim::Cycle run_work_to_data(int updates, std::uint64_t /*object_bytes*/) {
+  sim::SimMachine m(wide_config());
+  m.spawn_at(0, [=](sim::SimContext& ctx) -> sim::SimTask {
+    sim::SimEvent reply(ctx.machine(), 1);
+    // One parcel moves the whole update loop to the data's node.
+    const std::uint32_t data_tu = 2;  // node 1, first TU
+    ctx.send_parcel(data_tu, 64, [=](sim::SimContext& remote)
+                                     -> sim::SimTask {
+      for (int k = 0; k < updates; ++k) {
+        co_await remote.load(machine::MemLevel::kLocalDram);
+        co_await remote.compute(20);
+      }
+    }, &reply);
+    co_await reply.wait(ctx);
+    co_await ctx.compute(10);  // consume the returned summary
+  });
+  return m.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E6: split-transaction parcels, moving work to data (sim)",
+      "one parcel carrying the computation beats per-update round trips; "
+      "bulk data pulls lose as the object grows");
+
+  for (const std::uint64_t bytes : {256ull, 4096ull, 65536ull}) {
+    bench::TextTable table({"updates", "blocking_rpc", "data_to_work",
+                            "work_to_data", "best"});
+    for (const int updates : {1, 4, 16, 64, 256}) {
+      const sim::Cycle rpc = run_blocking_rpc(updates, bytes);
+      const sim::Cycle pull = run_data_to_work(updates, bytes);
+      const sim::Cycle parcel = run_work_to_data(updates, bytes);
+      const char* best = "work_to_data";
+      if (rpc < pull && rpc < parcel) best = "blocking_rpc";
+      else if (pull < parcel) best = "data_to_work";
+      table.add_row({std::to_string(updates), bench::TextTable::fmt(rpc),
+                     bench::TextTable::fmt(pull),
+                     bench::TextTable::fmt(parcel), best});
+    }
+    std::printf("--- object size %llu bytes ---\n",
+                static_cast<unsigned long long>(bytes));
+    bench::print_table(table);
+  }
+  return 0;
+}

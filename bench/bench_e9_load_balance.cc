@@ -1,0 +1,98 @@
+// E9 -- Dynamic load adaptation: work stealing and task migration (paper
+// §2: "The computation load may become unbalanced and a large number of
+// threads may need to migrate to balance the load of the machine").
+//
+// Skewed task sets on the simulated machine under three steal policies,
+// plus a central-queue ablation (everything spawned on one TU and only
+// reachable by stealing). Expected shapes: no stealing leaves the machine
+// idle; node-local stealing fixes intra-node skew; global stealing also
+// fixes cross-node skew at the price of migration latency.
+#include "common.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+using namespace htvm;
+
+namespace {
+
+struct Outcome {
+  sim::Cycle makespan;
+  double utilization;
+  std::uint64_t steals;
+};
+
+// spawn_skew: fraction of tasks spawned on node 0's first TU.
+Outcome run(sim::StealPolicy policy, double spawn_skew, int tasks) {
+  machine::MachineConfig cfg = machine::MachineConfig::cluster(4, 4);
+  sim::SimMachine m(cfg);
+  m.set_steal_policy(policy);
+  util::Xoshiro256 rng(7);
+  for (int t = 0; t < tasks; ++t) {
+    const std::uint32_t tu =
+        rng.next_bool(spawn_skew)
+            ? 0
+            : static_cast<std::uint32_t>(rng.next_below(m.num_tus()));
+    const auto cost =
+        static_cast<sim::Cycle>(500 + rng.next_below(4000));
+    m.spawn_at(tu, [cost](sim::SimContext& ctx) -> sim::SimTask {
+      co_await ctx.compute(cost);
+    });
+  }
+  Outcome out{};
+  out.makespan = m.run();
+  out.utilization = m.utilization();
+  out.steals = m.total_steals();
+  return out;
+}
+
+const char* name_of(sim::StealPolicy policy) {
+  switch (policy) {
+    case sim::StealPolicy::kNone: return "no_steal";
+    case sim::StealPolicy::kLocalNode: return "steal_local";
+    case sim::StealPolicy::kGlobal: return "steal_global";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E9: load balancing by stealing/migration (sim, 4 nodes x 4 TUs)",
+      "stealing recovers utilization under spawn skew; cross-node "
+      "migration is needed when whole nodes are overloaded");
+
+  constexpr int kTasks = 1024;
+  for (const double skew : {0.0, 0.5, 1.0}) {
+    bench::TextTable table(
+        {"policy", "makespan", "utilization", "steals"});
+    for (const auto policy :
+         {sim::StealPolicy::kNone, sim::StealPolicy::kLocalNode,
+          sim::StealPolicy::kGlobal}) {
+      const Outcome o = run(policy, skew, kTasks);
+      table.add_row({name_of(policy), bench::TextTable::fmt(o.makespan),
+                     bench::TextTable::fmt(o.utilization, 3),
+                     bench::TextTable::fmt(o.steals)});
+    }
+    std::printf("--- spawn skew %.1f (fraction of tasks landing on TU 0) "
+                "---\n",
+                skew);
+    bench::print_table(table);
+  }
+
+  // Ablation: central queue (all work on TU 0, global stealing) vs
+  // distributed spawn with stealing -- the contention/migration cost of
+  // centralization.
+  bench::TextTable ablation({"configuration", "makespan", "utilization"});
+  const Outcome central = run(sim::StealPolicy::kGlobal, 1.0, kTasks);
+  const Outcome distributed = run(sim::StealPolicy::kGlobal, 0.0, kTasks);
+  ablation.add_row({"central_queue+steal",
+                    bench::TextTable::fmt(central.makespan),
+                    bench::TextTable::fmt(central.utilization, 3)});
+  ablation.add_row({"distributed+steal",
+                    bench::TextTable::fmt(distributed.makespan),
+                    bench::TextTable::fmt(distributed.utilization, 3)});
+  std::printf("--- central-queue ablation ---\n");
+  bench::print_table(ablation);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the experiment harnesses (bench_e*).
+//
+// Each harness regenerates one experiment from DESIGN.md section 4 and
+// prints its series as a fixed-width table, in the spirit of the tables a
+// paper reports. Deterministic experiments run on the virtual-time
+// simulator; real-overhead experiments (E1, E13) use google-benchmark.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace htvm::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+inline void print_table(const util::TextTable& table) {
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+using util::TextTable;
+
+}  // namespace htvm::bench

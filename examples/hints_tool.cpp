@@ -1,0 +1,120 @@
+// Structured-hints tool: validate, normalize, and query hint scripts --
+// the command-line face of the paper's Fig. 3 workflow, where a domain
+// expert iterates on the script that steers the system software.
+//
+//   ./build/examples/hints_tool check  <script.hints>
+//   ./build/examples/hints_tool dump   <script.hints>   # normalized form
+//   ./build/examples/hints_tool query  <script.hints> <loop-site>
+//   ./build/examples/hints_tool demo                    # built-in sample
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hints/knowledge_base.h"
+
+using namespace htvm;
+
+namespace {
+
+constexpr const char* kDemoScript = R"(
+# pNeocortex mapping hints (paper Fig. 3)
+hint loop "neuron_update" {
+  target = runtime;
+  kind = computation;
+  schedule = guided;
+  chunk = 64;
+  priority = 8;
+}
+hint object "synapse_table" {
+  target = runtime;
+  kind = locality;
+  placement = replicate;
+}
+hint monitor "spike_rate" {
+  target = monitor;
+  kind = monitoring;
+  metric = chunk_time;
+  window = 128;
+}
+)";
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int check(const std::string& source) {
+  const hints::ParseResult result = hints::parse(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("ok: %zu hints\n", result.hints.size());
+  int by_target[3] = {};
+  for (const auto& hint : result.hints)
+    ++by_target[static_cast<int>(hint.target)];
+  std::printf("  compiler: %d, runtime: %d, monitor: %d\n", by_target[0],
+              by_target[1], by_target[2]);
+  return 0;
+}
+
+int dump(const std::string& source) {
+  const hints::ParseResult result = hints::parse(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("%s", hints::to_script(result.hints).c_str());
+  return 0;
+}
+
+int query(const std::string& source, const char* site) {
+  hints::KnowledgeBase kb;
+  const std::string err = kb.load_script(source);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  const auto schedule = kb.loop_schedule(site);
+  const auto chunk = kb.loop_chunk(site);
+  if (!schedule && !chunk) {
+    std::printf("no loop hint for site \"%s\"\n", site);
+    return 0;
+  }
+  std::printf("site \"%s\": schedule=%s chunk=%lld\n", site,
+              schedule.value_or("(default)").c_str(),
+              static_cast<long long>(chunk.value_or(-1)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) {
+    std::printf("--- demo script ---\n%s--- normalized ---\n", kDemoScript);
+    return dump(kDemoScript);
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s check|dump <script> | query <script> <site> | "
+                 "demo\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string source = read_file(argv[2]);
+  if (source.empty()) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[2]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "check") == 0) return check(source);
+  if (std::strcmp(argv[1], "dump") == 0) return dump(source);
+  if (std::strcmp(argv[1], "query") == 0 && argc >= 4)
+    return query(source, argv[3]);
+  std::fprintf(stderr, "unknown command %s\n", argv[1]);
+  return 2;
+}

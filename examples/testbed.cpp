@@ -1,0 +1,145 @@
+// The experimental testbed (paper §5.1): one executable that assembles a
+// machine from a config file, loads a domain expert's hint script, runs a
+// selected workload, and prints the full feedback report -- the loop of
+// Fig. 1 end to end.
+//
+//   ./build/examples/testbed [workload] [machine.cfg] [script.hints]
+//                            [trace.json]   (all but workload optional)
+//
+// workload: synthetic (default) | neuro | md
+// machine.cfg: `key = value` lines per machine/config.h (optional)
+// script.hints: structured hints per hints/hints.h (optional)
+// trace.json: writes a chrome://tracing-compatible execution trace
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "litlx/litlx.h"
+#include "md/integrate.h"
+#include "neuro/simulation.h"
+
+using namespace htvm;
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void run_synthetic(litlx::Machine& machine) {
+  std::printf("workload: synthetic (hierarchy + loop + collective)\n");
+  // An LGT per node runs a skewed loop and joins an allreduce.
+  const std::uint32_t nodes = machine.runtime().num_nodes();
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    machine.spawn_lgt(node, [&machine] {
+      litlx::ForallOptions opts;
+      opts.site = "testbed_loop";
+      litlx::forall(machine, 0, 5000, [](std::int64_t i) {
+        volatile double x = 1.0;
+        for (std::int64_t k = 0; k < i % 97; ++k) x = x * 1.0001 + 1.0;
+      }, opts);
+    });
+  }
+  machine.wait_idle();
+  const std::int64_t total = litlx::Machine::await(litlx::reduce_i64(
+      machine, 0, [](std::uint32_t n) { return std::int64_t{n + 1}; },
+      [](std::int64_t a, std::int64_t b) { return a + b; }));
+  std::printf("collective check: sum over nodes = %lld\n",
+              static_cast<long long>(total));
+}
+
+void run_neuro(litlx::Machine& machine) {
+  std::printf("workload: neuroscience (hub-skewed spiking network)\n");
+  neuro::NetworkParams params;
+  params.columns = 24;
+  params.neurons_per_column = 120;
+  params.hub_fraction = 0.15;
+  params.hub_scale = 5.0;
+  neuro::Network network(params);
+  neuro::Simulation sim(machine, network);
+  sim.run(100);
+  std::printf("spikes: %llu  synaptic events: %llu\n",
+              static_cast<unsigned long long>(sim.stats().spikes),
+              static_cast<unsigned long long>(
+                  sim.stats().spike_deliveries));
+}
+
+void run_md(litlx::Machine& machine) {
+  std::printf("workload: molecular dynamics (protein + water + ions)\n");
+  md::System system(md::MdParams::protein_in_water(300, 8));
+  md::Integrator::Options opts;
+  opts.use_verlet = true;
+  md::Integrator integrator(machine, system, opts);
+  const md::StepReport first = integrator.step();
+  md::StepReport last = first;
+  for (int s = 0; s < 60; ++s) last = integrator.step();
+  std::printf("energy: %.4f -> %.4f (drift %.2e), neighbour rebuilds: %llu\n",
+              first.total_energy(), last.total_energy(),
+              (last.total_energy() - first.total_energy()) /
+                  std::abs(first.total_energy()),
+              static_cast<unsigned long long>(
+                  integrator.neighbor_rebuilds()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* workload = argc > 1 ? argv[1] : "synthetic";
+
+  litlx::MachineOptions options;
+  options.config.nodes = 2;
+  options.config.thread_units_per_node = 2;
+  if (argc > 2) {
+    const std::string cfg_text = read_file(argv[2]);
+    if (cfg_text.empty()) {
+      std::fprintf(stderr, "error: cannot read machine config %s\n",
+                   argv[2]);
+      return 2;
+    }
+    const std::string err = options.config.parse(cfg_text);
+    if (!err.empty()) {
+      std::fprintf(stderr, "machine config error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if (argc > 3) {
+    options.hint_script = read_file(argv[3]);
+    if (options.hint_script.empty()) {
+      std::fprintf(stderr, "error: cannot read hint script %s\n", argv[3]);
+      return 2;
+    }
+  }
+
+  litlx::Machine machine(options);
+  trace::Tracer tracer(1 << 18);
+  if (argc > 4) {
+    machine.runtime().set_tracer(&tracer);
+    tracer.enable();
+  }
+  if (std::strcmp(workload, "neuro") == 0) run_neuro(machine);
+  else if (std::strcmp(workload, "md") == 0) run_md(machine);
+  else run_synthetic(machine);
+  machine.wait_idle();
+
+  if (argc > 4) {
+    tracer.disable();
+    std::ofstream out(argv[4]);
+    out << tracer.to_chrome_json();
+    std::printf("trace: %zu events written to %s (dropped %llu)\n",
+                tracer.size(), argv[4],
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  std::printf("\n%s", machine.report().c_str());
+
+  // Close the Fig. 3 loop: the monitor's evidence becomes a draft hint
+  // script for the domain expert to refine.
+  adapt::HintAdvisor advisor(machine.monitor(), &machine.controller());
+  const std::string draft = advisor.advise_script();
+  std::printf("\n--- advisor draft hints ---\n%s", draft.c_str());
+  return 0;
+}

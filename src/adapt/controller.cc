@@ -1,0 +1,202 @@
+#include "adapt/controller.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace htvm::adapt {
+
+PolicyScoreboard::PolicyScoreboard(std::vector<std::string> policies,
+                                   double decay)
+    : policies_(std::move(policies)), decay_(decay) {
+  for (const std::string& p : policies_) cells_[p] = Cell{};
+}
+
+void PolicyScoreboard::observe(const std::string& policy, double cost) {
+  const auto it = cells_.find(policy);
+  if (it == cells_.end()) return;
+  Cell& cell = it->second;
+  if (cell.samples == 0) {
+    cell.ewma = cost;
+  } else {
+    cell.ewma = (1.0 - decay_) * cell.ewma + decay_ * cost;
+  }
+  ++cell.samples;
+}
+
+std::uint64_t PolicyScoreboard::samples(const std::string& policy) const {
+  const auto it = cells_.find(policy);
+  return it == cells_.end() ? 0 : it->second.samples;
+}
+
+double PolicyScoreboard::score(const std::string& policy) const {
+  const auto it = cells_.find(policy);
+  return it == cells_.end() ? std::numeric_limits<double>::infinity()
+                            : it->second.ewma;
+}
+
+std::optional<std::string> PolicyScoreboard::best() const {
+  std::optional<std::string> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const std::string& p : policies_) {
+    const auto it = cells_.find(p);
+    if (it == cells_.end() || it->second.samples == 0) continue;
+    if (it->second.ewma < best_score) {
+      best_score = it->second.ewma;
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::optional<std::string> PolicyScoreboard::runner_up() const {
+  const auto winner = best();
+  if (!winner.has_value()) return std::nullopt;
+  std::optional<std::string> second;
+  double second_score = std::numeric_limits<double>::infinity();
+  for (const std::string& p : policies_) {
+    if (p == *winner) continue;
+    const auto it = cells_.find(p);
+    if (it == cells_.end() || it->second.samples == 0) continue;
+    if (it->second.ewma < second_score) {
+      second_score = it->second.ewma;
+      second = p;
+    }
+  }
+  return second;
+}
+
+std::string PolicyScoreboard::least_sampled() const {
+  std::string pick = policies_.front();
+  std::uint64_t fewest = ~0ull;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const std::string& p : policies_) {
+    const auto it = cells_.find(p);
+    const std::uint64_t n = it == cells_.end() ? 0 : it->second.samples;
+    const double score =
+        it == cells_.end() ? std::numeric_limits<double>::infinity()
+                           : it->second.ewma;
+    if (n < fewest || (n == fewest && score < best_score)) {
+      fewest = n;
+      best_score = score;
+      pick = p;
+    }
+  }
+  return pick;
+}
+
+AdaptiveController::AdaptiveController(std::vector<std::string> policies,
+                                       Options options)
+    : policies_(std::move(policies)), options_(options) {}
+
+AdaptiveController::SiteState& AdaptiveController::state(
+    const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_
+             .emplace(site, SiteState(policies_, options_.decay))
+             .first;
+  }
+  return it->second;
+}
+
+void AdaptiveController::set_initial(const std::string& site,
+                                     const std::string& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state(site).initial = policy;
+}
+
+std::string AdaptiveController::choose(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& s = state(site);
+
+  // Hinted start: trust the hint immediately. A structured hint narrows
+  // the search space (paper §4.1), so hinted sites skip the first
+  // systematic exploration sweep; after a detected phase change they
+  // re-explore like any other site.
+  if (s.initial.has_value() && s.scoreboard.samples(*s.initial) == 0) {
+    s.last_choice = *s.initial;
+    return s.last_choice;
+  }
+  if (!s.initial.has_value() || s.generation > 0) {
+    // Exploration: every policy gets its per-generation quota.
+    for (const std::string& p : policies_) {
+      const auto it = s.gen_samples.find(p);
+      const std::uint32_t taken = it == s.gen_samples.end() ? 0 : it->second;
+      if (taken < options_.explore_rounds) {
+        s.last_choice = p;
+        return p;
+      }
+    }
+  }
+  // Exploitation with periodic probing. Probes go to the least-sampled
+  // *viable* policy: unsampled, or within probe_max_ratio of the best --
+  // clearly-bad policies are not re-run every window.
+  const auto winner = s.scoreboard.best();
+  std::string choice = winner.value_or(
+      s.initial.has_value() ? *s.initial : policies_.front());
+  if (++s.rounds_since_probe >= options_.probe_period) {
+    s.rounds_since_probe = 0;
+    const double best_score =
+        winner.has_value() ? s.scoreboard.score(*winner) : 0.0;
+    std::string probe;
+    std::uint64_t fewest = ~0ull;
+    for (const std::string& p : policies_) {
+      if (p == choice) continue;
+      const std::uint64_t n = s.scoreboard.samples(p);
+      const bool viable =
+          n == 0 || s.scoreboard.score(p) <=
+                        options_.probe_max_ratio * best_score;
+      if (viable && n < fewest) {
+        fewest = n;
+        probe = p;
+      }
+    }
+    if (!probe.empty()) choice = probe;
+  }
+  if (!s.last_choice.empty() && choice != s.last_choice) ++s.switches;
+  s.last_choice = choice;
+  return choice;
+}
+
+void AdaptiveController::report(const std::string& site,
+                                const std::string& policy, double cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& s = state(site);
+  // Phase-change detection: the exploited winner suddenly costing much
+  // more than its decayed score means the workload moved; start a new
+  // exploration generation so every policy gets re-measured.
+  const auto winner = s.scoreboard.best();
+  const bool was_winner = winner.has_value() && *winner == policy;
+  const double prior = s.scoreboard.score(policy);
+  if (was_winner && s.scoreboard.samples(policy) > 0 &&
+      cost > options_.jump_ratio * prior) {
+    ++s.generation;
+    ++s.reexplorations;
+    s.gen_samples.clear();
+  }
+  ++s.gen_samples[policy];
+  s.scoreboard.observe(policy, cost);
+}
+
+std::optional<std::string> AdaptiveController::current_best(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.scoreboard.best();
+}
+
+std::uint64_t AdaptiveController::switches(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.switches;
+}
+
+std::uint64_t AdaptiveController::reexplorations(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.reexplorations;
+}
+
+}  // namespace htvm::adapt

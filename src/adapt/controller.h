@@ -1,0 +1,109 @@
+// Adaptive controller: the runtime half of the paper's continuous
+// compilation (§2, §3.3). Per code site it selects among a set of policies
+// (e.g. loop schedulers) using measured invocation spans, with structured
+// hints supplying the starting choice.
+//
+// Selection strategy: every policy is sampled at least `explore_rounds`
+// times; afterwards the controller exploits the best observed mean with a
+// periodic probe of the runner-up (workloads drift -- the paper's phase
+// changes). Scores use an exponentially-weighted mean so old phases decay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace htvm::adapt {
+
+class PolicyScoreboard {
+ public:
+  explicit PolicyScoreboard(std::vector<std::string> policies,
+                            double decay = 0.3);
+
+  // Record one observation (lower cost = better) for `policy`.
+  void observe(const std::string& policy, double cost);
+
+  // Observation counts / decayed means.
+  std::uint64_t samples(const std::string& policy) const;
+  double score(const std::string& policy) const;
+
+  // Best (lowest decayed mean) among policies with >= 1 sample.
+  std::optional<std::string> best() const;
+  // Second best, for periodic probing.
+  std::optional<std::string> runner_up() const;
+  // Least-sampled policy (ties broken by lower decayed mean): what a
+  // probe round should measure to keep every option's score fresh.
+  std::string least_sampled() const;
+
+  const std::vector<std::string>& policies() const { return policies_; }
+
+ private:
+  struct Cell {
+    std::uint64_t samples = 0;
+    double ewma = 0.0;
+  };
+  std::vector<std::string> policies_;
+  double decay_;
+  std::map<std::string, Cell> cells_;
+};
+
+class AdaptiveController {
+ public:
+  struct Options {
+    std::uint32_t explore_rounds = 1;  // min samples per policy first
+    std::uint32_t probe_period = 8;    // exploit rounds between probes
+    double decay = 0.3;
+    // Probe only policies whose decayed score is within this factor of
+    // the best (clearly-bad policies are not re-run), unless unsampled.
+    double probe_max_ratio = 2.0;
+    // Phase-change trigger: if the exploited winner's measured cost
+    // exceeds jump_ratio x its decayed score, re-explore every policy.
+    double jump_ratio = 1.5;
+  };
+
+  AdaptiveController(std::vector<std::string> policies, Options options);
+
+  // Chooses the policy for the next invocation of `site`. Hint-primed
+  // sites (set_initial) start from the hinted policy.
+  std::string choose(const std::string& site);
+
+  // Reports the measured cost (e.g. invocation span in seconds) of the
+  // policy previously chosen for `site`.
+  void report(const std::string& site, const std::string& policy,
+              double cost);
+
+  void set_initial(const std::string& site, const std::string& policy);
+
+  // Introspection.
+  std::optional<std::string> current_best(const std::string& site) const;
+  std::uint64_t switches(const std::string& site) const;
+  std::uint64_t reexplorations(const std::string& site) const;
+
+ private:
+  struct SiteState {
+    PolicyScoreboard scoreboard;
+    std::string last_choice;
+    std::optional<std::string> initial;
+    std::uint32_t rounds_since_probe = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t reexplorations = 0;
+    // Samples taken in the current exploration generation; a detected
+    // phase change starts a new generation and re-samples every policy.
+    std::map<std::string, std::uint32_t> gen_samples;
+    std::uint64_t generation = 0;
+    explicit SiteState(std::vector<std::string> policies, double decay)
+        : scoreboard(std::move(policies), decay) {}
+  };
+
+  SiteState& state(const std::string& site);
+
+  std::vector<std::string> policies_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace htvm::adapt

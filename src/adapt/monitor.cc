@@ -1,0 +1,132 @@
+#include "adapt/monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htvm::adapt {
+
+PerfMonitor::PerfMonitor(std::uint32_t workers) {
+  slots_.reserve(workers == 0 ? 1 : workers);
+  for (std::uint32_t i = 0; i < std::max(1u, workers); ++i)
+    slots_.push_back(std::make_unique<WorkerSlot>());
+}
+
+void PerfMonitor::add_busy(std::uint32_t worker, double seconds) {
+  slot(worker).busy_ns.fetch_add(
+      static_cast<std::uint64_t>(seconds * 1e9),
+      std::memory_order_relaxed);
+}
+
+void PerfMonitor::record_chunk(const std::string& site, std::uint32_t worker,
+                               double seconds) {
+  add_busy(worker, seconds);
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  sites_[site].chunk_seconds.add(seconds);
+}
+
+void PerfMonitor::record_invocation(
+    const std::string& site, double span_seconds,
+    const std::vector<double>& worker_busy_seconds) {
+  double max_busy = 0.0;
+  double sum = 0.0;
+  for (double b : worker_busy_seconds) {
+    max_busy = std::max(max_busy, b);
+    sum += b;
+  }
+  const double mean = worker_busy_seconds.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(
+                                      worker_busy_seconds.size());
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  SiteSlot& s = sites_[site];
+  ++s.invocations;
+  s.span_seconds.add(span_seconds);
+  if (mean > 0.0) s.imbalance.add(max_busy / mean);
+}
+
+void PerfMonitor::add_probe(const std::string& probe, double max_value,
+                            std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(probes_mutex_);
+  probes_.emplace(probe, util::Histogram(0.0, max_value, buckets));
+}
+
+void PerfMonitor::record_latency(const std::string& probe, double value) {
+  std::lock_guard<std::mutex> lock(probes_mutex_);
+  const auto it = probes_.find(probe);
+  if (it != probes_.end()) it->second.add(value);
+}
+
+LatencyReport PerfMonitor::latency_report(const std::string& probe) const {
+  std::lock_guard<std::mutex> lock(probes_mutex_);
+  LatencyReport report;
+  report.probe = probe;
+  const auto it = probes_.find(probe);
+  if (it == probes_.end()) return report;
+  report.samples = it->second.total();
+  report.p50 = it->second.quantile(0.5);
+  report.p95 = it->second.quantile(0.95);
+  report.max = it->second.quantile(1.0);
+  return report;
+}
+
+std::uint64_t PerfMonitor::total_tasks() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_) total += s->tasks.load();
+  return total;
+}
+
+std::uint64_t PerfMonitor::total_remote_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_) total += s->remote_accesses.load();
+  return total;
+}
+
+std::uint64_t PerfMonitor::total_steals() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_) total += s->steals.load();
+  return total;
+}
+
+double PerfMonitor::total_busy_seconds() const {
+  std::uint64_t total_ns = 0;
+  for (const auto& s : slots_) total_ns += s->busy_ns.load();
+  return static_cast<double>(total_ns) * 1e-9;
+}
+
+SiteReport PerfMonitor::site_report(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  SiteReport report;
+  report.site = site;
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return report;
+  report.invocations = it->second.invocations;
+  report.chunk_seconds = it->second.chunk_seconds;
+  report.span_seconds = it->second.span_seconds;
+  report.imbalance = it->second.imbalance.mean();
+  return report;
+}
+
+std::vector<std::string> PerfMonitor::sites() const {
+  std::lock_guard<std::mutex> lock(sites_mutex_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, slot] : sites_) names.push_back(name);
+  return names;
+}
+
+std::string PerfMonitor::summary() const {
+  std::ostringstream out;
+  out << "tasks=" << total_tasks() << " remote=" << total_remote_accesses()
+      << " steals=" << total_steals()
+      << " busy_s=" << total_busy_seconds() << '\n';
+  for (const std::string& site : sites()) {
+    const SiteReport r = site_report(site);
+    out << "  site " << site << ": inv=" << r.invocations
+        << " span_mean=" << r.span_seconds.mean()
+        << " chunk_cv=" << r.chunk_seconds.cv()
+        << " imbalance=" << r.imbalance << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace htvm::adapt

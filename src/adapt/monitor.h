@@ -1,0 +1,111 @@
+// Runtime performance monitor (paper §4.2: "The adaptive compile and
+// runtime system will require feedback derived from the execution and
+// resource allocation monitoring").
+//
+// Per-worker slots accumulate counters and timing statistics with no
+// cross-worker sharing on the hot path; aggregation walks the slots on
+// demand. Sites (loops, phases) are registered by name and tracked
+// separately so hints can steer "monitoring priorities" to them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace htvm::adapt {
+
+struct SiteReport {
+  std::string site;
+  std::uint64_t invocations = 0;
+  util::RunningStats chunk_seconds;   // per-chunk execution times
+  util::RunningStats span_seconds;    // per-invocation makespans
+  double imbalance = 0.0;             // max worker busy / mean worker busy
+};
+
+// A named latency distribution (remote access times, parcel round trips):
+// the "memory access patterns found by a runtime performance monitor"
+// feedback channel of Fig. 1, in histogram form for the dynamic compiler.
+struct LatencyReport {
+  std::string probe;
+  std::uint64_t samples = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+class PerfMonitor {
+ public:
+  explicit PerfMonitor(std::uint32_t workers);
+
+  // --- hot-path hooks (lock-free, per worker) ---------------------------
+  void on_task(std::uint32_t worker) { slot(worker).tasks.fetch_add(1); }
+  void on_remote_access(std::uint32_t worker) {
+    slot(worker).remote_accesses.fetch_add(1);
+  }
+  void on_steal(std::uint32_t worker) { slot(worker).steals.fetch_add(1); }
+  void add_busy(std::uint32_t worker, double seconds);
+
+  // --- site-scoped timing ------------------------------------------------
+  // Chunk time observed for `site` on `worker`.
+  void record_chunk(const std::string& site, std::uint32_t worker,
+                    double seconds);
+  // Whole-invocation span (e.g. one forall) and per-worker busy times for
+  // imbalance computation.
+  void record_invocation(const std::string& site, double span_seconds,
+                         const std::vector<double>& worker_busy_seconds);
+
+  // --- latency probes -----------------------------------------------------
+  // Registers a named latency probe with a histogram over [0, max_value).
+  void add_probe(const std::string& probe, double max_value,
+                 std::size_t buckets = 64);
+  // Records one observation; unknown probes are dropped (hot path safe).
+  void record_latency(const std::string& probe, double value);
+  LatencyReport latency_report(const std::string& probe) const;
+
+  // --- aggregation --------------------------------------------------------
+  std::uint64_t total_tasks() const;
+  std::uint64_t total_remote_accesses() const;
+  std::uint64_t total_steals() const;
+  double total_busy_seconds() const;
+
+  SiteReport site_report(const std::string& site) const;
+  std::vector<std::string> sites() const;
+  std::string summary() const;
+
+ private:
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> remote_accesses{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  struct SiteSlot {
+    std::uint64_t invocations = 0;
+    util::RunningStats chunk_seconds;
+    util::RunningStats span_seconds;
+    util::RunningStats imbalance;
+  };
+
+  WorkerSlot& slot(std::uint32_t worker) {
+    return *slots_[worker % slots_.size()];
+  }
+  const WorkerSlot& slot(std::uint32_t worker) const {
+    return *slots_[worker % slots_.size()];
+  }
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  mutable std::mutex sites_mutex_;
+  std::map<std::string, SiteSlot> sites_;
+  mutable std::mutex probes_mutex_;
+  std::map<std::string, util::Histogram> probes_;
+};
+
+}  // namespace htvm::adapt

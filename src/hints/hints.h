@@ -1,0 +1,67 @@
+// Structured hints (paper §4.1): the channel through which domain experts
+// feed knowledge to the compiler, runtime, and monitor.
+//
+//   "The resulting organized and expertly culled guide to optimization,
+//    the structured hints, includes data structures, dependencies,
+//    weights, and rules. ... Each hint can be expressly targeted at some
+//    part of the execution model: the adaptive compiler, the runtime
+//    system, or monitoring system. ... the hints must address, in a
+//    general way, issues of: 1) data locality, 2) monitoring priorities,
+//    3) data access patterns, and 4) computation patterns."
+//
+// Script syntax (one hint per code site):
+//
+//   # pNeocortex mapping hints
+//   hint loop "neuron_update" {
+//     target = runtime;         # compiler | runtime | monitor
+//     kind = computation;       # locality | monitoring | access | computation
+//     schedule = guided;
+//     chunk = 64;
+//     priority = 8;
+//   }
+//   hint object "synapse_table" {
+//     target = runtime;
+//     kind = locality;
+//     placement = replicate;    # replicate | migrate | home
+//     home = 2;
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace htvm::hints {
+
+enum class Target : std::uint8_t { kCompiler, kRuntime, kMonitor };
+enum class Kind : std::uint8_t {
+  kLocality,
+  kMonitoring,
+  kAccessPattern,
+  kComputationPattern,
+};
+enum class SiteKind : std::uint8_t { kLoop, kObject, kMonitor, kAccess };
+
+const char* to_string(Target target);
+const char* to_string(Kind kind);
+const char* to_string(SiteKind site);
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+struct StructuredHint {
+  SiteKind site_kind = SiteKind::kLoop;
+  std::string site_name;
+  Target target = Target::kRuntime;
+  Kind kind = Kind::kComputationPattern;
+  int priority = 0;
+  std::map<std::string, Value> params;
+
+  std::optional<std::string> str(const std::string& key) const;
+  std::optional<std::int64_t> integer(const std::string& key) const;
+  std::optional<double> number(const std::string& key) const;
+};
+
+}  // namespace htvm::hints

@@ -1,0 +1,69 @@
+#include "hints/knowledge_base.h"
+
+#include <algorithm>
+
+namespace htvm::hints {
+
+std::string KnowledgeBase::load_script(const std::string& source) {
+  ParseResult parsed = parse(source);
+  if (!parsed.ok()) return parsed.error;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (StructuredHint& hint : parsed.hints) hints_.push_back(std::move(hint));
+  return {};
+}
+
+void KnowledgeBase::add(StructuredHint hint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hints_.push_back(std::move(hint));
+}
+
+std::optional<StructuredHint> KnowledgeBase::lookup(
+    SiteKind site, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StructuredHint* best = nullptr;
+  for (const StructuredHint& hint : hints_) {
+    if (hint.site_kind != site || hint.site_name != name) continue;
+    if (best == nullptr || hint.priority > best->priority) best = &hint;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::vector<StructuredHint> KnowledgeBase::for_target(Target target) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StructuredHint> out;
+  for (const StructuredHint& hint : hints_) {
+    if (hint.target == target) out.push_back(hint);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StructuredHint& a, const StructuredHint& b) {
+                     return a.priority > b.priority;
+                   });
+  return out;
+}
+
+std::size_t KnowledgeBase::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hints_.size();
+}
+
+std::string KnowledgeBase::dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return to_script(hints_);
+}
+
+std::optional<std::string> KnowledgeBase::loop_schedule(
+    const std::string& loop) const {
+  const auto hint = lookup(SiteKind::kLoop, loop);
+  if (!hint.has_value()) return std::nullopt;
+  return hint->str("schedule");
+}
+
+std::optional<std::int64_t> KnowledgeBase::loop_chunk(
+    const std::string& loop) const {
+  const auto hint = lookup(SiteKind::kLoop, loop);
+  if (!hint.has_value()) return std::nullopt;
+  return hint->integer("chunk");
+}
+
+}  // namespace htvm::hints

@@ -1,0 +1,43 @@
+// Program/Execution Knowledge Database (paper §4.1): the repository of
+// structured hints the adaptive compiler and runtime consult, "providing
+// the runtime system with an informed and tailored set of options around
+// which to make its choices".
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hints/parser.h"
+
+namespace htvm::hints {
+
+class KnowledgeBase {
+ public:
+  // Parses and ingests a hint script. Returns the parse error, or empty.
+  std::string load_script(const std::string& source);
+
+  void add(StructuredHint hint);
+
+  // Highest-priority hint for a code site, if any.
+  std::optional<StructuredHint> lookup(SiteKind site,
+                                       const std::string& name) const;
+
+  // All hints for a target subsystem, highest priority first.
+  std::vector<StructuredHint> for_target(Target target) const;
+
+  std::size_t size() const;
+  std::string dump() const;  // round-trippable script form
+
+  // Convenience for the most common query: the scheduler policy a loop
+  // hint suggests ("schedule = guided;"), if present.
+  std::optional<std::string> loop_schedule(const std::string& loop) const;
+  std::optional<std::int64_t> loop_chunk(const std::string& loop) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StructuredHint> hints_;
+};
+
+}  // namespace htvm::hints

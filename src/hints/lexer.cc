@@ -1,0 +1,101 @@
+#include "hints/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace htvm::hints {
+
+LexResult lex(const std::string& source) {
+  LexResult result;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto error_at = [&](const std::string& message) {
+    result.error = "line " + std::to_string(line) + ": " + message;
+    return result;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    switch (c) {
+      case '{': tok.kind = TokKind::kLBrace; ++i; break;
+      case '}': tok.kind = TokKind::kRBrace; ++i; break;
+      case '=': tok.kind = TokKind::kEquals; ++i; break;
+      case ';': tok.kind = TokKind::kSemi; ++i; break;
+      case '"': {
+        const std::size_t start = ++i;
+        while (i < n && source[i] != '"' && source[i] != '\n') ++i;
+        if (i >= n || source[i] != '"') return error_at("unterminated string");
+        tok.kind = TokKind::kString;
+        tok.text = source.substr(start, i - start);
+        ++i;
+        break;
+      }
+      default: {
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+          const std::size_t start = i;
+          ++i;
+          bool is_float = false;
+          while (i < n && (std::isdigit(static_cast<unsigned char>(
+                               source[i])) ||
+                           source[i] == '.' || source[i] == 'e' ||
+                           source[i] == 'E' ||
+                           ((source[i] == '-' || source[i] == '+') &&
+                            (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+            if (source[i] == '.' || source[i] == 'e' || source[i] == 'E')
+              is_float = true;
+            ++i;
+          }
+          const std::string text = source.substr(start, i - start);
+          char* end = nullptr;
+          if (is_float) {
+            tok.kind = TokKind::kFloat;
+            tok.float_value = std::strtod(text.c_str(), &end);
+          } else {
+            tok.kind = TokKind::kInt;
+            tok.int_value = std::strtoll(text.c_str(), &end, 10);
+          }
+          if (end == nullptr || *end != '\0')
+            return error_at("malformed number '" + text + "'");
+          tok.text = text;
+        } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          const std::size_t start = i;
+          while (i < n && (std::isalnum(static_cast<unsigned char>(
+                               source[i])) ||
+                           source[i] == '_')) {
+            ++i;
+          }
+          tok.kind = TokKind::kIdent;
+          tok.text = source.substr(start, i - start);
+        } else {
+          return error_at(std::string("unexpected character '") + c + "'");
+        }
+      }
+    }
+    result.tokens.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokKind::kEnd;
+  end_tok.line = line;
+  result.tokens.push_back(end_tok);
+  return result;
+}
+
+}  // namespace htvm::hints

@@ -1,0 +1,39 @@
+// Tokenizer for the structured-hint script language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace htvm::hints {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // hint, loop, target, guided, ...
+  kString,   // "neuron_update"
+  kInt,      // 64
+  kFloat,    // 0.5
+  kLBrace,   // {
+  kRBrace,   // }
+  kEquals,   // =
+  kSemi,     // ;
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::string error;  // empty on success
+};
+
+// '#' starts a comment to end of line. Strings use double quotes with no
+// escapes (site names are identifiers in practice).
+LexResult lex(const std::string& source);
+
+}  // namespace htvm::hints

@@ -1,0 +1,221 @@
+#include "hints/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "hints/lexer.h"
+
+namespace htvm::hints {
+
+const char* to_string(Target target) {
+  switch (target) {
+    case Target::kCompiler: return "compiler";
+    case Target::kRuntime: return "runtime";
+    case Target::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kLocality: return "locality";
+    case Kind::kMonitoring: return "monitoring";
+    case Kind::kAccessPattern: return "access";
+    case Kind::kComputationPattern: return "computation";
+  }
+  return "?";
+}
+
+const char* to_string(SiteKind site) {
+  switch (site) {
+    case SiteKind::kLoop: return "loop";
+    case SiteKind::kObject: return "object";
+    case SiteKind::kMonitor: return "monitor";
+    case SiteKind::kAccess: return "access";
+  }
+  return "?";
+}
+
+std::optional<std::string> StructuredHint::str(const std::string& key) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> StructuredHint::integer(
+    const std::string& key) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return std::nullopt;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  return std::nullopt;
+}
+
+std::optional<double> StructuredHint::number(const std::string& key) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return std::nullopt;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second))
+    return static_cast<double>(*i);
+  return std::nullopt;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    while (peek().kind != TokKind::kEnd) {
+      StructuredHint hint;
+      if (!parse_hint(hint)) {
+        result.error = error_;
+        result.hints.clear();
+        return result;
+      }
+      result.hints.push_back(std::move(hint));
+    }
+    return result;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool fail(const std::string& message) {
+    error_ = "line " + std::to_string(peek().line) + ": " + message;
+    return false;
+  }
+
+  bool expect(TokKind kind, const char* what) {
+    if (peek().kind != kind) return fail(std::string("expected ") + what);
+    advance();
+    return true;
+  }
+
+  bool parse_hint(StructuredHint& hint) {
+    if (peek().kind != TokKind::kIdent || peek().text != "hint")
+      return fail("expected 'hint'");
+    advance();
+
+    if (peek().kind != TokKind::kIdent) return fail("expected site kind");
+    const std::string site = advance().text;
+    if (site == "loop") hint.site_kind = SiteKind::kLoop;
+    else if (site == "object") hint.site_kind = SiteKind::kObject;
+    else if (site == "monitor") hint.site_kind = SiteKind::kMonitor;
+    else if (site == "access") hint.site_kind = SiteKind::kAccess;
+    else return fail("unknown site kind '" + site + "'");
+
+    if (peek().kind != TokKind::kString)
+      return fail("expected quoted site name");
+    hint.site_name = advance().text;
+
+    if (!expect(TokKind::kLBrace, "'{'")) return false;
+    while (peek().kind != TokKind::kRBrace) {
+      if (peek().kind != TokKind::kIdent) return fail("expected key");
+      const std::string key = advance().text;
+      if (!expect(TokKind::kEquals, "'='")) return false;
+      Value value;
+      switch (peek().kind) {
+        case TokKind::kIdent:
+        case TokKind::kString:
+          value = advance().text;
+          break;
+        case TokKind::kInt:
+          value = advance().int_value;
+          break;
+        case TokKind::kFloat:
+          value = advance().float_value;
+          break;
+        default:
+          return fail("expected value for key '" + key + "'");
+      }
+      if (!expect(TokKind::kSemi, "';'")) return false;
+      if (!apply(hint, key, value)) return false;
+    }
+    return expect(TokKind::kRBrace, "'}'");
+  }
+
+  bool apply(StructuredHint& hint, const std::string& key,
+             const Value& value) {
+    if (key == "target") {
+      const auto* s = std::get_if<std::string>(&value);
+      if (s == nullptr) return fail("target must be an identifier");
+      if (*s == "compiler") hint.target = Target::kCompiler;
+      else if (*s == "runtime") hint.target = Target::kRuntime;
+      else if (*s == "monitor") hint.target = Target::kMonitor;
+      else return fail("unknown target '" + *s + "'");
+      return true;
+    }
+    if (key == "kind") {
+      const auto* s = std::get_if<std::string>(&value);
+      if (s == nullptr) return fail("kind must be an identifier");
+      if (*s == "locality") hint.kind = Kind::kLocality;
+      else if (*s == "monitoring") hint.kind = Kind::kMonitoring;
+      else if (*s == "access") hint.kind = Kind::kAccessPattern;
+      else if (*s == "computation") hint.kind = Kind::kComputationPattern;
+      else return fail("unknown kind '" + *s + "'");
+      return true;
+    }
+    if (key == "priority") {
+      const auto* v = std::get_if<std::int64_t>(&value);
+      if (v == nullptr) return fail("priority must be an integer");
+      hint.priority = static_cast<int>(*v);
+      return true;
+    }
+    hint.params[key] = value;
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse(const std::string& source) {
+  LexResult lexed = lex(source);
+  if (!lexed.error.empty()) {
+    ParseResult result;
+    result.error = lexed.error;
+    return result;
+  }
+  return Parser(std::move(lexed.tokens)).run();
+}
+
+std::string to_script(const std::vector<StructuredHint>& hints) {
+  std::ostringstream out;
+  for (const StructuredHint& hint : hints) {
+    out << "hint " << to_string(hint.site_kind) << " \"" << hint.site_name
+        << "\" {\n";
+    out << "  target = " << to_string(hint.target) << ";\n";
+    out << "  kind = " << to_string(hint.kind) << ";\n";
+    if (hint.priority != 0) out << "  priority = " << hint.priority << ";\n";
+    for (const auto& [key, value] : hint.params) {
+      out << "  " << key << " = ";
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        // Identifiers render bare; anything else quoted.
+        bool ident = !s->empty() && (std::isalpha(static_cast<unsigned char>(
+                                         (*s)[0])) ||
+                                     (*s)[0] == '_');
+        for (char c : *s)
+          ident = ident && (std::isalnum(static_cast<unsigned char>(c)) ||
+                            c == '_');
+        if (ident) out << *s;
+        else out << '"' << *s << '"';
+      } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        out << *i;
+      } else {
+        out << std::get<double>(value);
+      }
+      out << ";\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace htvm::hints

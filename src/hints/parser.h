@@ -1,0 +1,22 @@
+// Recursive-descent parser for hint scripts (grammar in hints.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hints/hints.h"
+
+namespace htvm::hints {
+
+struct ParseResult {
+  std::vector<StructuredHint> hints;
+  std::string error;  // empty on success
+  bool ok() const { return error.empty(); }
+};
+
+ParseResult parse(const std::string& source);
+
+// Renders hints back to script form (round-trips through parse()).
+std::string to_script(const std::vector<StructuredHint>& hints);
+
+}  // namespace htvm::hints

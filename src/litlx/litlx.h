@@ -1,0 +1,17 @@
+// Umbrella header: the complete public LITL-X / HTVM API surface.
+//
+//   #include "litlx/litlx.h"
+//
+//   htvm::litlx::Machine machine;
+//   machine.spawn_lgt(0, [&] { ... });
+//   htvm::litlx::forall(machine, 0, n, [&](std::int64_t i) { ... });
+//   machine.wait_idle();
+#pragma once
+
+#include "litlx/collectives.h"
+#include "litlx/forall.h"
+#include "litlx/machine.h"
+#include "machine/config.h"
+#include "sync/barrier.h"
+#include "sync/future.h"
+#include "sync/sync_slot.h"

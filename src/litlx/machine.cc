@@ -1,0 +1,71 @@
+#include "litlx/machine.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace htvm::litlx {
+
+Machine::Machine(MachineOptions options) : options_(std::move(options)) {
+  rt::RuntimeOptions rt_opts;
+  rt_opts.config = options_.config;
+  rt_opts.cycle_ns = options_.cycle_ns;
+  rt_opts.steal_scope = options_.steal_scope;
+  rt_opts.max_workers = options_.max_workers;
+  runtime_ = std::make_unique<rt::Runtime>(rt_opts);
+  parcels_ = std::make_unique<parcel::ParcelEngine>(*runtime_);
+  objects_ = std::make_unique<mem::ObjectSpace>(runtime_->memory(),
+                                                options_.object_params);
+  percolation_ = std::make_unique<parcel::PercolationManager>(
+      *runtime_, *objects_, options_.percolation_buffer_bytes);
+  load_balancer_ =
+      std::make_unique<rt::LoadBalancer>(*runtime_, rt::LoadBalancer::Policy{});
+  monitor_ = std::make_unique<adapt::PerfMonitor>(runtime_->num_workers());
+  controller_ = std::make_unique<adapt::AdaptiveController>(
+      sched::scheduler_names(), adapt::AdaptiveController::Options{});
+  if (!options_.hint_script.empty()) {
+    const std::string err = knowledge_.load_script(options_.hint_script);
+    if (!err.empty()) {
+      std::fprintf(stderr, "litlx: hint script error: %s\n", err.c_str());
+    }
+  }
+}
+
+std::string Machine::report() const {
+  std::ostringstream out;
+  const auto& cfg = options_.config;
+  out << "=== htvm machine report ===\n";
+  out << "machine: " << cfg.nodes << " nodes x " << cfg.thread_units_per_node
+      << " thread units (" << runtime_->num_workers() << " workers), "
+      << machine::to_string(cfg.network.topology) << " network\n";
+  const rt::WorkerStats agg = runtime_->aggregate_stats();
+  out << "runtime: sgts=" << agg.sgts_executed
+      << " tgts=" << agg.tgts_executed << " lgt_resumes=" << agg.lgt_resumes
+      << " steals=" << agg.steals << " parks=" << agg.parks << "\n";
+  out << "parcels: sent=" << parcels_->stats().sent.load()
+      << " delivered=" << parcels_->stats().delivered.load()
+      << " replies=" << parcels_->stats().replies.load()
+      << " bytes=" << parcels_->stats().bytes.load() << "\n";
+  const mem::MemoryStats& mstats = runtime_->memory().stats();
+  out << "memory: local=" << mstats.local_accesses.load()
+      << " remote=" << mstats.remote_accesses.load()
+      << " remote_bytes=" << mstats.bytes_moved_remote.load() << "\n";
+  const mem::ObjectStats ostats = objects_->stats();
+  out << "objects: reads=" << ostats.reads << " writes=" << ostats.writes
+      << " replications=" << ostats.replications
+      << " invalidations=" << ostats.invalidations
+      << " migrations=" << ostats.migrations << "\n";
+  out << "percolation: staged_bytes="
+      << percolation_->stats().bytes_staged.load()
+      << " hits=" << percolation_->stats().buffer_hits.load()
+      << " evictions=" << percolation_->stats().evictions.load() << "\n";
+  out << "monitor:\n" << monitor_->summary();
+  return out.str();
+}
+
+Machine::~Machine() {
+  // Drain all outstanding work before any component is torn down; members
+  // then destruct in reverse declaration order (parcels before runtime).
+  runtime_->wait_idle();
+}
+
+}  // namespace htvm::litlx

@@ -1,0 +1,145 @@
+// litlx::Machine -- the top-level HTVM object a LITL-X program talks to.
+//
+// LITL-X (paper §3.2) is realized as an embedded C++ API (see DESIGN.md
+// for the substitution rationale). One Machine owns the whole stack:
+// runtime (LGT/SGT/TGT scheduling), parcel engine (split transactions,
+// move-work-to-data), object space (migratable/replicable data), the
+// percolation manager, atomic-block domain, structured-hint knowledge
+// base, performance monitor, and the adaptive controller. Every LITL-X
+// construct class from the paper maps to a method here:
+//
+//   coarse-grain multithreading ......... spawn_lgt / yield / await
+//   parcel-driven split transactions .... invoke_at / parcels().request
+//   futures with localized buffering .... sync::Future + await
+//   percolation ......................... percolate_and_run
+//   dataflow sync + atomic blocks ....... spawn_tgt_after / atomically
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "adapt/advisor.h"
+#include "adapt/controller.h"
+#include "adapt/monitor.h"
+#include "hints/knowledge_base.h"
+#include "mem/data_object.h"
+#include "parcel/engine.h"
+#include "parcel/percolation.h"
+#include "runtime/load_balancer.h"
+#include "runtime/runtime.h"
+#include "sched/schedulers.h"
+#include "sync/atomic_block.h"
+
+namespace htvm::litlx {
+
+struct MachineOptions {
+  machine::MachineConfig config;
+  double cycle_ns = 0.0;  // 0 = functional mode (no latency injection)
+  rt::StealScope steal_scope = rt::StealScope::kGlobal;
+  std::uint32_t max_workers = 0;
+  mem::ObjectSpace::Params object_params;
+  std::uint64_t percolation_buffer_bytes = 8ull << 20;
+  std::string hint_script;  // parsed into the knowledge base at startup
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineOptions options = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ------------------------------------------------------------ hierarchy
+
+  void spawn_lgt(std::uint32_t node, std::function<void()> entry) {
+    runtime_->spawn_lgt(node, std::move(entry));
+  }
+  void spawn_sgt(std::function<void()> fn) {
+    runtime_->spawn_sgt(std::move(fn));
+  }
+  void spawn_sgt_on(std::uint32_t node, std::function<void()> fn) {
+    runtime_->spawn_sgt_on(node, std::move(fn));
+  }
+  void spawn_tgt(std::function<void()> fn) {
+    runtime_->spawn_tgt(std::move(fn));
+  }
+  void spawn_tgt_after(sync::SyncSlot& slot, std::uint32_t count,
+                       std::function<void()> fn) {
+    runtime_->spawn_tgt_after(slot, count, std::move(fn));
+  }
+
+  static void yield() { rt::Runtime::yield(); }
+  template <typename T>
+  static const T& await(const sync::Future<T>& future) {
+    return rt::Runtime::await(future);
+  }
+
+  // --------------------------------------------------------------- parcels
+
+  // Moves work to the data on `node` (paper: "to enable the moving of the
+  // work to the data (when it makes sense)").
+  void invoke_at(std::uint32_t node, std::uint64_t modeled_bytes,
+                 std::function<void()> fn) {
+    parcels_->invoke_at(node, modeled_bytes, std::move(fn));
+  }
+
+  // ----------------------------------------------------------- percolation
+
+  void percolate_and_run(std::uint32_t node,
+                         std::vector<mem::ObjectSpace::ObjectId> inputs,
+                         std::function<void()> task) {
+    percolation_->percolate_and_run(node, std::move(inputs),
+                                    std::move(task));
+  }
+
+  // ---------------------------------------------------------- atomic blocks
+
+  template <typename Fn>
+  void atomically(std::initializer_list<const void*> addrs, Fn&& fn) {
+    atomic_domain_.atomically(addrs, static_cast<Fn&&>(fn));
+  }
+
+  // ----------------------------------------------------------------- hints
+
+  // Returns the parse error or empty.
+  std::string load_hints(const std::string& script) {
+    return knowledge_.load_script(script);
+  }
+
+  // ------------------------------------------------------------- lifecycle
+
+  void wait_idle() { runtime_->wait_idle(); }
+
+  // One-stop status report: machine shape, runtime/worker statistics,
+  // parcel traffic, memory traffic, percolation state, and the monitor's
+  // per-site summary. The runtime face of Fig. 1's feedback loop.
+  std::string report() const;
+
+  // ------------------------------------------------------------ components
+
+  rt::Runtime& runtime() { return *runtime_; }
+  parcel::ParcelEngine& parcels() { return *parcels_; }
+  mem::ObjectSpace& objects() { return *objects_; }
+  parcel::PercolationManager& percolation() { return *percolation_; }
+  hints::KnowledgeBase& knowledge() { return knowledge_; }
+  adapt::PerfMonitor& monitor() { return *monitor_; }
+  adapt::AdaptiveController& controller() { return *controller_; }
+  sync::AtomicDomain& atomic_domain() { return atomic_domain_; }
+  rt::LoadBalancer& load_balancer() { return *load_balancer_; }
+  const MachineOptions& options() const { return options_; }
+
+ private:
+  MachineOptions options_;
+  std::unique_ptr<rt::Runtime> runtime_;
+  std::unique_ptr<parcel::ParcelEngine> parcels_;
+  std::unique_ptr<mem::ObjectSpace> objects_;
+  std::unique_ptr<parcel::PercolationManager> percolation_;
+  std::unique_ptr<rt::LoadBalancer> load_balancer_;
+  hints::KnowledgeBase knowledge_;
+  std::unique_ptr<adapt::PerfMonitor> monitor_;
+  std::unique_ptr<adapt::AdaptiveController> controller_;
+  sync::AtomicDomain atomic_domain_;
+};
+
+}  // namespace htvm::litlx

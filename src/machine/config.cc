@@ -1,0 +1,240 @@
+#include "machine/config.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+namespace htvm::machine {
+
+const char* to_string(MemLevel level) {
+  switch (level) {
+    case MemLevel::kRegister: return "register";
+    case MemLevel::kFrame: return "frame";
+    case MemLevel::kLocalSram: return "local_sram";
+    case MemLevel::kLocalDram: return "local_dram";
+    case MemLevel::kRemote: return "remote";
+  }
+  return "?";
+}
+
+const char* to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kCrossbar: return "crossbar";
+    case Topology::kMesh2D: return "mesh2d";
+    case Topology::kTorus2D: return "torus2d";
+  }
+  return "?";
+}
+
+std::uint32_t MachineConfig::mem_latency(MemLevel level) const {
+  switch (level) {
+    case MemLevel::kRegister: return latency_register;
+    case MemLevel::kFrame: return latency_frame;
+    case MemLevel::kLocalSram: return latency_local_sram;
+    case MemLevel::kLocalDram: return latency_local_dram;
+    case MemLevel::kRemote:
+      // Nominal single-hop remote access; exact cost depends on the node
+      // pair and is computed by remote_access_cycles().
+      return latency_local_dram + network.inject_cycles * 2 +
+             network.hop_cycles * 2;
+  }
+  return 0;
+}
+
+std::uint32_t MachineConfig::grid_width() const {
+  auto w = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(nodes))));
+  return w == 0 ? 1 : w;
+}
+
+std::uint32_t MachineConfig::hop_distance(std::uint32_t from,
+                                          std::uint32_t to) const {
+  if (from == to) return 0;
+  switch (network.topology) {
+    case Topology::kCrossbar:
+      return 1;
+    case Topology::kMesh2D: {
+      const std::uint32_t w = grid_width();
+      const auto dx = static_cast<std::int64_t>(from % w) -
+                      static_cast<std::int64_t>(to % w);
+      const auto dy = static_cast<std::int64_t>(from / w) -
+                      static_cast<std::int64_t>(to / w);
+      return static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+    }
+    case Topology::kTorus2D: {
+      const std::uint32_t w = grid_width();
+      const std::uint32_t h = (nodes + w - 1) / w;
+      auto wrap = [](std::uint32_t a, std::uint32_t b, std::uint32_t n) {
+        const std::uint32_t d = a > b ? a - b : b - a;
+        return std::min(d, n - d);
+      };
+      return wrap(from % w, to % w, w) + wrap(from / w, to / w, h);
+    }
+  }
+  return 1;
+}
+
+std::uint64_t MachineConfig::network_cycles(std::uint32_t from,
+                                            std::uint32_t to,
+                                            std::uint64_t bytes) const {
+  if (from == to) return 0;
+  const std::uint64_t hops = hop_distance(from, to);
+  return network.inject_cycles +
+         hops * static_cast<std::uint64_t>(network.hop_cycles) +
+         static_cast<std::uint64_t>(network.cycles_per_byte *
+                                    static_cast<double>(bytes));
+}
+
+std::uint64_t MachineConfig::remote_access_cycles(std::uint32_t from,
+                                                  std::uint32_t to,
+                                                  std::uint64_t bytes) const {
+  if (from == to) return latency_local_dram;
+  // Request (small) out, access, response (payload) back.
+  return network_cycles(from, to, 16) + latency_local_dram +
+         network_cycles(to, from, bytes);
+}
+
+std::string MachineConfig::validate() const {
+  if (nodes == 0) return "nodes must be > 0";
+  if (thread_units_per_node == 0) return "thread_units_per_node must be > 0";
+  if (node_memory_bytes == 0) return "node_memory_bytes must be > 0";
+  if (frame_memory_bytes == 0) return "frame_memory_bytes must be > 0";
+  if (!(latency_frame >= latency_register))
+    return "frame latency must be >= register latency";
+  if (!(latency_local_sram >= latency_frame))
+    return "local_sram latency must be >= frame latency";
+  if (!(latency_local_dram >= latency_local_sram))
+    return "local_dram latency must be >= local_sram latency";
+  if (network.cycles_per_byte < 0) return "cycles_per_byte must be >= 0";
+  if (thread_costs.sgt_spawn_cycles > thread_costs.lgt_spawn_cycles)
+    return "SGT spawn cost must not exceed LGT spawn cost";
+  if (thread_costs.tgt_spawn_cycles > thread_costs.sgt_spawn_cycles)
+    return "TGT spawn cost must not exceed SGT spawn cost";
+  return {};
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string MachineConfig::parse(const std::string& text) {
+  std::unordered_map<std::string, std::uint64_t*> uint_keys = {
+      {"node_memory_bytes", &node_memory_bytes},
+      {"frame_memory_bytes", &frame_memory_bytes},
+  };
+  std::unordered_map<std::string, std::uint32_t*> u32_keys = {
+      {"nodes", &nodes},
+      {"thread_units_per_node", &thread_units_per_node},
+      {"latency_register", &latency_register},
+      {"latency_frame", &latency_frame},
+      {"latency_local_sram", &latency_local_sram},
+      {"latency_local_dram", &latency_local_dram},
+      {"hop_cycles", &network.hop_cycles},
+      {"inject_cycles", &network.inject_cycles},
+      {"lgt_spawn_cycles", &thread_costs.lgt_spawn_cycles},
+      {"sgt_spawn_cycles", &thread_costs.sgt_spawn_cycles},
+      {"tgt_spawn_cycles", &thread_costs.tgt_spawn_cycles},
+      {"context_switch_cycles", &thread_costs.context_switch_cycles},
+      {"sync_signal_cycles", &thread_costs.sync_signal_cycles},
+      {"steal_cycles", &thread_costs.steal_cycles},
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      return "line " + std::to_string(line_no) + ": expected key = value";
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      return "line " + std::to_string(line_no) + ": empty key or value";
+
+    if (key == "topology") {
+      if (value == "crossbar") network.topology = Topology::kCrossbar;
+      else if (value == "mesh2d") network.topology = Topology::kMesh2D;
+      else if (value == "torus2d") network.topology = Topology::kTorus2D;
+      else return "line " + std::to_string(line_no) + ": unknown topology '" +
+                  value + "'";
+      continue;
+    }
+    if (key == "cycles_per_byte") {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || v < 0)
+        return "line " + std::to_string(line_no) + ": bad double value";
+      network.cycles_per_byte = v;
+      continue;
+    }
+
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+      return "line " + std::to_string(line_no) + ": bad integer value";
+    if (auto it = u32_keys.find(key); it != u32_keys.end()) {
+      *it->second = static_cast<std::uint32_t>(v);
+    } else if (auto it64 = uint_keys.find(key); it64 != uint_keys.end()) {
+      *it64->second = v;
+    } else {
+      return "line " + std::to_string(line_no) + ": unknown key '" + key + "'";
+    }
+  }
+  return validate();
+}
+
+std::string MachineConfig::to_string() const {
+  std::ostringstream out;
+  out << "nodes = " << nodes << '\n'
+      << "thread_units_per_node = " << thread_units_per_node << '\n'
+      << "topology = " << machine::to_string(network.topology) << '\n'
+      << "latency_register = " << latency_register << '\n'
+      << "latency_frame = " << latency_frame << '\n'
+      << "latency_local_sram = " << latency_local_sram << '\n'
+      << "latency_local_dram = " << latency_local_dram << '\n'
+      << "hop_cycles = " << network.hop_cycles << '\n'
+      << "inject_cycles = " << network.inject_cycles << '\n'
+      << "cycles_per_byte = " << network.cycles_per_byte << '\n'
+      << "lgt_spawn_cycles = " << thread_costs.lgt_spawn_cycles << '\n'
+      << "sgt_spawn_cycles = " << thread_costs.sgt_spawn_cycles << '\n'
+      << "tgt_spawn_cycles = " << thread_costs.tgt_spawn_cycles << '\n';
+  return out.str();
+}
+
+MachineConfig MachineConfig::cyclops64() {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = 160;
+  cfg.latency_frame = 2;
+  cfg.latency_local_sram = 20;   // on-chip SRAM banks via crossbar
+  cfg.latency_local_dram = 80;
+  cfg.network.topology = Topology::kCrossbar;
+  return cfg;
+}
+
+MachineConfig MachineConfig::cluster(std::uint32_t nodes,
+                                     std::uint32_t tus_per_node) {
+  MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.thread_units_per_node = tus_per_node;
+  cfg.network.topology = Topology::kTorus2D;
+  cfg.network.hop_cycles = 50;
+  cfg.network.inject_cycles = 200;
+  cfg.network.cycles_per_byte = 1.0;
+  return cfg;
+}
+
+}  // namespace htvm::machine

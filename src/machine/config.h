@@ -1,0 +1,115 @@
+// Machine description for the HTVM target architecture.
+//
+// The paper targets Cyclops-64-class chips: many thread units per node, a
+// deep explicit memory hierarchy (registers / SGT frames / node-local
+// scratchpad / node DRAM / remote node memory), and an on-chip network. The
+// MachineConfig captures those parameters; both the discrete-event simulator
+// (src/sim) and the real runtime's latency injector (src/machine/latency)
+// are driven by the same description, so experiments on either backend refer
+// to one machine model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace htvm::machine {
+
+// Where an access lands in the memory hierarchy, ordered by distance from
+// the executing thread unit.
+enum class MemLevel : std::uint8_t {
+  kRegister = 0,   // TGT register communication (compiler controlled)
+  kFrame = 1,      // SGT frame storage (scratchpad)
+  kLocalSram = 2,  // node-local on-chip SRAM
+  kLocalDram = 3,  // node-local off-chip DRAM
+  kRemote = 4,     // another node's memory, via the network
+};
+
+const char* to_string(MemLevel level);
+
+// How nodes are wired. Hop count feeds the network latency model.
+enum class Topology : std::uint8_t {
+  kCrossbar = 0,  // single hop between any pair (Cyclops-64 on-chip)
+  kMesh2D = 1,    // 2-D mesh, Manhattan hop distance
+  kTorus2D = 2,   // 2-D torus, wrap-around Manhattan distance
+};
+
+const char* to_string(Topology topology);
+
+struct NetworkParams {
+  Topology topology = Topology::kCrossbar;
+  std::uint32_t hop_cycles = 10;       // router+link traversal per hop
+  std::uint32_t inject_cycles = 20;    // NIC injection/ejection fixed cost
+  double cycles_per_byte = 0.25;       // serialization cost
+};
+
+struct ThreadCostParams {
+  // Invocation + management cost of each thread level, in cycles. The
+  // paper's qualitative claim is LGT >> SGT >> TGT; defaults follow
+  // EARTH/Cyclops measurements orders of magnitude.
+  std::uint32_t lgt_spawn_cycles = 4000;
+  std::uint32_t sgt_spawn_cycles = 120;
+  std::uint32_t tgt_spawn_cycles = 12;
+  std::uint32_t context_switch_cycles = 40;  // LGT fiber switch
+  std::uint32_t sync_signal_cycles = 4;      // dataflow slot signal
+  std::uint32_t steal_cycles = 200;          // work-steal attempt
+};
+
+struct MachineConfig {
+  std::uint32_t nodes = 4;
+  std::uint32_t thread_units_per_node = 8;
+
+  // Memory latency per level, in cycles (kRemote adds network cost on top
+  // of the remote node's kLocalDram latency).
+  std::uint32_t latency_register = 0;
+  std::uint32_t latency_frame = 2;
+  std::uint32_t latency_local_sram = 12;
+  std::uint32_t latency_local_dram = 60;
+
+  NetworkParams network;
+  ThreadCostParams thread_costs;
+
+  // Per-node memory capacities (bytes) for the global-address-space arenas.
+  std::uint64_t node_memory_bytes = 64ULL * 1024 * 1024;
+  std::uint64_t frame_memory_bytes = 4ULL * 1024 * 1024;
+
+  std::uint32_t total_thread_units() const {
+    return nodes * thread_units_per_node;
+  }
+
+  std::uint32_t mem_latency(MemLevel level) const;
+
+  // Hop distance between two nodes under the configured topology. Nodes are
+  // arranged row-major in a near-square grid for mesh/torus.
+  std::uint32_t hop_distance(std::uint32_t from, std::uint32_t to) const;
+
+  // End-to-end network cycles for a message of `bytes` between two nodes.
+  // Zero when from == to.
+  std::uint64_t network_cycles(std::uint32_t from, std::uint32_t to,
+                               std::uint64_t bytes) const;
+
+  // Cycles for a remote memory access of `bytes` (round trip: request +
+  // remote DRAM + response).
+  std::uint64_t remote_access_cycles(std::uint32_t from, std::uint32_t to,
+                                     std::uint64_t bytes) const;
+
+  // Validates invariants (non-zero sizes, monotone latencies). Returns an
+  // empty string when valid, else a description of the first problem.
+  std::string validate() const;
+
+  // Parses `key = value` lines (# comments, blank lines allowed). Unknown
+  // keys are an error. Returns the error message or empty on success;
+  // `*this` is updated only for keys that parsed before any error.
+  std::string parse(const std::string& text);
+
+  std::string to_string() const;
+
+  // Grid shape used for mesh/torus hop distance.
+  std::uint32_t grid_width() const;
+
+  // Named presets.
+  static MachineConfig cyclops64();   // 1 node x 160 TUs, crossbar
+  static MachineConfig cluster(std::uint32_t nodes,
+                               std::uint32_t tus_per_node);
+};
+
+}  // namespace htvm::machine

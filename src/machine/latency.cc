@@ -1,0 +1,52 @@
+#include "machine/latency.h"
+
+#include "util/spinlock.h"
+
+namespace htvm::machine {
+
+void spin_for_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) util::cpu_relax();
+}
+
+LatencyInjector::LatencyInjector(const MachineConfig& config, double cycle_ns)
+    : config_(config), cycle_ns_(cycle_ns) {}
+
+void LatencyInjector::cycles(std::uint64_t c) const {
+  if (!enabled() || c == 0) return;
+  spin_for_ns(static_cast<std::uint64_t>(static_cast<double>(c) * cycle_ns_));
+}
+
+void LatencyInjector::mem_access(MemLevel level) const {
+  cycles(config_.mem_latency(level));
+}
+
+void LatencyInjector::remote_access(std::uint32_t from_node,
+                                    std::uint32_t to_node,
+                                    std::uint64_t bytes) const {
+  cycles(config_.remote_access_cycles(from_node, to_node, bytes));
+}
+
+void LatencyInjector::network_transfer(std::uint32_t from_node,
+                                       std::uint32_t to_node,
+                                       std::uint64_t bytes) const {
+  cycles(config_.network_cycles(from_node, to_node, bytes));
+}
+
+void LatencyInjector::spawn_cost(int thread_level) const {
+  switch (thread_level) {
+    case 0: cycles(config_.thread_costs.lgt_spawn_cycles); break;
+    case 1: cycles(config_.thread_costs.sgt_spawn_cycles); break;
+    default: cycles(config_.thread_costs.tgt_spawn_cycles); break;
+  }
+}
+
+std::uint64_t ns_to_cycles(std::chrono::nanoseconds ns, double cycle_ns) {
+  if (cycle_ns <= 0.0) return 0;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(ns.count()) / cycle_ns);
+}
+
+}  // namespace htvm::machine

@@ -1,0 +1,55 @@
+// Latency realization for the *real* runtime backend.
+//
+// The discrete-event simulator charges model cycles directly; the real
+// runtime instead injects calibrated busy-wait delays so that a program
+// running on host threads experiences the configured machine's latency
+// ratios (e.g. a remote get really does stall ~10x longer than a local DRAM
+// access). Calibration measures the host's busy-wait throughput once and
+// converts model cycles to host nanoseconds at a configurable clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "machine/config.h"
+
+namespace htvm::machine {
+
+// Busy-waits for approximately `ns` nanoseconds without yielding the CPU.
+// Monotonic-clock based, so it is immune to frequency scaling in a way a
+// pure loop-count calibration would not be.
+void spin_for_ns(std::uint64_t ns);
+
+class LatencyInjector {
+ public:
+  // `cycle_ns` converts model cycles to host nanoseconds; the default of
+  // 1 ns/cycle models a 1 GHz part. A scale of 0 disables injection (useful
+  // in unit tests that only check functional behaviour).
+  explicit LatencyInjector(const MachineConfig& config, double cycle_ns = 1.0);
+
+  void set_cycle_ns(double cycle_ns) { cycle_ns_ = cycle_ns; }
+  double cycle_ns() const { return cycle_ns_; }
+  bool enabled() const { return cycle_ns_ > 0.0; }
+
+  // Stalls the caller for the modeled duration of the given event.
+  void mem_access(MemLevel level) const;
+  void remote_access(std::uint32_t from_node, std::uint32_t to_node,
+                     std::uint64_t bytes) const;
+  void network_transfer(std::uint32_t from_node, std::uint32_t to_node,
+                        std::uint64_t bytes) const;
+  void spawn_cost(int thread_level) const;  // 0=LGT, 1=SGT, 2=TGT
+
+  void cycles(std::uint64_t c) const;
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  MachineConfig config_;
+  double cycle_ns_;
+};
+
+// Cycle-count helper: converts a host duration back into model cycles for
+// reporting (monitor, benches).
+std::uint64_t ns_to_cycles(std::chrono::nanoseconds ns, double cycle_ns);
+
+}  // namespace htvm::machine

@@ -1,0 +1,272 @@
+#include "md/forces.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htvm::md {
+
+CellList::CellList(const System& system, double cutoff) {
+  box_ = system.params().box;
+  side_ = static_cast<std::uint32_t>(box_ / cutoff);
+  if (side_ == 0) side_ = 1;
+  begin_.assign(num_cells() + 1, 0);
+  rebuild(system);
+}
+
+std::uint32_t CellList::cell_of(const Vec3& p) const {
+  auto clampi = [&](double v) {
+    auto i = static_cast<std::int64_t>(v / box_ * side_);
+    if (i < 0) i = 0;
+    if (i >= static_cast<std::int64_t>(side_)) i = side_ - 1;
+    return static_cast<std::uint32_t>(i);
+  };
+  return clampi(p.x) + side_ * (clampi(p.y) + side_ * clampi(p.z));
+}
+
+void CellList::rebuild(const System& system) {
+  const auto n = static_cast<std::uint32_t>(system.size());
+  std::vector<std::uint32_t> cell_of_particle(n);
+  begin_.assign(num_cells() + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t c = cell_of(system.position(i));
+    cell_of_particle[i] = c;
+    ++begin_[c + 1];
+  }
+  for (std::uint32_t c = 0; c < num_cells(); ++c) begin_[c + 1] += begin_[c];
+  particles_.assign(n, 0);
+  std::vector<std::uint32_t> cursor(begin_.begin(), begin_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i)
+    particles_[cursor[cell_of_particle[i]]++] = i;
+}
+
+std::array<std::uint32_t, 27> CellList::neighbors(std::uint32_t cell) const {
+  const std::uint32_t cx = cell % side_;
+  const std::uint32_t cy = (cell / side_) % side_;
+  const std::uint32_t cz = cell / (side_ * side_);
+  std::array<std::uint32_t, 27> out{};
+  std::size_t k = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto wrap = [&](std::uint32_t v, int d) {
+          return static_cast<std::uint32_t>(
+              (static_cast<int>(v) + d + static_cast<int>(side_)) %
+              static_cast<int>(side_));
+        };
+        out[k++] = wrap(cx, dx) +
+                   side_ * (wrap(cy, dy) + side_ * wrap(cz, dz));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// The 27-cell neighbourhood with duplicates removed: for grids narrower
+// than 3 cells per side the periodic wrap makes several of the 27 indices
+// alias the same cell, which would double-count pairs. Returns the number
+// of distinct cells written into `out`.
+std::size_t unique_neighbors(const CellList& cells, std::uint32_t cell,
+                             std::array<std::uint32_t, 27>& out) {
+  out = cells.neighbors(cell);
+  std::sort(out.begin(), out.end());
+  return static_cast<std::size_t>(
+      std::unique(out.begin(), out.end()) - out.begin());
+}
+
+// Shifted-force LJ + Coulomb: both the potential and the force go smoothly
+// to zero at the cutoff, which keeps NVE energy drift tiny despite the
+// truncation.
+struct PairResult {
+  Vec3 force;       // on i, pointing from j toward i scaled
+  double half_potential = 0.0;
+};
+
+PairResult pair_interaction(const System& system, std::uint32_t i,
+                            std::uint32_t j, const Vec3& rij, double r2) {
+  PairResult out;
+  const std::uint32_t si = system.species_of(i);
+  const std::uint32_t sj = system.species_of(j);
+  const double eps = system.pair_epsilon(si, sj);
+  const double sigma2 = system.pair_sigma2(si, sj);
+  const double rc = system.params().cutoff;
+  const double r = std::sqrt(r2);
+
+  // LJ with shifted force.
+  const double inv_r2 = 1.0 / r2;
+  const double s6 = sigma2 * sigma2 * sigma2 * inv_r2 * inv_r2 * inv_r2;
+  const double s12 = s6 * s6;
+  const double f_lj = 24.0 * eps * (2.0 * s12 - s6) / r;
+  const double u_lj = 4.0 * eps * (s12 - s6);
+  const double rc2 = rc * rc;
+  const double inv_rc2 = 1.0 / rc2;
+  const double s6c = sigma2 * sigma2 * sigma2 * inv_rc2 * inv_rc2 * inv_rc2;
+  const double s12c = s6c * s6c;
+  const double f_lj_c = 24.0 * eps * (2.0 * s12c - s6c) / rc;
+  const double u_lj_c = 4.0 * eps * (s12c - s6c);
+  double f_total = f_lj - f_lj_c;
+  double u_total = u_lj - u_lj_c + (r - rc) * f_lj_c;
+
+  // Coulomb with shifted force.
+  const double qq = system.params().coulomb_constant *
+                    system.species(si).charge * system.species(sj).charge;
+  if (qq != 0.0) {
+    const double f_c = qq / r2;
+    const double f_c_rc = qq / rc2;
+    f_total += f_c - f_c_rc;
+    u_total += qq * (1.0 / r - 1.0 / rc) + (r - rc) * f_c_rc;
+  }
+
+  // Force on i points from j to i when repulsive: rij = r_j - r_i, so the
+  // force on i is -f_total * rij / r.
+  const double scale = -f_total / r;
+  out.force = rij * scale;
+  out.half_potential = 0.5 * u_total;
+  return out;
+}
+
+}  // namespace
+
+ForceStats compute_particle_force(System& system, const CellList& cells,
+                                  std::uint32_t i) {
+  ForceStats stats;
+  const double rc2 = system.params().cutoff * system.params().cutoff;
+  const Vec3 pi = system.position(i);
+  Vec3 f{};
+  std::array<std::uint32_t, 27> neighborhood;
+  const std::size_t distinct =
+      unique_neighbors(cells, cells.cell_of(pi), neighborhood);
+  const std::uint32_t* begin = cells.cell_begin();
+  const std::uint32_t* parts = cells.cell_particles();
+  for (std::size_t c = 0; c < distinct; ++c) {
+    const std::uint32_t cell = neighborhood[c];
+    for (std::uint32_t k = begin[cell]; k < begin[cell + 1]; ++k) {
+      const std::uint32_t j = parts[k];
+      if (j == i) continue;
+      ++stats.pairs_considered;
+      const Vec3 rij = system.min_image(pi, system.position(j));
+      const double r2 = rij.norm2();
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      ++stats.pairs_evaluated;
+      const PairResult pr = pair_interaction(system, i, j, rij, r2);
+      f += pr.force;
+      stats.potential_energy += pr.half_potential;
+    }
+  }
+  system.forces()[i] = f;
+  return stats;
+}
+
+ForceStats compute_all_forces(System& system, const CellList& cells) {
+  ForceStats total;
+  for (std::uint32_t i = 0; i < system.size(); ++i) {
+    const ForceStats s = compute_particle_force(system, cells, i);
+    total.potential_energy += s.potential_energy;
+    total.pairs_evaluated += s.pairs_evaluated;
+    total.pairs_considered += s.pairs_considered;
+  }
+  return total;
+}
+
+ForceStats compute_all_forces_reference(System& system) {
+  ForceStats total;
+  const double rc2 = system.params().cutoff * system.params().cutoff;
+  const auto n = static_cast<std::uint32_t>(system.size());
+  for (std::uint32_t i = 0; i < n; ++i) system.forces()[i] = Vec3{};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Vec3 f{};
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      ++total.pairs_considered;
+      const Vec3 rij = system.min_image(system.position(i),
+                                        system.position(j));
+      const double r2 = rij.norm2();
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      ++total.pairs_evaluated;
+      const PairResult pr = pair_interaction(system, i, j, rij, r2);
+      f += pr.force;
+      total.potential_energy += pr.half_potential;
+    }
+    system.forces()[i] += f;
+  }
+  return total;
+}
+
+}  // namespace htvm::md
+
+namespace htvm::md {
+
+NeighborList::NeighborList(const System& system, double cutoff, double skin)
+    : cutoff_(cutoff), skin_(skin) {
+  rebuild(system);
+}
+
+void NeighborList::rebuild(const System& system) {
+  ++rebuilds_;
+  const auto n = static_cast<std::uint32_t>(system.size());
+  const double reach = cutoff_ + skin_;
+  const double reach2 = reach * reach;
+  // The cell list must cover the extended reach.
+  CellList cells(system, reach);
+  begin_.assign(n + 1, 0);
+  partners_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    begin_[i] = static_cast<std::uint32_t>(partners_.size());
+    const Vec3 pi = system.position(i);
+    std::array<std::uint32_t, 27> neighborhood;
+    const std::size_t distinct =
+        unique_neighbors(cells, cells.cell_of(pi), neighborhood);
+    for (std::size_t c = 0; c < distinct; ++c) {
+      const std::uint32_t cell = neighborhood[c];
+      const std::uint32_t* parts = cells.cell_particles();
+      for (std::uint32_t k = cells.cell_begin()[cell];
+           k < cells.cell_begin()[cell + 1]; ++k) {
+        const std::uint32_t j = parts[k];
+        if (j == i) continue;
+        const Vec3 rij = system.min_image(pi, system.position(j));
+        if (rij.norm2() < reach2) partners_.push_back(j);
+      }
+    }
+  }
+  begin_[n] = static_cast<std::uint32_t>(partners_.size());
+  positions_at_build_.assign(system.size(), Vec3{});
+  for (std::uint32_t i = 0; i < n; ++i)
+    positions_at_build_[i] = system.position(i);
+}
+
+bool NeighborList::needs_rebuild(const System& system) const {
+  const double limit2 = (skin_ / 2) * (skin_ / 2);
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const Vec3 d =
+        system.min_image(positions_at_build_[i], system.position(i));
+    if (d.norm2() > limit2) return true;
+  }
+  return false;
+}
+
+ForceStats compute_particle_force_verlet(System& system,
+                                         const NeighborList& list,
+                                         std::uint32_t i) {
+  ForceStats stats;
+  const double rc2 = system.params().cutoff * system.params().cutoff;
+  const Vec3 pi = system.position(i);
+  Vec3 f{};
+  const std::uint32_t* partners = list.neighbors_of(i);
+  const std::uint32_t count = list.count(i);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t j = partners[k];
+    ++stats.pairs_considered;
+    const Vec3 rij = system.min_image(pi, system.position(j));
+    const double r2 = rij.norm2();
+    if (r2 >= rc2 || r2 == 0.0) continue;
+    ++stats.pairs_evaluated;
+    const PairResult pr = pair_interaction(system, i, j, rij, r2);
+    f += pr.force;
+    stats.potential_energy += pr.half_potential;
+  }
+  system.forces()[i] = f;
+  return stats;
+}
+
+}  // namespace htvm::md

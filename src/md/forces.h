@@ -1,0 +1,99 @@
+// Force evaluation: cell list + LJ/Coulomb pair forces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "md/system.h"
+
+namespace htvm::md {
+
+// Uniform-grid cell list over the periodic box. Cell side >= cutoff so a
+// particle only interacts within its 27-cell neighbourhood.
+class CellList {
+ public:
+  CellList(const System& system, double cutoff);
+
+  void rebuild(const System& system);
+
+  std::uint32_t cells_per_side() const { return side_; }
+  std::uint32_t num_cells() const { return side_ * side_ * side_; }
+  std::uint32_t cell_of(const Vec3& p) const;
+
+  // Particles in a cell (CSR layout, rebuilt per call to rebuild()).
+  const std::uint32_t* cell_begin() const { return begin_.data(); }
+  const std::uint32_t* cell_particles() const { return particles_.data(); }
+  std::uint32_t cell_size(std::uint32_t cell) const {
+    return begin_[cell + 1] - begin_[cell];
+  }
+
+  // The 27 neighbour cells of `cell` (with periodic wrap), including
+  // itself; deterministic order.
+  std::array<std::uint32_t, 27> neighbors(std::uint32_t cell) const;
+
+ private:
+  double box_ = 1.0;
+  std::uint32_t side_ = 1;
+  std::vector<std::uint32_t> begin_;
+  std::vector<std::uint32_t> particles_;
+};
+
+struct ForceStats {
+  double potential_energy = 0.0;
+  std::uint64_t pairs_evaluated = 0;   // within-cutoff pair evaluations
+  std::uint64_t pairs_considered = 0;  // candidate pairs inspected
+};
+
+// Computes forces and potential for particle `i` by scanning its 27
+// neighbour cells; writes only force[i]. Each pair is therefore computed
+// twice across the whole system (race-free, deterministic), and the
+// returned potential is the *half* share attributable to `i`.
+ForceStats compute_particle_force(System& system, const CellList& cells,
+                                  std::uint32_t i);
+
+// Serial full-system force pass (zeroes forces first). Returns aggregate
+// stats with the total potential energy.
+ForceStats compute_all_forces(System& system, const CellList& cells);
+
+// O(n^2) reference used to validate the cell list.
+ForceStats compute_all_forces_reference(System& system);
+
+// Verlet neighbour list: per particle, the partners within cutoff + skin.
+// Valid until some particle has moved more than skin/2 since the build
+// (then a pair could cross the cutoff unseen); needs_rebuild() tracks
+// displacements. Between rebuilds force passes skip the 27-cell scan,
+// trading memory for the usual ~2-4x candidate-pair reduction.
+class NeighborList {
+ public:
+  NeighborList(const System& system, double cutoff, double skin);
+
+  void rebuild(const System& system);
+  bool needs_rebuild(const System& system) const;
+
+  std::uint32_t count(std::uint32_t i) const {
+    return begin_[i + 1] - begin_[i];
+  }
+  const std::uint32_t* neighbors_of(std::uint32_t i) const {
+    return partners_.data() + begin_[i];
+  }
+  std::uint64_t total_pairs() const { return partners_.size(); }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  double skin() const { return skin_; }
+
+ private:
+  double cutoff_;
+  double skin_;
+  std::vector<std::uint32_t> begin_;
+  std::vector<std::uint32_t> partners_;
+  std::vector<Vec3> positions_at_build_;
+  std::uint64_t rebuilds_ = 0;
+};
+
+// Force on particle `i` from its Verlet neighbours (same arithmetic as
+// the cell-list path; partners beyond the cutoff contribute nothing).
+ForceStats compute_particle_force_verlet(System& system,
+                                         const NeighborList& list,
+                                         std::uint32_t i);
+
+}  // namespace htvm::md

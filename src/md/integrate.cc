@@ -1,0 +1,115 @@
+#include "md/integrate.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace htvm::md {
+
+Integrator::Integrator(litlx::Machine& machine, System& system,
+                       Options options)
+    : machine_(machine),
+      system_(system),
+      options_(std::move(options)),
+      cells_(system, system.params().cutoff) {}
+
+template <bool kParallel>
+StepReport Integrator::do_step() {
+  StepReport report;
+  const auto n = static_cast<std::int64_t>(system_.size());
+  const double dt = system_.params().dt;
+
+  // Initial force evaluation on the very first step.
+  if (!forces_ready_) {
+    cells_.rebuild(system_);
+    compute_all_forces(system_, cells_);
+    if (options_.use_verlet) {
+      neighbors_ = std::make_unique<NeighborList>(
+          system_, system_.params().cutoff, options_.verlet_skin);
+    }
+    forces_ready_ = true;
+  }
+
+  // Half kick + drift.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double inv_m =
+        1.0 / system_.species(system_.species_of(idx)).mass;
+    Vec3& v = system_.velocities()[idx];
+    v += system_.forces()[idx] * (0.5 * dt * inv_m);
+    Vec3& p = system_.positions()[idx];
+    p += v * dt;
+    system_.wrap(p);
+  }
+
+  // New forces at the new positions.
+  const bool verlet = options_.use_verlet;
+  if (verlet) {
+    if (neighbors_->needs_rebuild(system_)) neighbors_->rebuild(system_);
+  } else {
+    cells_.rebuild(system_);
+  }
+  std::atomic<std::uint64_t> pairs{0};
+  // Potential energy reduced in fixed point so the parallel sum is
+  // order-independent (same trick as the neuron currents).
+  std::atomic<std::int64_t> potential_fp{0};
+  constexpr double kPotScale = 1ull << 24;
+
+  auto body = [&](std::int64_t i) {
+    const ForceStats s =
+        verlet ? compute_particle_force_verlet(
+                     system_, *neighbors_, static_cast<std::uint32_t>(i))
+               : compute_particle_force(system_, cells_,
+                                        static_cast<std::uint32_t>(i));
+    pairs.fetch_add(s.pairs_evaluated, std::memory_order_relaxed);
+    potential_fp.fetch_add(
+        static_cast<std::int64_t>(s.potential_energy * kPotScale),
+        std::memory_order_relaxed);
+  };
+  if constexpr (kParallel) {
+    litlx::ForallOptions fopts;
+    fopts.site = options_.site;
+    fopts.schedule = options_.schedule;
+    fopts.adaptive = options_.adaptive;
+    litlx::forall(machine_, 0, n, body, fopts);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+  }
+
+  // Final half kick.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double inv_m =
+        1.0 / system_.species(system_.species_of(idx)).mass;
+    system_.velocities()[idx] +=
+        system_.forces()[idx] * (0.5 * dt * inv_m);
+  }
+
+  // Optional Berendsen thermostat: scale velocities toward the target
+  // temperature (lambda -> 1 as tau grows; exact NVE when disabled).
+  if (options_.target_temperature > 0.0) {
+    const double current = system_.temperature();
+    if (current > 0.0) {
+      const double lambda = std::sqrt(
+          1.0 + (options_.target_temperature / current - 1.0) /
+                    options_.thermostat_tau);
+      for (Vec3& v : system_.velocities()) v = v * lambda;
+    }
+  }
+
+  report.pairs_evaluated = pairs.load();
+  report.potential_energy =
+      static_cast<double>(potential_fp.load()) / kPotScale;
+  report.kinetic_energy = system_.kinetic_energy();
+  ++steps_;
+  return report;
+}
+
+StepReport Integrator::step() { return do_step<true>(); }
+
+StepReport Integrator::step_serial() { return do_step<false>(); }
+
+void Integrator::run(std::uint32_t steps) {
+  for (std::uint32_t s = 0; s < steps; ++s) step();
+}
+
+}  // namespace htvm::md

@@ -1,0 +1,72 @@
+// Velocity-Verlet integration driving the force engine over the HTVM
+// machine (forall over particles), plus a serial reference path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "litlx/forall.h"
+#include "md/forces.h"
+#include "md/system.h"
+
+namespace htvm::md {
+
+struct StepReport {
+  double potential_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double total_energy() const { return potential_energy + kinetic_energy; }
+  std::uint64_t pairs_evaluated = 0;
+};
+
+struct IntegratorOptions {
+  std::string schedule;  // force-loop policy ("" = hints/guided)
+  bool adaptive = false;
+  std::string site = "md_forces";
+  // Verlet neighbour lists: rebuilt only when a particle has drifted more
+  // than skin/2 since the last build; otherwise the per-step 27-cell scan
+  // is replaced by the precomputed partner list.
+  bool use_verlet = false;
+  double verlet_skin = 0.4;
+  // Berendsen thermostat (NVT): velocities are rescaled toward
+  // `target_temperature` with time constant `tau_t` (in units of dt;
+  // larger = gentler). 0 keeps NVE.
+  double target_temperature = 0.0;
+  double thermostat_tau = 100.0;
+};
+
+class Integrator {
+ public:
+  using Options = IntegratorOptions;
+
+  // The integrator keeps its own cell list sized from the system cutoff.
+  Integrator(litlx::Machine& machine, System& system, Options options = {});
+
+  // One velocity-Verlet step on the machine. Deterministic for any worker
+  // count (per-particle force writes only).
+  StepReport step();
+  // Serial reference step with identical arithmetic.
+  StepReport step_serial();
+
+  void run(std::uint32_t steps);
+  std::uint64_t steps_done() const { return steps_; }
+  const CellList& cells() const { return cells_; }
+  // Neighbour-list rebuilds performed so far (0 unless use_verlet).
+  std::uint64_t neighbor_rebuilds() const {
+    return neighbors_ ? neighbors_->rebuilds() : 0;
+  }
+
+ private:
+  template <bool kParallel>
+  StepReport do_step();
+
+  litlx::Machine& machine_;
+  System& system_;
+  Options options_;
+  CellList cells_;
+  std::unique_ptr<NeighborList> neighbors_;
+  bool forces_ready_ = false;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace htvm::md

@@ -1,0 +1,126 @@
+#include "md/system.h"
+
+#include <cmath>
+
+namespace htvm::md {
+
+MdParams MdParams::protein_in_water(std::uint32_t waters,
+                                    std::uint32_t ion_pairs) {
+  MdParams params;
+  params.species = {
+      // A coarse "protein bead" species: heavier, stickier.
+      {"protein", 4.0, 0.0, 2.0, 1.2, 24},
+      // Water-like solvent beads.
+      {"water", 1.0, 0.0, 1.0, 1.0, waters},
+      // Multiple ion species, as the paper specifies.
+      {"na", 1.5, +1.0, 0.8, 0.9, ion_pairs},
+      {"cl", 2.2, -1.0, 0.8, 1.1, ion_pairs},
+  };
+  return params;
+}
+
+System::System(MdParams params) : params_(std::move(params)) {
+  if (params_.species.empty())
+    params_ = MdParams::protein_in_water();
+  species_ = params_.species;
+
+  const std::size_t n_species = species_.size();
+  mixed_eps_.resize(n_species * n_species);
+  mixed_sigma2_.resize(n_species * n_species);
+  for (std::size_t a = 0; a < n_species; ++a) {
+    for (std::size_t b = 0; b < n_species; ++b) {
+      mixed_eps_[a * n_species + b] =
+          std::sqrt(species_[a].lj_epsilon * species_[b].lj_epsilon);
+      const double sigma =
+          0.5 * (species_[a].lj_sigma + species_[b].lj_sigma);
+      mixed_sigma2_[a * n_species + b] = sigma * sigma;
+    }
+  }
+  place_particles();
+}
+
+void System::place_particles() {
+  std::size_t total = 0;
+  for (const Species& s : species_) total += s.count;
+  pos_.resize(total);
+  vel_.resize(total);
+  force_.assign(total, Vec3{});
+  species_id_.resize(total);
+
+  // Simple cubic lattice dense enough for the particle count.
+  auto per_side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(total))));
+  if (per_side == 0) per_side = 1;
+  const double spacing = params_.box / static_cast<double>(per_side);
+
+  util::Xoshiro256 rng(params_.seed);
+  std::size_t idx = 0;
+  for (std::uint32_t s = 0; s < species_.size(); ++s) {
+    for (std::uint32_t k = 0; k < species_[s].count; ++k, ++idx) {
+      const std::size_t cell = idx;
+      const auto ix = cell % per_side;
+      const auto iy = (cell / per_side) % per_side;
+      const auto iz = cell / (per_side * per_side);
+      pos_[idx] = Vec3{(static_cast<double>(ix) + 0.5) * spacing,
+                       (static_cast<double>(iy) + 0.5) * spacing,
+                       (static_cast<double>(iz) + 0.5) * spacing};
+      species_id_[idx] = s;
+      const double sigma_v =
+          std::sqrt(params_.temperature / species_[s].mass);
+      vel_[idx] = Vec3{sigma_v * rng.next_gaussian(),
+                       sigma_v * rng.next_gaussian(),
+                       sigma_v * rng.next_gaussian()};
+    }
+  }
+  // Remove net momentum so the box does not drift.
+  Vec3 p{};
+  double mass_total = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double m = species_[species_id_[i]].mass;
+    p += vel_[i] * m;
+    mass_total += m;
+  }
+  const Vec3 drift = p * (1.0 / mass_total);
+  for (std::size_t i = 0; i < total; ++i) {
+    vel_[i].x -= drift.x;
+    vel_[i].y -= drift.y;
+    vel_[i].z -= drift.z;
+  }
+}
+
+Vec3 System::min_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = b - a;
+  const double box = params_.box;
+  d.x -= box * std::nearbyint(d.x / box);
+  d.y -= box * std::nearbyint(d.y / box);
+  d.z -= box * std::nearbyint(d.z / box);
+  return d;
+}
+
+void System::wrap(Vec3& p) const {
+  const double box = params_.box;
+  p.x -= box * std::floor(p.x / box);
+  p.y -= box * std::floor(p.y / box);
+  p.z -= box * std::floor(p.z / box);
+}
+
+double System::kinetic_energy() const {
+  double ke = 0;
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    ke += 0.5 * species_[species_id_[i]].mass * vel_[i].norm2();
+  return ke;
+}
+
+Vec3 System::total_momentum() const {
+  Vec3 p{};
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    p += vel_[i] * species_[species_id_[i]].mass;
+  return p;
+}
+
+double System::temperature() const {
+  if (pos_.empty()) return 0;
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(pos_.size()));
+}
+
+}  // namespace htvm::md

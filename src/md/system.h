@@ -1,0 +1,112 @@
+// Fine-grain molecular dynamics application (paper §5.2: "relatively
+// modest sized molecules, a single protein or protein complex in water
+// with multiple ion species").
+//
+// NVE molecular dynamics in a cubic periodic box: Lennard-Jones plus
+// truncated/shifted short-range Coulomb, multiple species (water-like
+// oxygens plus Na+/Cl- ions by default), velocity-Verlet integration,
+// and a cell list rebuilt every step. Forces are evaluated per particle
+// over its 27 neighbour cells WITHOUT writing to the partner (each pair is
+// computed twice): this keeps the parallel loop write-race-free and makes
+// trajectories bit-deterministic for any worker count and any scheduler.
+//
+// Hierarchy mapping: spatial domains -> nodes (LGT level), cell blocks ->
+// SGTs via forall over cells, per-particle force work -> TGT granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace htvm::md {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+};
+
+struct Species {
+  std::string name;
+  double mass = 1.0;
+  double charge = 0.0;
+  double lj_epsilon = 1.0;
+  double lj_sigma = 1.0;
+  std::uint32_t count = 0;
+};
+
+struct MdParams {
+  double box = 12.0;            // cubic box side (reduced units)
+  double cutoff = 2.5;          // interaction cutoff
+  double dt = 0.002;            // integration step
+  double temperature = 1.0;     // initial Maxwell temperature
+  double coulomb_constant = 1.0;
+  std::uint64_t seed = 7;
+  std::vector<Species> species;  // empty = default water+ions mixture
+
+  static MdParams protein_in_water(std::uint32_t waters = 800,
+                                   std::uint32_t ion_pairs = 20);
+};
+
+class System {
+ public:
+  explicit System(MdParams params);
+
+  std::size_t size() const { return pos_.size(); }
+  const MdParams& params() const { return params_; }
+
+  const Vec3& position(std::size_t i) const { return pos_[i]; }
+  const Vec3& velocity(std::size_t i) const { return vel_[i]; }
+  const Vec3& force(std::size_t i) const { return force_[i]; }
+  std::uint32_t species_of(std::size_t i) const { return species_id_[i]; }
+  const Species& species(std::uint32_t s) const { return species_[s]; }
+  std::size_t num_species() const { return species_.size(); }
+
+  // Mutable access for the integrator / force engine.
+  std::vector<Vec3>& positions() { return pos_; }
+  std::vector<Vec3>& velocities() { return vel_; }
+  std::vector<Vec3>& forces() { return force_; }
+
+  // Minimum-image displacement from i to j.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const;
+  // Wraps a position into [0, box).
+  void wrap(Vec3& p) const;
+
+  double kinetic_energy() const;
+  Vec3 total_momentum() const;
+  double temperature() const;  // from kinetic energy
+
+  // Mixing rules (Lorentz-Berthelot), precomputed per species pair.
+  double pair_epsilon(std::uint32_t a, std::uint32_t b) const {
+    return mixed_eps_[a * species_.size() + b];
+  }
+  double pair_sigma2(std::uint32_t a, std::uint32_t b) const {
+    return mixed_sigma2_[a * species_.size() + b];
+  }
+
+ private:
+  void place_particles();
+
+  MdParams params_;
+  std::vector<Species> species_;
+  std::vector<Vec3> pos_;
+  std::vector<Vec3> vel_;
+  std::vector<Vec3> force_;
+  std::vector<std::uint32_t> species_id_;
+  std::vector<double> mixed_eps_;
+  std::vector<double> mixed_sigma2_;
+};
+
+}  // namespace htvm::md

@@ -1,0 +1,177 @@
+#include "mem/data_object.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace htvm::mem {
+
+ObjectSpace::ObjectSpace(GlobalMemory& memory, Params params)
+    : memory_(memory), params_(params) {}
+
+ObjectSpace::ObjectId ObjectSpace::create(std::uint32_t home_node,
+                                          std::uint64_t bytes) {
+  auto obj = std::make_unique<Object>();
+  obj->bytes = bytes;
+  obj->home = home_node;
+  obj->home_storage = memory_.alloc(home_node, bytes);
+  assert(!obj->home_storage.is_null() && "node memory exhausted");
+  std::memset(memory_.raw(obj->home_storage), 0, bytes);
+  obj->replica.assign(memory_.nodes(), GlobalAddress::null());
+  obj->replica_valid.assign(memory_.nodes(), 0);
+  obj->remote_reads.assign(memory_.nodes(), 0);
+  obj->accesses.assign(memory_.nodes(), 0);
+
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  objects_.push_back(std::move(obj));
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+GlobalAddress ObjectSpace::replica_storage_locked(Object& obj,
+                                                  std::uint32_t node) {
+  if (obj.replica[node].is_null())
+    obj.replica[node] = memory_.alloc(node, obj.bytes);
+  return obj.replica[node];
+}
+
+void ObjectSpace::read(std::uint32_t from_node, ObjectId id, void* dst) {
+  read_at(from_node, id, 0, dst, size_of(id));
+}
+
+void ObjectSpace::read_at(std::uint32_t from_node, ObjectId id,
+                          std::uint64_t offset, void* dst,
+                          std::uint64_t len) {
+  Object& obj = *objects_[id];
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  ++obj.accesses[from_node];
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.reads;
+  }
+  if (from_node == obj.home) {
+    memory_.get(from_node, obj.home_storage + offset, dst, len);
+    return;
+  }
+  if (obj.replica_valid[from_node]) {
+    memory_.get(from_node, obj.replica[from_node] + offset, dst, len);
+    return;
+  }
+  // Remote read from home.
+  ++obj.remote_reads[from_node];
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.remote_reads;
+  }
+  if (params_.replicate_reads &&
+      obj.remote_reads[from_node] >= params_.replicate_threshold) {
+    const GlobalAddress copy = replica_storage_locked(obj, from_node);
+    if (!copy.is_null()) {
+      // Pull the whole object across the network once; then read locally.
+      memory_.get(from_node, obj.home_storage, memory_.raw(copy), obj.bytes);
+      obj.replica_valid[from_node] = 1;
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.replications;
+      }
+      memory_.get(from_node, copy + offset, dst, len);
+      return;
+    }
+  }
+  memory_.get(from_node, obj.home_storage + offset, dst, len);
+}
+
+void ObjectSpace::write(std::uint32_t from_node, ObjectId id,
+                        const void* src) {
+  write_at(from_node, id, 0, src, size_of(id));
+}
+
+void ObjectSpace::write_at(std::uint32_t from_node, ObjectId id,
+                           std::uint64_t offset, const void* src,
+                           std::uint64_t len) {
+  Object& obj = *objects_[id];
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  ++obj.accesses[from_node];
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.writes;
+  }
+  invalidate_replicas_locked(obj, from_node);
+  memory_.put(from_node, obj.home_storage + offset, src, len);
+  if (params_.allow_migration) maybe_migrate_locked(obj, from_node);
+}
+
+void ObjectSpace::invalidate_replicas_locked(Object& obj,
+                                             std::uint32_t except_node) {
+  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) {
+    if (!obj.replica_valid[n]) continue;
+    obj.replica_valid[n] = 0;
+    if (n != except_node) {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.invalidations;
+      // Model the invalidation round trip from home to the replica holder.
+      memory_.injector().network_transfer(obj.home, n, 16);
+      memory_.injector().network_transfer(n, obj.home, 16);
+    }
+  }
+}
+
+void ObjectSpace::maybe_migrate_locked(Object& obj, std::uint32_t node) {
+  if (node == obj.home) return;
+  if (obj.accesses[node] < params_.migrate_threshold) return;
+  if (obj.accesses[node] <= 2 * obj.accesses[obj.home]) return;
+  // Move the authoritative copy to `node`.
+  const GlobalAddress new_home = replica_storage_locked(obj, node);
+  if (new_home.is_null()) return;  // destination node out of memory
+  memory_.get(node, obj.home_storage, memory_.raw(new_home), obj.bytes);
+  // Swap storage roles: the old home's block becomes reusable replica
+  // storage *on the old home node*; the new home's replica slot is now
+  // authoritative and must no longer be treated as a replica.
+  obj.replica[obj.home] = obj.home_storage;
+  obj.replica[node] = GlobalAddress::null();
+  obj.home = node;
+  obj.home_storage = new_home;
+  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) obj.replica_valid[n] = 0;
+  std::fill(obj.remote_reads.begin(), obj.remote_reads.end(), 0u);
+  std::fill(obj.accesses.begin(), obj.accesses.end(), 0u);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.migrations;
+}
+
+void ObjectSpace::migrate(ObjectId id, std::uint32_t new_home) {
+  Object& obj = *objects_[id];
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  if (obj.home == new_home) return;
+  const GlobalAddress dst = replica_storage_locked(obj, new_home);
+  if (dst.is_null()) return;
+  memory_.get(new_home, obj.home_storage, memory_.raw(dst), obj.bytes);
+  obj.replica[obj.home] = obj.home_storage;
+  obj.replica[new_home] = GlobalAddress::null();
+  obj.home = new_home;
+  obj.home_storage = dst;
+  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) obj.replica_valid[n] = 0;
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.migrations;
+}
+
+std::uint32_t ObjectSpace::home_of(ObjectId id) const {
+  Object& obj = *objects_[id];
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  return obj.home;
+}
+
+bool ObjectSpace::has_replica(ObjectId id, std::uint32_t node) const {
+  Object& obj = *objects_[id];
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  return obj.replica_valid[node] != 0;
+}
+
+std::uint64_t ObjectSpace::size_of(ObjectId id) const {
+  return objects_[id]->bytes;
+}
+
+ObjectStats ObjectSpace::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace htvm::mem

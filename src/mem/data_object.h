@@ -1,0 +1,97 @@
+// Migratable, replicable data objects over GlobalMemory (paper §2
+// "Locality adaptation: data objects may need to migrate, and copies be
+// generated and moved in the memory hierarchy ... while copy consistency
+// needs to be preserved").
+//
+// This is the functional twin of the simulator's ObjectDirectory
+// (sim/locality.h): the sim model answers "what does a policy cost?",
+// this class actually stores bytes, keeps replicas coherent, and lets
+// the adaptive runtime migrate objects at run time. Consistency protocol:
+// single-home, read replicas, invalidate-on-write (entry consistency at
+// object granularity).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mem/global_memory.h"
+
+namespace htvm::mem {
+
+struct ObjectStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t remote_reads = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t migrations = 0;
+};
+
+class ObjectSpace {
+ public:
+  using ObjectId = std::uint32_t;
+
+  struct Params {
+    bool replicate_reads = true;
+    bool allow_migration = true;
+    std::uint32_t replicate_threshold = 4;  // remote reads before copying
+    std::uint32_t migrate_threshold = 16;   // accesses before migrating
+  };
+
+  ObjectSpace(GlobalMemory& memory, Params params);
+
+  // Creates an object of `bytes` bytes homed on `home_node`, zero-filled.
+  ObjectId create(std::uint32_t home_node, std::uint64_t bytes);
+
+  // Reads the whole object into `dst` from the perspective of
+  // `from_node`: hits a local replica when one exists, otherwise fetches
+  // from home (possibly creating a replica per policy).
+  void read(std::uint32_t from_node, ObjectId id, void* dst);
+
+  // Overwrites the object from `from_node`; invalidates all replicas
+  // first, then writes through to home. May trigger migration per policy.
+  void write(std::uint32_t from_node, ObjectId id, const void* src);
+
+  // Element access within the object (offset/len), same protocol.
+  void read_at(std::uint32_t from_node, ObjectId id, std::uint64_t offset,
+               void* dst, std::uint64_t len);
+  void write_at(std::uint32_t from_node, ObjectId id, std::uint64_t offset,
+                const void* src, std::uint64_t len);
+
+  // Forces migration of the object's home (used by explicit hints).
+  void migrate(ObjectId id, std::uint32_t new_home);
+
+  std::uint32_t home_of(ObjectId id) const;
+  bool has_replica(ObjectId id, std::uint32_t node) const;
+  std::uint64_t size_of(ObjectId id) const;
+  ObjectStats stats() const;
+
+ private:
+  struct Object {
+    std::uint64_t bytes = 0;
+    std::uint32_t home = 0;
+    GlobalAddress home_storage;                 // current authoritative copy
+    std::vector<GlobalAddress> replica;         // per-node storage, lazily
+                                                // allocated and then reused
+                                                // across invalidations
+    std::vector<std::uint8_t> replica_valid;    // per node: replica coherent
+    std::vector<std::uint32_t> remote_reads;    // per node, since last reset
+    std::vector<std::uint32_t> accesses;        // per node, since last reset
+    mutable std::mutex mutex;
+  };
+
+  // All helpers assume obj.mutex is held.
+  void invalidate_replicas_locked(Object& obj, std::uint32_t except_node);
+  void maybe_migrate_locked(Object& obj, std::uint32_t node);
+  GlobalAddress replica_storage_locked(Object& obj, std::uint32_t node);
+
+  GlobalMemory& memory_;
+  Params params_;
+  std::vector<std::unique_ptr<Object>> objects_;
+  mutable std::mutex objects_mutex_;  // guards the objects_ vector itself
+  mutable std::mutex stats_mutex_;
+  ObjectStats stats_;
+};
+
+}  // namespace htvm::mem

@@ -1,0 +1,60 @@
+#include "mem/frame.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace htvm::mem {
+
+std::size_t FrameAllocator::class_index(std::size_t bytes) {
+  if (bytes <= (std::size_t{1} << kMinShift)) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(bytes - 1));
+  return width - kMinShift;
+}
+
+FrameAllocator::~FrameAllocator() {
+  for (FreeList& fl : classes_)
+    for (void* frame : fl.frames) std::free(frame);
+}
+
+void* FrameAllocator::allocate(std::size_t bytes) {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  frames_live_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cls = class_index(bytes);
+  if (cls >= kClasses) {
+    void* p = std::malloc(bytes);
+    std::memset(p, 0, bytes);
+    return p;
+  }
+  const std::size_t rounded = class_bytes(cls);
+  FreeList& fl = classes_[cls];
+  void* frame = nullptr;
+  {
+    util::Guard<util::SpinLock> g(fl.lock);
+    if (!fl.frames.empty()) {
+      frame = fl.frames.back();
+      fl.frames.pop_back();
+    }
+  }
+  if (frame != nullptr) {
+    recycle_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    frame = std::malloc(rounded);
+  }
+  std::memset(frame, 0, rounded);
+  return frame;
+}
+
+void FrameAllocator::release(void* frame, std::size_t bytes) {
+  frames_live_.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t cls = class_index(bytes);
+  if (cls >= kClasses) {
+    std::free(frame);
+    return;
+  }
+  FreeList& fl = classes_[cls];
+  util::Guard<util::SpinLock> g(fl.lock);
+  fl.frames.push_back(frame);
+}
+
+}  // namespace htvm::mem

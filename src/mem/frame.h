@@ -1,0 +1,102 @@
+// SGT frame storage (paper §3.1.1: "An SGT invocation will have its own
+// private frame storage, where its local state is stored. The TGTs within
+// an SGT will share the frame storage of the enclosing SGT invocation").
+//
+// Frames are allocated on every SGT spawn and freed on completion, so the
+// allocator sits on the fine-grain critical path. It uses per-size-class
+// free lists with a spin lock per class; frames are recycled rather than
+// returned to the OS. A FrameRef is the handle TGTs use to reach shared
+// frame slots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace htvm::mem {
+
+class FrameAllocator {
+ public:
+  // Size classes: 64 B .. 64 KiB in powers of two.
+  static constexpr std::size_t kMinShift = 6;
+  static constexpr std::size_t kMaxShift = 16;
+  static constexpr std::size_t kClasses = kMaxShift - kMinShift + 1;
+
+  FrameAllocator() = default;
+  ~FrameAllocator();
+
+  FrameAllocator(const FrameAllocator&) = delete;
+  FrameAllocator& operator=(const FrameAllocator&) = delete;
+
+  // Returns zero-initialized frame storage of at least `bytes` bytes.
+  // Thread-safe. Frames above the largest class fall back to the heap.
+  void* allocate(std::size_t bytes);
+  void release(void* frame, std::size_t bytes);
+
+  // Diagnostics.
+  std::uint64_t frames_live() const {
+    return frames_live_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recycle_hits() const {
+    return recycle_hits_.load(std::memory_order_relaxed);
+  }
+
+  static std::size_t class_index(std::size_t bytes);
+  static std::size_t class_bytes(std::size_t index) {
+    return std::size_t{1} << (index + kMinShift);
+  }
+
+ private:
+  struct FreeList {
+    util::SpinLock lock;
+    std::vector<void*> frames;
+  };
+
+  std::array<FreeList, kClasses> classes_;
+  std::atomic<std::uint64_t> frames_live_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> recycle_hits_{0};
+};
+
+// Typed frame handle: an SGT's local state, shared by its TGTs.
+template <typename T>
+class Frame {
+ public:
+  explicit Frame(FrameAllocator& alloc) : alloc_(&alloc) {
+    storage_ = alloc_->allocate(sizeof(T));
+    value_ = ::new (storage_) T();
+  }
+  ~Frame() {
+    if (storage_ != nullptr) {
+      value_->~T();
+      alloc_->release(storage_, sizeof(T));
+    }
+  }
+
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+  Frame(Frame&& other) noexcept
+      : alloc_(other.alloc_), storage_(other.storage_), value_(other.value_) {
+    other.storage_ = nullptr;
+    other.value_ = nullptr;
+  }
+
+  T* operator->() { return value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return value_; }
+
+ private:
+  FrameAllocator* alloc_;
+  void* storage_ = nullptr;
+  T* value_ = nullptr;
+};
+
+}  // namespace htvm::mem

@@ -1,0 +1,75 @@
+#include "mem/global_memory.h"
+
+namespace htvm::mem {
+
+GlobalMemory::GlobalMemory(const machine::LatencyInjector& injector)
+    : injector_(injector) {
+  const auto& cfg = injector.config();
+  segments_.reserve(cfg.nodes);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    auto seg = std::make_unique<Segment>();
+    seg->capacity = cfg.node_memory_bytes;
+    seg->data = std::make_unique<std::byte[]>(seg->capacity);
+    segments_.push_back(std::move(seg));
+  }
+}
+
+GlobalAddress GlobalMemory::alloc(std::uint32_t node, std::uint64_t bytes,
+                                  std::uint64_t align) {
+  Segment& seg = *segments_[node];
+  std::lock_guard<std::mutex> lock(seg.alloc_mutex);
+  const std::uint64_t aligned = (seg.used + align - 1) & ~(align - 1);
+  if (aligned + bytes > seg.capacity) return GlobalAddress::null();
+  seg.used = aligned + bytes;
+  return GlobalAddress(node, aligned);
+}
+
+void* GlobalMemory::raw(GlobalAddress addr) {
+  return segments_[addr.node()]->data.get() + addr.offset();
+}
+
+const void* GlobalMemory::raw(GlobalAddress addr) const {
+  return segments_[addr.node()]->data.get() + addr.offset();
+}
+
+void GlobalMemory::charge(std::uint32_t from_node, std::uint32_t home_node,
+                          std::uint64_t bytes) {
+  if (from_node == home_node) {
+    stats_.local_accesses.fetch_add(1, std::memory_order_relaxed);
+    injector_.mem_access(machine::MemLevel::kLocalDram);
+  } else {
+    stats_.remote_accesses.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_moved_remote.fetch_add(bytes, std::memory_order_relaxed);
+    injector_.remote_access(from_node, home_node, bytes);
+  }
+}
+
+void GlobalMemory::get(std::uint32_t from_node, GlobalAddress src, void* dst,
+                       std::uint64_t bytes) {
+  charge(from_node, src.node(), bytes);
+  std::memcpy(dst, raw(src), bytes);
+}
+
+void GlobalMemory::put(std::uint32_t from_node, GlobalAddress dst,
+                       const void* src, std::uint64_t bytes) {
+  charge(from_node, dst.node(), bytes);
+  std::memcpy(raw(dst), src, bytes);
+}
+
+std::int64_t GlobalMemory::fetch_add_i64(std::uint32_t from_node,
+                                         GlobalAddress addr,
+                                         std::int64_t delta) {
+  charge(from_node, addr.node(), sizeof(std::int64_t));
+  auto* word = reinterpret_cast<std::atomic<std::int64_t>*>(raw(addr));
+  return word->fetch_add(delta, std::memory_order_acq_rel);
+}
+
+std::uint64_t GlobalMemory::used_bytes(std::uint32_t node) const {
+  return segments_[node]->used;
+}
+
+std::uint64_t GlobalMemory::capacity_bytes(std::uint32_t node) const {
+  return segments_[node]->capacity;
+}
+
+}  // namespace htvm::mem

@@ -1,0 +1,147 @@
+// HTVM memory model, real-runtime side (paper §3.1.1):
+//
+//   "An LGT has its own private memory space, and all LGTs share a global
+//    address space. A group of SGTs invoked from an LGT will see the
+//    private memory of the LGT. An SGT invocation will have its own private
+//    frame storage ... TGTs within an SGT share the frame storage of the
+//    enclosing SGT."
+//
+// GlobalMemory realizes the shared global address space as per-node memory
+// segments. A GlobalAddress packs (node, offset); get/put on a remote node
+// incur the configured network latency via the LatencyInjector, so programs
+// on the real runtime *feel* the machine's memory hierarchy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "machine/latency.h"
+
+namespace htvm::mem {
+
+// 12 bits of node, 52 bits of offset.
+class GlobalAddress {
+ public:
+  static constexpr std::uint32_t kNodeBits = 12;
+  static constexpr std::uint32_t kOffsetBits = 52;
+  static constexpr std::uint64_t kMaxOffset = (1ULL << kOffsetBits) - 1;
+  static constexpr std::uint32_t kMaxNode = (1u << kNodeBits) - 1;
+
+  GlobalAddress() = default;
+  GlobalAddress(std::uint32_t node, std::uint64_t offset)
+      : bits_((static_cast<std::uint64_t>(node) << kOffsetBits) |
+              (offset & kMaxOffset)) {}
+
+  static GlobalAddress from_bits(std::uint64_t bits) {
+    GlobalAddress a;
+    a.bits_ = bits;
+    return a;
+  }
+
+  std::uint32_t node() const {
+    return static_cast<std::uint32_t>(bits_ >> kOffsetBits);
+  }
+  std::uint64_t offset() const { return bits_ & kMaxOffset; }
+  std::uint64_t bits() const { return bits_; }
+
+  bool is_null() const { return bits_ == kNullBits; }
+  static GlobalAddress null() { return from_bits(kNullBits); }
+
+  GlobalAddress operator+(std::uint64_t delta) const {
+    return GlobalAddress(node(), offset() + delta);
+  }
+
+  friend bool operator==(GlobalAddress a, GlobalAddress b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(GlobalAddress a, GlobalAddress b) {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  // All-ones: node kMaxNode, max offset -- reserved as the null address.
+  static constexpr std::uint64_t kNullBits = ~0ULL;
+  std::uint64_t bits_ = kNullBits;
+};
+
+struct MemoryStats {
+  std::atomic<std::uint64_t> local_accesses{0};
+  std::atomic<std::uint64_t> remote_accesses{0};
+  std::atomic<std::uint64_t> bytes_moved_remote{0};
+};
+
+class GlobalMemory {
+ public:
+  // `injector` models access latency; pass cycle_ns = 0 in the injector to
+  // run at full host speed (functional mode).
+  explicit GlobalMemory(const machine::LatencyInjector& injector);
+
+  GlobalMemory(const GlobalMemory&) = delete;
+  GlobalMemory& operator=(const GlobalMemory&) = delete;
+
+  std::uint32_t nodes() const {
+    return static_cast<std::uint32_t>(segments_.size());
+  }
+
+  // Allocates `bytes` in node-local memory (bump allocation; global memory
+  // segments live for the machine's lifetime). Returns null on exhaustion.
+  GlobalAddress alloc(std::uint32_t node, std::uint64_t bytes,
+                      std::uint64_t align = 8);
+
+  // Direct pointer to the backing storage. Valid for the machine lifetime.
+  // This is the "I am on the owning node" fast path; remote code should use
+  // get/put, which model the network.
+  void* raw(GlobalAddress addr);
+  const void* raw(GlobalAddress addr) const;
+
+  // Copies out/in with latency charged according to accessing node vs the
+  // address's home node.
+  void get(std::uint32_t from_node, GlobalAddress src, void* dst,
+           std::uint64_t bytes);
+  void put(std::uint32_t from_node, GlobalAddress dst, const void* src,
+           std::uint64_t bytes);
+
+  // Typed convenience accessors.
+  template <typename T>
+  T load(std::uint32_t from_node, GlobalAddress addr) {
+    T out;
+    get(from_node, addr, &out, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void store(std::uint32_t from_node, GlobalAddress addr, const T& value) {
+    put(from_node, addr, &value, sizeof(T));
+  }
+
+  // Atomic fetch-add on a 64-bit word in global memory (the split-phase
+  // "remote atomic" every PIM-style design provides). Charges remote
+  // latency when crossing nodes.
+  std::int64_t fetch_add_i64(std::uint32_t from_node, GlobalAddress addr,
+                             std::int64_t delta);
+
+  std::uint64_t used_bytes(std::uint32_t node) const;
+  std::uint64_t capacity_bytes(std::uint32_t node) const;
+  const MemoryStats& stats() const { return stats_; }
+  const machine::LatencyInjector& injector() const { return injector_; }
+
+ private:
+  struct Segment {
+    std::unique_ptr<std::byte[]> data;
+    std::uint64_t capacity = 0;
+    std::uint64_t used = 0;
+    std::mutex alloc_mutex;
+  };
+
+  void charge(std::uint32_t from_node, std::uint32_t home_node,
+              std::uint64_t bytes);
+
+  const machine::LatencyInjector& injector_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  MemoryStats stats_;
+};
+
+}  // namespace htvm::mem

@@ -1,0 +1,159 @@
+#include "neuro/network.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace htvm::neuro {
+
+Column::Column(std::uint32_t id, std::uint32_t neurons,
+               std::uint32_t max_delay, const NeuronParams& params)
+    : id_(id),
+      params_(params),
+      ring_slots_(max_delay + 1),
+      v_(neurons, params.v_rest),
+      refractory_(neurons, 0),
+      last_spike_(neurons),
+      inputs_(static_cast<std::size_t>(ring_slots_) * neurons) {
+  syn_begin.assign(neurons + 1, 0);
+  for (auto& s : last_spike_)
+    s.store(Synapse::kNeverSpiked, std::memory_order_relaxed);
+}
+
+void Column::deposit(std::uint32_t neuron, std::uint32_t arrival_slot,
+                     FixedCurrent weight) {
+  inputs_[static_cast<std::size_t>(arrival_slot) * size() + neuron]
+      .fetch_add(weight, std::memory_order_relaxed);
+}
+
+void Column::step(std::uint64_t step_index,
+                  std::vector<std::uint32_t>& spikes) {
+  const std::uint32_t slot = slot_of(step_index);
+  const std::size_t base = static_cast<std::size_t>(slot) * size();
+  const double decay = params_.dt / params_.tau_m;
+  for (std::uint32_t n = 0; n < size(); ++n) {
+    // Claim this step's accumulated input and clear the slot for reuse
+    // max_delay steps from now.
+    const FixedCurrent in =
+        inputs_[base + n].exchange(0, std::memory_order_relaxed);
+    if (refractory_[n] > 0) {
+      --refractory_[n];
+      continue;
+    }
+    const double current = params_.bias_current + from_fixed(in);
+    v_[n] += decay * (params_.v_rest - v_[n]) + params_.dt * current / params_.tau_m;
+    if (v_[n] >= params_.v_threshold) {
+      v_[n] = params_.v_reset;
+      refractory_[n] = params_.refractory_steps;
+      last_spike_[n].store(static_cast<std::int64_t>(step_index),
+                           std::memory_order_relaxed);
+      spikes.push_back(n);
+      ++total_spikes_;
+    }
+  }
+}
+
+Network::Network(const NetworkParams& params) : params_(params) {
+  util::Xoshiro256 rng(params.seed);
+
+  // Column sizes (hubs first for determinism).
+  std::vector<std::uint32_t> sizes(params.columns,
+                                   params.neurons_per_column);
+  const auto hubs = static_cast<std::uint32_t>(
+      params.hub_fraction * static_cast<double>(params.columns));
+  for (std::uint32_t c = 0; c < hubs; ++c) {
+    sizes[c] = static_cast<std::uint32_t>(
+        params.hub_scale * static_cast<double>(params.neurons_per_column));
+  }
+
+  columns_.reserve(params.columns);
+  for (std::uint32_t c = 0; c < params.columns; ++c) {
+    columns_.push_back(std::make_unique<Column>(
+        c, sizes[c], params.max_delay_steps, params.neuron));
+    // Desynchronize: membranes start uniformly between reset and
+    // threshold (biological networks are never phase-locked at t=0).
+    Column& col = *columns_.back();
+    for (std::uint32_t n = 0; n < col.size(); ++n) {
+      col.set_membrane(n, rng.next_double_in(params.neuron.v_reset,
+                                             params.neuron.v_threshold));
+    }
+  }
+
+  // Probabilistic rounding: expected fan-outs are fractional (e.g. 0.6
+  // inter-column targets per neuron); truncation would silently zero
+  // sparse pathways, so round up with the fractional probability.
+  auto stochastic_round = [&rng](double expected) {
+    const double floor_part = std::floor(expected);
+    const double frac = expected - floor_part;
+    return static_cast<std::uint32_t>(floor_part) +
+           (rng.next_bool(frac) ? 1u : 0u);
+  };
+
+  // Wire synapses column by column, neuron by neuron (CSR build).
+  for (std::uint32_t c = 0; c < params.columns; ++c) {
+    Column& col = *columns_[c];
+    for (std::uint32_t n = 0; n < col.size(); ++n) {
+      col.syn_begin[n] =
+          static_cast<std::uint32_t>(col.synapses.size());
+      const bool inhibitory = rng.next_bool(params.inhibitory_fraction);
+      const double sign = inhibitory ? -1.0 : 1.0;
+      // Intra-column fan-out: expected intra_connectivity * size targets.
+      const auto intra_targets = stochastic_round(
+          params.intra_connectivity * static_cast<double>(col.size()));
+      for (std::uint32_t t = 0; t < intra_targets; ++t) {
+        Synapse syn;
+        syn.target_column = c;
+        syn.target_neuron =
+            static_cast<std::uint32_t>(rng.next_below(col.size()));
+        syn.delay_steps = static_cast<std::uint32_t>(rng.next_in(
+            params.min_delay_steps, params.max_delay_steps));
+        syn.weight = to_fixed(
+            sign * (params.weight_mean +
+                    params.weight_jitter * rng.next_gaussian()));
+        syn.initial_weight = syn.weight;
+        col.synapses.push_back(syn);
+      }
+      // Inter-column fan-out.
+      for (std::uint32_t other = 0; other < params.columns; ++other) {
+        if (other == c) continue;
+        const auto targets = stochastic_round(
+            params.inter_connectivity *
+            static_cast<double>(columns_[other]->size()));
+        for (std::uint32_t t = 0; t < targets; ++t) {
+          Synapse syn;
+          syn.target_column = other;
+          syn.target_neuron = static_cast<std::uint32_t>(
+              rng.next_below(columns_[other]->size()));
+          syn.delay_steps = static_cast<std::uint32_t>(rng.next_in(
+              params.min_delay_steps, params.max_delay_steps));
+          syn.weight = to_fixed(
+              sign * (params.weight_mean +
+                      params.weight_jitter * rng.next_gaussian()));
+          syn.initial_weight = syn.weight;
+          col.synapses.push_back(syn);
+        }
+      }
+    }
+    col.syn_begin[col.size()] =
+        static_cast<std::uint32_t>(col.synapses.size());
+  }
+}
+
+std::uint64_t Network::total_neurons() const {
+  std::uint64_t total = 0;
+  for (const auto& c : columns_) total += c->size();
+  return total;
+}
+
+std::uint64_t Network::total_synapses() const {
+  std::uint64_t total = 0;
+  for (const auto& c : columns_) total += c->synapses.size();
+  return total;
+}
+
+std::uint64_t Network::total_spikes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : columns_) total += c->total_spikes();
+  return total;
+}
+
+}  // namespace htvm::neuro

@@ -1,0 +1,165 @@
+// Computational-neuroscience application (paper §5.2, Fig. 2): a large
+// network of leaky-integrate-and-fire neurons organized exactly as the
+// paper's thread-hierarchy case study maps it:
+//
+//   cortical columns  -> LGT-level domains placed on nodes
+//   neuron blocks     -> SGT-level update tasks inside a column
+//   per-neuron update -> TGT-granularity work sharing the block's state
+//
+// Spikes travel between columns with axonal delays; inter-column delivery
+// is the parcel traffic of the real code (PGENESIS's inter-process spike
+// exchange). Construction is fully deterministic from the seed, and the
+// input-current accumulators use 64-bit fixed point so that simulation
+// results are bit-identical regardless of worker count or delivery order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/spinlock.h"
+
+namespace htvm::neuro {
+
+// Fixed-point current: 2^20 units per unit of current. Integer addition is
+// associative, so parallel delivery order cannot change dynamics.
+using FixedCurrent = std::int64_t;
+constexpr FixedCurrent kCurrentScale = 1 << 20;
+
+inline FixedCurrent to_fixed(double x) {
+  return static_cast<FixedCurrent>(x * kCurrentScale);
+}
+inline double from_fixed(FixedCurrent x) {
+  return static_cast<double>(x) / kCurrentScale;
+}
+
+struct NeuronParams {
+  double v_rest = -65.0;    // mV
+  double v_reset = -70.0;
+  double v_threshold = -50.0;
+  double tau_m = 20.0;      // membrane time constant, ms
+  double dt = 1.0;          // step, ms
+  std::uint32_t refractory_steps = 3;
+  // Steady-state membrane = v_rest + bias_current; 22 puts it 7 mV above
+  // threshold, giving tonic firing every ~25 steps plus network drive.
+  double bias_current = 22.0;
+};
+
+struct StdpParams {
+  bool enabled = false;
+  // Multiplicative pair-based STDP: a spike arriving at a target that
+  // fired within `window_steps` gets potentiated (pre-before-post) or
+  // depressed (post-before-pre) by the respective rates, clamped to
+  // [w_min, w_max] x |initial weight| while keeping the synapse's sign.
+  std::uint32_t window_steps = 8;
+  double potentiation = 0.02;
+  double depression = 0.021;  // slight LTD bias: the stable regime
+  double w_min = 0.25;
+  double w_max = 2.0;
+};
+
+struct NetworkParams {
+  std::uint32_t columns = 8;
+  std::uint32_t neurons_per_column = 200;
+  // Fraction of columns that are "hubs" with hub_scale times the neurons
+  // (the irregular load the paper's adaptivity discussion targets).
+  double hub_fraction = 0.0;
+  double hub_scale = 4.0;
+  double intra_connectivity = 0.05;   // P(edge) within a column
+  double inter_connectivity = 0.005;  // P(edge) to each other column
+  double weight_mean = 1.2;           // synaptic weight (current units)
+  double weight_jitter = 0.4;
+  std::uint32_t min_delay_steps = 1;
+  std::uint32_t max_delay_steps = 8;
+  double inhibitory_fraction = 0.2;   // of neurons; weights negative
+  std::uint64_t seed = 42;
+  NeuronParams neuron;
+  StdpParams stdp;
+};
+
+struct Synapse {
+  std::uint32_t target_column = 0;
+  std::uint32_t target_neuron = 0;
+  std::uint32_t delay_steps = 1;
+  FixedCurrent weight = 0;
+  FixedCurrent initial_weight = 0;  // clamp reference for plasticity
+  // Step of this synapse's previous presynaptic event; owned (read and
+  // written) exclusively by the source column's update task.
+  std::int64_t last_pre_step = kNeverSpiked;
+
+  static constexpr std::int64_t kNeverSpiked = -1'000'000'000;
+};
+
+class Column {
+ public:
+  Column(std::uint32_t id, std::uint32_t neurons, std::uint32_t max_delay,
+         const NeuronParams& params);
+
+  std::uint32_t id() const { return id_; }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(v_.size());
+  }
+
+  // Accumulates a delayed input current (thread-safe, deterministic).
+  void deposit(std::uint32_t neuron, std::uint32_t arrival_slot,
+               FixedCurrent weight);
+
+  // Advances every neuron one step; appends indices of spiking neurons to
+  // `spikes`. Single-threaded per column (one SGT owns a column's step).
+  void step(std::uint64_t step_index, std::vector<std::uint32_t>& spikes);
+
+  double membrane(std::uint32_t neuron) const { return v_[neuron]; }
+  void set_membrane(std::uint32_t neuron, double v) { v_[neuron] = v; }
+
+  // Step at which `neuron` last fired (Synapse::kNeverSpiked if never).
+  // Written by this column's own step; read (relaxed) by other columns'
+  // delivery tasks for plasticity pairing.
+  std::int64_t last_spike(std::uint32_t neuron) const {
+    return last_spike_[neuron].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_spikes() const { return total_spikes_; }
+
+  // Synapse table: per source neuron, CSR-style.
+  std::vector<std::uint32_t> syn_begin;  // size()+1 entries
+  std::vector<Synapse> synapses;
+
+ private:
+  std::uint32_t slot_of(std::uint64_t step) const {
+    return static_cast<std::uint32_t>(step % ring_slots_);
+  }
+
+  std::uint32_t id_;
+  NeuronParams params_;
+  std::uint32_t ring_slots_;
+  std::vector<double> v_;
+  std::vector<std::uint32_t> refractory_;
+  std::vector<std::atomic<std::int64_t>> last_spike_;
+  // inputs_[slot * size + neuron]: atomic fixed-point accumulators.
+  std::vector<std::atomic<FixedCurrent>> inputs_;
+  std::uint64_t total_spikes_ = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkParams& params);
+
+  const NetworkParams& params() const { return params_; }
+  std::uint32_t num_columns() const {
+    return static_cast<std::uint32_t>(columns_.size());
+  }
+  Column& column(std::uint32_t c) { return *columns_[c]; }
+  const Column& column(std::uint32_t c) const { return *columns_[c]; }
+
+  std::uint64_t total_neurons() const;
+  std::uint64_t total_synapses() const;
+  std::uint64_t total_spikes() const;
+
+  std::uint32_t max_delay() const { return params_.max_delay_steps; }
+
+ private:
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace htvm::neuro

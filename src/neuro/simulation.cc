@@ -1,0 +1,162 @@
+#include "neuro/simulation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <chrono>
+
+namespace htvm::neuro {
+
+Simulation::Simulation(litlx::Machine& machine, Network& network,
+                       Options options)
+    : machine_(machine), network_(network), options_(std::move(options)) {
+  spike_buffers_.resize(network_.num_columns());
+}
+
+std::uint32_t Simulation::node_of_column(std::uint32_t column) const {
+  return column % machine_.runtime().num_nodes();
+}
+
+void Simulation::apply_stdp(Synapse& syn) {
+  // Pair-based multiplicative STDP evaluated at presynaptic-event time:
+  //   - deferred LTP: the target fired within the window AFTER this
+  //     synapse's previous presynaptic event (pre-before-post);
+  //   - LTD: the target fired within the window before this event
+  //     (post-before-pre).
+  // Weights keep their sign and clamp to [w_min, w_max] x |initial|.
+  // The target's last-spike read is relaxed; a concurrent same-step spike
+  // may be seen one step late, which perturbs learning statistics but
+  // never the synapse's ownership (weights are source-column private).
+  const StdpParams& stdp = network_.params().stdp;
+  const auto pre = static_cast<std::int64_t>(step_index_);
+  const std::int64_t post =
+      network_.column(syn.target_column).last_spike(syn.target_neuron);
+  double magnitude = std::abs(from_fixed(syn.weight));
+  const double reference = std::abs(from_fixed(syn.initial_weight));
+  if (syn.last_pre_step != Synapse::kNeverSpiked &&
+      post > syn.last_pre_step &&
+      post <= syn.last_pre_step + static_cast<std::int64_t>(
+                                      stdp.window_steps)) {
+    magnitude *= 1.0 + stdp.potentiation;
+  } else if (post != Synapse::kNeverSpiked && pre >= post &&
+             pre - post <= static_cast<std::int64_t>(stdp.window_steps)) {
+    magnitude *= 1.0 - stdp.depression;
+  }
+  magnitude = std::clamp(magnitude, stdp.w_min * reference,
+                         stdp.w_max * reference);
+  const double sign = from_fixed(syn.weight) < 0 ? -1.0 : 1.0;
+  syn.weight = to_fixed(sign * magnitude);
+  syn.last_pre_step = pre;
+}
+
+void Simulation::deliver(Column& source,
+                         const std::vector<std::uint32_t>& spiking) {
+  struct Event {
+    std::uint32_t neuron;
+    std::uint32_t slot;
+    FixedCurrent weight;
+  };
+  // In parcel mode, cross-node events batch per target column.
+  std::vector<std::vector<Event>> batches;
+  const bool parcels = options_.deliver_via_parcels;
+  if (parcels) batches.resize(network_.num_columns());
+  const std::uint32_t my_node = parcels ? node_of_column(source.id()) : 0;
+
+  const bool plastic = network_.params().stdp.enabled;
+  for (const std::uint32_t neuron : spiking) {
+    const std::uint32_t begin = source.syn_begin[neuron];
+    const std::uint32_t end = source.syn_begin[neuron + 1];
+    for (std::uint32_t s = begin; s < end; ++s) {
+      Synapse& syn = source.synapses[s];
+      if (plastic) apply_stdp(syn);
+      const std::uint32_t slot = static_cast<std::uint32_t>(
+          (step_index_ + syn.delay_steps) % (network_.max_delay() + 1));
+      if (parcels && node_of_column(syn.target_column) != my_node) {
+        batches[syn.target_column].push_back(
+            Event{syn.target_neuron, slot, syn.weight});
+        continue;
+      }
+      network_.column(syn.target_column)
+          .deposit(syn.target_neuron, slot, syn.weight);
+    }
+  }
+  if (!parcels) return;
+  for (std::uint32_t target = 0; target < batches.size(); ++target) {
+    if (batches[target].empty()) continue;
+    parcels_batched_.fetch_add(1, std::memory_order_relaxed);
+    // One parcel per (source column, target column): the batched spike
+    // exchange of the real code. Payload size models the event list.
+    machine_.invoke_at(
+        node_of_column(target),
+        batches[target].size() * sizeof(Event) + 16,
+        [this, target, events = std::move(batches[target])] {
+          Column& col = network_.column(target);
+          for (const Event& e : events)
+            col.deposit(e.neuron, e.slot, e.weight);
+        });
+  }
+}
+
+void Simulation::step() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t columns = network_.num_columns();
+  std::atomic<std::uint64_t> spikes{0};
+  std::atomic<std::uint64_t> deliveries{0};
+
+  litlx::ForallOptions fopts;
+  fopts.site = options_.site;
+  fopts.schedule = options_.schedule;
+  fopts.adaptive = options_.adaptive;
+  litlx::forall(
+      machine_, 0, columns,
+      [&](std::int64_t c) {
+        Column& col = network_.column(static_cast<std::uint32_t>(c));
+        auto& buffer = spike_buffers_[static_cast<std::size_t>(c)];
+        buffer.clear();
+        col.step(step_index_, buffer);
+        deliver(col, buffer);
+        spikes.fetch_add(buffer.size(), std::memory_order_relaxed);
+        std::uint64_t events = 0;
+        for (const std::uint32_t n : buffer)
+          events += col.syn_begin[n + 1] - col.syn_begin[n];
+        deliveries.fetch_add(events, std::memory_order_relaxed);
+      },
+      fopts);
+
+  // Distributed mode: in-flight spike parcels must deposit before any
+  // column consumes the next step's slot (min delay is 1 step).
+  if (options_.deliver_via_parcels) machine_.wait_idle();
+
+  ++step_index_;
+  ++stats_.steps;
+  stats_.spikes += spikes.load();
+  stats_.spike_deliveries += deliveries.load();
+  stats_.last_step_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void Simulation::step_serial() {
+  std::uint64_t spikes = 0;
+  std::uint64_t deliveries = 0;
+  for (std::uint32_t c = 0; c < network_.num_columns(); ++c) {
+    Column& col = network_.column(c);
+    auto& buffer = spike_buffers_[c];
+    buffer.clear();
+    col.step(step_index_, buffer);
+    deliver(col, buffer);
+    spikes += buffer.size();
+    for (const std::uint32_t n : buffer)
+      deliveries += col.syn_begin[n + 1] - col.syn_begin[n];
+  }
+  ++step_index_;
+  ++stats_.steps;
+  stats_.spikes += spikes;
+  stats_.spike_deliveries += deliveries;
+}
+
+void Simulation::run(std::uint32_t steps) {
+  for (std::uint32_t s = 0; s < steps; ++s) step();
+}
+
+}  // namespace htvm::neuro

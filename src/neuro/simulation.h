@@ -1,0 +1,85 @@
+// Parallel execution of the neuron network on the HTVM machine.
+//
+// Each step runs two phases over the columns:
+//   integrate -- one SGT per column chunk advances membrane potentials and
+//                collects spikes (forall over columns, policy selectable:
+//                this is the loop the paper's scheduling adaptivity story
+//                is about, since hub columns make iterations irregular);
+//   deliver   -- spike fan-out walks the spiking neurons' synapse tables
+//                and deposits delayed currents into target columns
+//                (fixed-point atomics keep this order-independent).
+//
+// A serial reference path (step_serial) produces bit-identical spike
+// counts, which the tests use to validate the parallel path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litlx/forall.h"
+#include "neuro/network.h"
+
+namespace htvm::neuro {
+
+struct SimulationStats {
+  std::uint64_t steps = 0;
+  std::uint64_t spikes = 0;
+  std::uint64_t spike_deliveries = 0;  // synaptic events propagated
+  double last_step_seconds = 0.0;
+};
+
+struct SimulationOptions {
+  // Scheduling policy for the column loop ("" = hints/guided).
+  std::string schedule;
+  bool adaptive = false;
+  std::string site = "neuron_update";
+  // Distributed mode: columns are owned by nodes (round robin); spikes
+  // crossing a node boundary travel as ONE batched parcel per (source
+  // column, target column) pair per step -- the inter-process spike
+  // exchange of the real code. Results are bit-identical to direct mode
+  // because deposits are associative fixed-point adds.
+  bool deliver_via_parcels = false;
+};
+
+class Simulation {
+ public:
+  using Options = SimulationOptions;
+
+  Simulation(litlx::Machine& machine, Network& network, Options options = {});
+
+  // One network step on the HTVM machine.
+  void step();
+  void run(std::uint32_t steps);
+
+  // Serial reference (no machine involvement); same dynamics.
+  void step_serial();
+
+  const SimulationStats& stats() const { return stats_; }
+  std::uint64_t current_step() const { return step_index_; }
+
+  // Node that owns a column in distributed mode.
+  std::uint32_t node_of_column(std::uint32_t column) const;
+  // Cross-node spike batches sent through the parcel engine so far.
+  std::uint64_t parcels_batched() const {
+    return parcels_batched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Mutates the source column's synapses when plasticity is enabled; the
+  // source column is exclusively owned by the calling update task.
+  void deliver(Column& source, const std::vector<std::uint32_t>& spiking);
+  void apply_stdp(Synapse& synapse);
+
+  litlx::Machine& machine_;
+  std::atomic<std::uint64_t> parcels_batched_{0};
+  Network& network_;
+  Options options_;
+  std::uint64_t step_index_ = 0;
+  SimulationStats stats_;
+  // Per-column spike scratch, reused across steps.
+  std::vector<std::vector<std::uint32_t>> spike_buffers_;
+};
+
+}  // namespace htvm::neuro

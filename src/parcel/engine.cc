@@ -1,0 +1,148 @@
+#include "parcel/engine.h"
+
+#include <cassert>
+
+namespace htvm::parcel {
+
+ParcelEngine::ParcelEngine(rt::Runtime& runtime) : runtime_(runtime) {
+  for (std::uint32_t n = 0; n < runtime_.num_nodes(); ++n)
+    inboxes_.push_back(std::make_unique<Inbox>());
+  poller_id_ =
+      runtime_.add_poller([this](std::uint32_t node) { return poll(node); });
+}
+
+ParcelEngine::~ParcelEngine() {
+  // Let every in-flight parcel deliver, then detach from the runtime so no
+  // worker can call into a dead engine.
+  runtime_.wait_idle();
+  runtime_.remove_poller(poller_id_);
+}
+
+HandlerId ParcelEngine::register_handler(std::string name, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  const auto id = static_cast<HandlerId>(handlers_.size());
+  handlers_.push_back(std::move(handler));
+  handler_names_.emplace(std::move(name), id);
+  return id;
+}
+
+HandlerId ParcelEngine::handler_id(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  const auto it = handler_names_.find(name);
+  assert(it != handler_names_.end() && "unknown parcel handler");
+  return it->second;
+}
+
+ParcelEngine::Clock::duration ParcelEngine::network_delay(
+    std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) const {
+  const double cycle_ns = runtime_.injector().cycle_ns();
+  if (cycle_ns <= 0.0) return Clock::duration::zero();
+  const std::uint64_t cycles =
+      runtime_.options().config.network_cycles(src, dst, bytes);
+  return std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(static_cast<double>(cycles) * cycle_ns));
+}
+
+void ParcelEngine::enqueue(std::shared_ptr<Parcel> parcel) {
+  stats_.sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(parcel->payload.size(), std::memory_order_relaxed);
+  const std::uint32_t dst = parcel->dst_node;
+  const auto due = Clock::now() + network_delay(parcel->src_node, dst,
+                                                parcel->payload.size());
+  Inbox& inbox = *inboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push(
+        Timed{due, seq_.fetch_add(1, std::memory_order_relaxed),
+              std::move(parcel)});
+  }
+  // A parcel is pending work: hold a work token so wait_idle() cannot
+  // return while it is in flight, and wake parked workers to poll.
+  runtime_.hold_work();
+  runtime_.notify_work();
+}
+
+void ParcelEngine::send(std::uint32_t dst_node, HandlerId handler,
+                        Payload payload) {
+  auto p = std::make_shared<Parcel>();
+  p->dst_node = dst_node;
+  p->src_node = runtime_.current_node();
+  p->handler = handler;
+  p->payload = std::move(payload);
+  enqueue(std::move(p));
+}
+
+sync::Future<Payload> ParcelEngine::request(std::uint32_t dst_node,
+                                            HandlerId handler,
+                                            Payload payload) {
+  sync::Future<Payload> reply;
+  auto p = std::make_shared<Parcel>();
+  p->dst_node = dst_node;
+  p->src_node = runtime_.current_node();
+  p->handler = handler;
+  p->payload = std::move(payload);
+  p->on_reply = [reply](Payload value) { reply.set(std::move(value)); };
+  enqueue(std::move(p));
+  return reply;
+}
+
+void ParcelEngine::invoke_at(std::uint32_t dst_node,
+                             std::uint64_t modeled_bytes,
+                             std::function<void()> fn) {
+  auto p = std::make_shared<Parcel>();
+  p->dst_node = dst_node;
+  p->src_node = runtime_.current_node();
+  p->closure = std::move(fn);
+  p->payload.resize(modeled_bytes);  // sizing for the latency model only
+  enqueue(std::move(p));
+}
+
+bool ParcelEngine::poll(std::uint32_t node) {
+  Inbox& inbox = *inboxes_[node];
+  bool did = false;
+  while (true) {
+    std::shared_ptr<Parcel> parcel;
+    {
+      std::lock_guard<std::mutex> lock(inbox.mutex);
+      if (inbox.queue.empty()) break;
+      if (inbox.queue.top().due > Clock::now()) break;
+      parcel = inbox.queue.top().parcel;
+      inbox.queue.pop();
+    }
+    deliver(*parcel, node);
+    runtime_.release_work();
+    did = true;
+  }
+  return did;
+}
+
+void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
+  stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (parcel.closure) {
+    parcel.closure();
+    return;
+  }
+  Handler* handler = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    assert(parcel.handler < handlers_.size());
+    handler = &handlers_[parcel.handler];
+  }
+  Payload reply = (*handler)(parcel.payload, parcel.src_node);
+  if (parcel.on_reply) {
+    stats_.replies.fetch_add(1, std::memory_order_relaxed);
+    // The reply travels back over the network before the requester sees it.
+    auto back = std::make_shared<Parcel>();
+    back->dst_node = parcel.src_node;
+    back->src_node = node;
+    const std::size_t reply_bytes = reply.size();
+    back->closure = [cb = std::move(parcel.on_reply),
+                     value = std::move(reply)]() mutable {
+      cb(std::move(value));
+    };
+    back->payload.resize(reply_bytes);
+    enqueue(std::move(back));
+  }
+}
+
+}  // namespace htvm::parcel

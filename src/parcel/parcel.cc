@@ -1,0 +1,8 @@
+// Parcel types are header-only; this TU anchors the library target.
+#include "parcel/parcel.h"
+
+namespace htvm::parcel {
+
+static_assert(sizeof(Parcel) > 0);
+
+}  // namespace htvm::parcel

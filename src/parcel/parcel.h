@@ -1,0 +1,59 @@
+// Parcels: intelligent messages for split-transaction computation (paper
+// §3.2: "Parcel (intelligent messages)-driven split-transaction
+// computation, to reduce communication and to enable the moving of the
+// work to the data (when it makes sense)"). Parcels are the SGT-level
+// communication mechanism (HTMT/Cascade lineage).
+//
+// A parcel names a destination node, a registered handler, and a byte
+// payload; the destination executes the handler and may send a reply
+// parcel, completing the split transaction. For intra-process convenience
+// a parcel may instead carry a closure ("code moves to data"); its network
+// cost is modeled from a declared payload size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace htvm::parcel {
+
+using HandlerId = std::uint32_t;
+using Payload = std::vector<std::byte>;
+
+// Handler: receives the payload and source node, returns the reply payload
+// (empty = no reply content; one-way sends ignore the return value).
+using Handler = std::function<Payload(const Payload&, std::uint32_t)>;
+
+struct Parcel {
+  std::uint32_t dst_node = 0;
+  std::uint32_t src_node = 0;
+  HandlerId handler = 0;
+  Payload payload;
+  // Set for closure parcels; executed instead of a registered handler.
+  std::function<void()> closure;
+  // Split-transaction continuation: invoked with the handler's reply.
+  std::function<void(Payload)> on_reply;
+};
+
+// Payload packing helpers for POD types.
+template <typename T>
+Payload pack(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Payload p(sizeof(T));
+  std::memcpy(p.data(), &value, sizeof(T));
+  return p;
+}
+
+template <typename T>
+T unpack(const Payload& p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T out;
+  std::memcpy(&out, p.data(), sizeof(T));
+  return out;
+}
+
+}  // namespace htvm::parcel

@@ -1,0 +1,179 @@
+#include "parcel/percolation.h"
+
+#include <memory>
+
+namespace htvm::parcel {
+
+PercolationManager::PercolationManager(rt::Runtime& runtime,
+                                       mem::ObjectSpace& objects,
+                                       std::uint64_t buffer_capacity_bytes)
+    : runtime_(runtime), objects_(objects), capacity_(buffer_capacity_bytes) {
+  for (std::uint32_t n = 0; n < runtime_.num_nodes(); ++n)
+    buffers_.push_back(std::make_unique<Buffer>());
+}
+
+void PercolationManager::evict_until_fits(Buffer& buffer,
+                                          std::uint64_t needed) {
+  // Caller holds buffer.mutex. Evict LRU-first until `needed` fits.
+  while (buffer.resident + needed > capacity_ && !buffer.lru.empty()) {
+    const ObjectId victim = buffer.lru.front();
+    buffer.lru.pop_front();
+    auto it = buffer.entries.find(victim);
+    if (it != buffer.entries.end()) {
+      buffer.resident -= it->second.data.size();
+      buffer.entries.erase(it);
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool PercolationManager::refresh_if_resident(std::uint32_t node,
+                                             ObjectId key) {
+  Buffer& buffer = *buffers_[node];
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  auto it = buffer.entries.find(key);
+  if (it == buffer.entries.end() || !it->second.ready) return false;
+  buffer.lru.erase(it->second.lru_pos);
+  buffer.lru.push_back(key);
+  it->second.lru_pos = std::prev(buffer.lru.end());
+  stats_.buffer_hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PercolationManager::insert_entry(std::uint32_t node, ObjectId key,
+                                      std::vector<std::byte> data) {
+  const std::uint64_t bytes = data.size();
+  Buffer& buffer = *buffers_[node];
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  evict_until_fits(buffer, bytes);
+  auto [it, inserted] = buffer.entries.try_emplace(key);
+  if (!inserted) {
+    // Raced with another stage of the same key: keep the newer copy.
+    buffer.lru.erase(it->second.lru_pos);
+    buffer.resident -= it->second.data.size();
+  }
+  buffer.lru.push_back(key);
+  it->second.data = std::move(data);
+  it->second.lru_pos = std::prev(buffer.lru.end());
+  it->second.ready = true;
+  buffer.resident += bytes;
+}
+
+void PercolationManager::stage_one(std::uint32_t node, ObjectId id) {
+  stats_.stage_requests.fetch_add(1, std::memory_order_relaxed);
+  if (refresh_if_resident(node, id)) return;
+  // Fetch outside the lock (this is the slow remote pull the percolation
+  // hides from the compute task).
+  const std::uint64_t bytes = objects_.size_of(id);
+  std::vector<std::byte> data(bytes);
+  objects_.read(node, id, data.data());
+  stats_.bytes_staged.fetch_add(bytes, std::memory_order_relaxed);
+  insert_entry(node, id, std::move(data));
+}
+
+PercolationManager::CodeBlockId PercolationManager::register_code_block(
+    std::string name, std::uint64_t bytes, std::uint32_t home_node) {
+  std::lock_guard<std::mutex> lock(code_mutex_);
+  code_blocks_.push_back(CodeBlock{std::move(name), bytes, home_node});
+  return static_cast<CodeBlockId>(code_blocks_.size() - 1);
+}
+
+void PercolationManager::stage_code_block(std::uint32_t node,
+                                          CodeBlockId code) {
+  stats_.stage_requests.fetch_add(1, std::memory_order_relaxed);
+  const ObjectId key = kCodeKeyBase + code;
+  if (refresh_if_resident(node, key)) return;
+  CodeBlock block;
+  {
+    std::lock_guard<std::mutex> lock(code_mutex_);
+    block = code_blocks_[code];
+  }
+  // The instruction bytes travel from the binary's home node.
+  if (block.home != node)
+    runtime_.injector().network_transfer(block.home, node, block.bytes);
+  stats_.bytes_staged.fetch_add(block.bytes, std::memory_order_relaxed);
+  insert_entry(node, key,
+               std::vector<std::byte>(static_cast<std::size_t>(block.bytes)));
+}
+
+bool PercolationManager::code_resident(std::uint32_t node,
+                                       CodeBlockId code) const {
+  Buffer& buffer = *buffers_[node];
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const auto it = buffer.entries.find(kCodeKeyBase + code);
+  return it != buffer.entries.end() && it->second.ready;
+}
+
+namespace {
+// One shared countdown; the final staging SGT enables the computation.
+struct Gate {
+  std::atomic<std::uint32_t> remaining;
+  std::function<void()> task;
+  std::uint32_t node;
+};
+}  // namespace
+
+void PercolationManager::percolate_and_run(std::uint32_t node,
+                                           std::vector<ObjectId> inputs,
+                                           std::function<void()> task) {
+  stats_.tasks_gated.fetch_add(1, std::memory_order_relaxed);
+  if (inputs.empty()) {
+    runtime_.spawn_sgt_on(node, std::move(task));
+    return;
+  }
+  auto gate = std::make_shared<Gate>();
+  gate->remaining.store(static_cast<std::uint32_t>(inputs.size()));
+  gate->task = std::move(task);
+  gate->node = node;
+  for (ObjectId id : inputs) {
+    runtime_.spawn_sgt_on(node, [this, node, id, gate] {
+      stage_one(node, id);
+      if (gate->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        runtime_.spawn_sgt_on(gate->node, std::move(gate->task));
+      }
+    });
+  }
+}
+
+void PercolationManager::percolate_code_and_run(std::uint32_t node,
+                                                CodeBlockId code,
+                                                std::vector<ObjectId> inputs,
+                                                std::function<void()> task) {
+  stats_.tasks_gated.fetch_add(1, std::memory_order_relaxed);
+  auto gate = std::make_shared<Gate>();
+  gate->remaining.store(static_cast<std::uint32_t>(inputs.size()) + 1);
+  gate->task = std::move(task);
+  gate->node = node;
+  auto arm = [this, gate](std::function<void()> stage) {
+    runtime_.spawn_sgt_on(gate->node,
+                          [this, gate, stage = std::move(stage)] {
+                            stage();
+                            if (gate->remaining.fetch_sub(
+                                    1, std::memory_order_acq_rel) == 1) {
+                              runtime_.spawn_sgt_on(gate->node,
+                                                    std::move(gate->task));
+                            }
+                          });
+  };
+  arm([this, node, code] { stage_code_block(node, code); });
+  for (ObjectId id : inputs) {
+    arm([this, node, id] { stage_one(node, id); });
+  }
+}
+
+const std::byte* PercolationManager::staged(std::uint32_t node,
+                                            ObjectId id) const {
+  Buffer& buffer = *buffers_[node];
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const auto it = buffer.entries.find(id);
+  if (it == buffer.entries.end() || !it->second.ready) return nullptr;
+  return it->second.data.data();
+}
+
+std::uint64_t PercolationManager::resident_bytes(std::uint32_t node) const {
+  Buffer& buffer = *buffers_[node];
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  return buffer.resident;
+}
+
+}  // namespace htvm::parcel

@@ -1,0 +1,117 @@
+// Percolation (paper §3.2: "Percolation of program instruction blocks and
+// data at the site of the intended computation, to eliminate waiting for
+// remote accesses, which are determined at run time prior to actual block
+// execution").
+//
+// The PercolationManager stages the data objects a task will need into a
+// bounded node-local buffer *before* the task is enabled; the task then
+// reads staged copies at local latency instead of stalling on remote
+// fetches. Staging happens asynchronously (SGTs issued at percolation
+// request time); the computation is gated on a completion count -- the
+// runtime realization of "determined at run time prior to actual block
+// execution".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/data_object.h"
+#include "runtime/runtime.h"
+
+namespace htvm::parcel {
+
+struct PercolationStats {
+  std::atomic<std::uint64_t> stage_requests{0};
+  std::atomic<std::uint64_t> buffer_hits{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> bytes_staged{0};
+  std::atomic<std::uint64_t> tasks_gated{0};
+};
+
+class PercolationManager {
+ public:
+  using ObjectId = mem::ObjectSpace::ObjectId;
+
+  PercolationManager(rt::Runtime& runtime, mem::ObjectSpace& objects,
+                     std::uint64_t buffer_capacity_bytes);
+
+  PercolationManager(const PercolationManager&) = delete;
+  PercolationManager& operator=(const PercolationManager&) = delete;
+
+  // Stages every object in `inputs` into `node`'s percolation buffer, then
+  // runs `task` as an SGT on that node. Inside the task, staged(node, id)
+  // returns the local copy.
+  void percolate_and_run(std::uint32_t node, std::vector<ObjectId> inputs,
+                         std::function<void()> task);
+
+  // --- code percolation ----------------------------------------------
+  // The paper percolates "program instruction blocks and data"; code
+  // blocks are registered once (name, modeled size, home node of the
+  // binary image) and staged into the same bounded node buffer as data,
+  // paying the network transfer from the home node on a miss.
+  using CodeBlockId = std::uint32_t;
+  CodeBlockId register_code_block(std::string name, std::uint64_t bytes,
+                                  std::uint32_t home_node = 0);
+
+  // Stages the code block AND every data input, then runs the task.
+  void percolate_code_and_run(std::uint32_t node, CodeBlockId code,
+                              std::vector<ObjectId> inputs,
+                              std::function<void()> task);
+
+  bool code_resident(std::uint32_t node, CodeBlockId code) const;
+
+  // Pointer to the staged copy of `id` on `node`, or nullptr if it is not
+  // resident (evicted or never staged). Valid until the next eviction, so
+  // tasks should consume staged data within the gated task body.
+  const std::byte* staged(std::uint32_t node, ObjectId id) const;
+
+  const PercolationStats& stats() const { return stats_; }
+  std::uint64_t resident_bytes(std::uint32_t node) const;
+
+ private:
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::uint64_t resident = 0;
+    // LRU: most recently staged/used at the back.
+    std::list<ObjectId> lru;
+    struct Entry {
+      std::vector<std::byte> data;
+      std::list<ObjectId>::iterator lru_pos;
+      bool ready = false;
+    };
+    std::unordered_map<ObjectId, Entry> entries;
+  };
+
+  // Buffer keys: data objects use their id; code blocks use the high-bit
+  // key space so both share the LRU and the capacity accounting.
+  static constexpr ObjectId kCodeKeyBase = 0x8000'0000u;
+
+  struct CodeBlock {
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint32_t home = 0;
+  };
+
+  // Stages one object synchronously (called from an SGT on `node`).
+  void stage_one(std::uint32_t node, ObjectId id);
+  void stage_code_block(std::uint32_t node, CodeBlockId code);
+  void evict_until_fits(Buffer& buffer, std::uint64_t needed);
+  // Inserts an entry of `bytes` under `key` in node's buffer (locks it).
+  void insert_entry(std::uint32_t node, ObjectId key,
+                    std::vector<std::byte> data);
+  bool refresh_if_resident(std::uint32_t node, ObjectId key);
+
+  rt::Runtime& runtime_;
+  mem::ObjectSpace& objects_;
+  std::uint64_t capacity_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable std::mutex code_mutex_;
+  std::vector<CodeBlock> code_blocks_;
+  PercolationStats stats_;
+};
+
+}  // namespace htvm::parcel

@@ -1,0 +1,9 @@
+// WsDeque is a header-only template; this TU anchors the library target
+// and pins an instantiation used across the runtime for faster builds.
+#include "runtime/deque.h"
+
+namespace htvm::rt {
+
+template class WsDeque<void*>;
+
+}  // namespace htvm::rt

@@ -1,0 +1,127 @@
+// Chase-Lev work-stealing deque.
+//
+// Each worker owns one deque: the owner pushes and pops at the bottom
+// (LIFO, good locality for fine-grain SGT trees), thieves steal from the
+// top (FIFO, takes the oldest -- typically largest -- piece of work).
+// Memory ordering follows Le, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace htvm::rt {
+
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 64)
+      : array_(new Ring(initial_capacity)) {
+    retired_.emplace_back(array_.load(std::memory_order_relaxed));
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  // Owner only.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, b, t);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T item = a->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return item;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Any thread.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Ring* a = array_.load(std::memory_order_acquire);
+      T item = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;  // lost the race; caller may retry elsewhere
+      }
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  // Approximate size; exact when called by the owner with no concurrent
+  // steals. Never negative.
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap), slots(cap) {}
+    const std::size_t capacity;
+    std::vector<std::atomic<T>> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & (capacity - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & (capacity - 1)].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  // Owner only. Old rings stay alive (retired list) because a slow thief
+  // may still be reading them; they are reclaimed in the destructor.
+  Ring* grow(Ring* old, std::int64_t b, std::int64_t t) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Ring* raw = bigger.get();
+    retired_.push_back(std::move(bigger));
+    array_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> array_;
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only mutation
+};
+
+}  // namespace htvm::rt

@@ -1,0 +1,72 @@
+#include "runtime/fiber.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace htvm::rt {
+
+namespace {
+thread_local Fiber* tl_current_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)),
+      stack_bytes_(stack_bytes),
+      stack_(std::make_unique<std::byte[]>(stack_bytes)) {
+  if (getcontext(&context_) != 0) {
+    std::fprintf(stderr, "htvm::rt: getcontext failed\n");
+    std::abort();
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes_;
+  context_.uc_link = nullptr;  // completion handled in the trampoline
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  // makecontext passes ints only; split the pointer for 64-bit safety.
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(bits)->run_entry();
+}
+
+void Fiber::run_entry() {
+  entry_();
+  finished_ = true;
+  // Return to whichever thread performed the final resume. Never falls off
+  // the trampoline (uc_link is null; falling off would exit the thread).
+  swapcontext(&context_, &return_context_);
+  std::fprintf(stderr, "htvm::rt: finished fiber resumed\n");
+  std::abort();
+}
+
+void Fiber::resume() {
+  if (finished_) {
+    std::fprintf(stderr, "htvm::rt: resume on finished fiber\n");
+    std::abort();
+  }
+  Fiber* const prev = tl_current_fiber;
+  tl_current_fiber = this;
+  started_ = true;
+  swapcontext(&return_context_, &context_);
+  tl_current_fiber = prev;
+}
+
+void Fiber::yield() {
+  Fiber* const self = tl_current_fiber;
+  if (self == nullptr) {
+    std::fprintf(stderr, "htvm::rt: Fiber::yield outside a fiber\n");
+    std::abort();
+  }
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+Fiber* Fiber::current() { return tl_current_fiber; }
+
+}  // namespace htvm::rt

@@ -1,0 +1,61 @@
+// Stackful fibers for LGTs (paper §3.2: "coarse-grain multithreading, with
+// thread context-switching built in the application's instruction stream
+// (rather than in the operating system)").
+//
+// A Fiber is a user-level context with its own stack. Workers resume()
+// fibers; fiber code calls Fiber::yield() to switch back to the resuming
+// worker -- that pair is exactly the application-level context switch the
+// paper calls for. Fibers may be resumed from a different OS thread than
+// the one that last ran them (LGT migration), which ucontext supports as
+// long as a fiber is never running on two threads at once.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace htvm::rt {
+
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Runs the fiber until it yields or finishes. Must not be called on a
+  // finished fiber, nor concurrently from two threads.
+  void resume();
+
+  // Called from inside a fiber: suspends it and returns control to the
+  // thread that called resume(). The next resume() continues after the
+  // yield point.
+  static void yield();
+
+  // The fiber currently running on this thread, or nullptr.
+  static Fiber* current();
+
+  bool finished() const { return finished_; }
+  bool started() const { return started_; }
+  std::size_t stack_bytes() const { return stack_bytes_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_entry();
+
+  std::function<void()> entry_;
+  std::size_t stack_bytes_;
+  std::unique_ptr<std::byte[]> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace htvm::rt

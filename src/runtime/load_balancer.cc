@@ -1,0 +1,64 @@
+#include "runtime/load_balancer.h"
+
+namespace htvm::rt {
+
+LoadBalancer::LoadBalancer(Runtime& runtime, Policy policy)
+    : runtime_(runtime), policy_(policy) {}
+
+LoadBalancer::~LoadBalancer() { stop(); }
+
+std::size_t LoadBalancer::node_load(std::uint32_t node) const {
+  // An LGT represents substantially more pending work than one SGT.
+  return runtime_.lgt_queue_depth(node) * 8 + runtime_.sgt_backlog(node);
+}
+
+std::uint32_t LoadBalancer::rebalance_once() {
+  const std::uint32_t nodes = runtime_.num_nodes();
+  if (nodes < 2) return 0;
+  std::uint32_t moved = 0;
+  for (std::uint32_t round = 0; round < policy_.max_moves_per_round;
+       ++round) {
+    std::uint32_t max_node = 0;
+    std::uint32_t min_node = 0;
+    std::size_t max_load = 0;
+    std::size_t min_load = ~std::size_t{0};
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      const std::size_t load = node_load(n);
+      if (load > max_load) {
+        max_load = load;
+        max_node = n;
+      }
+      if (load < min_load) {
+        min_load = load;
+        min_node = n;
+      }
+    }
+    if (max_node == min_node) break;
+    if (static_cast<double>(max_load) <
+        policy_.imbalance_factor * static_cast<double>(min_load + 1)) {
+      break;
+    }
+    if (!runtime_.migrate_one_lgt(max_node, min_node)) break;
+    ++moved;
+  }
+  total_moves_.fetch_add(moved, std::memory_order_relaxed);
+  return moved;
+}
+
+void LoadBalancer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      rebalance_once();
+      std::this_thread::sleep_for(policy_.interval);
+    }
+  });
+}
+
+void LoadBalancer::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace htvm::rt

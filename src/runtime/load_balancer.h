@@ -1,0 +1,59 @@
+// Dynamic load adaptation at LGT level (paper §2: "the computation load
+// may become unbalanced and a large number of threads may need to migrate
+// to balance the load of the machine").
+//
+// SGT-level balance is handled continuously by work stealing; LGTs are
+// heavier and migrate deliberately: the balancer compares per-node ready
+// backlogs and moves LGTs from the most to the least loaded node when the
+// imbalance exceeds a configurable factor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/runtime.h"
+
+namespace htvm::rt {
+
+class LoadBalancer {
+ public:
+  struct Policy {
+    // Migrate only if max_load >= factor * (min_load + 1).
+    double imbalance_factor = 2.0;
+    // Max LGTs moved per rebalancing round.
+    std::uint32_t max_moves_per_round = 4;
+    std::chrono::milliseconds interval{5};
+  };
+
+  LoadBalancer(Runtime& runtime, Policy policy);
+  ~LoadBalancer();
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  // One deterministic rebalancing pass; returns LGTs moved. Usable without
+  // start() for tests and for worker-driven balancing.
+  std::uint32_t rebalance_once();
+
+  // Background balancing at the configured interval.
+  void start();
+  void stop();
+
+  std::uint64_t total_moves() const {
+    return total_moves_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Combined ready-work estimate for a node (LGTs weighted heavier).
+  std::size_t node_load(std::uint32_t node) const;
+
+  Runtime& runtime_;
+  Policy policy_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::atomic<std::uint64_t> total_moves_{0};
+};
+
+}  // namespace htvm::rt

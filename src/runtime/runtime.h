@@ -1,0 +1,268 @@
+// The HTVM runtime: real-thread execution of the three-level thread
+// hierarchy (paper §3.1.1).
+//
+//   LGT  -- large-grain thread: a stackful fiber bound to a node, with
+//           application-level context switching (yield / await). Costly to
+//           spawn; owns a private heap; shares the global address space.
+//   SGT  -- small-grain thread: a run-to-completion task with its own frame,
+//           scheduled on per-worker Chase-Lev deques with work stealing
+//           (within the node first, then across nodes = task migration).
+//   TGT  -- tiny-grain thread: a strand inside the current SGT, sharing its
+//           frame; enabled immediately or by an EARTH-style SyncSlot; runs
+//           on the worker where it was enabled, never stolen.
+//
+// Workers are OS threads grouped into nodes per the MachineConfig. An
+// optional LatencyInjector makes remote operations on this backend cost
+// what the modeled machine would charge.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "machine/latency.h"
+#include "mem/frame.h"
+#include "mem/global_memory.h"
+#include "runtime/deque.h"
+#include "runtime/fiber.h"
+#include "sync/future.h"
+#include "sync/sync_slot.h"
+#include "trace/tracer.h"
+#include "util/rng.h"
+
+namespace htvm::rt {
+
+enum class StealScope : std::uint8_t {
+  kNone = 0,    // no stealing: tasks run where spawned
+  kNode = 1,    // steal within the spawning node only
+  kGlobal = 2,  // steal anywhere; cross-node steals pay migration latency
+};
+
+struct RuntimeOptions {
+  machine::MachineConfig config;
+  double cycle_ns = 0.0;  // 0: functional mode (no latency injection)
+  StealScope steal_scope = StealScope::kGlobal;
+  std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
+  // Failed acquire rounds before a worker parks on the idle lock.
+  std::uint32_t park_threshold = 16;
+  // Workers default to one per modeled thread unit; cap for small hosts
+  // (at least one worker per node is always kept).
+  std::uint32_t max_workers = 0;  // 0 = no cap
+};
+
+struct WorkerStats {
+  std::uint64_t sgts_executed = 0;
+  std::uint64_t tgts_executed = 0;
+  std::uint64_t lgt_resumes = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_rounds = 0;
+  std::uint64_t parks = 0;
+};
+
+// An LGT instance. Created by Runtime::spawn_lgt; owned by the runtime's
+// queues/registries throughout its life.
+struct Lgt {
+  Lgt(std::function<void()> entry, std::size_t stack_bytes)
+      : fiber(std::move(entry), stack_bytes) {}
+  Fiber fiber;
+  std::uint32_t node = 0;
+  class Runtime* runtime = nullptr;
+  // Two-phase wakeup: both the blocking worker and the wake callback
+  // "check in"; whichever is second re-enqueues the fiber (lgt_checkin).
+  std::atomic<int> checkins{0};
+  enum class Exit : std::uint8_t { kYielded, kBlocked };
+  Exit exit_reason = Exit::kYielded;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ------------------------------------------------------------- spawning
+
+  // Spawns a large-grain thread on `node`. The entry runs in a fiber and
+  // may call Runtime::yield() and Runtime::await().
+  void spawn_lgt(std::uint32_t node, std::function<void()> entry);
+
+  // Spawns a small-grain thread on the current node (node 0 from external
+  // threads).
+  void spawn_sgt(std::function<void()> fn);
+  void spawn_sgt_on(std::uint32_t node, std::function<void()> fn);
+
+  // Spawns a tiny-grain thread: runs on this worker, after the current
+  // task, sharing the enclosing SGT's frame (by capture). From an external
+  // thread this degrades to an SGT on node 0.
+  void spawn_tgt(std::function<void()> fn);
+
+  // Arms `slot` with `count` so that when it fires the TGT is enabled on
+  // the worker that delivered the final signal.
+  void spawn_tgt_after(sync::SyncSlot& slot, std::uint32_t count,
+                       std::function<void()> fn);
+
+  // --------------------------------------------------------- fiber context
+
+  // Voluntary context switch (valid inside an LGT fiber).
+  static void yield();
+
+  // Blocks the current LGT on a future without blocking its worker: the
+  // fiber switches out and is re-enqueued when the value arrives. From a
+  // non-fiber context this falls back to a blocking get.
+  template <typename T>
+  static const T& await(const sync::Future<T>& future) {
+    Lgt* lgt = current_lgt();
+    if (lgt == nullptr) return future.get();
+    while (!future.ready()) {
+      lgt->checkins.store(0, std::memory_order_relaxed);
+      future.on_ready([lgt](const T&) { lgt->runtime->lgt_checkin(lgt); });
+      lgt->runtime->block_current_lgt(lgt);
+    }
+    return future.get();
+  }
+
+  // ------------------------------------------------------------- lifecycle
+
+  // Blocks until every spawned thread (all three levels) has completed.
+  void wait_idle();
+
+  // --------------------------------------------------------- introspection
+
+  static Runtime* current();             // runtime owning this worker thread
+  static Lgt* current_lgt();             // LGT fiber running here, if any
+  static std::int32_t current_worker();  // worker id, -1 if external
+  std::uint32_t current_node() const;    // node of this worker (0 external)
+
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  std::uint32_t num_nodes() const { return options_.config.nodes; }
+  std::uint32_t node_of_worker(std::uint32_t worker) const {
+    return workers_[worker]->node;
+  }
+
+  mem::GlobalMemory& memory() { return *memory_; }
+  mem::FrameAllocator& frames(std::uint32_t node) {
+    return *frame_allocators_[node];
+  }
+  const machine::LatencyInjector& injector() const { return injector_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  WorkerStats worker_stats(std::uint32_t worker) const;
+  WorkerStats aggregate_stats() const;
+  std::uint64_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  // ------------------------------------------------------------- extension
+
+  // Per-node pollers (the parcel engine registers its inbox drain here).
+  // A poller returns true if it performed work. Register before spawning
+  // work; pollers run on every worker scheduling round.
+  using Poller = std::function<bool(std::uint32_t node)>;
+  using PollerId = std::uint64_t;
+  PollerId add_poller(Poller poller);
+  // Components registering pollers must remove them before dying; workers
+  // stop calling the poller once this returns.
+  void remove_poller(PollerId id);
+
+  // Execution tracing: when a tracer is attached and enabled, workers
+  // record SGT executions, LGT resume spans, and successful steals as
+  // complete events (host microseconds since runtime start, lane =
+  // worker id). Attach before spawning work; detach only when idle.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  std::uint64_t trace_now_us() const;
+
+  // Work tokens: keep wait_idle() from returning while an external
+  // component (e.g. an in-flight parcel) still owes the runtime work.
+  void hold_work() { task_started(); }
+  void release_work() { task_finished(); }
+  // Wakes parked workers so they notice poller work that arrived outside
+  // the spawn APIs.
+  void notify_work() { work_arrived(); }
+
+  // LGT wakeup protocol (public for Future callbacks) and load balancing.
+  void lgt_checkin(Lgt* lgt);
+  std::size_t lgt_queue_depth(std::uint32_t node) const;
+  std::size_t sgt_backlog(std::uint32_t node) const;
+  // Moves one ready LGT from `from` to `to` (dynamic load adaptation at
+  // LGT level). Returns false if none was ready. Pays migration latency.
+  bool migrate_one_lgt(std::uint32_t from, std::uint32_t to);
+
+ private:
+  struct SgtJob {
+    std::function<void()> fn;
+  };
+
+  struct NodeState {
+    mutable std::mutex lgt_mutex;
+    std::deque<std::unique_ptr<Lgt>> lgt_ready;  // parked ready fibers
+    mutable std::mutex inject_mutex;
+    std::deque<SgtJob*> inject;  // external / cross-node SGT arrivals
+  };
+
+  struct Worker {
+    std::uint32_t id = 0;
+    std::uint32_t node = 0;
+    Runtime* runtime = nullptr;
+    WsDeque<SgtJob*> deque;
+    std::vector<std::function<void()>> tgt_stack;
+    util::Xoshiro256 rng{1};
+    WorkerStats stats;
+    std::thread thread;
+  };
+
+  void worker_main(Worker& worker);
+  bool try_run_one(Worker& worker);
+  bool try_steal(Worker& worker);
+  bool run_pollers(std::uint32_t node);
+  void run_sgt(Worker& worker, SgtJob* job);
+  void drain_tgts(Worker& worker);
+  void resume_lgt(Worker& worker, std::unique_ptr<Lgt> lgt);
+  void block_current_lgt(Lgt* lgt);
+  void enqueue_lgt(std::unique_ptr<Lgt> lgt);
+  std::unique_ptr<Lgt> take_blocked(Lgt* lgt);
+
+  void work_arrived();
+  void task_started() {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void task_finished();
+
+  RuntimeOptions options_;
+  machine::LatencyInjector injector_;
+  trace::Tracer* tracer_ = nullptr;
+  std::chrono::steady_clock::time_point start_time_{
+      std::chrono::steady_clock::now()};
+  std::unique_ptr<mem::GlobalMemory> memory_;
+  std::vector<std::unique_ptr<mem::FrameAllocator>> frame_allocators_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable std::shared_mutex poller_mutex_;
+  std::vector<std::pair<PollerId, Poller>> pollers_;
+  PollerId next_poller_id_ = 1;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  // Blocked LGTs are owned here until their wakeup re-enqueues them.
+  std::mutex blocked_mutex_;
+  std::vector<std::unique_ptr<Lgt>> blocked_lgts_;
+};
+
+}  // namespace htvm::rt

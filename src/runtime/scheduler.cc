@@ -1,0 +1,260 @@
+// Runtime construction, spawning APIs, LGT wakeup protocol, lifecycle.
+#include <algorithm>
+#include <cassert>
+
+#include "runtime/runtime.h"
+#include "runtime/tls.h"
+
+namespace htvm::rt {
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)),
+      injector_(options_.config, options_.cycle_ns) {
+  const auto& cfg = options_.config;
+  memory_ = std::make_unique<mem::GlobalMemory>(injector_);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    frame_allocators_.push_back(std::make_unique<mem::FrameAllocator>());
+    nodes_.push_back(std::make_unique<NodeState>());
+  }
+
+  std::uint32_t per_node = cfg.thread_units_per_node;
+  if (options_.max_workers != 0) {
+    per_node = std::max<std::uint32_t>(
+        1, std::min(per_node, options_.max_workers / cfg.nodes));
+  }
+  const std::uint32_t total = per_node * cfg.nodes;
+  workers_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id = i;
+    w->node = i / per_node;
+    w->runtime = this;
+    w->rng = util::Xoshiro256(0x5eed + i);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { worker_main(*raw); });
+  }
+}
+
+Runtime::~Runtime() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  work_arrived();  // wake parked workers so they observe stop_
+  for (auto& w : workers_) w->thread.join();
+  // Any SGT jobs left in queues would be a wait_idle bug; free defensively.
+  for (auto& node : nodes_) {
+    for (SgtJob* job : node->inject) delete job;
+  }
+}
+
+// ---------------------------------------------------------------- spawning
+
+void Runtime::spawn_lgt(std::uint32_t node, std::function<void()> entry) {
+  injector_.spawn_cost(0);
+  auto lgt = std::make_unique<Lgt>(std::move(entry),
+                                   options_.fiber_stack_bytes);
+  lgt->node = node;
+  lgt->runtime = this;
+  task_started();
+  enqueue_lgt(std::move(lgt));
+}
+
+void Runtime::spawn_sgt(std::function<void()> fn) {
+  spawn_sgt_on(current_node(), std::move(fn));
+}
+
+void Runtime::spawn_sgt_on(std::uint32_t node, std::function<void()> fn) {
+  injector_.spawn_cost(1);
+  task_started();
+  auto* job = new SgtJob{std::move(fn)};
+  const std::int32_t wid = current_worker();
+  if (wid >= 0 && Runtime::current() == this &&
+      workers_[static_cast<std::size_t>(wid)]->node == node) {
+    workers_[static_cast<std::size_t>(wid)]->deque.push(job);
+  } else {
+    NodeState& ns = *nodes_[node];
+    std::lock_guard<std::mutex> lock(ns.inject_mutex);
+    ns.inject.push_back(job);
+  }
+  work_arrived();
+}
+
+void Runtime::spawn_tgt(std::function<void()> fn) {
+  const std::int32_t wid = current_worker();
+  if (wid < 0 || Runtime::current() != this) {
+    // External context: degrade gracefully to an SGT on node 0.
+    spawn_sgt_on(0, std::move(fn));
+    return;
+  }
+  injector_.spawn_cost(2);
+  task_started();
+  workers_[static_cast<std::size_t>(wid)]->tgt_stack.push_back(std::move(fn));
+}
+
+void Runtime::spawn_tgt_after(sync::SyncSlot& slot, std::uint32_t count,
+                              std::function<void()> fn) {
+  slot.arm(count, [this, fn = std::move(fn)] { spawn_tgt(fn); });
+}
+
+// ----------------------------------------------------------- fiber context
+
+void Runtime::yield() {
+  Lgt* lgt = current_lgt();
+  assert(lgt != nullptr && "Runtime::yield outside an LGT fiber");
+  lgt->runtime->injector_.cycles(
+      lgt->runtime->options_.config.thread_costs.context_switch_cycles);
+  lgt->exit_reason = Lgt::Exit::kYielded;
+  Fiber::yield();
+}
+
+void Runtime::block_current_lgt(Lgt* lgt) {
+  lgt->exit_reason = Lgt::Exit::kBlocked;
+  Fiber::yield();
+}
+
+// ------------------------------------------------------- LGT queue protocol
+
+void Runtime::enqueue_lgt(std::unique_ptr<Lgt> lgt) {
+  NodeState& ns = *nodes_[lgt->node];
+  {
+    std::lock_guard<std::mutex> lock(ns.lgt_mutex);
+    ns.lgt_ready.push_back(std::move(lgt));
+  }
+  work_arrived();
+}
+
+std::unique_ptr<Lgt> Runtime::take_blocked(Lgt* lgt) {
+  std::lock_guard<std::mutex> lock(blocked_mutex_);
+  for (auto& slot : blocked_lgts_) {
+    if (slot.get() == lgt) {
+      std::unique_ptr<Lgt> out = std::move(slot);
+      slot = std::move(blocked_lgts_.back());
+      blocked_lgts_.pop_back();
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::lgt_checkin(Lgt* lgt) {
+  // Second check-in (worker-side park or value arrival) re-enqueues.
+  if (lgt->checkins.fetch_add(1, std::memory_order_acq_rel) == 1) {
+    std::unique_ptr<Lgt> owned = take_blocked(lgt);
+    assert(owned != nullptr && "blocked LGT missing from registry");
+    enqueue_lgt(std::move(owned));
+  }
+}
+
+std::size_t Runtime::lgt_queue_depth(std::uint32_t node) const {
+  NodeState& ns = *nodes_[node];
+  std::lock_guard<std::mutex> lock(ns.lgt_mutex);
+  return ns.lgt_ready.size();
+}
+
+std::size_t Runtime::sgt_backlog(std::uint32_t node) const {
+  std::size_t total = 0;
+  for (const auto& w : workers_) {
+    if (w->node == node) total += w->deque.size_estimate();
+  }
+  NodeState& ns = *nodes_[node];
+  std::lock_guard<std::mutex> lock(ns.inject_mutex);
+  return total + ns.inject.size();
+}
+
+bool Runtime::migrate_one_lgt(std::uint32_t from, std::uint32_t to) {
+  if (from == to) return false;
+  std::unique_ptr<Lgt> lgt;
+  {
+    NodeState& ns = *nodes_[from];
+    std::lock_guard<std::mutex> lock(ns.lgt_mutex);
+    if (ns.lgt_ready.empty()) return false;
+    // Take from the back: the most recently enqueued LGT has the coldest
+    // locality on `from`, making it the cheapest to move.
+    lgt = std::move(ns.lgt_ready.back());
+    ns.lgt_ready.pop_back();
+  }
+  injector_.network_transfer(from, to, 4096);  // context + hot state
+  lgt->node = to;
+  enqueue_lgt(std::move(lgt));
+  return true;
+}
+
+// ------------------------------------------------------------- lifecycle
+
+void Runtime::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Runtime::task_finished() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void Runtime::work_arrived() {
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+  }
+  park_cv_.notify_all();
+}
+
+// --------------------------------------------------------- introspection
+
+Runtime* Runtime::current() { return detail::tl_runtime; }
+
+Lgt* Runtime::current_lgt() { return detail::tl_lgt; }
+
+std::int32_t Runtime::current_worker() { return detail::tl_worker_id; }
+
+std::uint32_t Runtime::current_node() const {
+  if (detail::tl_runtime == this && detail::tl_worker_id >= 0)
+    return workers_[static_cast<std::size_t>(detail::tl_worker_id)]->node;
+  return 0;
+}
+
+WorkerStats Runtime::worker_stats(std::uint32_t worker) const {
+  return workers_[worker]->stats;
+}
+
+WorkerStats Runtime::aggregate_stats() const {
+  WorkerStats total;
+  for (const auto& w : workers_) {
+    total.sgts_executed += w->stats.sgts_executed;
+    total.tgts_executed += w->stats.tgts_executed;
+    total.lgt_resumes += w->stats.lgt_resumes;
+    total.steals += w->stats.steals;
+    total.failed_steal_rounds += w->stats.failed_steal_rounds;
+    total.parks += w->stats.parks;
+  }
+  return total;
+}
+
+Runtime::PollerId Runtime::add_poller(Poller poller) {
+  std::unique_lock<std::shared_mutex> lock(poller_mutex_);
+  const PollerId id = next_poller_id_++;
+  pollers_.emplace_back(id, std::move(poller));
+  return id;
+}
+
+void Runtime::remove_poller(PollerId id) {
+  // The exclusive lock also waits out any worker currently inside the
+  // poller, so the caller may safely destroy its state afterwards.
+  std::unique_lock<std::shared_mutex> lock(poller_mutex_);
+  std::erase_if(pollers_, [id](const auto& p) { return p.first == id; });
+}
+
+bool Runtime::run_pollers(std::uint32_t node) {
+  std::shared_lock<std::shared_mutex> lock(poller_mutex_);
+  bool did = false;
+  for (const auto& [id, p] : pollers_) did = p(node) || did;
+  return did;
+}
+
+}  // namespace htvm::rt

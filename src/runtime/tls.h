@@ -1,0 +1,16 @@
+// Thread-local worker context shared between the runtime's TUs.
+// Internal header; not part of the public API.
+#pragma once
+
+#include <cstdint>
+
+namespace htvm::rt {
+class Runtime;
+struct Lgt;
+
+namespace detail {
+extern thread_local Runtime* tl_runtime;
+extern thread_local std::int32_t tl_worker_id;
+extern thread_local Lgt* tl_lgt;
+}  // namespace detail
+}  // namespace htvm::rt

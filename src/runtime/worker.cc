@@ -1,0 +1,206 @@
+// Worker scheduling loop: TGTs first, then own SGT deque, node inject
+// queue, ready LGTs, pollers (parcels), and finally work stealing.
+#include <chrono>
+#include <thread>
+
+#include "runtime/runtime.h"
+#include "runtime/tls.h"
+
+namespace htvm::rt {
+
+namespace detail {
+thread_local Runtime* tl_runtime = nullptr;
+thread_local std::int32_t tl_worker_id = -1;
+thread_local Lgt* tl_lgt = nullptr;
+}  // namespace detail
+
+void Runtime::worker_main(Worker& w) {
+  detail::tl_runtime = this;
+  detail::tl_worker_id = static_cast<std::int32_t>(w.id);
+  std::uint32_t failures = 0;
+  while (true) {
+    // Read the epoch before hunting for work: any enqueue after a failed
+    // hunt bumps it, so the park predicate below cannot miss a wakeup.
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (try_run_one(w)) {
+      failures = 0;
+      continue;
+    }
+    if (++failures >= options_.park_threshold) {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      ++w.stats.parks;
+      // Bounded wait: pollers (e.g. parcels with modeled in-flight delay)
+      // can make work become due without any enqueue bumping the epoch.
+      park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               work_epoch_.load(std::memory_order_acquire) != epoch;
+      });
+      failures = 0;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  detail::tl_runtime = nullptr;
+  detail::tl_worker_id = -1;
+}
+
+bool Runtime::try_run_one(Worker& w) {
+  bool did = false;
+  if (!w.tgt_stack.empty()) {
+    drain_tgts(w);
+    did = true;
+  }
+  if (auto job = w.deque.pop()) {
+    run_sgt(w, *job);
+    return true;
+  }
+  NodeState& ns = *nodes_[w.node];
+  {
+    SgtJob* job = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(ns.inject_mutex);
+      if (!ns.inject.empty()) {
+        job = ns.inject.front();
+        ns.inject.pop_front();
+      }
+    }
+    if (job != nullptr) {
+      run_sgt(w, job);
+      return true;
+    }
+  }
+  {
+    std::unique_ptr<Lgt> lgt;
+    {
+      std::lock_guard<std::mutex> lock(ns.lgt_mutex);
+      if (!ns.lgt_ready.empty()) {
+        lgt = std::move(ns.lgt_ready.front());
+        ns.lgt_ready.pop_front();
+      }
+    }
+    if (lgt != nullptr) {
+      resume_lgt(w, std::move(lgt));
+      return true;
+    }
+  }
+  if (run_pollers(w.node)) return true;
+  if (try_steal(w)) return true;
+  return did;
+}
+
+void Runtime::drain_tgts(Worker& w) {
+  // LIFO: the most recently enabled strand has the hottest frame state.
+  while (!w.tgt_stack.empty()) {
+    std::function<void()> tgt = std::move(w.tgt_stack.back());
+    w.tgt_stack.pop_back();
+    ++w.stats.tgts_executed;
+    tgt();
+    task_finished();
+  }
+}
+
+std::uint64_t Runtime::trace_now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void Runtime::run_sgt(Worker& w, SgtJob* job) {
+  ++w.stats.sgts_executed;
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::uint64_t t0 = traced ? trace_now_us() : 0;
+  job->fn();
+  if (traced)
+    tracer_->record("runtime", "sgt", w.id, t0, trace_now_us() - t0);
+  delete job;
+  task_finished();
+  drain_tgts(w);
+}
+
+void Runtime::resume_lgt(Worker& w, std::unique_ptr<Lgt> lgt) {
+  ++w.stats.lgt_resumes;
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::uint64_t t0 = traced ? trace_now_us() : 0;
+  Lgt* raw = lgt.get();
+  Lgt* prev = detail::tl_lgt;
+  detail::tl_lgt = raw;
+  raw->fiber.resume();
+  detail::tl_lgt = prev;
+  if (traced)
+    tracer_->record("runtime", "lgt_resume", w.id, t0,
+                    trace_now_us() - t0);
+  if (raw->fiber.finished()) {
+    lgt.reset();
+    task_finished();
+    return;
+  }
+  if (raw->exit_reason == Lgt::Exit::kYielded) {
+    enqueue_lgt(std::move(lgt));
+    return;
+  }
+  // Blocked: park it in the registry, then check in. If the wake callback
+  // already checked in, this check-in is the second and re-enqueues.
+  {
+    std::lock_guard<std::mutex> lock(blocked_mutex_);
+    blocked_lgts_.push_back(std::move(lgt));
+  }
+  lgt_checkin(raw);
+}
+
+bool Runtime::try_steal(Worker& w) {
+  if (options_.steal_scope == StealScope::kNone) return false;
+  const std::size_t n = workers_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(w.rng.next_below(n ? n : 1));
+
+  auto attempt = [&](Worker& victim) -> bool {
+    if (&victim == &w) return false;
+    if (auto job = victim.deque.steal()) {
+      if (victim.node != w.node)
+        injector_.network_transfer(victim.node, w.node, 64);
+      ++w.stats.steals;
+      if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->record("runtime", "steal", w.id, trace_now_us(), 1);
+      run_sgt(w, *job);
+      return true;
+    }
+    return false;
+  };
+
+  // Same-node victims first: cheapest migration.
+  for (std::size_t i = 0; i < n; ++i) {
+    Worker& v = *workers_[(start + i) % n];
+    if (v.node == w.node && attempt(v)) return true;
+  }
+  if (options_.steal_scope == StealScope::kGlobal) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Worker& v = *workers_[(start + i) % n];
+      if (v.node != w.node && attempt(v)) return true;
+    }
+    // Remote inject queues are also fair game under global stealing.
+    for (std::uint32_t node = 0; node < nodes_.size(); ++node) {
+      if (node == w.node) continue;
+      NodeState& other = *nodes_[node];
+      SgtJob* job = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(other.inject_mutex);
+        if (!other.inject.empty()) {
+          job = other.inject.back();
+          other.inject.pop_back();
+        }
+      }
+      if (job != nullptr) {
+        injector_.network_transfer(node, w.node, 64);
+        ++w.stats.steals;
+        run_sgt(w, job);
+        return true;
+      }
+    }
+  }
+  ++w.stats.failed_steal_rounds;
+  return false;
+}
+
+}  // namespace htvm::rt

@@ -1,0 +1,263 @@
+#include "sched/schedulers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htvm::sched {
+
+// ------------------------------------------------------------- StaticBlock
+
+void StaticBlock::reset(std::int64_t total, std::uint32_t workers) {
+  total_ = total;
+  workers_ = workers;
+  taken_ = std::vector<std::atomic<bool>>(workers);
+}
+
+std::optional<Chunk> StaticBlock::next(std::uint32_t worker) {
+  if (worker >= workers_) return std::nullopt;
+  if (taken_[worker].exchange(true, std::memory_order_acq_rel))
+    return std::nullopt;
+  const std::int64_t per = total_ / workers_;
+  const std::int64_t extra = total_ % workers_;
+  // First `extra` workers get one extra iteration.
+  const std::int64_t begin =
+      static_cast<std::int64_t>(worker) * per +
+      std::min<std::int64_t>(worker, extra);
+  const std::int64_t size = per + (worker < extra ? 1 : 0);
+  if (size == 0) return std::nullopt;
+  return Chunk{begin, begin + size};
+}
+
+// ------------------------------------------------------------ StaticCyclic
+
+void StaticCyclic::reset(std::int64_t total, std::uint32_t workers) {
+  total_ = total;
+  workers_ = workers;
+  next_index_ = std::vector<std::atomic<std::int64_t>>(workers);
+  for (auto& n : next_index_) n.store(0, std::memory_order_relaxed);
+}
+
+std::optional<Chunk> StaticCyclic::next(std::uint32_t worker) {
+  if (worker >= workers_) return std::nullopt;
+  const std::int64_t k =
+      next_index_[worker].fetch_add(1, std::memory_order_acq_rel);
+  const std::int64_t begin =
+      (static_cast<std::int64_t>(worker) + k * workers_) * chunk_;
+  if (begin >= total_) return std::nullopt;
+  return Chunk{begin, std::min(begin + chunk_, total_)};
+}
+
+// ----------------------------------------------------------- SelfScheduling
+
+void SelfScheduling::reset(std::int64_t total, std::uint32_t workers) {
+  (void)workers;
+  total_ = total;
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<Chunk> SelfScheduling::next(std::uint32_t) {
+  const std::int64_t begin =
+      cursor_.fetch_add(chunk_, std::memory_order_acq_rel);
+  if (begin >= total_) return std::nullopt;
+  return Chunk{begin, std::min(begin + chunk_, total_)};
+}
+
+// ----------------------------------------------------- GuidedSelfScheduling
+
+void GuidedSelfScheduling::reset(std::int64_t total, std::uint32_t workers) {
+  total_ = total;
+  workers_ = workers;
+  cursor_ = 0;
+}
+
+std::optional<Chunk> GuidedSelfScheduling::next(std::uint32_t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cursor_ >= total_) return std::nullopt;
+  const std::int64_t remaining = total_ - cursor_;
+  const auto divisor = std::max(1.0, k_ * static_cast<double>(workers_));
+  std::int64_t size = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(remaining) / divisor));
+  size = std::max(size, min_chunk_);
+  size = std::min(size, remaining);
+  const Chunk c{cursor_, cursor_ + size};
+  cursor_ += size;
+  return c;
+}
+
+// ---------------------------------------------------------------- Factoring
+
+void Factoring::reset(std::int64_t total, std::uint32_t workers) {
+  total_ = total;
+  workers_ = workers;
+  cursor_ = 0;
+  batch_chunk_ = 0;
+  batch_left_ = 0;
+}
+
+std::optional<Chunk> Factoring::next(std::uint32_t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cursor_ >= total_) return std::nullopt;
+  if (batch_left_ == 0) {
+    // New batch: half the remaining work, split evenly over the workers.
+    const std::int64_t remaining = total_ - cursor_;
+    batch_chunk_ = std::max<std::int64_t>(
+        1, remaining / (2 * static_cast<std::int64_t>(workers_)));
+    batch_left_ = workers_;
+  }
+  const std::int64_t size = std::min(batch_chunk_, total_ - cursor_);
+  const Chunk c{cursor_, cursor_ + size};
+  cursor_ += size;
+  --batch_left_;
+  return c;
+}
+
+// ------------------------------------------------- TrapezoidSelfScheduling
+
+void TrapezoidSelfScheduling::reset(std::int64_t total,
+                                    std::uint32_t workers) {
+  total_ = total;
+  cursor_ = 0;
+  const double first =
+      first_ > 0 ? static_cast<double>(first_)
+                 : std::max(1.0, static_cast<double>(total) /
+                                     (2.0 * static_cast<double>(workers)));
+  const double last = std::max<double>(1.0, static_cast<double>(last_));
+  // Number of chunks N satisfies total = N * (first + last) / 2.
+  const double n = std::max(
+      1.0, std::ceil(2.0 * static_cast<double>(total) / (first + last)));
+  current_ = first;
+  decrement_ = n > 1 ? (first - last) / (n - 1) : 0.0;
+}
+
+std::optional<Chunk> TrapezoidSelfScheduling::next(std::uint32_t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cursor_ >= total_) return std::nullopt;
+  std::int64_t size = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(current_)));
+  size = std::min(size, total_ - cursor_);
+  const Chunk c{cursor_, cursor_ + size};
+  cursor_ += size;
+  current_ = std::max(1.0, current_ - decrement_);
+  return c;
+}
+
+// -------------------------------------------------------- AffinityScheduling
+
+void AffinityScheduling::reset(std::int64_t total, std::uint32_t workers) {
+  workers_ = workers;
+  locals_.clear();
+  const std::int64_t per = total / workers;
+  const std::int64_t extra = total % workers;
+  std::int64_t begin = 0;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    auto local = std::make_unique<Local>();
+    const std::int64_t size = per + (w < extra ? 1 : 0);
+    local->begin = begin;
+    local->end = begin + size;
+    begin += size;
+    locals_.push_back(std::move(local));
+  }
+}
+
+std::optional<Chunk> AffinityScheduling::next(std::uint32_t worker) {
+  if (worker >= workers_) return std::nullopt;
+  // Consume 1/divisor of the local remainder.
+  {
+    Local& mine = *locals_[worker];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    const std::int64_t remaining = mine.end - mine.begin;
+    if (remaining > 0) {
+      const std::int64_t size = std::max<std::int64_t>(
+          1, remaining / std::max<std::int64_t>(1, divisor_));
+      const Chunk c{mine.begin, mine.begin + size};
+      mine.begin += size;
+      return c;
+    }
+  }
+  // Steal from the most loaded worker.
+  while (true) {
+    std::uint32_t victim = workers_;
+    std::int64_t best = 0;
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      if (w == worker) continue;
+      Local& other = *locals_[w];
+      std::lock_guard<std::mutex> lock(other.mutex);
+      const std::int64_t remaining = other.end - other.begin;
+      if (remaining > best) {
+        best = remaining;
+        victim = w;
+      }
+    }
+    if (victim == workers_) return std::nullopt;
+    Local& loser = *locals_[victim];
+    std::lock_guard<std::mutex> lock(loser.mutex);
+    const std::int64_t remaining = loser.end - loser.begin;
+    if (remaining <= 0) continue;  // raced; rescan
+    const std::int64_t size = std::max<std::int64_t>(
+        1, remaining / std::max<std::int64_t>(1, divisor_));
+    const Chunk c{loser.begin, loser.begin + size};
+    loser.begin += size;
+    return c;
+  }
+}
+
+// --------------------------------------------------------- AdaptiveChunking
+
+void AdaptiveChunking::reset(std::int64_t total, std::uint32_t workers) {
+  (void)workers;
+  total_ = total;
+  cursor_.store(0, std::memory_order_relaxed);
+  chunk_.store(initial_chunk_, std::memory_order_relaxed);
+}
+
+std::optional<Chunk> AdaptiveChunking::next(std::uint32_t) {
+  const std::int64_t size = chunk_.load(std::memory_order_relaxed);
+  const std::int64_t begin =
+      cursor_.fetch_add(size, std::memory_order_acq_rel);
+  if (begin >= total_) return std::nullopt;
+  return Chunk{begin, std::min(begin + size, total_)};
+}
+
+void AdaptiveChunking::report(std::uint32_t, const Chunk& chunk,
+                              double seconds) {
+  if (seconds <= 0 || chunk.size() <= 0) return;
+  const double per_iter = seconds / static_cast<double>(chunk.size());
+  if (per_iter <= 0) return;
+  auto ideal =
+      static_cast<std::int64_t>(std::llround(target_seconds_ / per_iter));
+  ideal = std::clamp<std::int64_t>(ideal, 1, std::max<std::int64_t>(
+                                               1, total_ / 4));
+  // Geometric smoothing toward the ideal to damp noisy reports.
+  std::int64_t cur = chunk_.load(std::memory_order_relaxed);
+  const std::int64_t blended = (cur * 3 + ideal) / 4;
+  chunk_.store(std::max<std::int64_t>(1, blended),
+               std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ factory
+
+std::unique_ptr<LoopScheduler> make_scheduler(const std::string& name,
+                                              std::int64_t chunk) {
+  if (name == "static_block") return std::make_unique<StaticBlock>();
+  if (name == "static_cyclic")
+    return std::make_unique<StaticCyclic>(chunk > 0 ? chunk : 4);
+  if (name == "self_sched")
+    return std::make_unique<SelfScheduling>(chunk > 0 ? chunk : 4);
+  if (name == "guided")
+    return std::make_unique<GuidedSelfScheduling>(1.0,
+                                                  chunk > 0 ? chunk : 1);
+  if (name == "factoring") return std::make_unique<Factoring>();
+  if (name == "trapezoid") return std::make_unique<TrapezoidSelfScheduling>();
+  if (name == "affinity") return std::make_unique<AffinityScheduling>();
+  if (name == "adaptive")
+    return std::make_unique<AdaptiveChunking>(1e-3,
+                                              chunk > 0 ? chunk : 16);
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"static_block", "static_cyclic", "self_sched", "guided",
+          "factoring",    "trapezoid",     "affinity",   "adaptive"};
+}
+
+}  // namespace htvm::sched

@@ -1,0 +1,210 @@
+// Dynamic loop scheduling (paper §3.3: "Static scheduling tends to cause
+// load imbalance ... Consequently, dynamic scheduling has been developed
+// and shown promising performance improvement").
+//
+// A LoopScheduler partitions an iteration space [0, total) into chunks that
+// workers claim concurrently. The suite covers the classic spectrum the
+// 2006-era literature compares: static block/cyclic, fixed-chunk
+// self-scheduling, guided self-scheduling, factoring, trapezoid
+// self-scheduling, affinity scheduling, and a feedback-driven adaptive
+// scheduler (the runtime half of the paper's "continuous compilation").
+//
+// Contract (verified by parameterized property tests):
+//   - after reset(total, workers), the union of all chunks returned over
+//     all workers is exactly [0, total), with no overlap;
+//   - next() is thread-safe for concurrent calls from distinct workers;
+//   - a worker that keeps calling next() eventually sees nullopt.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace htvm::sched {
+
+struct Chunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  // exclusive
+  std::int64_t size() const { return end - begin; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+class LoopScheduler {
+ public:
+  virtual ~LoopScheduler() = default;
+
+  // Prepares for a loop of `total` iterations over `workers` workers.
+  virtual void reset(std::int64_t total, std::uint32_t workers) = 0;
+
+  // Claims the next chunk for `worker`; nullopt when the worker is done.
+  virtual std::optional<Chunk> next(std::uint32_t worker) = 0;
+
+  // Feedback hook: observed execution time of a finished chunk, in
+  // seconds. Most schedulers ignore it; AdaptiveChunking uses it.
+  virtual void report(std::uint32_t worker, const Chunk& chunk,
+                      double seconds) {
+    (void)worker;
+    (void)chunk;
+    (void)seconds;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+// Contiguous block per worker, assigned up front.
+class StaticBlock final : public LoopScheduler {
+ public:
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "static_block"; }
+
+ private:
+  std::int64_t total_ = 0;
+  std::uint32_t workers_ = 1;
+  std::vector<std::atomic<bool>> taken_;
+};
+
+// Round-robin chunks of fixed size.
+class StaticCyclic final : public LoopScheduler {
+ public:
+  explicit StaticCyclic(std::int64_t chunk = 1) : chunk_(chunk) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "static_cyclic"; }
+
+ private:
+  std::int64_t chunk_;
+  std::int64_t total_ = 0;
+  std::uint32_t workers_ = 1;
+  std::vector<std::atomic<std::int64_t>> next_index_;  // per worker
+};
+
+// Central counter, fixed chunk (chunk self-scheduling; CSS).
+class SelfScheduling final : public LoopScheduler {
+ public:
+  explicit SelfScheduling(std::int64_t chunk = 1) : chunk_(chunk) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "self_sched"; }
+
+ private:
+  std::int64_t chunk_;
+  std::int64_t total_ = 0;
+  std::atomic<std::int64_t> cursor_{0};
+};
+
+// Guided self-scheduling: chunk = ceil(remaining / (k * workers)).
+class GuidedSelfScheduling final : public LoopScheduler {
+ public:
+  explicit GuidedSelfScheduling(double k = 1.0, std::int64_t min_chunk = 1)
+      : k_(k), min_chunk_(min_chunk) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "guided"; }
+
+ private:
+  double k_;
+  std::int64_t min_chunk_;
+  std::int64_t total_ = 0;
+  std::uint32_t workers_ = 1;
+  std::mutex mutex_;
+  std::int64_t cursor_ = 0;
+};
+
+// Factoring (Hummel/Schonberg/Flynn): iterations handed out in batches of
+// `workers` equal chunks; each batch covers half the remaining work.
+class Factoring final : public LoopScheduler {
+ public:
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "factoring"; }
+
+ private:
+  std::int64_t total_ = 0;
+  std::uint32_t workers_ = 1;
+  std::mutex mutex_;
+  std::int64_t cursor_ = 0;
+  std::int64_t batch_chunk_ = 0;
+  std::uint32_t batch_left_ = 0;
+};
+
+// Trapezoid self-scheduling: chunk sizes decrease linearly from `first` to
+// `last` over the loop.
+class TrapezoidSelfScheduling final : public LoopScheduler {
+ public:
+  TrapezoidSelfScheduling(std::int64_t first = 0, std::int64_t last = 1)
+      : first_(first), last_(last) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "trapezoid"; }
+
+ private:
+  std::int64_t first_;  // 0: derive as total/(2*workers)
+  std::int64_t last_;
+  std::int64_t total_ = 0;
+  std::mutex mutex_;
+  std::int64_t cursor_ = 0;
+  double current_ = 0;
+  double decrement_ = 0;
+};
+
+// Affinity scheduling (Markatos/LeBlanc): each worker owns a block split
+// into sub-chunks and consumes it locally; idle workers steal a fraction
+// of the most loaded worker's remainder.
+class AffinityScheduling final : public LoopScheduler {
+ public:
+  explicit AffinityScheduling(std::int64_t divisor = 2)
+      : divisor_(divisor) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  const char* name() const override { return "affinity"; }
+
+ private:
+  struct Local {
+    std::mutex mutex;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+  std::int64_t divisor_;
+  std::uint32_t workers_ = 1;
+  std::vector<std::unique_ptr<Local>> locals_;
+};
+
+// Feedback-driven chunking: adjusts chunk size so each chunk takes about
+// `target_seconds`, from reported execution times. This is the dynamic-
+// compilation half of loop parallelism adaptation.
+class AdaptiveChunking final : public LoopScheduler {
+ public:
+  explicit AdaptiveChunking(double target_seconds = 1e-3,
+                            std::int64_t initial_chunk = 16)
+      : target_seconds_(target_seconds), initial_chunk_(initial_chunk) {}
+  void reset(std::int64_t total, std::uint32_t workers) override;
+  std::optional<Chunk> next(std::uint32_t worker) override;
+  void report(std::uint32_t worker, const Chunk& chunk,
+              double seconds) override;
+  const char* name() const override { return "adaptive"; }
+
+  std::int64_t current_chunk() const {
+    return chunk_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double target_seconds_;
+  std::int64_t initial_chunk_;
+  std::int64_t total_ = 0;
+  std::atomic<std::int64_t> cursor_{0};
+  std::atomic<std::int64_t> chunk_{16};
+};
+
+// Factory covering the whole suite, keyed by the names above (used by the
+// hint scripts and the benches). `chunk` overrides the chunked policies'
+// grain (self_sched, static_cyclic, adaptive initial); 0 keeps defaults.
+std::unique_ptr<LoopScheduler> make_scheduler(const std::string& name,
+                                              std::int64_t chunk = 0);
+std::vector<std::string> scheduler_names();
+
+}  // namespace htvm::sched

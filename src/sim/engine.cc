@@ -1,0 +1,33 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace htvm::sim {
+
+void Engine::schedule(Cycle delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Engine::step() {
+  // Move the event out before popping so the handler may schedule freely.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+}
+
+Cycle Engine::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+Cycle Engine::run_until(Cycle limit) {
+  while (!queue_.empty() && queue_.top().time <= limit) step();
+  // If later events remain, the clock has observably reached the limit;
+  // with an empty queue it stays at the last executed event's time.
+  if (!queue_.empty() && now_ < limit) now_ = limit;
+  return now_;
+}
+
+}  // namespace htvm::sim

@@ -1,0 +1,58 @@
+// Discrete-event engine with a virtual cycle clock.
+//
+// The paper's own evaluation vehicle for Cyclops-64 was a software simulator
+// (§5.1); this engine plays that role here. All performance experiments that
+// need parallel scaling or latency sweeps run in virtual time on top of it,
+// which makes them deterministic and independent of the host's core count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace htvm::sim {
+
+using Cycle = std::uint64_t;
+
+class Engine {
+ public:
+  Cycle now() const { return now_; }
+
+  // Schedules `fn` to run `delay` cycles from now. Events at equal times
+  // run in scheduling order (FIFO), which keeps simulations deterministic.
+  void schedule(Cycle delay, std::function<void()> fn);
+
+  // Runs events until the queue is empty. Returns the final clock value.
+  Cycle run();
+
+  // Runs events with time <= limit. Returns the clock (== limit if the
+  // queue still has later events).
+  Cycle run_until(Cycle limit);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    Cycle time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step();
+
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace htvm::sim

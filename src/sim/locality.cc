@@ -1,0 +1,142 @@
+#include "sim/locality.h"
+
+#include <algorithm>
+
+namespace htvm::sim {
+
+const char* to_string(LocalityPolicy policy) {
+  switch (policy) {
+    case LocalityPolicy::kRemoteAlways: return "remote_always";
+    case LocalityPolicy::kReplicateOnRead: return "replicate_on_read";
+    case LocalityPolicy::kMigrateOnThreshold: return "migrate";
+    case LocalityPolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+ObjectDirectory::ObjectDirectory(const machine::MachineConfig& config,
+                                 LocalityParams params)
+    : config_(config), params_(params) {}
+
+std::uint32_t ObjectDirectory::add_objects(std::uint32_t count) {
+  const auto first = static_cast<std::uint32_t>(objects_.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    add_object(next_home_);
+    next_home_ = (next_home_ + 1) % config_.nodes;
+  }
+  return first;
+}
+
+std::uint32_t ObjectDirectory::add_object(std::uint32_t home_node) {
+  Object obj;
+  obj.home = home_node;
+  obj.reads_by_node.assign(config_.nodes, 0);
+  obj.writes_by_node.assign(config_.nodes, 0);
+  objects_.push_back(std::move(obj));
+  return static_cast<std::uint32_t>(objects_.size() - 1);
+}
+
+bool ObjectDirectory::has_replica(std::uint32_t object,
+                                  std::uint32_t node) const {
+  return (objects_[object].replica_mask >> node) & 1u;
+}
+
+bool ObjectDirectory::policy_replicates() const {
+  return params_.policy == LocalityPolicy::kReplicateOnRead ||
+         params_.policy == LocalityPolicy::kAdaptive;
+}
+
+bool ObjectDirectory::policy_migrates() const {
+  return params_.policy == LocalityPolicy::kMigrateOnThreshold ||
+         params_.policy == LocalityPolicy::kAdaptive;
+}
+
+Cycle ObjectDirectory::access(std::uint32_t object, std::uint32_t node,
+                              bool is_write) {
+  Object& obj = objects_[object];
+  ++stats_.accesses;
+  Cycle cost = is_write ? write_cost(obj, node) : read_cost(obj, node);
+  if (policy_migrates()) maybe_migrate(obj, node, cost);
+  stats_.total_cycles += cost;
+  return cost;
+}
+
+Cycle ObjectDirectory::read_cost(Object& obj, std::uint32_t node) {
+  ++obj.reads_by_node[node];
+  ++obj.total_reads;
+  if (node == obj.home || ((obj.replica_mask >> node) & 1u)) {
+    ++stats_.local_hits;
+    return config_.latency_local_dram;
+  }
+  ++stats_.remote_accesses;
+  Cycle cost = config_.remote_access_cycles(node, obj.home,
+                                            params_.element_bytes);
+  // Under the adaptive policy, write-hot objects must not replicate: the
+  // copies would be invalidated before they amortize their transfer.
+  const bool write_hot =
+      params_.policy == LocalityPolicy::kAdaptive &&
+      obj.total_writes * 4 > obj.total_reads + obj.total_writes;
+  if (policy_replicates() && !write_hot &&
+      obj.reads_by_node[node] >= params_.replicate_threshold) {
+    // Pull a full copy alongside this read; subsequent reads hit locally.
+    cost = config_.remote_access_cycles(node, obj.home, params_.object_bytes);
+    obj.replica_mask |= 1ull << node;
+    ++stats_.replications;
+  }
+  return cost;
+}
+
+Cycle ObjectDirectory::write_cost(Object& obj, std::uint32_t node) {
+  ++obj.writes_by_node[node];
+  ++obj.total_writes;
+  Cycle cost = invalidate_replicas(obj, node);
+  if (node == obj.home) {
+    ++stats_.local_hits;
+    cost += config_.latency_local_dram;
+  } else {
+    ++stats_.remote_accesses;
+    cost +=
+        config_.remote_access_cycles(node, obj.home, params_.element_bytes);
+  }
+  return cost;
+}
+
+Cycle ObjectDirectory::invalidate_replicas(Object& obj,
+                                           std::uint32_t writer_node) {
+  if (obj.replica_mask == 0) return 0;
+  // Invalidations fan out in parallel from the home; the write completes
+  // after the farthest acknowledgment (sequential-consistency-style).
+  Cycle worst = 0;
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    if (((obj.replica_mask >> n) & 1u) == 0) continue;
+    if (n == writer_node) continue;  // writer's own replica dies for free
+    worst = std::max(worst, 2 * config_.network_cycles(obj.home, n, 16));
+    ++stats_.invalidations;
+  }
+  obj.replica_mask = 0;
+  return worst;
+}
+
+void ObjectDirectory::maybe_migrate(Object& obj, std::uint32_t node,
+                                    Cycle& cost) {
+  if (node == obj.home) return;
+  const std::uint64_t mine = obj.reads_by_node[node] + obj.writes_by_node[node];
+  if (mine < params_.migrate_threshold) return;
+  const std::uint64_t home_count =
+      obj.reads_by_node[obj.home] + obj.writes_by_node[obj.home];
+  if (mine <= 2 * home_count) return;  // only migrate to a clear winner
+  // Under the adaptive policy, read-dominated sharing is better served by
+  // replication; reserve migration for write-heavy objects.
+  if (params_.policy == LocalityPolicy::kAdaptive) {
+    const std::uint64_t writes = obj.writes_by_node[node];
+    if (writes * 4 < mine) return;
+  }
+  cost += config_.network_cycles(obj.home, node, params_.object_bytes);
+  obj.home = node;
+  obj.replica_mask = 0;
+  ++stats_.migrations;
+  std::fill(obj.reads_by_node.begin(), obj.reads_by_node.end(), 0u);
+  std::fill(obj.writes_by_node.begin(), obj.writes_by_node.end(), 0u);
+}
+
+}  // namespace htvm::sim

@@ -1,0 +1,96 @@
+// Locality adaptation model (paper §2 "Locality adaptation", §3.1.1 memory
+// model): data objects live on a home node, may be *replicated* for reads
+// (with invalidate-on-write consistency) and may *migrate* to the node that
+// uses them most. This is an analytic directory model: each access returns
+// its modeled cycle cost and updates the directory state, so policies can be
+// compared on identical access traces (experiment E8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.h"
+#include "sim/engine.h"
+
+namespace htvm::sim {
+
+enum class LocalityPolicy : std::uint8_t {
+  kRemoteAlways = 0,      // always access the home copy over the network
+  kReplicateOnRead = 1,   // replicate read-hot objects; invalidate on write
+  kMigrateOnThreshold = 2,  // move the object to its dominant accessor
+  kAdaptive = 3,          // replicate read-hot, migrate write-hot objects
+};
+
+const char* to_string(LocalityPolicy policy);
+
+struct LocalityParams {
+  LocalityPolicy policy = LocalityPolicy::kRemoteAlways;
+  std::uint32_t replicate_threshold = 4;   // remote reads before replicating
+  std::uint32_t migrate_threshold = 16;    // accesses before migrating
+  std::uint64_t object_bytes = 256;        // replication/migration payload
+  std::uint64_t element_bytes = 8;         // per-access payload
+};
+
+struct LocalityStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t migrations = 0;
+  Cycle total_cycles = 0;
+
+  double avg_cycles() const {
+    return accesses ? static_cast<double>(total_cycles) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class ObjectDirectory {
+ public:
+  ObjectDirectory(const machine::MachineConfig& config, LocalityParams params);
+
+  // Registers `count` objects with homes assigned round-robin over nodes.
+  // Returns the id of the first new object.
+  std::uint32_t add_objects(std::uint32_t count);
+
+  // Registers one object with an explicit home node; returns its id.
+  std::uint32_t add_object(std::uint32_t home_node);
+
+  // Models one access and returns its cycle cost. Consistency invariant:
+  // a write invalidates every replica before completing.
+  Cycle access(std::uint32_t object, std::uint32_t node, bool is_write);
+
+  std::uint32_t home_of(std::uint32_t object) const {
+    return objects_[object].home;
+  }
+  bool has_replica(std::uint32_t object, std::uint32_t node) const;
+  const LocalityStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Object {
+    std::uint32_t home = 0;
+    std::uint64_t replica_mask = 0;  // bit n: node n holds a read replica
+    std::vector<std::uint32_t> reads_by_node;
+    std::vector<std::uint32_t> writes_by_node;
+    std::uint64_t total_reads = 0;
+    std::uint64_t total_writes = 0;
+  };
+
+  Cycle read_cost(Object& obj, std::uint32_t node);
+  Cycle write_cost(Object& obj, std::uint32_t node);
+  Cycle invalidate_replicas(Object& obj, std::uint32_t writer_node);
+  void maybe_migrate(Object& obj, std::uint32_t node, Cycle& cost);
+  bool policy_replicates() const;
+  bool policy_migrates() const;
+
+  machine::MachineConfig config_;
+  LocalityParams params_;
+  std::vector<Object> objects_;
+  std::uint32_t next_home_ = 0;
+  LocalityStats stats_;
+};
+
+}  // namespace htvm::sim

@@ -1,0 +1,229 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace htvm::sim {
+
+SimMachine::SimMachine(machine::MachineConfig config)
+    : config_(std::move(config)),
+      tus_(config_.total_thread_units()),
+      nic_free_(config_.nodes, 0) {}
+
+void SimMachine::set_memory_ports(std::uint32_t ports) {
+  memory_ports_ = ports;
+  mem_port_free_.assign(config_.nodes, std::vector<Cycle>(ports, 0));
+}
+
+Cycle SimMachine::reserve_memory_port(std::uint32_t node, Cycle occupancy) {
+  if (memory_ports_ == 0) return 0;
+  auto& ports = mem_port_free_[node];
+  auto earliest = std::min_element(ports.begin(), ports.end());
+  const Cycle start = std::max(engine_.now(), *earliest);
+  *earliest = start + occupancy;
+  return start - engine_.now();
+}
+
+Cycle SimMachine::reserve_nic(std::uint32_t node, std::uint64_t bytes) {
+  const auto serialization = static_cast<Cycle>(
+      config_.network.cycles_per_byte * static_cast<double>(bytes));
+  const Cycle depart = std::max(engine_.now(), nic_free_[node]);
+  nic_free_[node] = depart + serialization;
+  return depart - engine_.now();
+}
+
+SimMachine::~SimMachine() {
+  // Destroy any tasks that never ran to completion (e.g. a bounded
+  // run_until). Ready-queue tasks own their coroutine frames.
+  for (Tu& tu : tus_) {
+    auto destroy = [](TaskState* t) {
+      if (t->handle) t->handle.destroy();
+      delete t;
+    };
+    for (TaskState* t : tu.ready) destroy(t);
+    if (tu.running != nullptr) destroy(tu.running);
+  }
+  // Tasks blocked on SimEvents or in-flight stalls are owned by captured
+  // engine events; an abandoned engine drops them. Simulations used by
+  // tests and benches always run to completion, where live_tasks_ == 0.
+}
+
+TaskState* SimMachine::make_task(std::uint32_t tu, SimTaskFn fn,
+                                 SimEvent* done, bool stealable) {
+  auto* t = new TaskState;
+  t->machine = this;
+  t->home_tu = tu;
+  t->fn = std::move(fn);
+  t->ctx.machine_ = this;
+  t->ctx.tu_ = tu;
+  t->ctx.task_ = t;
+  t->completion = done;
+  t->stealable = stealable;
+  ++total_tasks_;
+  ++live_tasks_;
+  return t;
+}
+
+void SimMachine::spawn_at(std::uint32_t tu, SimTaskFn fn, Cycle delay,
+                          SimEvent* done, bool stealable) {
+  assert(tu < tus_.size());
+  TaskState* t = make_task(tu, std::move(fn), done, stealable);
+  engine_.schedule(delay, [this, t] { enqueue_ready(t); });
+}
+
+void SimMachine::enqueue_ready(TaskState* task) {
+  Tu& tu = tus_[task->home_tu];
+  tu.ready.push_back(task);
+  schedule_dispatch(task->home_tu);
+  if (steal_policy_ != StealPolicy::kNone) poke_idle_tus(task->home_tu);
+}
+
+void SimMachine::schedule_dispatch(std::uint32_t tu) {
+  engine_.schedule(0, [this, tu] { dispatch(tu); });
+}
+
+void SimMachine::dispatch(std::uint32_t tu_id) {
+  Tu& tu = tus_[tu_id];
+  if (tu.running != nullptr) return;
+  if (tu.ready.empty()) {
+    // Nothing local: attempt a steal if the policy allows.
+    if (steal_policy_ != StealPolicy::kNone && !tu.steal_pending) {
+      tu.steal_pending = true;
+      engine_.schedule(config_.thread_costs.steal_cycles,
+                       [this, tu_id] { try_steal(tu_id); });
+    }
+    return;
+  }
+  TaskState* t = tu.ready.front();
+  tu.ready.pop_front();
+  tu.running = t;
+  tu.occupancy_start = engine_.now();
+  ++tu.stats.tasks_run;
+  // Keep the context's TU current: the task may have been stolen while
+  // ready, or this may be its first dispatch.
+  t->ctx.tu_ = tu_id;
+  if (!t->started) {
+    t->started = true;
+    SimTask coroutine = t->fn(t->ctx);
+    t->handle = coroutine.release();
+    t->handle.promise().state = t;
+  }
+  t->handle.resume();
+}
+
+void SimMachine::trace_occupancy(std::uint32_t tu_id) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const Tu& tu = tus_[tu_id];
+  tracer_->record("sim", "occupancy", tu_id, tu.occupancy_start,
+                  engine_.now() - tu.occupancy_start);
+}
+
+void SimMachine::release_tu(std::uint32_t tu_id) {
+  trace_occupancy(tu_id);
+  tus_[tu_id].running = nullptr;
+  schedule_dispatch(tu_id);
+}
+
+void SimMachine::try_steal(std::uint32_t thief_id) {
+  Tu& thief = tus_[thief_id];
+  thief.steal_pending = false;
+  if (thief.running != nullptr) return;
+  if (!thief.ready.empty()) {
+    schedule_dispatch(thief_id);
+    return;
+  }
+  const std::uint32_t node = node_of(thief_id);
+  const std::uint32_t begin =
+      steal_policy_ == StealPolicy::kLocalNode
+          ? node * config_.thread_units_per_node
+          : 0;
+  const std::uint32_t end = steal_policy_ == StealPolicy::kLocalNode
+                                ? begin + config_.thread_units_per_node
+                                : num_tus();
+  const std::uint32_t span = end - begin;
+  // Deterministic round-robin scan starting just past the thief.
+  for (std::uint32_t i = 1; i <= span; ++i) {
+    const std::uint32_t victim_id = begin + (thief_id - begin + i) % span;
+    if (victim_id == thief_id) continue;
+    Tu& victim = tus_[victim_id];
+    // Steal from the back (oldest-spawned end is dispatched locally first).
+    for (auto it = victim.ready.rbegin(); it != victim.ready.rend(); ++it) {
+      TaskState* t = *it;
+      if (!t->stealable) continue;
+      victim.ready.erase(std::next(it).base());
+      t->home_tu = thief_id;
+      ++thief.stats.steals;
+      const std::uint32_t victim_node = node_of(victim_id);
+      const std::uint32_t thief_node = node_of(thief_id);
+      if (victim_node != thief_node) {
+        // Cross-node migration: the task (and its working context) travels
+        // through the network before it can run.
+        const Cycle migrate =
+            config_.network_cycles(victim_node, thief_node, 64);
+        engine_.schedule(migrate, [this, t] { enqueue_ready(t); });
+      } else {
+        enqueue_ready(t);
+      }
+      return;
+    }
+  }
+  ++thief.stats.failed_steals;
+}
+
+void SimMachine::poke_idle_tus(std::uint32_t except) {
+  for (std::uint32_t i = 0; i < tus_.size(); ++i) {
+    if (i == except) continue;
+    Tu& tu = tus_[i];
+    if (tu.running == nullptr && tu.ready.empty() && !tu.steal_pending) {
+      tu.steal_pending = true;
+      engine_.schedule(config_.thread_costs.steal_cycles,
+                       [this, i] { try_steal(i); });
+    }
+  }
+}
+
+void SimMachine::on_task_done(TaskState* task) {
+  // Runs at final-suspend of the task's coroutine; defer the cleanup so we
+  // never destroy a frame that is still on the resume call stack.
+  engine_.schedule(0, [this, task] {
+    const std::uint32_t tu_id = task->ctx.tu_;
+    Tu& tu = tus_[tu_id];
+    assert(tu.running == task);
+    trace_occupancy(tu_id);
+    tu.running = nullptr;
+    if (task->completion != nullptr) task->completion->signal();
+    task->handle.destroy();
+    delete task;
+    --live_tasks_;
+    dispatch(tu_id);
+  });
+}
+
+std::uint64_t SimMachine::total_steals() const {
+  std::uint64_t sum = 0;
+  for (const Tu& tu : tus_) sum += tu.stats.steals;
+  return sum;
+}
+
+double SimMachine::utilization() const {
+  if (engine_.now() == 0) return 0.0;
+  Cycle busy = 0;
+  for (const Tu& tu : tus_) busy += tu.stats.busy_cycles;
+  return static_cast<double>(busy) /
+         (static_cast<double>(engine_.now()) * static_cast<double>(num_tus()));
+}
+
+double SimMachine::busy_imbalance() const {
+  Cycle max_busy = 0;
+  Cycle sum = 0;
+  for (const Tu& tu : tus_) {
+    max_busy = std::max(max_busy, tu.stats.busy_cycles);
+    sum += tu.stats.busy_cycles;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(num_tus());
+  return static_cast<double>(max_busy) / mean;
+}
+
+}  // namespace htvm::sim

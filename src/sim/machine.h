@@ -1,0 +1,320 @@
+// Simulated HTVM machine: nodes x thread units executing coroutine tasks in
+// virtual time.
+//
+// A SimTask is a C++20 coroutine that co_awaits machine operations:
+//
+//   sim::SimTask worker(sim::SimContext& ctx) {
+//     co_await ctx.compute(100);                 // TU busy for 100 cycles
+//     co_await ctx.load(MemLevel::kLocalDram);   // split-phase: TU may run
+//                                                // another ready task while
+//                                                // the access is in flight
+//     co_await ctx.remote_load(/*node=*/3, 64);  // network round trip
+//   }
+//
+// Blocking operations release the thread unit, which then dispatches the
+// next ready task -- this is exactly the paper's latency-hiding-through-
+// multithreading mechanism, and experiment E2 measures it directly.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/config.h"
+#include "sim/engine.h"
+#include "trace/tracer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace htvm::sim {
+
+class SimMachine;
+struct TaskState;
+class SimContext;
+class SimEvent;
+
+// ---------------------------------------------------------------------------
+// Coroutine plumbing
+
+class SimTask {
+ public:
+  struct promise_type {
+    TaskState* state = nullptr;
+
+    SimTask get_return_object() {
+      return SimTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit SimTask(Handle h) : handle_(h) {}
+  Handle release() {
+    Handle h = handle_;
+    handle_ = {};
+    return h;
+  }
+
+ private:
+  Handle handle_;
+};
+
+using SimTaskFn = std::function<SimTask(SimContext&)>;
+
+// Thread levels, for spawn cost accounting in the simulator.
+enum class Level : std::uint8_t { kLgt = 0, kSgt = 1, kTgt = 2 };
+
+// ---------------------------------------------------------------------------
+// Dataflow synchronization in virtual time (EARTH-style sync slot).
+
+class SimEvent {
+ public:
+  // The event fires when signal() has been called `count` times.
+  explicit SimEvent(SimMachine& machine, std::uint32_t count = 1)
+      : machine_(&machine), remaining_(count) {}
+
+  void signal(std::uint32_t n = 1);
+  bool fired() const { return remaining_ == 0; }
+  std::uint32_t remaining() const { return remaining_; }
+
+  // Re-arms the event for reuse (EARTH reset semantics). Only valid when
+  // fired and no waiters are pending.
+  void reset(std::uint32_t count);
+
+  // Awaitable: suspends the calling task until the event fires.
+  struct Awaiter {
+    SimEvent& ev;
+    SimContext& ctx;
+    bool await_ready() const noexcept { return ev.fired(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait(SimContext& ctx) { return Awaiter{*this, ctx}; }
+
+ private:
+  friend class SimMachine;
+  SimMachine* machine_;
+  std::uint32_t remaining_;
+  std::vector<TaskState*> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Task context: the interface sim tasks use to talk to the machine.
+
+class SimContext {
+ public:
+  SimMachine& machine() { return *machine_; }
+  std::uint32_t tu() const { return tu_; }
+  std::uint32_t node() const;
+  Cycle now() const;
+
+  // --- Awaitables -------------------------------------------------------
+
+  // TU busy for `cycles` (does not release the TU).
+  struct ComputeAwaiter {
+    SimContext& ctx;
+    Cycle cycles;
+    bool await_ready() const noexcept { return cycles == 0; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  ComputeAwaiter compute(Cycle cycles) { return {*this, cycles}; }
+
+  // Split-phase memory access at the given level of the local hierarchy:
+  // releases the TU for the duration.
+  struct StallAwaiter {
+    SimContext& ctx;
+    Cycle cycles;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  StallAwaiter load(machine::MemLevel level);
+  StallAwaiter store(machine::MemLevel level) { return load(level); }
+
+  // Split-phase access to memory on `node` (round trip through the
+  // network); releases the TU.
+  StallAwaiter remote_load(std::uint32_t node, std::uint64_t bytes = 8);
+
+  // Arbitrary modeled stall (releases the TU).
+  StallAwaiter stall(Cycle cycles) { return {*this, cycles}; }
+
+  // Cooperative yield: requeues this task at the back of the TU's ready
+  // queue and charges the configured context-switch cost. This is the
+  // LITL-X "context switching built into the instruction stream".
+  struct YieldAwaiter {
+    SimContext& ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+  YieldAwaiter yield() { return {*this}; }
+
+  // --- Fire-and-forget operations (no co_await needed) -------------------
+
+  // Spawns a task on `dst_tu`, charging the level's spawn cost to the
+  // *caller's* TU as busy time and delaying the child's arrival by the
+  // same amount. `done` (optional) is signalled when the child finishes.
+  void spawn(Level level, std::uint32_t dst_tu, SimTaskFn fn,
+             SimEvent* done = nullptr);
+
+  // Sends a parcel: after the network delay for `bytes`, `fn` is enqueued
+  // as a task on `dst_tu` (plus the SGT spawn cost, parcels being the SGT-
+  // level mechanism in the paper).
+  void send_parcel(std::uint32_t dst_tu, std::uint64_t bytes, SimTaskFn fn,
+                   SimEvent* done = nullptr);
+
+ private:
+  friend class SimMachine;
+  friend class SimEvent;
+  friend struct TaskState;
+  SimMachine* machine_ = nullptr;
+  std::uint32_t tu_ = 0;
+  TaskState* task_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Internal per-task bookkeeping.
+
+struct TaskState {
+  SimMachine* machine = nullptr;
+  std::uint32_t home_tu = 0;
+  SimTaskFn fn;
+  SimContext ctx;
+  SimTask::Handle handle{};
+  SimEvent* completion = nullptr;
+  bool started = false;
+  bool stealable = true;
+};
+
+// ---------------------------------------------------------------------------
+// The machine.
+
+enum class StealPolicy : std::uint8_t {
+  kNone = 0,        // tasks run where spawned
+  kLocalNode = 1,   // idle TUs steal within their node
+  kGlobal = 2,      // idle TUs steal anywhere (migration cost applies)
+};
+
+struct TuStats {
+  Cycle busy_cycles = 0;
+  std::uint64_t tasks_run = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+};
+
+class SimMachine {
+ public:
+  explicit SimMachine(machine::MachineConfig config);
+  ~SimMachine();
+
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
+
+  const machine::MachineConfig& config() const { return config_; }
+  Engine& engine() { return engine_; }
+  Cycle now() const { return engine_.now(); }
+
+  void set_steal_policy(StealPolicy policy) { steal_policy_ = policy; }
+  StealPolicy steal_policy() const { return steal_policy_; }
+
+  // Bounded memory bandwidth: each node's DRAM serves at most `ports`
+  // concurrent accesses; extra requesters queue. 0 (default) = unlimited
+  // (every access sees the raw latency). Applies to load()/remote_load().
+  void set_memory_ports(std::uint32_t ports);
+  std::uint32_t memory_ports() const { return memory_ports_; }
+
+  // Virtual-time tracing: records one complete event (lane = TU, ts/dur
+  // in cycles) per contiguous occupancy of a thread unit by a task.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  // Enqueues a task on a TU, ready `delay` cycles from now. Used for
+  // initial workload injection; tasks themselves use SimContext::spawn.
+  void spawn_at(std::uint32_t tu, SimTaskFn fn, Cycle delay = 0,
+                SimEvent* done = nullptr, bool stealable = true);
+
+  // Runs the simulation to completion and returns the makespan.
+  Cycle run() { return engine_.run(); }
+
+  std::uint32_t num_tus() const {
+    return config_.total_thread_units();
+  }
+  std::uint32_t node_of(std::uint32_t tu) const {
+    return tu / config_.thread_units_per_node;
+  }
+
+  const TuStats& tu_stats(std::uint32_t tu) const { return tus_[tu].stats; }
+  std::uint64_t total_tasks() const { return total_tasks_; }
+  std::uint64_t total_steals() const;
+  std::uint64_t live_tasks() const { return live_tasks_; }
+
+  // Mean TU utilization over [0, now].
+  double utilization() const;
+
+  // Busy-cycle imbalance: max TU busy / mean TU busy (1.0 = perfect).
+  double busy_imbalance() const;
+
+ private:
+  friend class SimContext;
+  friend class SimEvent;
+  friend struct SimTask::promise_type;
+
+  struct Tu {
+    std::deque<TaskState*> ready;
+    TaskState* running = nullptr;
+    bool steal_pending = false;
+    Cycle occupancy_start = 0;  // dispatch time of the running task
+    TuStats stats;
+  };
+
+  void trace_occupancy(std::uint32_t tu_id);
+
+  void enqueue_ready(TaskState* task);
+  void dispatch(std::uint32_t tu);
+  void schedule_dispatch(std::uint32_t tu);
+  void release_tu(std::uint32_t tu);  // blocking await: TU freed
+  void on_task_done(TaskState* task);
+  void try_steal(std::uint32_t thief);
+  void poke_idle_tus(std::uint32_t except);
+  TaskState* make_task(std::uint32_t tu, SimTaskFn fn, SimEvent* done,
+                       bool stealable);
+
+  // Source-side NIC injection port: serialization of concurrent sends
+  // from one node queues behind each other (finite bandwidth). Returns
+  // the parcel's departure delay relative to now.
+  Cycle reserve_nic(std::uint32_t node, std::uint64_t bytes);
+
+  // Memory-port reservation at `node` for an access occupying the DRAM
+  // for `occupancy` cycles; returns the queueing delay before service
+  // starts (0 when ports are unlimited or one is free).
+  Cycle reserve_memory_port(std::uint32_t node, Cycle occupancy);
+
+  machine::MachineConfig config_;
+  Engine engine_;
+  std::vector<Tu> tus_;
+  std::vector<Cycle> nic_free_;  // per node: cycle the inject port frees
+  std::uint32_t memory_ports_ = 0;
+  std::vector<std::vector<Cycle>> mem_port_free_;  // [node][port]
+  trace::Tracer* tracer_ = nullptr;
+  StealPolicy steal_policy_ = StealPolicy::kNone;
+  util::Xoshiro256 rng_{0xC0FFEE};
+  std::uint64_t total_tasks_ = 0;
+  std::uint64_t live_tasks_ = 0;
+};
+
+}  // namespace htvm::sim

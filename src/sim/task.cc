@@ -1,0 +1,126 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/machine.h"
+
+namespace htvm::sim {
+
+// --------------------------------------------------------------------------
+// SimTask promise
+
+void SimTask::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  TaskState* state = h.promise().state;
+  state->machine->on_task_done(state);
+}
+
+void SimTask::promise_type::unhandled_exception() {
+  // A sim task throwing is a bug in the experiment code; there is no
+  // meaningful recovery inside the virtual machine.
+  std::fprintf(stderr, "htvm::sim: unhandled exception escaping a SimTask\n");
+  std::abort();
+}
+
+// --------------------------------------------------------------------------
+// SimEvent
+
+void SimEvent::signal(std::uint32_t n) {
+  if (remaining_ == 0) return;
+  remaining_ = n >= remaining_ ? 0 : remaining_ - n;
+  if (remaining_ != 0) return;
+  std::vector<TaskState*> ready;
+  ready.swap(waiters_);
+  for (TaskState* t : ready) machine_->enqueue_ready(t);
+}
+
+void SimEvent::reset(std::uint32_t count) {
+  // Re-arming with waiters pending would strand them; treat as fatal.
+  if (!waiters_.empty()) {
+    std::fprintf(stderr, "htvm::sim: SimEvent::reset with pending waiters\n");
+    std::abort();
+  }
+  remaining_ = count;
+}
+
+void SimEvent::Awaiter::await_suspend(std::coroutine_handle<>) {
+  TaskState* t = ctx.task_;
+  ev.waiters_.push_back(t);
+  t->machine->release_tu(ctx.tu_);
+}
+
+// --------------------------------------------------------------------------
+// SimContext
+
+std::uint32_t SimContext::node() const { return machine_->node_of(tu_); }
+
+Cycle SimContext::now() const { return machine_->now(); }
+
+void SimContext::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  SimMachine& m = *ctx.machine_;
+  m.tus_[ctx.tu_].stats.busy_cycles += cycles;
+  m.engine().schedule(cycles, [h] { h.resume(); });
+}
+
+void SimContext::StallAwaiter::await_suspend(std::coroutine_handle<>) {
+  TaskState* t = ctx.task_;
+  SimMachine& m = *ctx.machine_;
+  m.release_tu(ctx.tu_);
+  m.engine().schedule(cycles, [&m, t] { m.enqueue_ready(t); });
+}
+
+SimContext::StallAwaiter SimContext::load(machine::MemLevel level) {
+  Cycle latency = machine_->config().mem_latency(level);
+  if (level == machine::MemLevel::kLocalDram ||
+      level == machine::MemLevel::kRemote) {
+    latency += machine_->reserve_memory_port(
+        node(), machine_->config().latency_local_dram);
+  }
+  return {*this, latency};
+}
+
+SimContext::StallAwaiter SimContext::remote_load(std::uint32_t node,
+                                                 std::uint64_t bytes) {
+  Cycle latency =
+      machine_->config().remote_access_cycles(this->node(), node, bytes);
+  // The access occupies the *target* node's DRAM ports.
+  latency += machine_->reserve_memory_port(
+      node, machine_->config().latency_local_dram);
+  return {*this, latency};
+}
+
+void SimContext::YieldAwaiter::await_suspend(std::coroutine_handle<>) {
+  TaskState* t = ctx.task_;
+  SimMachine& m = *ctx.machine_;
+  m.release_tu(ctx.tu_);
+  m.engine().schedule(m.config().thread_costs.context_switch_cycles,
+                      [&m, t] { m.enqueue_ready(t); });
+}
+
+void SimContext::spawn(Level level, std::uint32_t dst_tu, SimTaskFn fn,
+                       SimEvent* done) {
+  const auto& costs = machine_->config().thread_costs;
+  Cycle cost = 0;
+  switch (level) {
+    case Level::kLgt: cost = costs.lgt_spawn_cycles; break;
+    case Level::kSgt: cost = costs.sgt_spawn_cycles; break;
+    case Level::kTgt: cost = costs.tgt_spawn_cycles; break;
+  }
+  machine_->spawn_at(dst_tu, std::move(fn), cost, done,
+                     /*stealable=*/level != Level::kLgt);
+}
+
+void SimContext::send_parcel(std::uint32_t dst_tu, std::uint64_t bytes,
+                             SimTaskFn fn, SimEvent* done) {
+  const std::uint32_t src_node = node();
+  const std::uint32_t dst_node = machine_->node_of(dst_tu);
+  // Concurrent sends from one node queue at its NIC injection port.
+  const Cycle queue_delay =
+      src_node == dst_node ? 0 : machine_->reserve_nic(src_node, bytes);
+  const Cycle delay =
+      queue_delay +
+      machine_->config().network_cycles(src_node, dst_node, bytes) +
+      machine_->config().thread_costs.sgt_spawn_cycles;
+  machine_->spawn_at(dst_tu, std::move(fn), delay, done);
+}
+
+}  // namespace htvm::sim

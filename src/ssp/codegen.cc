@@ -1,0 +1,87 @@
+#include "ssp/codegen.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htvm::ssp {
+
+RegisterAssignment allocate_rotating_registers(
+    const std::vector<Op>& ops, const std::vector<Dep1D>& deps,
+    const KernelSchedule& kernel, std::uint32_t file_size) {
+  RegisterAssignment out;
+  out.file_size = file_size;
+  if (!kernel.ok) {
+    out.error = "kernel is not scheduled";
+    return out;
+  }
+  out.base.resize(ops.size());
+  out.span.resize(ops.size());
+  std::uint32_t next = 0;
+  for (std::size_t op = 0; op < ops.size(); ++op) {
+    // Lifetime: issue to the last consumer read, across iterations.
+    std::int64_t live = ops[op].latency;
+    for (const Dep1D& d : deps) {
+      if (d.src != static_cast<std::uint32_t>(op)) continue;
+      live = std::max<std::int64_t>(
+          live, static_cast<std::int64_t>(kernel.start[d.dst]) +
+                    static_cast<std::int64_t>(kernel.ii) * d.distance -
+                    static_cast<std::int64_t>(kernel.start[op]));
+    }
+    const auto span = static_cast<std::uint32_t>(
+        (live + kernel.ii - 1) / kernel.ii);
+    out.base[op] = next;
+    out.span[op] = span;
+    next += span;
+  }
+  out.registers_used = next;
+  if (next > file_size) {
+    out.error = "rotating file exhausted: need " + std::to_string(next) +
+                ", have " + std::to_string(file_size);
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string kernel_listing(const LoopNest& nest, const LevelPlan& plan,
+                           const RegisterAssignment& regs) {
+  std::ostringstream out;
+  if (!plan.ok) return "; no feasible plan\n";
+  const KernelSchedule& kernel = plan.kernel;
+  out << "; " << nest.name() << "  level=" << plan.level
+      << "  II=" << kernel.ii << "  stages=" << kernel.stages
+      << "  rot-regs=" << regs.registers_used << "/" << regs.file_size
+      << "\n";
+  const auto deps = project_deps(nest, plan.level);
+  for (std::uint32_t cycle = 0; cycle < kernel.ii; ++cycle) {
+    out << "cycle " << cycle << ":";
+    bool any = false;
+    for (std::size_t op = 0; op < nest.ops().size(); ++op) {
+      if (kernel.start[op] % kernel.ii != cycle) continue;
+      any = true;
+      const std::uint32_t stage = kernel.start[op] / kernel.ii;
+      out << "  [s" << stage << "] " << nest.ops()[op].name << " -> r"
+          << regs.base[op];
+      // Operands: producers of this op, register shifted by the stage gap
+      // plus the iteration distance (rotating rename).
+      bool first_operand = true;
+      for (const Dep1D& d : deps) {
+        if (d.dst != static_cast<std::uint32_t>(op)) continue;
+        const std::uint32_t src_stage = kernel.start[d.src] / kernel.ii;
+        const std::int64_t shift =
+            static_cast<std::int64_t>(stage) - src_stage +
+            d.distance;
+        out << (first_operand ? " (" : ", ") << "r" << regs.base[d.src]
+            << "@+" << shift;
+        first_operand = false;
+      }
+      if (!first_operand) out << ")";
+      out << ";";
+    }
+    if (!any) out << "  nop;";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace htvm::ssp

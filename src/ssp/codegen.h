@@ -1,0 +1,45 @@
+// Code generation for modulo-scheduled kernels: rotating-register
+// allocation and a human-readable kernel listing (the companion problem
+// to SSP scheduling -- Rong et al., "Code Generation for Single-dimension
+// Software Pipelining of Multi-dimensional Loops", CGO'04 -- which the
+// paper cites as implemented in their Open64 port, §5.1).
+//
+// Rotating register files rename a value's register every II cycles, so a
+// value alive for L cycles needs ceil(L / II) consecutive rotating
+// registers. Allocation assigns each op's result a base index in the
+// rotating file; a consumer at iteration distance d reads the producer's
+// base shifted by the stage gap. Validity = total demand fits the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssp/ssp.h"
+
+namespace htvm::ssp {
+
+struct RegisterAssignment {
+  bool ok = false;
+  std::string error;
+  std::uint32_t registers_used = 0;
+  std::uint32_t file_size = 0;
+  // Per op: base index into the rotating file and the number of
+  // consecutive rotating registers its value occupies.
+  std::vector<std::uint32_t> base;
+  std::vector<std::uint32_t> span;
+};
+
+// Allocates rotating registers for a scheduled kernel. `file_size` is the
+// size of the rotating file (IA-64 exposes 96 rotating GPRs).
+RegisterAssignment allocate_rotating_registers(
+    const std::vector<Op>& ops, const std::vector<Dep1D>& deps,
+    const KernelSchedule& kernel, std::uint32_t file_size = 96);
+
+// Emits the kernel as II rows of issue slots with stage, resource,
+// destination register, and operand registers (producer base shifted by
+// the iteration distance). Deterministic; intended for humans and tests.
+std::string kernel_listing(const LoopNest& nest, const LevelPlan& plan,
+                           const RegisterAssignment& regs);
+
+}  // namespace htvm::ssp

@@ -1,0 +1,98 @@
+#include "ssp/dependence.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace htvm::ssp {
+
+std::vector<Dep1D> project_deps(const LoopNest& nest, std::size_t level) {
+  std::vector<Dep1D> out;
+  for (const Dep& dep : nest.deps()) {
+    // First nonzero distance component above `level`?
+    bool outer_carried = false;
+    for (std::size_t l = 0; l < level; ++l) {
+      if (dep.distance[l] != 0) {
+        outer_carried = true;
+        break;
+      }
+    }
+    if (outer_carried) continue;  // satisfied by sequential outer loops
+    if (dep.distance[level] == 0) {
+      // Carried strictly by an inner level? Satisfied by the S*II rotation
+      // gap between successive inner repetitions of a slice (see header).
+      bool inner_carried = false;
+      for (std::size_t l = level + 1; l < nest.levels(); ++l) {
+        if (dep.distance[l] != 0) {
+          inner_carried = true;
+          break;
+        }
+      }
+      if (inner_carried) continue;
+    }
+    Dep1D d;
+    d.src = dep.src;
+    d.dst = dep.dst;
+    d.latency = nest.ops()[dep.src].latency;
+    d.distance = std::max(0, dep.distance[level]);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::uint32_t res_mii(const LoopNest& nest, const ResourceModel& model) {
+  std::vector<std::uint32_t> uses(model.num_classes(), 0);
+  for (const Op& op : nest.ops()) ++uses[op.resource];
+  std::uint32_t mii = 1;
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    const std::uint32_t count = model.cls(c).count;
+    const std::uint32_t need = (uses[c] + count - 1) / count;
+    mii = std::max(mii, need);
+  }
+  return mii;
+}
+
+bool ii_feasible(std::size_t num_ops, const std::vector<Dep1D>& deps,
+                 std::uint32_t ii) {
+  // Longest-path feasibility: edges src -> dst with weight
+  // latency - II*distance; infeasible iff a positive cycle exists.
+  // Bellman-Ford style relaxation over |V| rounds.
+  constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+  std::vector<std::int64_t> dist(num_ops, 0);  // all sources at 0
+  for (std::size_t round = 0; round < num_ops; ++round) {
+    bool changed = false;
+    for (const Dep1D& d : deps) {
+      if (dist[d.src] == kNegInf) continue;
+      const std::int64_t cand =
+          dist[d.src] + static_cast<std::int64_t>(d.latency) -
+          static_cast<std::int64_t>(ii) * d.distance;
+      if (cand > dist[d.dst]) {
+        dist[d.dst] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) return true;  // converged: no positive cycle
+  }
+  // One more pass: any further relaxation implies a positive cycle.
+  for (const Dep1D& d : deps) {
+    const std::int64_t cand =
+        dist[d.src] + static_cast<std::int64_t>(d.latency) -
+        static_cast<std::int64_t>(ii) * d.distance;
+    if (cand > dist[d.dst]) return false;
+  }
+  return true;
+}
+
+std::uint32_t rec_mii(std::size_t num_ops, const std::vector<Dep1D>& deps,
+                      std::uint32_t cap) {
+  for (std::uint32_t ii = 1; ii <= cap; ++ii) {
+    if (ii_feasible(num_ops, deps, ii)) return ii;
+  }
+  return cap + 1;
+}
+
+bool level_carries_dependence(const std::vector<Dep1D>& deps) {
+  return std::any_of(deps.begin(), deps.end(),
+                     [](const Dep1D& d) { return d.distance > 0; });
+}
+
+}  // namespace htvm::ssp

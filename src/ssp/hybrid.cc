@@ -1,0 +1,56 @@
+#include "ssp/hybrid.h"
+
+#include <algorithm>
+
+namespace htvm::ssp {
+
+HybridResult hybrid_cycles(const LoopNest& nest, const LevelPlan& plan,
+                           const HybridParams& params) {
+  HybridResult result;
+  if (!plan.ok || params.threads == 0) return result;
+  const std::uint64_t ii = plan.kernel.ii;
+  const std::uint64_t s = plan.kernel.stages;
+  const auto n_l = static_cast<std::uint64_t>(nest.trip(plan.level));
+  const auto p = static_cast<std::uint64_t>(nest.inner_product(plan.level));
+  const auto o = static_cast<std::uint64_t>(nest.outer_product(plan.level));
+  const std::uint64_t groups = (n_l + s - 1) / s;
+  const std::uint64_t group_len =
+      p == 1 ? ii * (s - 1) + plan.kernel.span
+             : ii * (s * p - 1) + plan.kernel.span;
+  const std::uint64_t t = std::min<std::uint64_t>(params.threads, groups);
+
+  result.ok = true;
+  result.groups = groups;
+  result.pipelined_handoff = plan.carries_dependence;
+
+  std::uint64_t per_outer;
+  if (!plan.carries_dependence) {
+    // Independent groups: round-robin over T threads; each group pays a
+    // spawn/sync overhead that is NOT overlapped on the critical thread.
+    const std::uint64_t rounds = (groups + t - 1) / t;
+    per_outer = rounds * (group_len + params.sync_overhead_cycles);
+  } else {
+    // Cross-thread software pipeline over groups: successive groups start
+    // delta apart, where delta covers the dependent-stage drain plus the
+    // handoff. With T threads, a thread's own next group additionally
+    // cannot start before its previous group finished.
+    const std::uint64_t delta = ii * s + params.sync_overhead_cycles;
+    const std::uint64_t own_gap = (group_len + params.sync_overhead_cycles +
+                                   t - 1) / t;  // amortized self-occupancy
+    const std::uint64_t step = std::max(delta, own_gap);
+    per_outer = (groups - 1) * step + group_len;
+  }
+  result.cycles = o * per_outer;
+
+  // Single-thread reference: same plan, groups back to back, no handoff.
+  const std::uint64_t single = o * groups * group_len;
+  result.speedup_vs_single =
+      result.cycles ? static_cast<double>(single) /
+                          static_cast<double>(result.cycles)
+                    : 0.0;
+  result.efficiency =
+      result.speedup_vs_single / static_cast<double>(params.threads);
+  return result;
+}
+
+}  // namespace htvm::ssp

@@ -1,0 +1,45 @@
+// Hybrid SSP + multithreading (paper §3.3: "we will further extend SSP
+// from single-processor single-thread environments to multi-processor
+// multithreading environments ... the software pipelined code is
+// partitioned into threads, each thread composed of several iterations of
+// the selected loop level. The approach is unique in that it exploits
+// instruction-level and thread-level parallelism simultaneously").
+//
+// Partitioning: SSP groups (S consecutive level-ℓ iterations) are dealt
+// round-robin to T threads. Two regimes:
+//   - level-ℓ independent (no carried deps): groups run fully in parallel;
+//     makespan = ceil(G / T) * group_len + per-group spawn/sync overhead.
+//   - level-ℓ carried deps: group g needs group g-1's results, so groups
+//     execute as a cross-thread pipeline; a thread can start its group
+//     after the previous group *completes* its dependent stage, modeled as
+//     a handoff of delta = II * S cycles plus the sync overhead when the
+//     handoff crosses threads. TLP still helps because fill/drain and
+//     sync of successive groups overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "ssp/ssp.h"
+
+namespace htvm::ssp {
+
+struct HybridParams {
+  std::uint32_t threads = 1;
+  // Cycles for a cross-thread group handoff (sync slot signal + wakeup) or
+  // per-group spawn/sync in the independent regime.
+  std::uint64_t sync_overhead_cycles = 200;
+};
+
+struct HybridResult {
+  bool ok = false;
+  std::uint64_t cycles = 0;
+  double speedup_vs_single = 0.0;     // vs the same plan on 1 thread
+  double efficiency = 0.0;            // speedup / threads
+  std::uint64_t groups = 0;
+  bool pipelined_handoff = false;     // carried-dependence regime
+};
+
+HybridResult hybrid_cycles(const LoopNest& nest, const LevelPlan& plan,
+                           const HybridParams& params);
+
+}  // namespace htvm::ssp

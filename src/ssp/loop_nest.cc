@@ -1,0 +1,131 @@
+#include "ssp/loop_nest.h"
+
+namespace htvm::ssp {
+
+std::uint32_t LoopNest::add_op(std::string name, std::uint32_t resource,
+                               std::uint32_t latency) {
+  ops_.push_back(Op{std::move(name), resource, latency});
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+void LoopNest::add_dep(std::uint32_t src, std::uint32_t dst,
+                       std::vector<int> distance) {
+  deps_.push_back(Dep{src, dst, std::move(distance)});
+}
+
+std::int64_t LoopNest::outer_product(std::size_t level) const {
+  std::int64_t p = 1;
+  for (std::size_t l = 0; l < level; ++l) p *= trips_[l];
+  return p;
+}
+
+std::int64_t LoopNest::inner_product(std::size_t level) const {
+  std::int64_t p = 1;
+  for (std::size_t l = level + 1; l < trips_.size(); ++l) p *= trips_[l];
+  return p;
+}
+
+std::string LoopNest::validate() const {
+  if (trips_.empty()) return "nest has no loop levels";
+  for (std::size_t l = 0; l < trips_.size(); ++l) {
+    if (trips_[l] <= 0)
+      return "trip count at level " + std::to_string(l) + " must be > 0";
+  }
+  if (ops_.empty()) return "nest has no operations";
+  for (const Dep& dep : deps_) {
+    if (dep.src >= ops_.size() || dep.dst >= ops_.size())
+      return "dependence references an unknown op";
+    if (dep.distance.size() != trips_.size())
+      return "dependence distance rank != nest depth";
+    // Legality: the distance vector must be lexicographically >= 0.
+    for (int d : dep.distance) {
+      if (d > 0) break;
+      if (d < 0) return "dependence distance is lexicographically negative";
+    }
+    bool all_zero = true;
+    for (int d : dep.distance) all_zero = all_zero && d == 0;
+    if (all_zero && dep.src == dep.dst)
+      return "zero-distance self-dependence is unschedulable";
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------- nest suite
+//
+// Resource class convention for the canonical suite (matching the default
+// ResourceModel::itanium_like()): 0 = memory, 1 = fp, 2 = int.
+
+LoopNest make_matmul_nest(std::int64_t n, std::int64_t m, std::int64_t k) {
+  // C[i][j] += A[i][l] * B[l][j]: levels (i, j, l).
+  LoopNest nest("matmul", {n, m, k});
+  const auto load_a = nest.add_op("load_a", 0, 4);
+  const auto load_b = nest.add_op("load_b", 0, 4);
+  const auto mul = nest.add_op("mul", 1, 4);
+  const auto add = nest.add_op("add", 1, 4);
+  const auto store_c = nest.add_op("store_c", 0, 1);
+  nest.add_dep(load_a, mul, {0, 0, 0});
+  nest.add_dep(load_b, mul, {0, 0, 0});
+  nest.add_dep(mul, add, {0, 0, 0});
+  nest.add_dep(add, add, {0, 0, 1});  // C accumulation: carried by l
+  nest.add_dep(add, store_c, {0, 0, 0});
+  return nest;
+}
+
+LoopNest make_stencil_nest(std::int64_t rows, std::int64_t cols) {
+  // B[i][j] = f(A[i][j-1], A[i][j], A[i-1][j]): levels (i, j).
+  LoopNest nest("stencil", {rows, cols});
+  const auto load_w = nest.add_op("load_west", 0, 4);
+  const auto load_c = nest.add_op("load_center", 0, 4);
+  const auto load_n = nest.add_op("load_north", 0, 4);
+  const auto add1 = nest.add_op("add1", 1, 4);
+  const auto add2 = nest.add_op("add2", 1, 4);
+  const auto store = nest.add_op("store", 0, 1);
+  nest.add_dep(load_w, add1, {0, 0});
+  nest.add_dep(load_c, add1, {0, 0});
+  nest.add_dep(load_n, add2, {0, 0});
+  nest.add_dep(add1, add2, {0, 0});
+  nest.add_dep(add2, store, {0, 0});
+  // In-place update: the west value is produced one j-iteration earlier,
+  // the north value one i-iteration earlier.
+  nest.add_dep(store, load_w, {0, 1});
+  nest.add_dep(store, load_n, {1, 0});
+  return nest;
+}
+
+LoopNest make_recurrence_nest(std::int64_t outer, std::int64_t inner) {
+  // x[j] = x[j-1] * a + b: a tight recurrence carried by the INNER loop;
+  // the outer loop iterations are independent. Innermost modulo
+  // scheduling is recurrence-bound here while SSP at the outer level is
+  // resource-bound -- the flagship SSP case.
+  LoopNest nest("recurrence", {outer, inner});
+  const auto load = nest.add_op("load_x", 0, 4);
+  const auto mul = nest.add_op("mul", 1, 6);
+  const auto add = nest.add_op("add", 1, 4);
+  const auto store = nest.add_op("store_x", 0, 1);
+  nest.add_dep(load, mul, {0, 0});
+  nest.add_dep(mul, add, {0, 0});
+  nest.add_dep(add, store, {0, 0});
+  nest.add_dep(store, load, {0, 1});  // x[j] <- x[j-1]
+  return nest;
+}
+
+LoopNest make_short_inner_nest(std::int64_t outer, std::int64_t inner) {
+  // A wide independent body with a very short inner trip count: innermost
+  // pipelining pays fill/drain on every inner invocation; SSP at the
+  // outer level amortizes it across the whole nest.
+  LoopNest nest("short_inner", {outer, inner});
+  const auto l1 = nest.add_op("load1", 0, 4);
+  const auto l2 = nest.add_op("load2", 0, 4);
+  const auto m1 = nest.add_op("mul1", 1, 6);
+  const auto m2 = nest.add_op("mul2", 1, 6);
+  const auto a1 = nest.add_op("add1", 1, 4);
+  const auto st = nest.add_op("store", 0, 1);
+  nest.add_dep(l1, m1, {0, 0});
+  nest.add_dep(l2, m2, {0, 0});
+  nest.add_dep(m1, a1, {0, 0});
+  nest.add_dep(m2, a1, {0, 0});
+  nest.add_dep(a1, st, {0, 0});
+  return nest;
+}
+
+}  // namespace htvm::ssp

@@ -1,0 +1,74 @@
+// Loop-nest intermediate representation for the SSP scheduler (paper §3.3:
+// "Single-dimension Software Pipelining (SSP) [16], to software pipeline a
+// loop nest at an arbitrary loop level with desirable optimization
+// objectives such as data locality and/or parallelism").
+//
+// A LoopNest is a perfect nest of `levels()` loops (index 0 = outermost)
+// whose innermost body is a sequence of operations. Dependences carry a
+// distance vector with one component per level, standard dependence-
+// analysis form: distance d at level l means the value flows to the
+// iteration d steps later in dimension l.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace htvm::ssp {
+
+struct Op {
+  std::string name;
+  std::uint32_t resource = 0;  // index into ResourceModel::classes
+  std::uint32_t latency = 1;   // cycles until the result is available
+};
+
+struct Dep {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::vector<int> distance;  // one entry per loop level; all-zero =
+                              // intra-iteration (src before dst)
+};
+
+class LoopNest {
+ public:
+  LoopNest(std::string name, std::vector<std::int64_t> trip_counts)
+      : name_(std::move(name)), trips_(std::move(trip_counts)) {}
+
+  std::uint32_t add_op(std::string name, std::uint32_t resource,
+                       std::uint32_t latency);
+  void add_dep(std::uint32_t src, std::uint32_t dst,
+               std::vector<int> distance);
+
+  const std::string& name() const { return name_; }
+  std::size_t levels() const { return trips_.size(); }
+  std::int64_t trip(std::size_t level) const { return trips_[level]; }
+  const std::vector<Op>& ops() const { return ops_; }
+  const std::vector<Dep>& deps() const { return deps_; }
+
+  // Product of trip counts strictly outside `level` (repetition factor)
+  // and strictly inside `level` (slice body repetitions).
+  std::int64_t outer_product(std::size_t level) const;
+  std::int64_t inner_product(std::size_t level) const;
+
+  // Empty string when well-formed, else the first problem found: op
+  // indices in range, distance ranks matching levels(), lexicographically
+  // non-negative distances (a legal dependence cannot point backward in
+  // iteration space), positive trip counts.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> trips_;
+  std::vector<Op> ops_;
+  std::vector<Dep> deps_;
+};
+
+// Canonical nest suite used by tests and the E4/E5 benches: shapes chosen
+// to exercise the regimes where SSP wins (short inner trips, inner-carried
+// recurrences) and where it does not (clean innermost loops).
+LoopNest make_matmul_nest(std::int64_t n, std::int64_t m, std::int64_t k);
+LoopNest make_stencil_nest(std::int64_t rows, std::int64_t cols);
+LoopNest make_recurrence_nest(std::int64_t outer, std::int64_t inner);
+LoopNest make_short_inner_nest(std::int64_t outer, std::int64_t inner);
+
+}  // namespace htvm::ssp

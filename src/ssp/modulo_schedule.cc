@@ -1,0 +1,182 @@
+#include "ssp/modulo_schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace htvm::ssp {
+
+bool KernelSchedule::respects(const std::vector<Dep1D>& deps) const {
+  for (const Dep1D& d : deps) {
+    const std::int64_t lhs = static_cast<std::int64_t>(start[d.dst]) +
+                             static_cast<std::int64_t>(ii) * d.distance;
+    const std::int64_t rhs =
+        static_cast<std::int64_t>(start[d.src]) + d.latency;
+    if (lhs < rhs) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Height-based priority: the longest dependence-latency path from the op
+// to any sink (ignoring loop-carried back edges' cyclic part by capping
+// iterations).
+std::vector<std::uint32_t> compute_heights(std::size_t n,
+                                           const std::vector<Dep1D>& deps) {
+  std::vector<std::uint32_t> height(n, 0);
+  // Relax |V| times over forward (distance 0) edges; carried edges excluded
+  // from height (they do not lengthen the acyclic critical path).
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (const Dep1D& d : deps) {
+      if (d.distance != 0) continue;
+      const std::uint32_t cand = height[d.dst] + d.latency;
+      if (cand > height[d.src]) {
+        height[d.src] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return height;
+}
+
+struct Attempt {
+  bool ok = false;
+  std::vector<std::uint32_t> start;
+};
+
+Attempt try_schedule(const std::vector<Op>& ops,
+                     const std::vector<Dep1D>& deps,
+                     const ResourceModel& model, std::uint32_t ii,
+                     const std::vector<std::uint32_t>& priority_order) {
+  constexpr std::uint32_t kUnscheduled =
+      std::numeric_limits<std::uint32_t>::max();
+  const std::size_t n = ops.size();
+  std::vector<std::uint32_t> start(n, kUnscheduled);
+  ReservationTable table(ii, model);
+  std::vector<std::uint32_t> last_evicted_time(n, 0);
+
+  // Worklist in priority order; eviction pushes ops back. Budgeted.
+  std::vector<std::uint32_t> worklist(priority_order);
+  std::uint32_t budget = static_cast<std::uint32_t>(n) * 16;
+
+  while (!worklist.empty()) {
+    if (budget-- == 0) return {};
+    const std::uint32_t op = worklist.front();
+    worklist.erase(worklist.begin());
+
+    // Earliest start satisfying all scheduled predecessors.
+    std::int64_t earliest = 0;
+    for (const Dep1D& d : deps) {
+      if (d.dst != op || start[d.src] == kUnscheduled) continue;
+      earliest = std::max<std::int64_t>(
+          earliest, static_cast<std::int64_t>(start[d.src]) + d.latency -
+                        static_cast<std::int64_t>(ii) * d.distance);
+    }
+    std::int64_t t0 = std::max<std::int64_t>(earliest, 0);
+    if (start[op] != kUnscheduled) {
+      // Rescheduling after eviction: move forward to escape livelock.
+      t0 = std::max<std::int64_t>(t0, last_evicted_time[op] + 1);
+    }
+
+    // Find a resource slot within one II window of t0.
+    std::int64_t placed = -1;
+    for (std::uint32_t delta = 0; delta < ii; ++delta) {
+      const auto t = static_cast<std::uint32_t>(t0 + delta);
+      if (table.fits(t, ops[op].resource)) {
+        placed = t;
+        break;
+      }
+    }
+    if (placed < 0) placed = t0;  // force placement; evict the blocker
+
+    if (!table.fits(static_cast<std::uint32_t>(placed), ops[op].resource)) {
+      // Evict one conflicting op at the same modulo row.
+      for (std::size_t other = 0; other < n; ++other) {
+        if (other == op || start[other] == kUnscheduled) continue;
+        if (ops[other].resource != ops[op].resource) continue;
+        if (start[other] % ii !=
+            static_cast<std::uint32_t>(placed) % ii)
+          continue;
+        table.remove(start[other], ops[other].resource);
+        last_evicted_time[other] = start[other];
+        start[other] = kUnscheduled;
+        worklist.push_back(static_cast<std::uint32_t>(other));
+        break;
+      }
+    }
+    if (!table.fits(static_cast<std::uint32_t>(placed), ops[op].resource))
+      return {};  // still blocked: treat as failure at this II
+
+    // Placing may violate already-scheduled successors; evict them.
+    table.place(static_cast<std::uint32_t>(placed), ops[op].resource);
+    if (start[op] != kUnscheduled) {
+      // (was evicted before; nothing else to undo)
+    }
+    start[op] = static_cast<std::uint32_t>(placed);
+    for (const Dep1D& d : deps) {
+      if (d.src != op || start[d.dst] == kUnscheduled || d.dst == op)
+        continue;
+      const std::int64_t need = static_cast<std::int64_t>(start[op]) +
+                                d.latency -
+                                static_cast<std::int64_t>(ii) * d.distance;
+      if (static_cast<std::int64_t>(start[d.dst]) < need) {
+        table.remove(start[d.dst], ops[d.dst].resource);
+        last_evicted_time[d.dst] = start[d.dst];
+        start[d.dst] = kUnscheduled;
+        worklist.push_back(d.dst);
+      }
+    }
+  }
+
+  Attempt a;
+  a.ok = true;
+  a.start = std::move(start);
+  return a;
+}
+
+}  // namespace
+
+KernelSchedule modulo_schedule(const std::vector<Op>& ops,
+                               const std::vector<Dep1D>& deps,
+                               const ResourceModel& model,
+                               std::uint32_t max_ii) {
+  KernelSchedule result;
+  if (ops.empty()) return result;
+
+  std::vector<std::uint32_t> uses(model.num_classes(), 0);
+  for (const Op& op : ops) ++uses[op.resource];
+  std::uint32_t res = 1;
+  for (std::size_t c = 0; c < model.num_classes(); ++c)
+    res = std::max(res, (uses[c] + model.cls(c).count - 1) /
+                            model.cls(c).count);
+  const std::uint32_t rec = rec_mii(ops.size(), deps, max_ii);
+  if (rec > max_ii) return result;  // recurrence-infeasible within bound
+
+  const std::vector<std::uint32_t> height = compute_heights(ops.size(), deps);
+  std::vector<std::uint32_t> order(ops.size());
+  for (std::uint32_t i = 0; i < ops.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return height[a] > height[b];
+                   });
+
+  for (std::uint32_t ii = std::max(res, rec); ii <= max_ii; ++ii) {
+    Attempt attempt = try_schedule(ops, deps, model, ii, order);
+    if (!attempt.ok) continue;
+    result.ok = true;
+    result.ii = ii;
+    result.start = std::move(attempt.start);
+    result.span = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      result.span =
+          std::max(result.span, result.start[i] + ops[i].latency);
+    }
+    result.stages = (result.span + ii - 1) / ii;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace htvm::ssp

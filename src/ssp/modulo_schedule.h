@@ -1,0 +1,32 @@
+// Iterative modulo scheduling (Rau, MICRO-27), the kernel scheduler both
+// innermost software pipelining and SSP build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssp/dependence.h"
+#include "ssp/resource_model.h"
+
+namespace htvm::ssp {
+
+struct KernelSchedule {
+  bool ok = false;
+  std::uint32_t ii = 0;
+  std::vector<std::uint32_t> start;  // issue cycle per op (flat schedule)
+  std::uint32_t stages = 0;          // ceil(span / ii)
+  std::uint32_t span = 0;            // last issue + latency
+
+  // Verifies every projected dependence: start[dst] + II*distance >=
+  // start[src] + latency. Returns true when the schedule is legal.
+  bool respects(const std::vector<Dep1D>& deps) const;
+};
+
+// Schedules `ops` at the smallest feasible II in [max(ResMII,RecMII),
+// max_ii]. Uses height-based priority and bounded eviction (budget per II).
+KernelSchedule modulo_schedule(const std::vector<Op>& ops,
+                               const std::vector<Dep1D>& deps,
+                               const ResourceModel& model,
+                               std::uint32_t max_ii = 256);
+
+}  // namespace htvm::ssp

@@ -1,0 +1,37 @@
+#include "ssp/resource_model.h"
+
+#include <cassert>
+
+namespace htvm::ssp {
+
+ResourceModel ResourceModel::itanium_like() {
+  return ResourceModel({{"mem", 2}, {"fp", 2}, {"int", 2}});
+}
+
+ResourceModel ResourceModel::narrow() {
+  return ResourceModel({{"mem", 1}, {"fp", 1}, {"int", 1}});
+}
+
+ReservationTable::ReservationTable(std::uint32_t ii,
+                                   const ResourceModel& model)
+    : ii_(ii), model_(model), busy_(ii * model.num_classes(), 0) {
+  assert(ii > 0);
+}
+
+bool ReservationTable::fits(std::uint32_t t, std::uint32_t resource) const {
+  const std::size_t row = (t % ii_) * model_.num_classes() + resource;
+  return busy_[row] < model_.cls(resource).count;
+}
+
+void ReservationTable::place(std::uint32_t t, std::uint32_t resource) {
+  const std::size_t row = (t % ii_) * model_.num_classes() + resource;
+  ++busy_[row];
+}
+
+void ReservationTable::remove(std::uint32_t t, std::uint32_t resource) {
+  const std::size_t row = (t % ii_) * model_.num_classes() + resource;
+  assert(busy_[row] > 0);
+  --busy_[row];
+}
+
+}  // namespace htvm::ssp

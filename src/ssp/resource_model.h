@@ -1,0 +1,57 @@
+// Machine resource model for modulo scheduling (paper §3.3: "Software
+// pipelining uses a machine resource model, including the memory access
+// latencies, to schedule the loop").
+//
+// Fully-pipelined functional units grouped into classes; an op occupies
+// one unit of its class for one issue slot. The reservation table used by
+// the scheduler is modulo-II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace htvm::ssp {
+
+struct ResourceClass {
+  std::string name;
+  std::uint32_t count = 1;  // units available per cycle
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(std::vector<ResourceClass> classes)
+      : classes_(std::move(classes)) {}
+
+  std::size_t num_classes() const { return classes_.size(); }
+  const ResourceClass& cls(std::size_t i) const { return classes_[i]; }
+
+  // Itanium-like default (the architecture SSP was validated on): 2 memory
+  // ports, 2 FP units, 2 integer units.
+  static ResourceModel itanium_like();
+  // Narrow single-issue-per-class machine: stresses ResMII.
+  static ResourceModel narrow();
+
+ private:
+  std::vector<ResourceClass> classes_;
+};
+
+// Modulo reservation table: rows = II cycles, cells = per-class busy count.
+class ReservationTable {
+ public:
+  ReservationTable(std::uint32_t ii, const ResourceModel& model);
+
+  // True if an op of `resource` can issue at cycle `t` (mod II).
+  bool fits(std::uint32_t t, std::uint32_t resource) const;
+  void place(std::uint32_t t, std::uint32_t resource);
+  void remove(std::uint32_t t, std::uint32_t resource);
+
+  std::uint32_t ii() const { return ii_; }
+
+ private:
+  std::uint32_t ii_;
+  const ResourceModel& model_;
+  std::vector<std::uint32_t> busy_;  // [cycle * classes + class]
+};
+
+}  // namespace htvm::ssp

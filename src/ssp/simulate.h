@@ -1,0 +1,49 @@
+// Cycle-accurate execution of a pipelined schedule on the resource model.
+//
+// The analytic formula in ssp.h predicts cycles; this simulator *runs* the
+// schedule issue-by-issue, enforcing resource capacity, and reports the
+// measured makespan plus a conflict check. Tests require (a) zero resource
+// violations and (b) simulation within the fill/drain rounding of the
+// analytic prediction -- the model-vs-machine validation step of the
+// paper's methodology (§5.2).
+#pragma once
+
+#include <cstdint>
+
+#include "ssp/ssp.h"
+
+namespace htvm::ssp {
+
+struct SimulationResult {
+  std::uint64_t cycles = 0;          // makespan of the simulated run
+  std::uint64_t issues = 0;          // op issues performed
+  std::uint64_t conflicts = 0;       // resource over-subscriptions (must be 0)
+  double utilization = 0.0;          // issues / (cycles * machine width)
+};
+
+// Simulates one group of `slices` level-ℓ iterations (each repeating the
+// kernel `inner_reps` times) in SSP rotation order: slice s's rep j issues
+// at (j*rotation + s) * II, where `rotation` is the rotation period in
+// slots (0 = use `slices`). Partial groups pass the full stage count as
+// `rotation`: absent slices are predicated off but the stride -- and thus
+// inner-carried dependence gaps -- stay those of a full group. slices = N,
+// inner_reps = 1 reproduces classic modulo scheduling of an N-trip loop.
+SimulationResult simulate_group(const LoopNest& nest,
+                                const KernelSchedule& kernel,
+                                std::uint32_t slices,
+                                std::uint64_t inner_reps,
+                                const ResourceModel& model,
+                                std::uint32_t rotation = 0);
+
+// Dependence-timing audit of a plan's final schedule: counts violated
+// dependence instances across level-carried (gap d*II within a group) and
+// inner-carried (gap slices*II between successive reps of a slice)
+// classes, for both the full and the partial last group. 0 = legal.
+std::uint64_t verify_plan_timing(const LoopNest& nest, const LevelPlan& plan);
+
+// Simulates the whole nest under `plan` (all outer repetitions and all
+// groups, sequentially) and returns the total.
+SimulationResult simulate_plan(const LoopNest& nest, const LevelPlan& plan,
+                               const ResourceModel& model);
+
+}  // namespace htvm::ssp

@@ -1,0 +1,133 @@
+#include "ssp/ssp.h"
+
+#include <sstream>
+
+namespace htvm::ssp {
+
+std::uint64_t predict_cycles(const LoopNest& nest, const LevelPlan& plan) {
+  if (!plan.ok) return 0;
+  const std::uint64_t ii = plan.kernel.ii;
+  const std::uint64_t s = plan.kernel.stages;
+  const std::uint64_t span = plan.kernel.span;
+  const auto n_l = static_cast<std::uint64_t>(nest.trip(plan.level));
+  const auto p = static_cast<std::uint64_t>(nest.inner_product(plan.level));
+  const auto o = static_cast<std::uint64_t>(nest.outer_product(plan.level));
+  if (p == 1) {
+    // Degenerate slice: continuous pipelined stream (classic MS).
+    return o * (ii * (n_l - 1) + span);
+  }
+  const std::uint64_t groups = (n_l + s - 1) / s;
+  const std::uint64_t slices_in_last = n_l - (groups - 1) * s;
+  const std::uint64_t full_group = ii * (s * p - 1) + span;
+  // The partial group keeps the full rotation stride (absent slices are
+  // predicated off), so only its final slice index shortens the tail.
+  const std::uint64_t last_group =
+      ii * ((p - 1) * s + slices_in_last - 1) + span;
+  return o * ((groups - 1) * full_group + last_group);
+}
+
+std::uint64_t sequential_cycles(const LoopNest& nest) {
+  std::uint64_t body = 0;
+  for (const Op& op : nest.ops()) body += op.latency;
+  std::uint64_t iterations = 1;
+  for (std::size_t l = 0; l < nest.levels(); ++l)
+    iterations *= static_cast<std::uint64_t>(nest.trip(l));
+  return body * iterations;
+}
+
+std::uint32_t estimate_register_pressure(const std::vector<Op>& ops,
+                                         const std::vector<Dep1D>& deps,
+                                         const KernelSchedule& kernel) {
+  if (!kernel.ok) return 0;
+  std::uint32_t total = 0;
+  for (std::size_t op = 0; op < ops.size(); ++op) {
+    // Lifetime: issue to last consumer's read, across iteration offsets.
+    std::int64_t live = ops[op].latency;
+    for (const Dep1D& d : deps) {
+      if (d.src != static_cast<std::uint32_t>(op)) continue;
+      const std::int64_t span =
+          static_cast<std::int64_t>(kernel.start[d.dst]) +
+          static_cast<std::int64_t>(kernel.ii) * d.distance -
+          static_cast<std::int64_t>(kernel.start[op]);
+      live = std::max(live, span);
+    }
+    total += static_cast<std::uint32_t>(
+        (live + kernel.ii - 1) / kernel.ii);
+  }
+  return total;
+}
+
+LevelPlan plan_level(const LoopNest& nest, std::size_t level,
+                     const ResourceModel& model) {
+  LevelPlan plan;
+  plan.level = level;
+  const std::vector<Dep1D> deps = project_deps(nest, level);
+  plan.carries_dependence = level_carries_dependence(deps);
+  plan.kernel = modulo_schedule(nest.ops(), deps, model);
+  if (!plan.kernel.ok) return plan;
+  plan.ok = true;
+  plan.register_pressure =
+      estimate_register_pressure(nest.ops(), deps, plan.kernel);
+  plan.predicted_cycles = predict_cycles(nest, plan);
+  // Useful slots = ops issued; capacity = total issue slots over the run.
+  std::uint64_t width = 0;
+  for (std::size_t c = 0; c < model.num_classes(); ++c)
+    width += model.cls(c).count;
+  std::uint64_t iterations = 1;
+  for (std::size_t l = 0; l < nest.levels(); ++l)
+    iterations *= static_cast<std::uint64_t>(nest.trip(l));
+  const std::uint64_t useful = iterations * nest.ops().size();
+  plan.predicted_utilization =
+      plan.predicted_cycles
+          ? static_cast<double>(useful) /
+                (static_cast<double>(plan.predicted_cycles) *
+                 static_cast<double>(width))
+          : 0.0;
+  return plan;
+}
+
+LevelPlan choose_level(const LoopNest& nest, const ResourceModel& model,
+                       std::uint32_t max_registers) {
+  LevelPlan best;
+  LevelPlan lowest_pressure;
+  for (std::size_t level = 0; level < nest.levels(); ++level) {
+    LevelPlan plan = plan_level(nest, level, model);
+    if (!plan.ok) continue;
+    if (!lowest_pressure.ok ||
+        plan.register_pressure < lowest_pressure.register_pressure) {
+      lowest_pressure = plan;
+    }
+    if (max_registers > 0 && plan.register_pressure > max_registers)
+      continue;
+    const bool better =
+        !best.ok || plan.predicted_cycles < best.predicted_cycles ||
+        (plan.predicted_cycles == best.predicted_cycles &&
+         plan.level > best.level);
+    if (better) best = plan;
+  }
+  // Every level over budget: hand back the cheapest-register plan so the
+  // caller can still generate code (spilling is its problem).
+  return best.ok ? best : lowest_pressure;
+}
+
+LevelPlan innermost_plan(const LoopNest& nest, const ResourceModel& model) {
+  return plan_level(nest, nest.levels() - 1, model);
+}
+
+std::string describe(const LoopNest& nest, const LevelPlan& plan) {
+  std::ostringstream out;
+  out << nest.name() << ": ";
+  if (!plan.ok) {
+    out << "no feasible schedule";
+    return out.str();
+  }
+  out << "level=" << plan.level << " II=" << plan.kernel.ii
+      << " stages=" << plan.kernel.stages
+      << " cycles=" << plan.predicted_cycles
+      << " util=" << plan.predicted_utilization
+      << " regs=" << plan.register_pressure
+      << (plan.carries_dependence ? " (carried)" : " (parallel)");
+  return out.str();
+}
+
+}  // namespace htvm::ssp

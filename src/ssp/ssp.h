@@ -1,0 +1,79 @@
+// Single-dimension Software Pipelining: level selection and the cycle
+// model (paper §3.3 / Rong et al. CGO'04).
+//
+// For each candidate loop level ℓ the planner projects the dependences,
+// modulo-schedules one iteration-point body, and predicts total cycles
+// from the SSP final-schedule shape: groups of S = stage-count slices
+// (level-ℓ iterations) execute in rotation -- slice s issues its j-th
+// inner repetition at (j*S + s) * II -- so exactly one kernel instance
+// enters the machine per II cycles (resource-legal by the modulo
+// property) and successive inner reps of one slice are S*II apart
+// (inner-carried dependences hold by construction):
+//
+//   P = product of trips inside ℓ, O = product of trips outside ℓ
+//   full group of S slices:  len = II * (S*P - 1) + span
+//   P == 1 (innermost case): continuous stream, no group drain:
+//                            per outer rep = II * (N_ℓ - 1) + span
+//   total = O * [ (G-1) * len_full + len_last ],  G = ceil(N_ℓ / S)
+//
+// Innermost modulo scheduling is the ℓ = n-1 case: fill/drain (span) is
+// then paid once per inner-loop *invocation* and the recurrence-bound
+// innermost II applies -- exactly the costs SSP amortizes or escapes when
+// trip counts are short or recurrences are carried by inner loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssp/modulo_schedule.h"
+
+namespace htvm::ssp {
+
+struct LevelPlan {
+  bool ok = false;
+  std::size_t level = 0;
+  KernelSchedule kernel;
+  bool carries_dependence = false;  // level-ℓ carried dep present
+  std::uint64_t predicted_cycles = 0;
+  double predicted_utilization = 0.0;  // useful issue slots / total
+  // Rotating-register demand estimate: one register copy per II-window a
+  // value stays live (the classic MaxLive bound for modulo schedules).
+  // Deep pipelines (small II, long lifetimes) cost more registers -- the
+  // resource that limits SSP aggressiveness in practice.
+  std::uint32_t register_pressure = 0;
+};
+
+// Plans pipelining of a specific level.
+LevelPlan plan_level(const LoopNest& nest, std::size_t level,
+                     const ResourceModel& model);
+
+// Runs plan_level for every level and returns the best (fewest predicted
+// cycles; ties broken toward the innermost level, which needs the least
+// code-generation machinery). `max_registers` > 0 disqualifies plans
+// whose rotating-register estimate exceeds the budget; if every level
+// exceeds it, the lowest-pressure plan is returned as a fallback.
+LevelPlan choose_level(const LoopNest& nest, const ResourceModel& model,
+                       std::uint32_t max_registers = 0);
+
+// Rotating-register demand of a kernel: per op, the value stays live from
+// its issue to its last consumer read (or its own latency when it has no
+// consumer); each full II window of lifetime costs one rotating copy.
+std::uint32_t estimate_register_pressure(const std::vector<Op>& ops,
+                                         const std::vector<Dep1D>& deps,
+                                         const KernelSchedule& kernel);
+
+// Convenience: the innermost-pipelining baseline plan.
+LevelPlan innermost_plan(const LoopNest& nest, const ResourceModel& model);
+
+// Predicted total cycles for a plan applied to `nest` (same formula the
+// planner used; exposed for tests and benches).
+std::uint64_t predict_cycles(const LoopNest& nest, const LevelPlan& plan);
+
+// Cycles if the nest ran with no overlap at all (sequential issue, one op
+// per its latency): the scalar baseline for speedup reporting.
+std::uint64_t sequential_cycles(const LoopNest& nest);
+
+std::string describe(const LoopNest& nest, const LevelPlan& plan);
+
+}  // namespace htvm::ssp

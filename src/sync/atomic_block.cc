@@ -1,0 +1,9 @@
+// AtomicDomain is header-only (template members); this TU anchors the
+// library target and provides a home for future non-template additions.
+#include "sync/atomic_block.h"
+
+namespace htvm::sync {
+
+static_assert(AtomicDomain::kStripes > 0);
+
+}  // namespace htvm::sync

@@ -1,0 +1,24 @@
+#include "sync/barrier.h"
+
+#include "util/spinlock.h"
+
+namespace htvm::sync {
+
+bool Barrier::arrive() {
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    remaining_.store(participants_, std::memory_order_relaxed);
+    phase_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool Barrier::arrive_and_wait() {
+  const std::uint64_t my_phase = phase_.load(std::memory_order_acquire);
+  if (arrive()) return true;
+  while (phase_.load(std::memory_order_acquire) == my_phase)
+    util::cpu_relax();
+  return false;
+}
+
+}  // namespace htvm::sync

@@ -1,0 +1,44 @@
+// Sense-reversing centralized barrier.
+//
+// The paper criticizes synchronous *global* barriers as a productivity and
+// performance problem; HTVM code mostly replaces them with dataflow sync.
+// The barrier is still provided (a) as the baseline construct experiments
+// compare against and (b) for phase-structured app code (MD steps).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace htvm::sync {
+
+class Barrier {
+ public:
+  explicit Barrier(std::uint32_t participants)
+      : participants_(participants), remaining_(participants) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  // Blocks (spinning) until all participants arrive. Reusable across
+  // phases via sense reversal. Returns true for exactly one participant
+  // per phase (the last to arrive), mirroring std::barrier's completion
+  // slot so callers can hang per-phase work off it.
+  bool arrive_and_wait();
+
+  // Non-blocking arrival for contexts that must not spin (fiber code):
+  // returns true if this arrival completed the phase. A caller that gets
+  // `false` polls phase() or re-schedules itself.
+  bool arrive();
+
+  std::uint64_t phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+  std::uint32_t participants() const { return participants_; }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace htvm::sync

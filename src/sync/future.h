@@ -1,0 +1,107 @@
+// Futures with localized buffering (paper §3.2: "Futures for eager
+// producer-consumer computing, with efficient localized buffering of
+// requests at the site of the needed values").
+//
+// Unlike std::future, an htvm Future supports *continuation* consumption:
+// consumers that arrive before the value do not block a thread unit -- the
+// request is buffered at the future itself and replayed when the producer
+// fulfills it. get() is also available for LGT-level code, where blocking
+// is realized as a fiber switch by the runtime (see runtime/scheduler.h) or
+// as a condition-variable wait on plain threads.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace htvm::sync {
+
+template <typename T>
+class FutureState {
+ public:
+  // Registers a consumer continuation. Runs inline if already fulfilled.
+  void on_ready(std::function<void(const T&)> consumer) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!ready_) {
+        buffered_.push_back(std::move(consumer));
+        return;
+      }
+    }
+    consumer(value_);
+  }
+
+  // Fulfills the future. Exactly once; a second set is a logic error and
+  // is ignored so a lost race stays benign in release builds.
+  void set(T value) {
+    std::vector<std::function<void(const T&)>> pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (ready_) return;
+      value_ = std::move(value);
+      ready_ = true;
+      pending.swap(buffered_);
+    }
+    cv_.notify_all();
+    for (auto& c : pending) c(value_);
+  }
+
+  bool ready() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return ready_;
+  }
+
+  // Blocking get for plain-thread contexts.
+  const T& get() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return ready_; });
+    return value_;
+  }
+
+  // Number of consumers currently buffered (for tests and the monitor).
+  std::size_t buffered_consumers() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return buffered_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  T value_{};
+  std::vector<std::function<void(const T&)>> buffered_;
+};
+
+// Shared-handle future, copyable across producer and consumers.
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<FutureState<T>>()) {}
+
+  void set(T value) const { state_->set(std::move(value)); }
+  bool ready() const { return state_->ready(); }
+  const T& get() const { return state_->get(); }
+  void on_ready(std::function<void(const T&)> consumer) const {
+    state_->on_ready(std::move(consumer));
+  }
+  std::size_t buffered_consumers() const {
+    return state_->buffered_consumers();
+  }
+
+  // Monadic composition: returns a future of f's result, fulfilled when
+  // this future is.
+  template <typename F>
+  auto then(F f) const -> Future<decltype(f(std::declval<const T&>()))> {
+    Future<decltype(f(std::declval<const T&>()))> next;
+    on_ready([next, f = std::move(f)](const T& v) { next.set(f(v)); });
+    return next;
+  }
+
+ private:
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+}  // namespace htvm::sync

@@ -1,0 +1,36 @@
+#include "sync/sync_slot.h"
+
+namespace htvm::sync {
+
+void SyncSlot::arm(std::uint32_t count, std::function<void()> continuation) {
+  continuation_ = std::move(continuation);
+  reset_ = count;
+  count_.store(count, std::memory_order_release);
+  if (count == 0 && continuation_) {
+    fire_count_.fetch_add(1, std::memory_order_relaxed);
+    continuation_();
+  }
+}
+
+bool SyncSlot::signal(std::uint32_t n) {
+  while (true) {
+    std::uint32_t cur = count_.load(std::memory_order_acquire);
+    if (cur == 0) return false;  // already fired; benign over-signal
+    const std::uint32_t dec = n >= cur ? cur : n;
+    if (count_.compare_exchange_weak(cur, cur - dec,
+                                     std::memory_order_acq_rel)) {
+      if (cur - dec == 0) {
+        fire_count_.fetch_add(1, std::memory_order_relaxed);
+        if (continuation_) continuation_();
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+void SyncSlot::rearm() {
+  count_.store(reset_, std::memory_order_release);
+}
+
+}  // namespace htvm::sync

@@ -1,0 +1,105 @@
+// EARTH-style dataflow synchronization slots (paper §3.1.1: TGTs are
+// "fibers"/"strands" enabled by dataflow-style synchronization).
+//
+// A SyncSlot holds a countdown: producers signal() it; when the count
+// reaches zero the slot *fires*, invoking the continuation installed with
+// arm(). Slots can be re-armed with a reset count, which is how iterative
+// dataflow code (one TGT per loop step) reuses a slot. All operations are
+// thread-safe and lock-free on the signal fast path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace htvm::sync {
+
+class SyncSlot {
+ public:
+  SyncSlot() = default;
+  explicit SyncSlot(std::uint32_t count) : count_(count), reset_(count) {}
+
+  SyncSlot(const SyncSlot&) = delete;
+  SyncSlot& operator=(const SyncSlot&) = delete;
+
+  // Installs the continuation to run when the count reaches zero, and the
+  // count itself. Must be called before any signal that could fire the
+  // slot. If count is already zero, fires immediately.
+  void arm(std::uint32_t count, std::function<void()> continuation);
+
+  // Decrements the count by n; fires the continuation exactly once when it
+  // hits zero. Returns true if this call fired the slot. Extra signals on
+  // a fired, un-rearmed slot are ignored (EARTH semantics: sync counts are
+  // exact by construction; tolerate benign over-signal in release builds).
+  bool signal(std::uint32_t n = 1);
+
+  // Re-arms with the count given at construction / last arm() call. The
+  // continuation is retained. Only valid after the slot has fired.
+  void rearm();
+
+  std::uint32_t pending() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  bool fired() const { return pending() == 0; }
+  std::uint64_t fire_count() const {
+    return fire_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> count_{1};
+  std::uint32_t reset_ = 1;
+  std::function<void()> continuation_;
+  std::atomic<std::uint64_t> fire_count_{0};
+};
+
+// A write-once data slot: pairs a value location with a SyncSlot-like
+// enable, the primitive under EARTH's "data sync" operations. The producer
+// calls put(); consumers that registered with when_ready() run after the
+// value is visible.
+template <typename T>
+class DataSlot {
+ public:
+  DataSlot() = default;
+
+  void when_ready(std::function<void(const T&)> consumer) {
+    {
+      util::Guard<util::SpinLock> g(lock_);
+      if (!ready_) {
+        consumers_.push_back(std::move(consumer));
+        return;
+      }
+    }
+    consumer(value_);
+  }
+
+  void put(T value) {
+    std::vector<std::function<void(const T&)>> pending;
+    {
+      util::Guard<util::SpinLock> g(lock_);
+      value_ = std::move(value);
+      ready_ = true;
+      pending.swap(consumers_);
+    }
+    for (auto& c : pending) c(value_);
+  }
+
+  bool ready() const {
+    util::Guard<util::SpinLock> g(lock_);
+    return ready_;
+  }
+
+  // Only valid when ready().
+  const T& value() const { return value_; }
+
+ private:
+  mutable util::SpinLock lock_;
+  bool ready_ = false;
+  T value_{};
+  std::vector<std::function<void(const T&)>> consumers_;
+};
+
+}  // namespace htvm::sync

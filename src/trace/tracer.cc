@@ -1,0 +1,69 @@
+#include "trace/tracer.h"
+
+#include <sstream>
+
+namespace htvm::trace {
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void Tracer::record(const char* category, std::string name,
+                    std::uint32_t lane, std::uint64_t start,
+                    std::uint64_t duration) {
+  if (!enabled()) return;
+  util::Guard<util::SpinLock> g(lock_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{category, std::move(name), lane, start, duration});
+}
+
+std::size_t Tracer::size() const {
+  util::Guard<util::SpinLock> g(lock_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  util::Guard<util::SpinLock> g(lock_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Event> Tracer::snapshot() const {
+  util::Guard<util::SpinLock> g(lock_);
+  return events_;
+}
+
+namespace {
+void escape_into(std::ostringstream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+      continue;
+    }
+    out << c;
+  }
+}
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<Event> events = snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"X\",\"cat\":\"" << e.category << "\",\"name\":\"";
+    escape_into(out, e.name);
+    out << "\",\"pid\":0,\"tid\":" << e.lane << ",\"ts\":" << e.start
+        << ",\"dur\":" << e.duration << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace htvm::trace

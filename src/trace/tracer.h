@@ -1,0 +1,70 @@
+// Execution tracing (paper §4.2: the monitoring system that feeds the
+// adaptive compiler also serves the human: "informed choices about which
+// pieces of the code to instrument").
+//
+// A Tracer collects complete-events (name, category, lane, start,
+// duration) into a bounded ring and exports Chrome trace-event JSON
+// (chrome://tracing / Perfetto). Both backends emit into it: the real
+// runtime stamps host microseconds per worker lane; the virtual-time
+// simulator stamps cycles per thread-unit lane. Recording is lock-striped
+// and wait-free enough for the SGT hot path; a disabled tracer costs one
+// branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace htvm::trace {
+
+struct Event {
+  const char* category = "";  // static strings only (no ownership)
+  std::string name;
+  std::uint32_t lane = 0;     // worker id / thread-unit id
+  std::uint64_t start = 0;    // us (real backend) or cycles (sim backend)
+  std::uint64_t duration = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable() { enabled_.store(true, std::memory_order_release); }
+  void disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  // Records one complete event; drops (and counts) when the ring is full.
+  void record(const char* category, std::string name, std::uint32_t lane,
+              std::uint64_t start, std::uint64_t duration);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  // Snapshot of the recorded events in insertion order.
+  std::vector<Event> snapshot() const;
+
+  // Chrome trace-event JSON ("traceEvents" array of ph:"X" records).
+  // `time_unit` labels the displayTimeUnit field ("ms" for real traces;
+  // Chrome requires ms|ns, so cycle traces also use "ns" semantics).
+  std::string to_chrome_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable util::SpinLock lock_;
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace htvm::trace

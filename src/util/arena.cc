@@ -1,0 +1,43 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace htvm::util {
+
+Arena::Arena(std::size_t block_size) : block_size_(block_size) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (blocks_.empty()) grow(bytes + align);
+  Block* b = &blocks_.back();
+
+  auto base = reinterpret_cast<std::uintptr_t>(b->data.get()) + b->used;
+  std::uintptr_t aligned = (base + align - 1) & ~(align - 1);
+  std::size_t needed = (aligned - base) + bytes;
+  if (b->used + needed > b->size) {
+    b = &grow(bytes + align);
+    base = reinterpret_cast<std::uintptr_t>(b->data.get());
+    aligned = (base + align - 1) & ~(align - 1);
+    needed = (aligned - base) + bytes;
+  }
+  b->used += needed;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) blocks_.resize(1);
+  if (!blocks_.empty()) blocks_.front().used = 0;
+  bytes_allocated_ = 0;
+}
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+  const std::size_t size = std::max(block_size_, min_bytes);
+  Block b;
+  b.data = std::make_unique<std::byte[]>(size);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  return blocks_.back();
+}
+
+}  // namespace htvm::util

@@ -1,0 +1,61 @@
+// Bump-pointer arena allocator.
+//
+// HTVM uses arenas for SGT frame storage and for LGT-private heaps: both are
+// allocation domains whose lifetime is bounded by the owning thread, so a
+// monotonic allocator with whole-arena reset is the natural fit and keeps
+// fine-grain spawn paths free of malloc traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace htvm::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  // Returns block_size-independent storage, aligned to `align` (power of 2).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(sizeof(T) * n, alignof(T)));
+  }
+
+  // Releases all allocations at once. Keeps the first block for reuse.
+  // Trivially-destructible contents only; the arena never runs destructors.
+  void reset();
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& grow(std::size_t min_bytes);
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace htvm::util

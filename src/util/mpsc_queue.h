@@ -1,0 +1,65 @@
+// Unbounded multi-producer single-consumer queue (Vyukov's intrusive-style
+// algorithm adapted to owned nodes).
+//
+// Used for per-node parcel inboxes and cross-worker wakeup messages: many
+// workers push, the owning node's poll loop pops.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace htvm::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node{};
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    while (pop().has_value()) {
+    }
+    delete tail_;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Thread-safe for any number of producers.
+  void push(T value) {
+    Node* node = new Node{std::move(value)};
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Single consumer only.
+  std::optional<T> pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(next->value));
+    tail_ = next;
+    delete tail;
+    return out;
+  }
+
+  // Approximate emptiness check; exact from the consumer's view.
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) Node* tail_;
+};
+
+}  // namespace htvm::util

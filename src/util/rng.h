@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for HTVM.
+//
+// Every stochastic component in the library (workload generators, network
+// topologies, simulated iteration costs) draws from a seeded Xoshiro256**
+// so that tests and benchmarks are exactly reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace htvm::util {
+
+// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and good enough for
+// workload generation; not for cryptography.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four state words from a single 64-bit seed via SplitMix64,
+  // as recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // value is cached).
+  double next_gaussian();
+
+  // Exponential with the given rate (mean 1/rate).
+  double next_exponential(double rate);
+
+  // Bernoulli trial with probability p of returning true.
+  bool next_bool(double p);
+
+  // Jump function: advances the state by 2^128 steps, used to derive
+  // independent streams for parallel workers from one master seed.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+// SplitMix64 step, exposed for seeding derived generators.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace htvm::util

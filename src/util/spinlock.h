@@ -1,0 +1,62 @@
+// Test-and-test-and-set spin lock with exponential backoff.
+//
+// Used on short critical sections in the runtime (inbox push, slot signal)
+// where a futex sleep would cost more than the expected wait.
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace htvm::util {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  void lock() {
+    int backoff = 1;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin read-only until the lock looks free, with bounded backoff.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < 64) backoff <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard mirroring std::lock_guard for SpinLock (works with any
+// BasicLockable, kept local to avoid a <mutex> include in hot headers).
+template <typename Lock>
+class Guard {
+ public:
+  explicit Guard(Lock& lock) : lock_(lock) { lock_.lock(); }
+  ~Guard() { lock_.unlock(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace htvm::util

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "adapt/advisor.h"
+#include "adapt/controller.h"
+#include "adapt/monitor.h"
+#include "hints/knowledge_base.h"
+
+namespace htvm::adapt {
+namespace {
+
+// -------------------------------------------------------------- PerfMonitor
+
+TEST(PerfMonitor, CountersAggregateAcrossWorkers) {
+  PerfMonitor mon(4);
+  mon.on_task(0);
+  mon.on_task(1);
+  mon.on_task(1);
+  mon.on_remote_access(2);
+  mon.on_steal(3);
+  EXPECT_EQ(mon.total_tasks(), 3u);
+  EXPECT_EQ(mon.total_remote_accesses(), 1u);
+  EXPECT_EQ(mon.total_steals(), 1u);
+}
+
+TEST(PerfMonitor, BusySecondsAccumulate) {
+  PerfMonitor mon(2);
+  mon.add_busy(0, 0.5);
+  mon.add_busy(1, 0.25);
+  EXPECT_NEAR(mon.total_busy_seconds(), 0.75, 1e-6);
+}
+
+TEST(PerfMonitor, SiteChunkStats) {
+  PerfMonitor mon(2);
+  mon.record_chunk("loop_a", 0, 0.010);
+  mon.record_chunk("loop_a", 1, 0.020);
+  mon.record_chunk("loop_b", 0, 0.500);
+  const SiteReport a = mon.site_report("loop_a");
+  EXPECT_EQ(a.chunk_seconds.count(), 2u);
+  EXPECT_NEAR(a.chunk_seconds.mean(), 0.015, 1e-9);
+  const SiteReport b = mon.site_report("loop_b");
+  EXPECT_EQ(b.chunk_seconds.count(), 1u);
+}
+
+TEST(PerfMonitor, InvocationImbalance) {
+  PerfMonitor mon(4);
+  mon.record_invocation("loop", 1.0, {1.0, 1.0, 1.0, 1.0});
+  SiteReport r = mon.site_report("loop");
+  EXPECT_NEAR(r.imbalance, 1.0, 1e-9);  // perfectly balanced
+  mon.record_invocation("loop", 1.0, {4.0, 0.0, 0.0, 0.0});
+  r = mon.site_report("loop");
+  EXPECT_GT(r.imbalance, 1.0);
+  EXPECT_EQ(r.invocations, 2u);
+}
+
+TEST(PerfMonitor, UnknownSiteIsEmpty) {
+  PerfMonitor mon(1);
+  const SiteReport r = mon.site_report("ghost");
+  EXPECT_EQ(r.invocations, 0u);
+  EXPECT_EQ(r.chunk_seconds.count(), 0u);
+}
+
+TEST(PerfMonitor, WorkerIndexOutOfRangeWraps) {
+  PerfMonitor mon(2);
+  mon.on_task(99);  // must not crash; wraps into a slot
+  EXPECT_EQ(mon.total_tasks(), 1u);
+}
+
+TEST(PerfMonitor, ConcurrentHotPathIsSafe) {
+  PerfMonitor mon(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&mon, t] {
+      for (int i = 0; i < 10000; ++i)
+        mon.on_task(static_cast<std::uint32_t>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mon.total_tasks(), 40000u);
+}
+
+TEST(PerfMonitor, SummaryMentionsSites) {
+  PerfMonitor mon(1);
+  mon.record_chunk("kernel", 0, 0.001);
+  const std::string s = mon.summary();
+  EXPECT_NE(s.find("kernel"), std::string::npos);
+  EXPECT_NE(s.find("tasks="), std::string::npos);
+}
+
+TEST(PerfMonitor, LatencyProbesTrackQuantiles) {
+  PerfMonitor mon(1);
+  mon.add_probe("remote", 1000.0, 100);
+  for (int i = 0; i < 90; ++i) mon.record_latency("remote", 100.0);
+  for (int i = 0; i < 10; ++i) mon.record_latency("remote", 900.0);
+  const LatencyReport r = mon.latency_report("remote");
+  EXPECT_EQ(r.samples, 100u);
+  EXPECT_NEAR(r.p50, 100.0, 15.0);
+  EXPECT_GE(r.p95, 500.0);
+  EXPECT_GE(r.max, 890.0);
+}
+
+TEST(PerfMonitor, UnknownProbeDroppedSafely) {
+  PerfMonitor mon(1);
+  mon.record_latency("ghost", 1.0);  // must not crash
+  EXPECT_EQ(mon.latency_report("ghost").samples, 0u);
+}
+
+// --------------------------------------------------------- PolicyScoreboard
+
+TEST(Scoreboard, BestPicksLowestMean) {
+  PolicyScoreboard board({"a", "b", "c"});
+  board.observe("a", 10.0);
+  board.observe("b", 5.0);
+  board.observe("c", 20.0);
+  EXPECT_EQ(board.best(), "b");
+  EXPECT_EQ(board.runner_up(), "a");
+}
+
+TEST(Scoreboard, EmptyHasNoBest) {
+  PolicyScoreboard board({"a"});
+  EXPECT_FALSE(board.best().has_value());
+}
+
+TEST(Scoreboard, EwmaTracksPhaseChange) {
+  PolicyScoreboard board({"a", "b"}, /*decay=*/0.5);
+  board.observe("a", 1.0);
+  board.observe("b", 2.0);
+  EXPECT_EQ(board.best(), "a");
+  // Phase change: policy a becomes terrible. The decayed mean must follow.
+  for (int i = 0; i < 6; ++i) board.observe("a", 100.0);
+  EXPECT_EQ(board.best(), "b");
+}
+
+TEST(Scoreboard, UnknownPolicyIgnored) {
+  PolicyScoreboard board({"a"});
+  board.observe("zzz", 1.0);
+  EXPECT_EQ(board.samples("zzz"), 0u);
+}
+
+// ------------------------------------------------------- AdaptiveController
+
+TEST(Controller, ExploresEveryPolicyFirst) {
+  AdaptiveController ctrl({"p1", "p2", "p3"}, {});
+  std::vector<std::string> first_choices;
+  for (int i = 0; i < 3; ++i) {
+    const std::string c = ctrl.choose("site");
+    first_choices.push_back(c);
+    ctrl.report("site", c, 1.0);
+  }
+  std::sort(first_choices.begin(), first_choices.end());
+  EXPECT_EQ(first_choices,
+            (std::vector<std::string>{"p1", "p2", "p3"}));
+}
+
+TEST(Controller, ConvergesToBestPolicy) {
+  AdaptiveController::Options opts;
+  opts.probe_period = 100;  // effectively no probing in this test
+  AdaptiveController ctrl({"slow", "fast"}, opts);
+  for (int i = 0; i < 2; ++i) {
+    const std::string c = ctrl.choose("loop");
+    ctrl.report("loop", c, c == "fast" ? 0.1 : 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string c = ctrl.choose("loop");
+    EXPECT_EQ(c, "fast");
+    ctrl.report("loop", c, 0.1);
+  }
+  EXPECT_EQ(ctrl.current_best("loop"), "fast");
+}
+
+TEST(Controller, ProbesViableRunnerUpPeriodically) {
+  AdaptiveController::Options opts;
+  opts.probe_period = 3;
+  AdaptiveController ctrl({"slow", "fast"}, opts);
+  // "slow" is within the probe viability band (0.15 <= 2.0 * 0.10).
+  for (int i = 0; i < 2; ++i) {
+    const std::string c = ctrl.choose("loop");
+    ctrl.report("loop", c, c == "fast" ? 0.10 : 0.15);
+  }
+  int slow_probes = 0;
+  for (int i = 0; i < 12; ++i) {
+    const std::string c = ctrl.choose("loop");
+    if (c == "slow") ++slow_probes;
+    ctrl.report("loop", c, c == "fast" ? 0.10 : 0.15);
+  }
+  EXPECT_GE(slow_probes, 2);  // roughly every probe_period rounds
+  EXPECT_LE(slow_probes, 6);
+}
+
+TEST(Controller, ClearlyBadPolicyIsNotReprobed) {
+  AdaptiveController::Options opts;
+  opts.probe_period = 3;
+  AdaptiveController ctrl({"terrible", "fast"}, opts);
+  int terrible_runs = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string c = ctrl.choose("loop");
+    if (c == "terrible") ++terrible_runs;
+    ctrl.report("loop", c, c == "fast" ? 0.1 : 10.0);
+  }
+  // One exploration sample, then never again (10.0 >> 2 x 0.1).
+  EXPECT_EQ(terrible_runs, 1);
+}
+
+TEST(Controller, JumpTriggersReexploration) {
+  AdaptiveController::Options opts;
+  opts.probe_period = 100;  // isolate the jump mechanism from probing
+  AdaptiveController ctrl({"a", "b"}, opts);
+  // Settle on "a".
+  for (int i = 0; i < 6; ++i) {
+    const std::string c = ctrl.choose("loop");
+    ctrl.report("loop", c, c == "a" ? 0.1 : 0.15);
+  }
+  EXPECT_EQ(ctrl.current_best("loop"), "a");
+  EXPECT_EQ(ctrl.reexplorations("loop"), 0u);
+  // Phase change: "a" suddenly 10x worse; the jump must re-explore and
+  // the controller must land on "b".
+  for (int i = 0; i < 8; ++i) {
+    const std::string c = ctrl.choose("loop");
+    ctrl.report("loop", c, c == "a" ? 1.0 : 0.15);
+  }
+  EXPECT_GE(ctrl.reexplorations("loop"), 1u);
+  EXPECT_EQ(ctrl.current_best("loop"), "b");
+}
+
+TEST(Controller, AdaptsToPhaseChange) {
+  AdaptiveController::Options opts;
+  opts.probe_period = 4;
+  opts.decay = 0.5;
+  AdaptiveController ctrl({"a", "b"}, opts);
+  // Phase 1: a wins.
+  auto run_phase = [&](double cost_a, double cost_b, int rounds) {
+    std::string last;
+    for (int i = 0; i < rounds; ++i) {
+      const std::string c = ctrl.choose("loop");
+      ctrl.report("loop", c, c == "a" ? cost_a : cost_b);
+      last = c;
+    }
+    return last;
+  };
+  run_phase(0.1, 1.0, 10);
+  EXPECT_EQ(ctrl.current_best("loop"), "a");
+  // Phase 2: b wins. The periodic probe plus decay must flip the choice.
+  run_phase(1.0, 0.1, 30);
+  EXPECT_EQ(ctrl.current_best("loop"), "b");
+  EXPECT_GE(ctrl.switches("loop"), 1u);
+}
+
+TEST(Controller, HintPrimedStartUsesHintFirst) {
+  AdaptiveController ctrl({"a", "b", "c"}, {});
+  ctrl.set_initial("loop", "c");
+  EXPECT_EQ(ctrl.choose("loop"), "c");
+}
+
+TEST(Controller, SitesAreIndependent) {
+  AdaptiveController ctrl({"a", "b"}, {});
+  const std::string c1 = ctrl.choose("site1");
+  ctrl.report("site1", c1, 1.0);
+  // site2 starts its own exploration regardless of site1's state.
+  const std::string c2 = ctrl.choose("site2");
+  ctrl.report("site2", c2, 1.0);
+  EXPECT_EQ(ctrl.switches("site2"), 0u);
+}
+
+// -------------------------------------------------------------- HintAdvisor
+
+TEST(Advisor, QuietMonitorProducesNoHints) {
+  PerfMonitor mon(2);
+  HintAdvisor advisor(mon);
+  EXPECT_TRUE(advisor.advise().empty());
+}
+
+TEST(Advisor, ImbalancedLoopGetsScheduleHint) {
+  PerfMonitor mon(4);
+  mon.record_chunk("hot_loop", 0, 0.001);
+  mon.record_invocation("hot_loop", 1.0, {4.0, 0.1, 0.1, 0.1});
+  HintAdvisor advisor(mon);
+  const auto hints_list = advisor.advise();
+  ASSERT_FALSE(hints_list.empty());
+  const hints::StructuredHint& hint = hints_list.front();
+  EXPECT_EQ(hint.site_kind, hints::SiteKind::kLoop);
+  EXPECT_EQ(hint.site_name, "hot_loop");
+  EXPECT_EQ(hint.str("schedule"), "guided");
+  EXPECT_GT(hint.priority, 0);
+}
+
+TEST(Advisor, BalancedRegularLoopGetsNoScheduleHint) {
+  PerfMonitor mon(4);
+  for (int i = 0; i < 16; ++i) mon.record_chunk("calm", 0, 0.001);
+  mon.record_invocation("calm", 1.0, {1.0, 1.0, 1.0, 1.0});
+  HintAdvisor advisor(mon);
+  for (const auto& hint : advisor.advise())
+    EXPECT_NE(hint.site_name, "calm");
+}
+
+TEST(Advisor, ControllerInformsSuggestedSchedule) {
+  PerfMonitor mon(4);
+  mon.record_invocation("loop", 1.0, {4.0, 0.1, 0.1, 0.1});
+  AdaptiveController ctrl({"factoring", "trapezoid"}, {});
+  const std::string c1 = ctrl.choose("loop");
+  ctrl.report("loop", c1, c1 == "factoring" ? 0.1 : 1.0);
+  const std::string c2 = ctrl.choose("loop");
+  ctrl.report("loop", c2, c2 == "factoring" ? 0.1 : 1.0);
+  HintAdvisor advisor(mon, &ctrl);
+  const auto hints_list = advisor.advise();
+  ASSERT_FALSE(hints_list.empty());
+  EXPECT_EQ(hints_list.front().str("schedule"), "factoring");
+}
+
+TEST(Advisor, DriftingSiteGetsMonitoringHint) {
+  PerfMonitor mon(2);
+  mon.record_invocation("drifty", 0.01, {0.01, 0.01});
+  mon.record_invocation("drifty", 0.10, {0.10, 0.10});  // 10x slower
+  HintAdvisor advisor(mon);
+  bool found = false;
+  for (const auto& hint : advisor.advise()) {
+    if (hint.site_kind == hints::SiteKind::kMonitor &&
+        hint.site_name == "drifty") {
+      found = true;
+      EXPECT_EQ(hint.target, hints::Target::kMonitor);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, RemoteHeavyWorkloadGetsLocalityHint) {
+  PerfMonitor mon(2);
+  for (int i = 0; i < 10; ++i) mon.on_task(0);
+  for (int i = 0; i < 100; ++i) mon.on_remote_access(1);
+  HintAdvisor advisor(mon);
+  bool found = false;
+  for (const auto& hint : advisor.advise()) {
+    if (hint.kind == hints::Kind::kLocality) {
+      found = true;
+      EXPECT_EQ(hint.str("pattern"), "remote_heavy");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, ScriptRoundTripsThroughKnowledgeBase) {
+  PerfMonitor mon(4);
+  mon.record_invocation("loop_a", 1.0, {4.0, 0.1, 0.1, 0.1});
+  for (int i = 0; i < 4; ++i) mon.on_task(0);
+  for (int i = 0; i < 40; ++i) mon.on_remote_access(0);
+  HintAdvisor advisor(mon);
+  const std::string script = advisor.advise_script();
+  EXPECT_NE(script.find("# evidence:"), std::string::npos);
+  hints::KnowledgeBase kb;
+  EXPECT_EQ(kb.load_script(script), "") << script;
+  EXPECT_EQ(kb.size(), advisor.advise().size());
+  EXPECT_TRUE(kb.loop_schedule("loop_a").has_value());
+}
+
+TEST(Advisor, HighestPriorityFirst) {
+  PerfMonitor mon(4);
+  mon.record_invocation("mild", 1.0, {1.8, 0.8, 0.7, 0.7});
+  mon.record_invocation("severe", 1.0, {4.0, 0.0, 0.0, 0.0});
+  HintAdvisor advisor(mon);
+  const auto hints_list = advisor.advise();
+  ASSERT_GE(hints_list.size(), 2u);
+  EXPECT_EQ(hints_list.front().site_name, "severe");
+}
+
+}  // namespace
+}  // namespace htvm::adapt

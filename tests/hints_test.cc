@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "hints/knowledge_base.h"
+#include "hints/lexer.h"
+#include "hints/parser.h"
+
+namespace htvm::hints {
+namespace {
+
+constexpr const char* kNeocortexScript = R"(
+# pNeocortex mapping hints (paper Fig. 3 flow)
+hint loop "neuron_update" {
+  target = runtime;
+  kind = computation;
+  schedule = guided;
+  chunk = 64;
+  priority = 8;
+}
+hint object "synapse_table" {
+  target = runtime;
+  kind = locality;
+  placement = replicate;
+  home = 2;
+  priority = 5;
+}
+hint monitor "spike_rate" {
+  target = monitor;
+  kind = monitoring;
+  metric = chunk_time;
+  window = 128;
+}
+hint access "column_state" {
+  target = compiler;
+  kind = access;
+  pattern = streaming;
+  stride = 1.5;
+}
+)";
+
+// -------------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesAllKinds) {
+  const auto result = lex("hint loop \"x\" { a = 1; b = 2.5; c = name; }");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  // hint loop "x" { a = 1 ; b = 2.5 ; c = name ; } END = 18 tokens
+  ASSERT_EQ(result.tokens.size(), 18u);
+  EXPECT_EQ(result.tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(result.tokens[2].kind, TokKind::kString);
+  EXPECT_EQ(result.tokens[2].text, "x");
+  EXPECT_EQ(result.tokens[6].kind, TokKind::kInt);
+  EXPECT_EQ(result.tokens[6].int_value, 1);
+  EXPECT_EQ(result.tokens[10].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(result.tokens[10].float_value, 2.5);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+  const auto result = lex("# comment\n\nhint # trailing\nloop");
+  ASSERT_TRUE(result.error.empty());
+  ASSERT_EQ(result.tokens.size(), 3u);  // hint loop END
+  EXPECT_EQ(result.tokens[0].line, 3);
+  EXPECT_EQ(result.tokens[1].line, 4);
+}
+
+TEST(Lexer, NegativeNumbers) {
+  const auto result = lex("x = -5;");
+  ASSERT_TRUE(result.error.empty());
+  EXPECT_EQ(result.tokens[2].int_value, -5);
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(lex("hint loop \"oops").error.empty());
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  const auto result = lex("hint @ loop");
+  EXPECT_NE(result.error.find("unexpected character"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- parser
+
+TEST(Parser, ParsesFullScript) {
+  const ParseResult result = parse(kNeocortexScript);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.hints.size(), 4u);
+
+  const StructuredHint& loop = result.hints[0];
+  EXPECT_EQ(loop.site_kind, SiteKind::kLoop);
+  EXPECT_EQ(loop.site_name, "neuron_update");
+  EXPECT_EQ(loop.target, Target::kRuntime);
+  EXPECT_EQ(loop.kind, Kind::kComputationPattern);
+  EXPECT_EQ(loop.priority, 8);
+  EXPECT_EQ(loop.str("schedule"), "guided");
+  EXPECT_EQ(loop.integer("chunk"), 64);
+
+  const StructuredHint& object = result.hints[1];
+  EXPECT_EQ(object.site_kind, SiteKind::kObject);
+  EXPECT_EQ(object.kind, Kind::kLocality);
+  EXPECT_EQ(object.str("placement"), "replicate");
+  EXPECT_EQ(object.integer("home"), 2);
+
+  const StructuredHint& mon = result.hints[2];
+  EXPECT_EQ(mon.target, Target::kMonitor);
+  EXPECT_EQ(mon.kind, Kind::kMonitoring);
+
+  const StructuredHint& access = result.hints[3];
+  EXPECT_EQ(access.site_kind, SiteKind::kAccess);
+  EXPECT_EQ(access.target, Target::kCompiler);
+  EXPECT_EQ(access.number("stride"), 1.5);
+}
+
+TEST(Parser, EmptyScriptGivesNoHints) {
+  const ParseResult result = parse("  # only a comment\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.hints.empty());
+}
+
+TEST(Parser, MissingSemicolonFails) {
+  const ParseResult r = parse("hint loop \"x\" { a = 1 }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("';'"), std::string::npos);
+}
+
+TEST(Parser, UnknownSiteKindFails) {
+  EXPECT_FALSE(parse("hint gizmo \"x\" { }").ok());
+}
+
+TEST(Parser, UnknownTargetFails) {
+  EXPECT_FALSE(parse("hint loop \"x\" { target = kernel; }").ok());
+}
+
+TEST(Parser, UnknownKindFails) {
+  EXPECT_FALSE(parse("hint loop \"x\" { kind = mystery; }").ok());
+}
+
+TEST(Parser, PriorityMustBeInteger) {
+  EXPECT_FALSE(parse("hint loop \"x\" { priority = high; }").ok());
+}
+
+TEST(Parser, MissingSiteNameFails) {
+  EXPECT_FALSE(parse("hint loop { }").ok());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  const ParseResult r = parse("hint loop \"x\" {\n  a = ;\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RoundTripThroughToScript) {
+  const ParseResult first = parse(kNeocortexScript);
+  ASSERT_TRUE(first.ok());
+  const std::string rendered = to_script(first.hints);
+  const ParseResult second = parse(rendered);
+  ASSERT_TRUE(second.ok()) << second.error << "\n" << rendered;
+  ASSERT_EQ(second.hints.size(), first.hints.size());
+  for (std::size_t i = 0; i < first.hints.size(); ++i) {
+    EXPECT_EQ(second.hints[i].site_name, first.hints[i].site_name);
+    EXPECT_EQ(second.hints[i].target, first.hints[i].target);
+    EXPECT_EQ(second.hints[i].kind, first.hints[i].kind);
+    EXPECT_EQ(second.hints[i].priority, first.hints[i].priority);
+    EXPECT_EQ(second.hints[i].params, first.hints[i].params);
+  }
+}
+
+// ----------------------------------------------------------- knowledge base
+
+TEST(KnowledgeBase, LoadAndLookup) {
+  KnowledgeBase kb;
+  EXPECT_EQ(kb.load_script(kNeocortexScript), "");
+  EXPECT_EQ(kb.size(), 4u);
+  const auto hint = kb.lookup(SiteKind::kLoop, "neuron_update");
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->str("schedule"), "guided");
+  EXPECT_FALSE(kb.lookup(SiteKind::kLoop, "unknown").has_value());
+}
+
+TEST(KnowledgeBase, LoadErrorLeavesBaseUsable) {
+  KnowledgeBase kb;
+  EXPECT_NE(kb.load_script("hint broken"), "");
+  EXPECT_EQ(kb.size(), 0u);
+  EXPECT_EQ(kb.load_script(kNeocortexScript), "");
+  EXPECT_EQ(kb.size(), 4u);
+}
+
+TEST(KnowledgeBase, HighestPriorityWinsOnConflict) {
+  KnowledgeBase kb;
+  ASSERT_EQ(kb.load_script(R"(
+hint loop "l" { schedule = static_block; priority = 1; }
+hint loop "l" { schedule = guided; priority = 9; }
+hint loop "l" { schedule = factoring; priority = 3; }
+)"),
+            "");
+  EXPECT_EQ(kb.loop_schedule("l"), "guided");
+}
+
+TEST(KnowledgeBase, ForTargetSortsByPriority) {
+  KnowledgeBase kb;
+  ASSERT_EQ(kb.load_script(kNeocortexScript), "");
+  const auto runtime_hints = kb.for_target(Target::kRuntime);
+  ASSERT_EQ(runtime_hints.size(), 2u);
+  EXPECT_EQ(runtime_hints[0].site_name, "neuron_update");  // priority 8 > 5
+  EXPECT_EQ(runtime_hints[1].site_name, "synapse_table");
+}
+
+TEST(KnowledgeBase, LoopConvenienceAccessors) {
+  KnowledgeBase kb;
+  ASSERT_EQ(kb.load_script(kNeocortexScript), "");
+  EXPECT_EQ(kb.loop_schedule("neuron_update"), "guided");
+  EXPECT_EQ(kb.loop_chunk("neuron_update"), 64);
+  EXPECT_FALSE(kb.loop_schedule("nope").has_value());
+}
+
+TEST(KnowledgeBase, DumpRoundTrips) {
+  KnowledgeBase kb;
+  ASSERT_EQ(kb.load_script(kNeocortexScript), "");
+  KnowledgeBase kb2;
+  EXPECT_EQ(kb2.load_script(kb.dump()), "");
+  EXPECT_EQ(kb2.size(), kb.size());
+}
+
+}  // namespace
+}  // namespace htvm::hints

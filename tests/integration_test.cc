@@ -1,0 +1,256 @@
+// Cross-module integration scenarios: each test exercises a pipeline of
+// several subsystems end-to-end through the public API, the way a real
+// LITL-X application composes them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "litlx/litlx.h"
+#include "runtime/load_balancer.h"
+#include "util/rng.h"
+
+namespace htvm {
+namespace {
+
+litlx::MachineOptions base_options(std::uint32_t nodes = 2,
+                                   std::uint32_t tus = 2) {
+  litlx::MachineOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = tus;
+  opts.config.node_memory_bytes = 1 << 20;
+  return opts;
+}
+
+// LGT -> parcel request -> remote handler reads a data object -> reply ->
+// LGT percolates the object and gates a task on it.
+TEST(Integration, LgtParcelObjectPercolationPipeline) {
+  litlx::Machine machine(base_options());
+  const auto obj = machine.objects().create(/*home=*/1, sizeof(std::int64_t));
+  const std::int64_t seed_value = 123;
+  machine.objects().write(1, obj, &seed_value);
+
+  const parcel::HandlerId read_obj = machine.parcels().register_handler(
+      "read_obj", [&](const parcel::Payload&, std::uint32_t) {
+        std::int64_t v = 0;
+        machine.objects().read(
+            rt::Runtime::current()->current_node(), obj, &v);
+        return parcel::pack(v);
+      });
+
+  std::atomic<std::int64_t> via_parcel{0};
+  std::atomic<std::int64_t> via_percolation{0};
+  machine.spawn_lgt(0, [&] {
+    // Split transaction: fiber suspends while the parcel round-trips.
+    sync::Future<parcel::Payload> reply =
+        machine.parcels().request(1, read_obj, {});
+    via_parcel = parcel::unpack<std::int64_t>(litlx::Machine::await(reply));
+    // Percolate the object to node 0 and consume the staged copy.
+    sync::Future<int> staged_done;
+    machine.percolate_and_run(0, {obj}, [&] {
+      std::int64_t v = 0;
+      std::memcpy(&v, machine.percolation().staged(0, obj), sizeof(v));
+      via_percolation = v;
+      staged_done.set(1);
+    });
+    litlx::Machine::await(staged_done);
+  });
+  machine.wait_idle();
+  EXPECT_EQ(via_parcel.load(), 123);
+  EXPECT_EQ(via_percolation.load(), 123);
+}
+
+// Hints steer the first invocation; the controller then takes over and
+// the monitor sees every invocation.
+TEST(Integration, HintsControllerMonitorLoop) {
+  litlx::MachineOptions opts = base_options();
+  opts.hint_script = R"(
+    hint loop "kernel" { schedule = static_block; priority = 3; }
+  )";
+  litlx::Machine machine(opts);
+  machine.controller().set_initial(
+      "kernel", machine.knowledge().loop_schedule("kernel").value());
+
+  litlx::ForallOptions fopts;
+  fopts.site = "kernel";
+  fopts.adaptive = true;
+  std::vector<std::string> policies;
+  for (int inv = 0; inv < 6; ++inv) {
+    const litlx::ForallResult r =
+        litlx::forall(machine, 0, 2000, [](std::int64_t) {}, fopts);
+    policies.push_back(r.policy);
+  }
+  EXPECT_EQ(policies.front(), "static_block");  // hint primed
+  EXPECT_EQ(machine.monitor().site_report("kernel").invocations, 6u);
+  EXPECT_TRUE(machine.controller().current_best("kernel").has_value());
+}
+
+// The same program runs correctly with latency injection enabled, and
+// remote traffic really is slower than local traffic.
+TEST(Integration, LatencyInjectedMachineStaysCorrect) {
+  litlx::MachineOptions opts = base_options(2, 1);
+  opts.cycle_ns = 20.0;
+  litlx::Machine machine(opts);
+  mem::GlobalMemory& gm = machine.runtime().memory();
+  const mem::GlobalAddress local = gm.alloc(0, sizeof(std::int64_t));
+  const mem::GlobalAddress remote = gm.alloc(1, sizeof(std::int64_t));
+
+  const auto time_accesses = [&](mem::GlobalAddress addr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50; ++i) gm.fetch_add_i64(0, addr, 1);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const double t_local = time_accesses(local);
+  const double t_remote = time_accesses(remote);
+  EXPECT_GT(t_remote, 1.5 * t_local);
+  EXPECT_EQ(gm.load<std::int64_t>(0, local), 50);
+  EXPECT_EQ(gm.load<std::int64_t>(0, remote), 50);
+}
+
+// Dataflow staging: three TGT stages chained by sync slots across SGT
+// producers, EARTH style.
+TEST(Integration, DataflowStagesAcrossSgts) {
+  litlx::Machine machine(base_options());
+  sync::SyncSlot stage1, stage2;
+  std::vector<int> order;
+  std::mutex order_mutex;
+  auto mark = [&](int id) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(id);
+  };
+  machine.spawn_tgt_after(stage2, 2, [&] { mark(3); });
+  machine.spawn_tgt_after(stage1, 2, [&] {
+    mark(2);
+    stage2.signal(2);
+  });
+  machine.spawn_sgt([&] {
+    mark(1);
+    stage1.signal();
+  });
+  machine.spawn_sgt([&] {
+    mark(1);
+    stage1.signal();
+  });
+  machine.wait_idle();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 3);
+}
+
+// Imbalanced forall on the real runtime: stealing spreads the heavy tail
+// and the result is still exact.
+TEST(Integration, StealingUnderImbalancedForall) {
+  litlx::Machine machine(base_options(1, 4));
+  std::atomic<std::int64_t> checksum{0};
+  litlx::ForallOptions opts;
+  opts.schedule = "self_sched";
+  litlx::forall(
+      machine, 0, 400,
+      [&](std::int64_t i) {
+        if (i % 50 == 0) machine::spin_for_ns(200'000);  // heavy tail
+        checksum += i;
+      },
+      opts);
+  EXPECT_EQ(checksum.load(), 399 * 400 / 2);
+}
+
+// Fiber ping-pong through parcels across nodes: LGT-level split
+// transactions compose with the parcel engine over many rounds.
+TEST(Integration, LgtParcelPingPong) {
+  litlx::Machine machine(base_options(2, 1));
+  const parcel::HandlerId echo = machine.parcels().register_handler(
+      "echo", [](const parcel::Payload& p, std::uint32_t) { return p; });
+  std::atomic<int> rounds_done{0};
+  machine.spawn_lgt(0, [&] {
+    for (int round = 0; round < 16; ++round) {
+      sync::Future<parcel::Payload> reply =
+          machine.parcels().request(1, echo, parcel::pack(round));
+      const int v =
+          parcel::unpack<int>(litlx::Machine::await(reply));
+      ASSERT_EQ(v, round);
+      ++rounds_done;
+    }
+  });
+  machine.wait_idle();
+  EXPECT_EQ(rounds_done.load(), 16);
+}
+
+// Cross-node global-memory counters driven from a forall; the memory
+// stats must see both local and remote traffic.
+TEST(Integration, GlobalCountersFromParallelLoop) {
+  litlx::Machine machine(base_options(2, 2));
+  mem::GlobalMemory& gm = machine.runtime().memory();
+  const mem::GlobalAddress counter0 = gm.alloc(0, 8);
+  const mem::GlobalAddress counter1 = gm.alloc(1, 8);
+  litlx::forall(machine, 0, 1000, [&](std::int64_t i) {
+    const std::uint32_t me = rt::Runtime::current()->current_node();
+    gm.fetch_add_i64(me, i % 2 == 0 ? counter0 : counter1, 1);
+  });
+  EXPECT_EQ(gm.load<std::int64_t>(0, counter0), 500);
+  EXPECT_EQ(gm.load<std::int64_t>(0, counter1), 500);
+  EXPECT_GT(gm.stats().local_accesses.load() +
+                gm.stats().remote_accesses.load(),
+            1000u);
+}
+
+// The LGT load balancer coexists with a running application.
+TEST(Integration, LoadBalancerDuringLgtFlood) {
+  litlx::MachineOptions opts = base_options(2, 1);
+  opts.steal_scope = rt::StealScope::kNone;  // only the balancer moves work
+  litlx::Machine machine(opts);
+  machine.load_balancer().start();
+  std::atomic<int> done{0};
+  for (int i = 0; i < 24; ++i) {
+    machine.spawn_lgt(0, [&] {
+      machine::spin_for_ns(100'000);
+      ++done;
+    });
+  }
+  machine.wait_idle();
+  machine.load_balancer().stop();
+  EXPECT_EQ(done.load(), 24);
+}
+
+// Atomic blocks + forall: a shared histogram built in parallel matches a
+// serial reference exactly.
+TEST(Integration, AtomicHistogramMatchesSerial) {
+  litlx::Machine machine(base_options());
+  constexpr int kBuckets = 16;
+  constexpr std::int64_t kN = 20000;
+  std::array<long, kBuckets> parallel_hist{};
+  std::array<long, kBuckets> serial_hist{};
+  auto bucket_of = [](std::int64_t i) {
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(i) * 2654435761u);
+    return static_cast<int>(rng.next_below(kBuckets));
+  };
+  for (std::int64_t i = 0; i < kN; ++i) ++serial_hist[static_cast<std::size_t>(bucket_of(i))];
+  litlx::forall(machine, 0, kN, [&](std::int64_t i) {
+    const auto b = static_cast<std::size_t>(bucket_of(i));
+    machine.atomically({&parallel_hist[b]}, [&] { ++parallel_hist[b]; });
+  });
+  EXPECT_EQ(parallel_hist, serial_hist);
+}
+
+// forall_reduce composes with global memory and remote work placement.
+TEST(Integration, ReduceOverRemoteData) {
+  litlx::Machine machine(base_options(2, 2));
+  mem::GlobalMemory& gm = machine.runtime().memory();
+  const mem::GlobalAddress data = gm.alloc(1, 256 * sizeof(double));
+  auto* raw = static_cast<double*>(gm.raw(data));
+  for (int i = 0; i < 256; ++i) raw[i] = 0.5;
+  const double sum = litlx::forall_reduce<double>(
+      machine, 0, 256, 0.0,
+      [&](std::int64_t i) {
+        return gm.load<double>(rt::Runtime::current()->current_node(),
+                               data + static_cast<std::uint64_t>(i) * 8);
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(sum, 128.0);
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "litlx/litlx.h"
+#include "util/rng.h"
+
+namespace htvm::litlx {
+namespace {
+
+MachineOptions small_options(std::uint32_t nodes = 2, std::uint32_t tus = 2) {
+  MachineOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = tus;
+  opts.config.node_memory_bytes = 1 << 20;
+  return opts;
+}
+
+// ------------------------------------------------------------------ Machine
+
+TEST(Machine, ConstructsAndIdles) {
+  Machine machine(small_options());
+  machine.wait_idle();
+  EXPECT_EQ(machine.runtime().num_nodes(), 2u);
+}
+
+TEST(Machine, FullHierarchyThroughPublicApi) {
+  Machine machine(small_options());
+  std::atomic<int> tgts{0};
+  machine.spawn_lgt(0, [&] {
+    Machine::yield();  // instruction-stream context switch
+    auto* rt = rt::Runtime::current();
+    for (int i = 0; i < 4; ++i) {
+      rt->spawn_sgt([&] {
+        rt::Runtime::current()->spawn_tgt([&] { ++tgts; });
+      });
+    }
+  });
+  machine.wait_idle();
+  EXPECT_EQ(tgts.load(), 4);
+}
+
+TEST(Machine, FuturesAndAwaitThroughApi) {
+  Machine machine(small_options());
+  sync::Future<int> f;
+  std::atomic<int> got{0};
+  machine.spawn_lgt(0, [&] { got = Machine::await(f); });
+  machine.spawn_sgt([&] { f.set(17); });
+  machine.wait_idle();
+  EXPECT_EQ(got.load(), 17);
+}
+
+TEST(Machine, InvokeAtRunsOnTargetNode) {
+  Machine machine(small_options());
+  std::atomic<std::uint32_t> node{9};
+  machine.invoke_at(1, 32, [&] {
+    node = rt::Runtime::current()->current_node();
+  });
+  machine.wait_idle();
+  EXPECT_EQ(node.load(), 1u);
+}
+
+TEST(Machine, AtomicBlocksThroughApi) {
+  Machine machine(small_options());
+  long balance_a = 100;
+  long balance_b = 0;
+  std::atomic<int> remaining{100};
+  for (int i = 0; i < 100; ++i) {
+    machine.spawn_sgt([&] {
+      machine.atomically({&balance_a, &balance_b}, [&] {
+        balance_a -= 1;
+        balance_b += 1;
+      });
+      --remaining;
+    });
+  }
+  machine.wait_idle();
+  EXPECT_EQ(remaining.load(), 0);
+  EXPECT_EQ(balance_a, 0);
+  EXPECT_EQ(balance_b, 100);
+}
+
+TEST(Machine, PercolationThroughApi) {
+  Machine machine(small_options());
+  const auto obj = machine.objects().create(0, 64);
+  std::atomic<bool> staged{false};
+  machine.percolate_and_run(1, {obj}, [&] {
+    staged = machine.percolation().staged(1, obj) != nullptr;
+  });
+  machine.wait_idle();
+  EXPECT_TRUE(staged.load());
+}
+
+TEST(Machine, HintScriptAtConstruction) {
+  MachineOptions opts = small_options();
+  opts.hint_script = "hint loop \"k\" { schedule = factoring; }\n";
+  Machine machine(opts);
+  EXPECT_EQ(machine.knowledge().loop_schedule("k"), "factoring");
+}
+
+TEST(Machine, LoadHintsReportsErrors) {
+  Machine machine(small_options());
+  EXPECT_NE(machine.load_hints("hint broken {"), "");
+  EXPECT_EQ(machine.load_hints("hint loop \"a\" { schedule = guided; }"),
+            "");
+}
+
+TEST(Machine, ReportAggregatesAllSubsystems) {
+  Machine machine(small_options());
+  // Touch every subsystem so the report has live numbers.
+  machine.spawn_sgt([] {});
+  machine.invoke_at(1, 16, [] {});
+  const auto obj = machine.objects().create(0, 32);
+  char buf[32];
+  machine.objects().read(1, obj, buf);
+  machine.percolate_and_run(1, {obj}, [] {});
+  ForallOptions fopts;
+  fopts.site = "report_loop";
+  forall(machine, 0, 100, [](std::int64_t) {}, fopts);
+  machine.wait_idle();
+  const std::string report = machine.report();
+  EXPECT_NE(report.find("machine: 2 nodes"), std::string::npos);
+  EXPECT_NE(report.find("runtime: sgts="), std::string::npos);
+  EXPECT_NE(report.find("parcels: sent=1"), std::string::npos);
+  EXPECT_NE(report.find("objects: reads="), std::string::npos);
+  EXPECT_NE(report.find("percolation: staged_bytes=32"), std::string::npos);
+  EXPECT_NE(report.find("report_loop"), std::string::npos);
+}
+
+TEST(Forall, PullersOptionBoundsParallelClaimants) {
+  Machine machine(small_options(1, 4));
+  ForallOptions opts;
+  opts.schedule = "static_block";
+  opts.pullers = 2;  // static_block then hands out exactly 2 blocks
+  const ForallResult r = forall(machine, 0, 100, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.chunks, 2u);
+}
+
+TEST(Forall, ExplicitPolicyStillUsesChunkHint) {
+  MachineOptions mopts = small_options();
+  mopts.hint_script =
+      "hint loop \"combo\" { schedule = guided; chunk = 50; }\n";
+  Machine machine(mopts);
+  ForallOptions opts;
+  opts.site = "combo";
+  opts.schedule = "self_sched";  // explicit policy, hinted grain
+  const ForallResult r = forall(machine, 0, 500, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.policy, "self_sched");
+  EXPECT_EQ(r.chunks, 10u);  // 500 / 50
+}
+
+// ------------------------------------------------------------------- forall
+
+TEST(Forall, CoversRangeExactlyOnce) {
+  Machine machine(small_options());
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  forall(machine, 0, kN, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(Forall, NonZeroBase) {
+  Machine machine(small_options());
+  std::atomic<std::int64_t> sum{0};
+  forall(machine, 100, 200, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(Forall, EmptyRangeIsNoop) {
+  Machine machine(small_options());
+  std::atomic<int> calls{0};
+  const ForallResult r = forall(machine, 5, 5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(r.chunks, 0u);
+}
+
+TEST(Forall, ExplicitPolicyIsUsed) {
+  Machine machine(small_options());
+  ForallOptions opts;
+  opts.schedule = "static_block";
+  const ForallResult r =
+      forall(machine, 0, 100, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.policy, "static_block");
+}
+
+TEST(Forall, HintedPolicyIsUsed) {
+  MachineOptions mopts = small_options();
+  mopts.hint_script = "hint loop \"hinted\" { schedule = factoring; }\n";
+  Machine machine(mopts);
+  ForallOptions opts;
+  opts.site = "hinted";
+  const ForallResult r = forall(machine, 0, 100, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.policy, "factoring");
+}
+
+TEST(Forall, DefaultsToGuided) {
+  Machine machine(small_options());
+  const ForallResult r = forall(machine, 0, 100, [](std::int64_t) {});
+  EXPECT_EQ(r.policy, "guided");
+}
+
+TEST(Forall, BogusPolicyFallsBackToGuided) {
+  Machine machine(small_options());
+  ForallOptions opts;
+  opts.schedule = "nonsense";
+  const ForallResult r = forall(machine, 0, 100, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.policy, "guided");
+}
+
+TEST(Forall, ChunkedFormSeesWholeChunks) {
+  Machine machine(small_options());
+  std::atomic<std::int64_t> covered{0};
+  const ForallResult r = forall_chunks(
+      machine, 0, 1000,
+      [&](std::int64_t lo, std::int64_t hi) { covered += hi - lo; });
+  EXPECT_EQ(covered.load(), 1000);
+  EXPECT_GT(r.chunks, 0u);
+}
+
+TEST(Forall, RecordsIntoMonitor) {
+  Machine machine(small_options());
+  ForallOptions opts;
+  opts.site = "monitored_loop";
+  forall(machine, 0, 1000, [](std::int64_t) {}, opts);
+  const adapt::SiteReport report =
+      machine.monitor().site_report("monitored_loop");
+  EXPECT_EQ(report.invocations, 1u);
+  EXPECT_GT(report.chunk_seconds.count(), 0u);
+}
+
+TEST(Forall, AdaptiveModeLearnsAcrossInvocations) {
+  Machine machine(small_options());
+  ForallOptions opts;
+  opts.site = "adaptive_loop";
+  opts.adaptive = true;
+  // Enough invocations to exhaust exploration of all 8 policies.
+  for (int round = 0; round < 12; ++round)
+    forall(machine, 0, 2000, [](std::int64_t) {}, opts);
+  EXPECT_TRUE(
+      machine.controller().current_best("adaptive_loop").has_value());
+}
+
+TEST(Forall, CallableFromInsideLgt) {
+  Machine machine(small_options());
+  std::atomic<std::int64_t> sum{0};
+  machine.spawn_lgt(0, [&] {
+    forall(machine, 0, 100, [&](std::int64_t i) { sum += i; });
+  });
+  machine.wait_idle();
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(Forall, NestedBodySpawnsTgts) {
+  Machine machine(small_options());
+  std::atomic<int> tgts{0};
+  forall(machine, 0, 64, [&](std::int64_t) {
+    machine.spawn_tgt([&] { ++tgts; });
+  });
+  machine.wait_idle();
+  EXPECT_EQ(tgts.load(), 64);
+}
+
+TEST(ForallReduce, SumsRange) {
+  Machine machine(small_options());
+  const std::int64_t sum = forall_reduce<std::int64_t>(
+      machine, 0, 10000, std::int64_t{0},
+      [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, 9999ll * 10000 / 2);
+}
+
+TEST(ForallReduce, MaxReduction) {
+  Machine machine(small_options());
+  std::vector<double> xs(5000);
+  util::Xoshiro256 rng(17);
+  for (auto& x : xs) x = rng.next_double();
+  xs[3123] = 2.5;  // planted maximum
+  const double top = forall_reduce<double>(
+      machine, 0, static_cast<std::int64_t>(xs.size()), 0.0,
+      [&](std::int64_t i) { return xs[static_cast<std::size_t>(i)]; },
+      [](double a, double b) { return a > b ? a : b; });
+  EXPECT_DOUBLE_EQ(top, 2.5);
+}
+
+TEST(ForallReduce, EmptyRangeGivesIdentity) {
+  Machine machine(small_options());
+  std::atomic<int> calls{0};
+  const int v = forall_reduce<int>(
+      machine, 5, 5, 0,
+      [&](std::int64_t) {
+        ++calls;
+        return 1;
+      },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ForallReduce, ReportsResultMetadata) {
+  Machine machine(small_options());
+  ForallOptions opts;
+  opts.schedule = "factoring";
+  ForallResult meta;
+  forall_reduce<int>(
+      machine, 0, 1000, 0, [](std::int64_t) { return 1; },
+      [](int a, int b) { return a + b; }, opts, &meta);
+  EXPECT_EQ(meta.policy, "factoring");
+  EXPECT_GT(meta.chunks, 0u);
+}
+
+TEST(Forall, ChunkHintSetsGrain) {
+  MachineOptions mopts = small_options();
+  mopts.hint_script =
+      "hint loop \"grained\" { schedule = self_sched; chunk = 100; }\n";
+  Machine machine(mopts);
+  ForallOptions opts;
+  opts.site = "grained";
+  const ForallResult r =
+      forall(machine, 0, 1000, [](std::int64_t) {}, opts);
+  EXPECT_EQ(r.policy, "self_sched");
+  EXPECT_EQ(r.chunks, 10u);  // 1000 iterations / chunk 100
+}
+
+// ------------------------------------------------------------- collectives
+
+TEST(TreeTopology, ParentChildConsistency) {
+  for (const std::uint32_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    for (std::uint32_t root = 0; root < n; ++root) {
+      std::uint32_t reached = 0;
+      for (std::uint32_t node = 0; node < n; ++node) {
+        for (const std::uint32_t child : tree_children(node, root, n)) {
+          ASSERT_LT(child, n);
+          ASSERT_EQ(tree_parent(child, root, n), node)
+              << "n=" << n << " root=" << root;
+          ++reached;
+        }
+      }
+      // A tree over n nodes has exactly n-1 edges.
+      ASSERT_EQ(reached, n - 1) << "n=" << n << " root=" << root;
+      ASSERT_EQ(tree_parent(root, root, n), root);
+    }
+  }
+}
+
+TEST(Collectives, BroadcastReachesEveryNodeOnce) {
+  Machine machine(small_options(4, 1));
+  std::vector<std::atomic<int>> visits(4);
+  sync::Future<std::uint32_t> done =
+      broadcast(machine, /*root=*/1, [&](std::uint32_t node) {
+        ++visits[node];
+      });
+  EXPECT_EQ(Machine::await(done), 4u);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(visits[static_cast<std::size_t>(n)].load(), 1);
+}
+
+TEST(Collectives, BroadcastRunsOnTheRightNode) {
+  Machine machine(small_options(4, 1));
+  std::array<std::atomic<std::uint32_t>, 4> where{};
+  sync::Future<std::uint32_t> done =
+      broadcast(machine, 0, [&](std::uint32_t node) {
+        where[node] = rt::Runtime::current()->current_node();
+      });
+  Machine::await(done);
+  for (std::uint32_t n = 0; n < 4; ++n) EXPECT_EQ(where[n].load(), n);
+}
+
+TEST(Collectives, ReduceSumsNodeValues) {
+  Machine machine(small_options(4, 1));
+  sync::Future<std::int64_t> total = reduce_i64(
+      machine, /*root=*/2,
+      [](std::uint32_t node) { return static_cast<std::int64_t>(node + 1); },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(Machine::await(total), 1 + 2 + 3 + 4);
+}
+
+TEST(Collectives, ReduceMax) {
+  Machine machine(small_options(5, 1));
+  sync::Future<std::int64_t> top = reduce_i64(
+      machine, 0,
+      [](std::uint32_t node) {
+        return static_cast<std::int64_t>((node * 37) % 11);
+      },
+      [](std::int64_t a, std::int64_t b) { return a > b ? a : b; });
+  std::int64_t expected = 0;
+  for (std::uint32_t n = 0; n < 5; ++n)
+    expected = std::max<std::int64_t>(expected, (n * 37) % 11);
+  EXPECT_EQ(Machine::await(top), expected);
+}
+
+TEST(Collectives, SingleNodeDegenerates) {
+  Machine machine(small_options(1, 2));
+  sync::Future<std::int64_t> total = reduce_i64(
+      machine, 0, [](std::uint32_t) { return std::int64_t{7}; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(Machine::await(total), 7);
+}
+
+TEST(Collectives, AllreduceDeliversGlobalValueEverywhere) {
+  Machine machine(small_options(4, 1));
+  std::array<std::atomic<std::int64_t>, 4> seen{};
+  sync::Future<std::int64_t> done = allreduce_i64(
+      machine,
+      [](std::uint32_t node) { return static_cast<std::int64_t>(node); },
+      [](std::int64_t a, std::int64_t b) { return a + b; },
+      [&](std::uint32_t node, std::int64_t total) { seen[node] = total; });
+  EXPECT_EQ(Machine::await(done), 0 + 1 + 2 + 3);
+  for (std::uint32_t n = 0; n < 4; ++n) EXPECT_EQ(seen[n].load(), 6);
+}
+
+TEST(Collectives, LgtAwaitsCollective) {
+  Machine machine(small_options(4, 1));
+  std::atomic<std::int64_t> got{0};
+  machine.spawn_lgt(0, [&] {
+    sync::Future<std::int64_t> total = reduce_i64(
+        machine, 0, [](std::uint32_t) { return std::int64_t{1}; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    got = Machine::await(total);
+  });
+  machine.wait_idle();
+  EXPECT_EQ(got.load(), 4);
+}
+
+TEST(Forall, SequentialInvocationsReuseMachine) {
+  Machine machine(small_options());
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    forall(machine, 0, 500, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 499 * 500 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace htvm::litlx

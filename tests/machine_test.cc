@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "machine/config.h"
+#include "machine/latency.h"
+
+namespace htvm::machine {
+namespace {
+
+TEST(MachineConfig, DefaultsAreValid) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(MachineConfig, TotalThreadUnits) {
+  MachineConfig cfg;
+  cfg.nodes = 3;
+  cfg.thread_units_per_node = 5;
+  EXPECT_EQ(cfg.total_thread_units(), 15u);
+}
+
+TEST(MachineConfig, MemLatencyMonotoneOverLevels) {
+  MachineConfig cfg;
+  EXPECT_LE(cfg.mem_latency(MemLevel::kRegister),
+            cfg.mem_latency(MemLevel::kFrame));
+  EXPECT_LE(cfg.mem_latency(MemLevel::kFrame),
+            cfg.mem_latency(MemLevel::kLocalSram));
+  EXPECT_LE(cfg.mem_latency(MemLevel::kLocalSram),
+            cfg.mem_latency(MemLevel::kLocalDram));
+  EXPECT_LT(cfg.mem_latency(MemLevel::kLocalDram),
+            cfg.mem_latency(MemLevel::kRemote));
+}
+
+TEST(MachineConfig, ValidationCatchesZeroNodes) {
+  MachineConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(MachineConfig, ValidationCatchesInvertedLatencies) {
+  MachineConfig cfg;
+  cfg.latency_frame = 100;
+  cfg.latency_local_sram = 10;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(MachineConfig, ValidationCatchesInvertedThreadCosts) {
+  MachineConfig cfg;
+  cfg.thread_costs.tgt_spawn_cycles = 1000;
+  cfg.thread_costs.sgt_spawn_cycles = 10;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(MachineConfig, CrossbarHopsAreOne) {
+  MachineConfig cfg;
+  cfg.nodes = 16;
+  cfg.network.topology = Topology::kCrossbar;
+  EXPECT_EQ(cfg.hop_distance(0, 0), 0u);
+  EXPECT_EQ(cfg.hop_distance(0, 15), 1u);
+  EXPECT_EQ(cfg.hop_distance(7, 3), 1u);
+}
+
+TEST(MachineConfig, MeshHopsAreManhattan) {
+  MachineConfig cfg;
+  cfg.nodes = 16;  // 4x4 grid
+  cfg.network.topology = Topology::kMesh2D;
+  EXPECT_EQ(cfg.grid_width(), 4u);
+  EXPECT_EQ(cfg.hop_distance(0, 3), 3u);    // same row
+  EXPECT_EQ(cfg.hop_distance(0, 12), 3u);   // same column
+  EXPECT_EQ(cfg.hop_distance(0, 15), 6u);   // opposite corner
+  EXPECT_EQ(cfg.hop_distance(5, 5), 0u);
+}
+
+TEST(MachineConfig, MeshHopsAreSymmetric) {
+  MachineConfig cfg;
+  cfg.nodes = 12;
+  cfg.network.topology = Topology::kMesh2D;
+  for (std::uint32_t a = 0; a < cfg.nodes; ++a)
+    for (std::uint32_t b = 0; b < cfg.nodes; ++b)
+      EXPECT_EQ(cfg.hop_distance(a, b), cfg.hop_distance(b, a));
+}
+
+TEST(MachineConfig, TorusWrapsAround) {
+  MachineConfig cfg;
+  cfg.nodes = 16;  // 4x4 torus
+  cfg.network.topology = Topology::kTorus2D;
+  EXPECT_EQ(cfg.hop_distance(0, 3), 1u);   // wraps in the row
+  EXPECT_EQ(cfg.hop_distance(0, 12), 1u);  // wraps in the column
+  EXPECT_EQ(cfg.hop_distance(0, 15), 2u);
+}
+
+TEST(MachineConfig, TorusNeverWorseThanMesh) {
+  MachineConfig mesh, torus;
+  mesh.nodes = torus.nodes = 16;
+  mesh.network.topology = Topology::kMesh2D;
+  torus.network.topology = Topology::kTorus2D;
+  for (std::uint32_t a = 0; a < 16; ++a)
+    for (std::uint32_t b = 0; b < 16; ++b)
+      EXPECT_LE(torus.hop_distance(a, b), mesh.hop_distance(a, b));
+}
+
+TEST(MachineConfig, NetworkCyclesZeroForSelf) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.network_cycles(2, 2, 1000), 0u);
+}
+
+TEST(MachineConfig, NetworkCyclesGrowWithBytesAndHops) {
+  MachineConfig cfg;
+  cfg.nodes = 16;
+  cfg.network.topology = Topology::kMesh2D;
+  EXPECT_LT(cfg.network_cycles(0, 1, 8), cfg.network_cycles(0, 1, 8000));
+  EXPECT_LT(cfg.network_cycles(0, 1, 8), cfg.network_cycles(0, 15, 8));
+}
+
+TEST(MachineConfig, RemoteAccessIncludesRoundTrip) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  const auto remote = cfg.remote_access_cycles(0, 1, 8);
+  EXPECT_GT(remote, cfg.latency_local_dram);
+  EXPECT_GE(remote, cfg.network_cycles(0, 1, 16) + cfg.latency_local_dram);
+  EXPECT_EQ(cfg.remote_access_cycles(2, 2, 8), cfg.latency_local_dram);
+}
+
+TEST(MachineConfig, ParseRoundTrip) {
+  MachineConfig cfg;
+  cfg.nodes = 9;
+  cfg.thread_units_per_node = 3;
+  cfg.network.topology = Topology::kTorus2D;
+  MachineConfig parsed;
+  EXPECT_EQ(parsed.parse(cfg.to_string()), "");
+  EXPECT_EQ(parsed.nodes, 9u);
+  EXPECT_EQ(parsed.thread_units_per_node, 3u);
+  EXPECT_EQ(parsed.network.topology, Topology::kTorus2D);
+}
+
+TEST(MachineConfig, ParseHandlesCommentsAndBlanks) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.parse("# a comment\n\nnodes = 2  # trailing\n"), "");
+  EXPECT_EQ(cfg.nodes, 2u);
+}
+
+TEST(MachineConfig, ParseRejectsUnknownKey) {
+  MachineConfig cfg;
+  EXPECT_NE(cfg.parse("frobnicate = 3\n"), "");
+}
+
+TEST(MachineConfig, ParseRejectsMalformedLine) {
+  MachineConfig cfg;
+  EXPECT_NE(cfg.parse("nodes 4\n"), "");
+  EXPECT_NE(cfg.parse("nodes = four\n"), "");
+  EXPECT_NE(cfg.parse("topology = ring\n"), "");
+}
+
+TEST(MachineConfig, ParseValidatesResult) {
+  MachineConfig cfg;
+  EXPECT_NE(cfg.parse("nodes = 0\n"), "");
+}
+
+TEST(MachineConfig, Cyclops64Preset) {
+  const MachineConfig cfg = MachineConfig::cyclops64();
+  EXPECT_EQ(cfg.validate(), "");
+  EXPECT_EQ(cfg.nodes, 1u);
+  EXPECT_EQ(cfg.thread_units_per_node, 160u);
+  EXPECT_EQ(cfg.network.topology, Topology::kCrossbar);
+}
+
+TEST(MachineConfig, ClusterPreset) {
+  const MachineConfig cfg = MachineConfig::cluster(8, 16);
+  EXPECT_EQ(cfg.validate(), "");
+  EXPECT_EQ(cfg.total_thread_units(), 128u);
+}
+
+TEST(MemLevel, Names) {
+  EXPECT_STREQ(to_string(MemLevel::kFrame), "frame");
+  EXPECT_STREQ(to_string(MemLevel::kRemote), "remote");
+  EXPECT_STREQ(to_string(Topology::kMesh2D), "mesh2d");
+}
+
+// ------------------------------------------------------------------ Latency
+
+TEST(Latency, SpinForNsWaitsApproximately) {
+  const auto start = std::chrono::steady_clock::now();
+  spin_for_ns(2'000'000);  // 2 ms
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            1900);
+}
+
+TEST(Latency, DisabledInjectorIsFree) {
+  MachineConfig cfg;
+  LatencyInjector inj(cfg, 0.0);
+  EXPECT_FALSE(inj.enabled());
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) inj.remote_access(0, 1, 4096);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100);
+}
+
+TEST(Latency, InjectionScalesWithCycleNs) {
+  MachineConfig cfg;
+  LatencyInjector inj(cfg, 1000.0);  // 1 us per cycle: easy to measure
+  const auto start = std::chrono::steady_clock::now();
+  inj.cycles(2000);  // => ~2 ms
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            1900);
+}
+
+TEST(Latency, NsToCycles) {
+  EXPECT_EQ(ns_to_cycles(std::chrono::nanoseconds(1000), 1.0), 1000u);
+  EXPECT_EQ(ns_to_cycles(std::chrono::nanoseconds(1000), 2.0), 500u);
+  EXPECT_EQ(ns_to_cycles(std::chrono::nanoseconds(1000), 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace htvm::machine

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mem/data_object.h"
+#include "util/rng.h"
+#include "mem/frame.h"
+#include "mem/global_memory.h"
+
+namespace htvm::mem {
+namespace {
+
+machine::LatencyInjector test_injector(std::uint32_t nodes = 4) {
+  machine::MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node_memory_bytes = 1 << 20;
+  return machine::LatencyInjector(cfg, /*cycle_ns=*/0.0);  // functional mode
+}
+
+// ------------------------------------------------------------ GlobalAddress
+
+TEST(GlobalAddress, PacksAndUnpacks) {
+  GlobalAddress a(5, 123456789);
+  EXPECT_EQ(a.node(), 5u);
+  EXPECT_EQ(a.offset(), 123456789u);
+}
+
+TEST(GlobalAddress, MaxValuesRoundTrip) {
+  GlobalAddress a(GlobalAddress::kMaxNode, GlobalAddress::kMaxOffset - 1);
+  EXPECT_EQ(a.node(), GlobalAddress::kMaxNode);
+  EXPECT_EQ(a.offset(), GlobalAddress::kMaxOffset - 1);
+}
+
+TEST(GlobalAddress, NullIsDistinct) {
+  EXPECT_TRUE(GlobalAddress::null().is_null());
+  EXPECT_FALSE(GlobalAddress(0, 0).is_null());
+  EXPECT_NE(GlobalAddress::null(), GlobalAddress(0, 0));
+}
+
+TEST(GlobalAddress, ArithmeticStaysOnNode) {
+  GlobalAddress a(3, 100);
+  GlobalAddress b = a + 28;
+  EXPECT_EQ(b.node(), 3u);
+  EXPECT_EQ(b.offset(), 128u);
+}
+
+TEST(GlobalAddress, BitsRoundTrip) {
+  GlobalAddress a(7, 42);
+  EXPECT_EQ(GlobalAddress::from_bits(a.bits()), a);
+}
+
+// ------------------------------------------------------------- GlobalMemory
+
+TEST(GlobalMemory, AllocReturnsNodeLocalAddresses) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress a = gm.alloc(2, 64);
+  EXPECT_FALSE(a.is_null());
+  EXPECT_EQ(a.node(), 2u);
+}
+
+TEST(GlobalMemory, AllocationsAreAlignedAndDisjoint) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress a = gm.alloc(0, 10, 16);
+  const GlobalAddress b = gm.alloc(0, 10, 16);
+  EXPECT_EQ(a.offset() % 16, 0u);
+  EXPECT_EQ(b.offset() % 16, 0u);
+  EXPECT_GE(b.offset(), a.offset() + 10);
+}
+
+TEST(GlobalMemory, ExhaustionReturnsNull) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.node_memory_bytes = 128;
+  machine::LatencyInjector inj(cfg, 0.0);
+  GlobalMemory gm(inj);
+  EXPECT_FALSE(gm.alloc(0, 100).is_null());
+  EXPECT_TRUE(gm.alloc(0, 100).is_null());
+}
+
+TEST(GlobalMemory, PutGetRoundTrip) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress addr = gm.alloc(1, 32);
+  const char msg[] = "hierarchical multithreading!";
+  gm.put(0, addr, msg, sizeof(msg));
+  char out[sizeof(msg)] = {};
+  gm.get(3, addr, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(GlobalMemory, TypedLoadStore) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress addr = gm.alloc(0, sizeof(double));
+  gm.store<double>(0, addr, 2.5);
+  EXPECT_DOUBLE_EQ(gm.load<double>(1, addr), 2.5);
+}
+
+TEST(GlobalMemory, StatsDistinguishLocalAndRemote) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress addr = gm.alloc(1, 8);
+  gm.store<std::int64_t>(1, addr, 1);  // local
+  gm.load<std::int64_t>(1, addr);      // local
+  gm.load<std::int64_t>(0, addr);      // remote
+  EXPECT_EQ(gm.stats().local_accesses.load(), 2u);
+  EXPECT_EQ(gm.stats().remote_accesses.load(), 1u);
+  EXPECT_EQ(gm.stats().bytes_moved_remote.load(), 8u);
+}
+
+TEST(GlobalMemory, FetchAddIsAtomicAcrossThreads) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress counter = gm.alloc(0, sizeof(std::int64_t));
+  gm.store<std::int64_t>(0, counter, 0);
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gm, counter, t] {
+      for (int i = 0; i < kAdds; ++i)
+        gm.fetch_add_i64(static_cast<std::uint32_t>(t % 4), counter, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gm.load<std::int64_t>(0, counter), kThreads * kAdds);
+}
+
+TEST(GlobalMemory, ConcurrentAllocDoesNotOverlap) {
+  auto inj = test_injector(1);
+  GlobalMemory gm(inj);
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 500;
+  std::vector<std::vector<GlobalAddress>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gm, &per_thread, t] {
+      for (int i = 0; i < kAllocs; ++i)
+        per_thread[static_cast<std::size_t>(t)].push_back(gm.alloc(0, 16));
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> offsets;
+  for (const auto& v : per_thread)
+    for (GlobalAddress a : v) {
+      ASSERT_FALSE(a.is_null());
+      offsets.push_back(a.offset());
+    }
+  std::sort(offsets.begin(), offsets.end());
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    EXPECT_GE(offsets[i], offsets[i - 1] + 16);
+}
+
+TEST(GlobalMemory, UsedBytesTracksAllocation) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  EXPECT_EQ(gm.used_bytes(0), 0u);
+  gm.alloc(0, 100);
+  EXPECT_GE(gm.used_bytes(0), 100u);
+  EXPECT_EQ(gm.used_bytes(1), 0u);
+  EXPECT_EQ(gm.capacity_bytes(0), 1u << 20);
+}
+
+// -------------------------------------------------------------- ObjectSpace
+
+ObjectSpace::Params eager_params() {
+  ObjectSpace::Params p;
+  p.replicate_threshold = 2;
+  p.migrate_threshold = 8;
+  return p;
+}
+
+TEST(ObjectSpace, CreateZeroFills) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(1, 64);
+  std::vector<char> out(64, 'x');
+  space.read(1, id, out.data());
+  for (char c : out) EXPECT_EQ(c, 0);
+  EXPECT_EQ(space.home_of(id), 1u);
+  EXPECT_EQ(space.size_of(id), 64u);
+}
+
+TEST(ObjectSpace, WriteThenReadRoundTrip) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 16);
+  const char data[16] = "fifteen chars!!";
+  space.write(2, id, data);
+  char out[16] = {};
+  space.read(3, id, out);
+  EXPECT_STREQ(out, data);
+}
+
+TEST(ObjectSpace, RepeatedRemoteReadsCreateReplica) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 32);
+  char buf[32];
+  space.read(2, id, buf);
+  EXPECT_FALSE(space.has_replica(id, 2));
+  space.read(2, id, buf);  // threshold = 2: replica now exists
+  EXPECT_TRUE(space.has_replica(id, 2));
+  EXPECT_EQ(space.stats().replications, 1u);
+  const auto remote_before = gm.stats().remote_accesses.load();
+  space.read(2, id, buf);  // served locally
+  EXPECT_EQ(gm.stats().remote_accesses.load(), remote_before);
+}
+
+TEST(ObjectSpace, WriteInvalidatesReplicasEverywhere) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 8);
+  char buf[8];
+  for (int i = 0; i < 2; ++i) space.read(1, id, buf);
+  for (int i = 0; i < 2; ++i) space.read(2, id, buf);
+  EXPECT_TRUE(space.has_replica(id, 1));
+  EXPECT_TRUE(space.has_replica(id, 2));
+  const std::int64_t v = 77;
+  space.write_at(3, id, 0, &v, sizeof(v));
+  EXPECT_FALSE(space.has_replica(id, 1));
+  EXPECT_FALSE(space.has_replica(id, 2));
+  EXPECT_GE(space.stats().invalidations, 2u);
+  // Readers see the new value (coherence).
+  std::int64_t out = 0;
+  space.read_at(1, id, 0, &out, sizeof(out));
+  EXPECT_EQ(out, 77);
+}
+
+TEST(ObjectSpace, StaleReplicaNeverServedAfterWrite) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 8);
+  std::int64_t v = 1;
+  space.write_at(0, id, 0, &v, sizeof(v));
+  std::int64_t out = 0;
+  space.read_at(1, id, 0, &out, sizeof(out));
+  space.read_at(1, id, 0, &out, sizeof(out));  // node 1 now has a replica
+  EXPECT_EQ(out, 1);
+  for (int round = 2; round < 10; ++round) {
+    v = round;
+    space.write_at(2, id, 0, &v, sizeof(v));
+    space.read_at(1, id, 0, &out, sizeof(out));
+    ASSERT_EQ(out, round);  // must never see a stale cached value
+  }
+}
+
+TEST(ObjectSpace, HotWriterTriggersMigration) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());  // migrate_threshold = 8
+  const auto id = space.create(0, 8);
+  const std::int64_t v = 5;
+  for (int i = 0; i < 12; ++i) space.write_at(3, id, 0, &v, sizeof(v));
+  EXPECT_EQ(space.home_of(id), 3u);
+  EXPECT_EQ(space.stats().migrations, 1u);
+  // Data survives migration.
+  std::int64_t out = 0;
+  space.read_at(0, id, 0, &out, sizeof(out));
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ObjectSpace, MigrationDisabledByPolicy) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace::Params params = eager_params();
+  params.allow_migration = false;
+  ObjectSpace space(gm, params);
+  const auto id = space.create(0, 8);
+  const std::int64_t v = 5;
+  for (int i = 0; i < 100; ++i) space.write_at(3, id, 0, &v, sizeof(v));
+  EXPECT_EQ(space.home_of(id), 0u);
+}
+
+TEST(ObjectSpace, ExplicitMigratePreservesData) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 24);
+  const char data[24] = "migrate me carefully!!!";
+  space.write(0, id, data);
+  space.migrate(id, 2);
+  EXPECT_EQ(space.home_of(id), 2u);
+  char out[24] = {};
+  space.read(2, id, out);
+  EXPECT_STREQ(out, data);
+  // Migrating to the current home is a no-op.
+  space.migrate(id, 2);
+  EXPECT_EQ(space.stats().migrations, 1u);
+}
+
+TEST(ObjectSpace, ConcurrentReadersAndWritersStayCoherent) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, sizeof(std::int64_t) * 2);
+  // Invariant: both words always equal (writers update them atomically
+  // under the object lock).
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::int64_t i = 1; i < 3000; ++i) {
+      const std::int64_t pair[2] = {i, i};
+      space.write(1, id, pair);
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      std::int64_t pair[2];
+      while (!stop.load()) {
+        space.read(static_cast<std::uint32_t>(t), id, pair);
+        if (pair[0] != pair[1]) mismatch = true;
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+// ----------------------------------------------------------- FrameAllocator
+
+TEST(FrameAllocator, ClassIndexRounding) {
+  EXPECT_EQ(FrameAllocator::class_index(1), 0u);
+  EXPECT_EQ(FrameAllocator::class_index(64), 0u);
+  EXPECT_EQ(FrameAllocator::class_index(65), 1u);
+  EXPECT_EQ(FrameAllocator::class_index(128), 1u);
+  EXPECT_EQ(FrameAllocator::class_index(65536), 10u);
+  EXPECT_GE(FrameAllocator::class_index(65537), FrameAllocator::kClasses);
+}
+
+TEST(FrameAllocator, ClassBytesInverse) {
+  for (std::size_t c = 0; c < FrameAllocator::kClasses; ++c)
+    EXPECT_EQ(FrameAllocator::class_index(FrameAllocator::class_bytes(c)), c);
+}
+
+TEST(FrameAllocator, AllocationsZeroed) {
+  FrameAllocator alloc;
+  auto* p = static_cast<unsigned char*>(alloc.allocate(256));
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0);
+  std::memset(p, 0xff, 256);
+  alloc.release(p, 256);
+  // Recycled frame must be re-zeroed.
+  auto* q = static_cast<unsigned char*>(alloc.allocate(256));
+  EXPECT_EQ(q, p);  // recycled
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(q[i], 0);
+  alloc.release(q, 256);
+}
+
+TEST(FrameAllocator, RecyclingHitsFreeList) {
+  FrameAllocator alloc;
+  void* a = alloc.allocate(100);
+  alloc.release(a, 100);
+  alloc.allocate(100);
+  EXPECT_EQ(alloc.recycle_hits(), 1u);
+  EXPECT_EQ(alloc.allocations(), 2u);
+}
+
+TEST(FrameAllocator, LiveCountTracksBalance) {
+  FrameAllocator alloc;
+  void* a = alloc.allocate(64);
+  void* b = alloc.allocate(64);
+  EXPECT_EQ(alloc.frames_live(), 2u);
+  alloc.release(a, 64);
+  EXPECT_EQ(alloc.frames_live(), 1u);
+  alloc.release(b, 64);
+  EXPECT_EQ(alloc.frames_live(), 0u);
+}
+
+TEST(FrameAllocator, OversizeFallsBackToHeap) {
+  FrameAllocator alloc;
+  void* big = alloc.allocate(1 << 20);
+  EXPECT_NE(big, nullptr);
+  std::memset(big, 1, 1 << 20);
+  alloc.release(big, 1 << 20);
+}
+
+TEST(FrameAllocator, ConcurrentAllocReleaseStress) {
+  FrameAllocator alloc;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&alloc, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      std::vector<std::pair<void*, std::size_t>> held;
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t bytes = 32 + rng.next_below(2000);
+        held.emplace_back(alloc.allocate(bytes), bytes);
+        if (held.size() > 8) {
+          auto [p, sz] = held.front();
+          held.erase(held.begin());
+          alloc.release(p, sz);
+        }
+      }
+      for (auto [p, sz] : held) alloc.release(p, sz);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(alloc.frames_live(), 0u);
+}
+
+TEST(FrameTyped, ConstructsAndDestroys) {
+  FrameAllocator alloc;
+  struct State {
+    int x = 3;
+    double y = 1.5;
+  };
+  {
+    Frame<State> frame(alloc);
+    EXPECT_EQ(frame->x, 3);
+    frame->y = 2.5;
+    EXPECT_DOUBLE_EQ((*frame).y, 2.5);
+    EXPECT_EQ(alloc.frames_live(), 1u);
+  }
+  EXPECT_EQ(alloc.frames_live(), 0u);
+}
+
+}  // namespace
+}  // namespace htvm::mem

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "neuro/network.h"
+#include "neuro/simulation.h"
+
+namespace htvm::neuro {
+namespace {
+
+NetworkParams small_params() {
+  NetworkParams params;
+  params.columns = 6;
+  params.neurons_per_column = 60;
+  params.intra_connectivity = 0.08;
+  params.inter_connectivity = 0.01;
+  params.seed = 1234;
+  return params;
+}
+
+litlx::MachineOptions machine_options(std::uint32_t nodes = 2,
+                                      std::uint32_t tus = 2) {
+  litlx::MachineOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = tus;
+  opts.config.node_memory_bytes = 1 << 20;
+  return opts;
+}
+
+// ------------------------------------------------------------ construction
+
+TEST(Network, DeterministicConstruction) {
+  const Network a(small_params());
+  const Network b(small_params());
+  EXPECT_EQ(a.total_neurons(), b.total_neurons());
+  EXPECT_EQ(a.total_synapses(), b.total_synapses());
+  // Spot-check identical wiring.
+  const Column& ca = a.column(2);
+  const Column& cb = b.column(2);
+  ASSERT_EQ(ca.synapses.size(), cb.synapses.size());
+  for (std::size_t s = 0; s < ca.synapses.size(); s += 17) {
+    EXPECT_EQ(ca.synapses[s].target_column, cb.synapses[s].target_column);
+    EXPECT_EQ(ca.synapses[s].target_neuron, cb.synapses[s].target_neuron);
+    EXPECT_EQ(ca.synapses[s].weight, cb.synapses[s].weight);
+  }
+}
+
+TEST(Network, DifferentSeedsDifferentWiring) {
+  NetworkParams p1 = small_params();
+  NetworkParams p2 = small_params();
+  p2.seed = 999;
+  const Network a(p1), b(p2);
+  // Same shape...
+  EXPECT_EQ(a.total_neurons(), b.total_neurons());
+  // ...different targets somewhere.
+  bool differs = false;
+  const Column& ca = a.column(0);
+  const Column& cb = b.column(0);
+  for (std::size_t s = 0; s < std::min(ca.synapses.size(),
+                                       cb.synapses.size());
+       ++s) {
+    if (ca.synapses[s].target_neuron != cb.synapses[s].target_neuron)
+      differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Network, HubColumnsAreLarger) {
+  NetworkParams params = small_params();
+  params.hub_fraction = 0.34;  // 2 of 6 columns
+  params.hub_scale = 3.0;
+  const Network net(params);
+  EXPECT_EQ(net.column(0).size(), 180u);
+  EXPECT_EQ(net.column(1).size(), 180u);
+  EXPECT_EQ(net.column(2).size(), 60u);
+}
+
+TEST(Network, SynapseTargetsInRange) {
+  const Network net(small_params());
+  for (std::uint32_t c = 0; c < net.num_columns(); ++c) {
+    for (const Synapse& syn : net.column(c).synapses) {
+      ASSERT_LT(syn.target_column, net.num_columns());
+      ASSERT_LT(syn.target_neuron, net.column(syn.target_column).size());
+      ASSERT_GE(syn.delay_steps, small_params().min_delay_steps);
+      ASSERT_LE(syn.delay_steps, small_params().max_delay_steps);
+    }
+  }
+}
+
+TEST(Network, CsrIsMonotone) {
+  const Network net(small_params());
+  const Column& col = net.column(0);
+  for (std::uint32_t n = 0; n < col.size(); ++n)
+    ASSERT_LE(col.syn_begin[n], col.syn_begin[n + 1]);
+  EXPECT_EQ(col.syn_begin[col.size()], col.synapses.size());
+}
+
+TEST(FixedPoint, RoundTrip) {
+  EXPECT_NEAR(from_fixed(to_fixed(1.25)), 1.25, 1e-6);
+  EXPECT_NEAR(from_fixed(to_fixed(-0.5)), -0.5, 1e-6);
+}
+
+// ----------------------------------------------------------------- dynamics
+
+TEST(Dynamics, BiasCurrentProducesTonicSpiking) {
+  litlx::Machine machine(machine_options());
+  Network net(small_params());
+  Simulation sim(machine, net);
+  sim.run(50);
+  EXPECT_GT(sim.stats().spikes, 0u);
+  EXPECT_GT(sim.stats().spike_deliveries, sim.stats().spikes);
+}
+
+TEST(Dynamics, RefractoryLimitsRate) {
+  // With a 3-step refractory plus the reset, a neuron can spike at most
+  // once per 4 steps.
+  litlx::Machine machine(machine_options());
+  Network net(small_params());
+  Simulation sim(machine, net);
+  const std::uint32_t steps = 80;
+  sim.run(steps);
+  const std::uint64_t max_possible =
+      net.total_neurons() * (steps / 4 + 1);
+  EXPECT_LE(sim.stats().spikes, max_possible);
+}
+
+TEST(Dynamics, ParallelMatchesSerialExactly) {
+  // Fixed-point accumulation makes the parallel run bit-identical to the
+  // serial reference.
+  NetworkParams params = small_params();
+  Network net_parallel(params);
+  Network net_serial(params);
+
+  litlx::Machine machine(machine_options(2, 2));
+  Simulation par(machine, net_parallel, {});
+  Simulation ser(machine, net_serial, {});
+  for (int s = 0; s < 60; ++s) {
+    par.step();
+    ser.step_serial();
+    ASSERT_EQ(net_parallel.total_spikes(), net_serial.total_spikes())
+        << "diverged at step " << s;
+  }
+  // Membrane potentials identical too.
+  for (std::uint32_t c = 0; c < net_parallel.num_columns(); ++c) {
+    for (std::uint32_t n = 0; n < net_parallel.column(c).size(); n += 13) {
+      ASSERT_DOUBLE_EQ(net_parallel.column(c).membrane(n),
+                       net_serial.column(c).membrane(n));
+    }
+  }
+}
+
+TEST(Dynamics, SchedulePolicyDoesNotChangeResults) {
+  NetworkParams params = small_params();
+  std::vector<std::uint64_t> spike_counts;
+  for (const char* policy : {"static_block", "guided", "self_sched"}) {
+    Network net(params);
+    litlx::Machine machine(machine_options());
+    Simulation::Options opts;
+    opts.schedule = policy;
+    Simulation sim(machine, net, opts);
+    sim.run(40);
+    spike_counts.push_back(sim.stats().spikes);
+  }
+  EXPECT_EQ(spike_counts[0], spike_counts[1]);
+  EXPECT_EQ(spike_counts[1], spike_counts[2]);
+}
+
+TEST(Dynamics, InhibitionReducesActivity) {
+  NetworkParams excitatory = small_params();
+  excitatory.inhibitory_fraction = 0.0;
+  excitatory.weight_mean = 4.0;
+  NetworkParams inhibitory = small_params();
+  inhibitory.inhibitory_fraction = 0.6;
+  inhibitory.weight_mean = 4.0;
+
+  litlx::Machine machine(machine_options());
+  Network net_e(excitatory);
+  Network net_i(inhibitory);
+  Simulation sim_e(machine, net_e);
+  Simulation sim_i(machine, net_i);
+  sim_e.run(200);
+  sim_i.run(200);
+  EXPECT_GT(sim_e.stats().spikes, sim_i.stats().spikes);
+}
+
+TEST(Dynamics, DelaysDeferDelivery) {
+  // A spike with delay d must not affect the target before d steps.
+  NeuronParams np;
+  Column col(0, 2, /*max_delay=*/8, np);
+  col.deposit(1, /*arrival_slot=*/3, to_fixed(1000.0));
+  std::vector<std::uint32_t> spikes;
+  // Steps 0..2: the neuron integrates only the bias; with v_rest start it
+  // cannot reach threshold that fast.
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    spikes.clear();
+    col.step(s, spikes);
+    EXPECT_TRUE(spikes.empty()) << "premature spike at step " << s;
+  }
+  // Step 3: the big deposited current arrives and forces a spike.
+  spikes.clear();
+  col.step(3, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0], 1u);
+}
+
+TEST(Dynamics, ParcelDeliveryMatchesDirectExactly) {
+  // Distributed spike exchange (one batched parcel per column pair per
+  // step) must be bit-identical to direct delivery: deposits are
+  // associative fixed-point adds, so transport cannot change dynamics.
+  NetworkParams params = small_params();
+  Network net_direct(params);
+  Network net_parcel(params);
+  litlx::Machine machine(machine_options(2, 2));
+  Simulation direct(machine, net_direct, {});
+  Simulation::Options popts;
+  popts.deliver_via_parcels = true;
+  Simulation distributed(machine, net_parcel, popts);
+  for (int s = 0; s < 50; ++s) {
+    direct.step();
+    machine.wait_idle();
+    distributed.step();
+    ASSERT_EQ(net_direct.total_spikes(), net_parcel.total_spikes())
+        << "diverged at step " << s;
+  }
+  EXPECT_GT(distributed.parcels_batched(), 0u);
+  EXPECT_EQ(direct.parcels_batched(), 0u);
+}
+
+TEST(Dynamics, ParcelModeUsesTheParcelEngine) {
+  litlx::Machine machine(machine_options(2, 2));
+  Network net(small_params());
+  Simulation::Options opts;
+  opts.deliver_via_parcels = true;
+  Simulation sim(machine, net, opts);
+  const auto sent_before = machine.parcels().stats().sent.load();
+  sim.run(30);
+  EXPECT_GT(machine.parcels().stats().sent.load(), sent_before);
+}
+
+// --------------------------------------------------------------- plasticity
+
+neuro::NetworkParams plastic_params() {
+  NetworkParams params = small_params();
+  params.stdp.enabled = true;
+  params.stdp.window_steps = 8;
+  return params;
+}
+
+TEST(Plasticity, DisabledLeavesWeightsUntouched) {
+  NetworkParams params = small_params();
+  Network net(params);
+  std::vector<FixedCurrent> before;
+  for (const Synapse& s : net.column(0).synapses) before.push_back(s.weight);
+  litlx::Machine machine(machine_options());
+  Simulation sim(machine, net);
+  sim.run(80);
+  for (std::size_t s = 0; s < before.size(); ++s)
+    ASSERT_EQ(net.column(0).synapses[s].weight, before[s]) << s;
+}
+
+TEST(Plasticity, EnabledChangesActiveWeights) {
+  Network net(plastic_params());
+  litlx::Machine machine(machine_options());
+  Simulation sim(machine, net);
+  sim.run(120);
+  std::uint64_t changed = 0;
+  for (std::uint32_t c = 0; c < net.num_columns(); ++c)
+    for (const Synapse& s : net.column(c).synapses)
+      changed += s.weight != s.initial_weight;
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(Plasticity, WeightsStayClampedAndKeepSign) {
+  NetworkParams params = plastic_params();
+  params.stdp.potentiation = 0.5;  // aggressive: drives toward the clamps
+  params.stdp.depression = 0.5;
+  Network net(params);
+  litlx::Machine machine(machine_options());
+  Simulation sim(machine, net);
+  sim.run(200);
+  for (std::uint32_t c = 0; c < net.num_columns(); ++c) {
+    for (const Synapse& s : net.column(c).synapses) {
+      const double w = std::abs(from_fixed(s.weight));
+      const double w0 = std::abs(from_fixed(s.initial_weight));
+      ASSERT_GE(w, params.stdp.w_min * w0 - 1e-6);
+      ASSERT_LE(w, params.stdp.w_max * w0 + 1e-6);
+      // Sign never flips.
+      ASSERT_EQ(from_fixed(s.weight) < 0, from_fixed(s.initial_weight) < 0);
+    }
+  }
+}
+
+TEST(Plasticity, DepressionBiasShrinksMeanWeight) {
+  // With LTD slightly stronger than LTP and weakly correlated activity,
+  // the mean |weight| of touched synapses must drift downward -- the
+  // classic stability property of this STDP variant.
+  NetworkParams params = plastic_params();
+  params.stdp.potentiation = 0.02;
+  params.stdp.depression = 0.04;
+  Network net(params);
+  litlx::Machine machine(machine_options());
+  Simulation sim(machine, net);
+  sim.run(300);
+  double sum_ratio = 0;
+  std::uint64_t touched = 0;
+  for (std::uint32_t c = 0; c < net.num_columns(); ++c) {
+    for (const Synapse& s : net.column(c).synapses) {
+      if (s.weight == s.initial_weight) continue;
+      sum_ratio += std::abs(from_fixed(s.weight)) /
+                   std::abs(from_fixed(s.initial_weight));
+      ++touched;
+    }
+  }
+  ASSERT_GT(touched, 0u);
+  EXPECT_LT(sum_ratio / static_cast<double>(touched), 1.0);
+}
+
+TEST(Dynamics, MonitorSeesNeuronUpdateSite) {
+  litlx::Machine machine(machine_options());
+  Network net(small_params());
+  Simulation sim(machine, net);
+  sim.run(5);
+  EXPECT_EQ(machine.monitor().site_report("neuron_update").invocations, 5u);
+}
+
+TEST(Dynamics, HubNetworkRunsAndCountsMoreWork) {
+  NetworkParams flat = small_params();
+  NetworkParams hubs = small_params();
+  hubs.hub_fraction = 0.34;
+  hubs.hub_scale = 4.0;
+  const Network nf(flat), nh(hubs);
+  EXPECT_GT(nh.total_neurons(), nf.total_neurons());
+  litlx::Machine machine(machine_options());
+  Network net(hubs);
+  Simulation sim(machine, net);
+  sim.run(40);
+  EXPECT_GT(sim.stats().spikes, 0u);
+}
+
+}  // namespace
+}  // namespace htvm::neuro

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "parcel/engine.h"
+#include "parcel/percolation.h"
+
+namespace htvm::parcel {
+namespace {
+
+rt::RuntimeOptions small_options(std::uint32_t nodes = 2,
+                                 std::uint32_t tus = 2) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = tus;
+  opts.config.node_memory_bytes = 1 << 20;
+  return opts;
+}
+
+// --------------------------------------------------------------- pack/unpack
+
+TEST(Payload, PackUnpackRoundTrip) {
+  struct Pod {
+    int a;
+    double b;
+  };
+  const Pod in{7, 2.5};
+  const Payload p = pack(in);
+  EXPECT_EQ(p.size(), sizeof(Pod));
+  const Pod out = unpack<Pod>(p);
+  EXPECT_EQ(out.a, 7);
+  EXPECT_DOUBLE_EQ(out.b, 2.5);
+}
+
+// -------------------------------------------------------------- ParcelEngine
+
+TEST(ParcelEngine, OneWayParcelReachesHandlerOnDestNode) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  std::atomic<int> received{0};
+  std::atomic<std::uint32_t> handler_node{99};
+  const HandlerId h = engine.register_handler(
+      "inc", [&](const Payload& p, std::uint32_t) -> Payload {
+        received += unpack<int>(p);
+        handler_node = rt::Runtime::current()->current_node();
+        return {};
+      });
+  engine.send(1, h, pack(5));
+  rt.wait_idle();
+  EXPECT_EQ(received.load(), 5);
+  EXPECT_EQ(handler_node.load(), 1u);
+}
+
+TEST(ParcelEngine, HandlerLookupByName) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  const HandlerId h = engine.register_handler(
+      "named", [](const Payload&, std::uint32_t) -> Payload { return {}; });
+  EXPECT_EQ(engine.handler_id("named"), h);
+}
+
+TEST(ParcelEngine, SplitTransactionRequestReply) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  const HandlerId square = engine.register_handler(
+      "square", [](const Payload& p, std::uint32_t) -> Payload {
+        const int v = unpack<int>(p);
+        return pack(v * v);
+      });
+  sync::Future<Payload> reply = engine.request(1, square, pack(9));
+  rt.wait_idle();
+  ASSERT_TRUE(reply.ready());
+  EXPECT_EQ(unpack<int>(reply.get()), 81);
+  EXPECT_EQ(engine.stats().replies.load(), 1u);
+}
+
+TEST(ParcelEngine, HandlerSeesSourceNode) {
+  // Steal scope none: the SGT must actually execute on node 2 so that the
+  // parcel's source node is deterministic.
+  rt::RuntimeOptions opts = small_options(3, 1);
+  opts.steal_scope = rt::StealScope::kNone;
+  rt::Runtime rt(opts);
+  ParcelEngine engine(rt);
+  std::atomic<std::uint32_t> seen_src{77};
+  const HandlerId h = engine.register_handler(
+      "src", [&](const Payload&, std::uint32_t src) -> Payload {
+        seen_src = src;
+        return {};
+      });
+  // Send from a task on node 2.
+  rt.spawn_sgt_on(2, [&] { engine.send(0, h, {}); });
+  rt.wait_idle();
+  EXPECT_EQ(seen_src.load(), 2u);
+}
+
+TEST(ParcelEngine, InvokeAtMovesWorkToData) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  // "The data": an array on node 1's memory. The work moves to it.
+  const mem::GlobalAddress data = rt.memory().alloc(1, 8 * sizeof(double));
+  auto* raw = static_cast<double*>(rt.memory().raw(data));
+  for (int i = 0; i < 8; ++i) raw[i] = i;
+  std::atomic<double> sum{0};
+  std::atomic<std::uint32_t> exec_node{99};
+  engine.invoke_at(1, 64, [&, data] {
+    exec_node = rt::Runtime::current()->current_node();
+    double s = 0;
+    auto* p = static_cast<const double*>(
+        rt::Runtime::current()->memory().raw(data));
+    for (int i = 0; i < 8; ++i) s += p[i];
+    sum = s;
+  });
+  rt.wait_idle();
+  EXPECT_EQ(exec_node.load(), 1u);
+  EXPECT_DOUBLE_EQ(sum.load(), 28.0);
+}
+
+TEST(ParcelEngine, ChainedParcelHops) {
+  // Parcel relay around all nodes: 0 -> 1 -> 2 -> 3 -> 0.
+  rt::Runtime rt(small_options(4, 1));
+  ParcelEngine engine(rt);
+  std::atomic<int> hops{0};
+  std::function<void(std::uint32_t)> hop = [&](std::uint32_t node) {
+    ++hops;
+    if (node != 0 || hops.load() == 1) {
+      const std::uint32_t next = (node + 1) % 4;
+      engine.invoke_at(next, 16, [&, next] { hop(next); });
+    }
+  };
+  engine.invoke_at(0, 16, [&] { hop(0); });
+  rt.wait_idle();
+  EXPECT_EQ(hops.load(), 5);  // 0,1,2,3,0
+}
+
+TEST(ParcelEngine, ManyConcurrentRequests) {
+  rt::Runtime rt(small_options(2, 2));
+  ParcelEngine engine(rt);
+  const HandlerId dbl = engine.register_handler(
+      "double", [](const Payload& p, std::uint32_t) -> Payload {
+        return pack(unpack<int>(p) * 2);
+      });
+  constexpr int kRequests = 200;
+  std::vector<sync::Future<Payload>> replies;
+  replies.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i)
+    replies.push_back(engine.request(i % 2, dbl, pack(i)));
+  rt.wait_idle();
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(replies[static_cast<std::size_t>(i)].ready());
+    EXPECT_EQ(unpack<int>(replies[static_cast<std::size_t>(i)].get()), 2 * i);
+  }
+  EXPECT_EQ(engine.stats().delivered.load(),
+            static_cast<std::uint64_t>(2 * kRequests));
+}
+
+TEST(ParcelEngine, LgtAwaitsSplitTransaction) {
+  // The canonical LITL-X pattern: an LGT issues a remote request and
+  // context-switches while the parcel is in flight.
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  const HandlerId h = engine.register_handler(
+      "fetch", [](const Payload&, std::uint32_t) -> Payload {
+        return pack(123);
+      });
+  std::atomic<int> got{0};
+  rt.spawn_lgt(0, [&] {
+    sync::Future<Payload> reply = engine.request(1, h, {});
+    got = unpack<int>(rt::Runtime::await(reply));
+  });
+  rt.wait_idle();
+  EXPECT_EQ(got.load(), 123);
+}
+
+TEST(ParcelEngine, LatencyInjectionDelaysDelivery) {
+  rt::RuntimeOptions opts = small_options(2, 1);
+  opts.cycle_ns = 500.0;  // exaggerate: ~10us per hop at default params
+  opts.config.network.inject_cycles = 1000;  // 0.5 ms injection cost
+  rt::Runtime rt(opts);
+  ParcelEngine engine(rt);
+  std::atomic<bool> delivered{false};
+  const auto start = std::chrono::steady_clock::now();
+  engine.invoke_at(1, 64, [&] { delivered = true; });
+  rt.wait_idle();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(delivered.load());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            400);  // at least the injection cost
+}
+
+TEST(ParcelEngine, StatsCountBytes) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  const HandlerId h = engine.register_handler(
+      "sink", [](const Payload&, std::uint32_t) -> Payload { return {}; });
+  engine.send(1, h, Payload(100));
+  engine.send(1, h, Payload(28));
+  rt.wait_idle();
+  EXPECT_EQ(engine.stats().sent.load(), 2u);
+  EXPECT_EQ(engine.stats().bytes.load(), 128u);
+}
+
+// --------------------------------------------------------------- Percolation
+
+TEST(Percolation, StagesInputsThenRunsTask) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+
+  const auto obj = objects.create(/*home=*/0, 64);
+  std::vector<char> init(64);
+  for (int i = 0; i < 64; ++i) init[static_cast<std::size_t>(i)] =
+      static_cast<char>(i);
+  objects.write(0, obj, init.data());
+
+  std::atomic<bool> saw_staged{false};
+  std::atomic<int> checksum{0};
+  perc.percolate_and_run(1, {obj}, [&] {
+    const std::byte* p = perc.staged(1, obj);
+    saw_staged = p != nullptr;
+    if (p != nullptr) {
+      int sum = 0;
+      for (int i = 0; i < 64; ++i) sum += static_cast<int>(p[i]);
+      checksum = sum;
+    }
+  });
+  rt.wait_idle();
+  EXPECT_TRUE(saw_staged.load());
+  EXPECT_EQ(checksum.load(), 63 * 64 / 2);
+  EXPECT_EQ(perc.stats().tasks_gated.load(), 1u);
+  EXPECT_EQ(perc.stats().bytes_staged.load(), 64u);
+}
+
+TEST(Percolation, EmptyInputsRunImmediately) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1024);
+  std::atomic<bool> ran{false};
+  perc.percolate_and_run(0, {}, [&] { ran = true; });
+  rt.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Percolation, MultipleInputsAllStagedBeforeTask) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+  std::vector<mem::ObjectSpace::ObjectId> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(objects.create(0, 128));
+  std::atomic<int> staged_count{0};
+  perc.percolate_and_run(1, inputs, [&] {
+    for (auto id : inputs)
+      if (perc.staged(1, id) != nullptr) ++staged_count;
+  });
+  rt.wait_idle();
+  EXPECT_EQ(staged_count.load(), 8);
+}
+
+TEST(Percolation, RepeatStagingHitsBuffer) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+  const auto obj = objects.create(0, 256);
+  for (int round = 0; round < 3; ++round) {
+    perc.percolate_and_run(1, {obj}, [] {});
+    rt.wait_idle();
+  }
+  EXPECT_EQ(perc.stats().stage_requests.load(), 3u);
+  EXPECT_EQ(perc.stats().buffer_hits.load(), 2u);
+  EXPECT_EQ(perc.stats().bytes_staged.load(), 256u);  // fetched once
+}
+
+TEST(Percolation, CapacityEvictionLruOrder) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, /*capacity=*/256);
+  const auto a = objects.create(0, 128);
+  const auto b = objects.create(0, 128);
+  const auto c = objects.create(0, 128);
+  perc.percolate_and_run(1, {a}, [] {});
+  rt.wait_idle();
+  perc.percolate_and_run(1, {b}, [] {});
+  rt.wait_idle();
+  EXPECT_EQ(perc.resident_bytes(1), 256u);
+  perc.percolate_and_run(1, {c}, [] {});  // evicts a (LRU)
+  rt.wait_idle();
+  EXPECT_EQ(perc.resident_bytes(1), 256u);
+  EXPECT_EQ(perc.staged(1, a), nullptr);
+  EXPECT_NE(perc.staged(1, b), nullptr);
+  EXPECT_NE(perc.staged(1, c), nullptr);
+  EXPECT_GE(perc.stats().evictions.load(), 1u);
+}
+
+TEST(Percolation, CodeBlockStagedBeforeTask) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+  const auto kernel =
+      perc.register_code_block("stencil_kernel", 4096, /*home=*/0);
+  const auto data = objects.create(0, 128);
+  std::atomic<bool> code_there{false};
+  std::atomic<bool> data_there{false};
+  perc.percolate_code_and_run(1, kernel, {data}, [&] {
+    code_there = perc.code_resident(1, kernel);
+    data_there = perc.staged(1, data) != nullptr;
+  });
+  rt.wait_idle();
+  EXPECT_TRUE(code_there.load());
+  EXPECT_TRUE(data_there.load());
+  EXPECT_EQ(perc.stats().bytes_staged.load(), 4096u + 128u);
+}
+
+TEST(Percolation, CodeBlockRestagingHitsBuffer) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+  const auto kernel = perc.register_code_block("k", 1024);
+  for (int round = 0; round < 3; ++round) {
+    perc.percolate_code_and_run(1, kernel, {}, [] {});
+    rt.wait_idle();
+  }
+  EXPECT_EQ(perc.stats().bytes_staged.load(), 1024u);  // fetched once
+  EXPECT_GE(perc.stats().buffer_hits.load(), 2u);
+}
+
+TEST(Percolation, CodeCompetesWithDataForCapacity) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, /*capacity=*/512);
+  const auto kernel = perc.register_code_block("fat_kernel", 384);
+  const auto a = objects.create(0, 256);
+  perc.percolate_and_run(1, {a}, [] {});
+  rt.wait_idle();
+  EXPECT_NE(perc.staged(1, a), nullptr);
+  // Staging the 384-byte kernel forces the 256-byte object out.
+  perc.percolate_code_and_run(1, kernel, {}, [] {});
+  rt.wait_idle();
+  EXPECT_TRUE(perc.code_resident(1, kernel));
+  EXPECT_EQ(perc.staged(1, a), nullptr);
+  EXPECT_LE(perc.resident_bytes(1), 512u);
+}
+
+TEST(Percolation, StagedCopyIsConsistentSnapshot) {
+  rt::Runtime rt(small_options());
+  ParcelEngine engine(rt);
+  mem::ObjectSpace objects(rt.memory(), {});
+  PercolationManager perc(rt, objects, 1 << 20);
+  const auto obj = objects.create(0, sizeof(std::int64_t));
+  const std::int64_t v = 42;
+  objects.write(0, obj, &v);
+  std::atomic<std::int64_t> seen{0};
+  perc.percolate_and_run(1, {obj}, [&] {
+    std::int64_t out;
+    std::memcpy(&out, perc.staged(1, obj), sizeof(out));
+    seen = out;
+  });
+  rt.wait_idle();
+  EXPECT_EQ(seen.load(), 42);
+}
+
+}  // namespace
+}  // namespace htvm::parcel

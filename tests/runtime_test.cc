@@ -1,0 +1,598 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.h"
+#include "runtime/fiber.h"
+#include "runtime/load_balancer.h"
+#include "runtime/runtime.h"
+
+namespace htvm::rt {
+namespace {
+
+RuntimeOptions small_options(std::uint32_t nodes = 2, std::uint32_t tus = 2,
+                             StealScope scope = StealScope::kGlobal) {
+  RuntimeOptions opts;
+  opts.config.nodes = nodes;
+  opts.config.thread_units_per_node = tus;
+  opts.config.node_memory_bytes = 1 << 20;
+  opts.steal_scope = scope;
+  return opts;
+}
+
+// ------------------------------------------------------------------ WsDeque
+
+TEST(WsDeque, OwnerLifoOrder) {
+  WsDeque<int*> dq;
+  int items[3] = {1, 2, 3};
+  for (int& i : items) dq.push(&i);
+  EXPECT_EQ(dq.pop().value(), &items[2]);
+  EXPECT_EQ(dq.pop().value(), &items[1]);
+  EXPECT_EQ(dq.pop().value(), &items[0]);
+  EXPECT_FALSE(dq.pop().has_value());
+}
+
+TEST(WsDeque, StealTakesOldest) {
+  WsDeque<int*> dq;
+  int items[3] = {1, 2, 3};
+  for (int& i : items) dq.push(&i);
+  EXPECT_EQ(dq.steal().value(), &items[0]);
+  EXPECT_EQ(dq.pop().value(), &items[2]);
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<std::size_t*> dq(4);
+  std::vector<std::size_t> items(1000);
+  for (auto& i : items) dq.push(&i);
+  EXPECT_EQ(dq.size_estimate(), 1000u);
+  for (std::size_t i = 1000; i-- > 0;) EXPECT_EQ(dq.pop().value(), &items[i]);
+}
+
+TEST(WsDeque, EmptyStealFails) {
+  WsDeque<int*> dq;
+  EXPECT_FALSE(dq.steal().has_value());
+  int x;
+  dq.push(&x);
+  dq.pop();
+  EXPECT_FALSE(dq.steal().has_value());
+}
+
+TEST(WsDeque, ConcurrentStealersGetEveryItemExactlyOnce) {
+  constexpr std::size_t kItems = 50000;
+  constexpr int kThieves = 3;
+  WsDeque<std::size_t*> dq;
+  std::vector<std::size_t> items(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) items[i] = i;
+
+  std::vector<std::vector<std::size_t>> stolen(kThieves + 1);
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!start.load()) {
+      }
+      while (!done.load()) {
+        if (auto v = dq.steal())
+          stolen[static_cast<std::size_t>(t)].push_back(**v);
+      }
+      // Final sweep after the owner finished.
+      while (auto v = dq.steal())
+        stolen[static_cast<std::size_t>(t)].push_back(**v);
+    });
+  }
+  start = true;
+  // Owner interleaves pushes and pops.
+  for (std::size_t i = 0; i < kItems; ++i) {
+    dq.push(&items[i]);
+    if (i % 3 == 0) {
+      if (auto v = dq.pop()) stolen[kThieves].push_back(**v);
+    }
+  }
+  while (auto v = dq.pop()) stolen[kThieves].push_back(**v);
+  done = true;
+  for (auto& t : thieves) t.join();
+
+  std::vector<std::size_t> all;
+  for (const auto& v : stolen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kItems);  // nothing lost, nothing duplicated
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(all[i], i);
+}
+
+// -------------------------------------------------------------------- Fiber
+
+TEST(Fiber, RunsToCompletion) {
+  bool ran = false;
+  Fiber f([&] { ran = true; });
+  EXPECT_FALSE(f.started());
+  f.resume();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* observed = nullptr;
+  Fiber f([&] { observed = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(observed, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, StackLocalStateSurvivesYield) {
+  int result = 0;
+  Fiber f([&] {
+    int local = 10;
+    Fiber::yield();
+    local += 5;
+    Fiber::yield();
+    result = local;
+  });
+  f.resume();
+  f.resume();
+  f.resume();
+  EXPECT_EQ(result, 15);
+}
+
+TEST(Fiber, ResumableFromDifferentThread) {
+  // LGT migration: a fiber suspended on one OS thread continues on another.
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(2);
+  });
+  f.resume();
+  std::thread other([&] { f.resume(); });
+  other.join();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Fiber, DeepStackUse) {
+  // Recursion that needs a real stack (would smash a tiny one).
+  std::function<int(int)> fib = [&](int n) {
+    return n < 2 ? n : fib(n - 1) + fib(n - 2);
+  };
+  int out = 0;
+  Fiber f([&] { out = fib(18); }, /*stack_bytes=*/512 * 1024);
+  f.resume();
+  EXPECT_EQ(out, 2584);
+}
+
+// ------------------------------------------------------------------ Runtime
+
+TEST(Runtime, SgtRunsAndWaitIdle) {
+  Runtime rt(small_options());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) rt.spawn_sgt([&] { ++count; });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(rt.outstanding(), 0u);
+}
+
+TEST(Runtime, SgtNestedSpawns) {
+  Runtime rt(small_options());
+  std::atomic<int> count{0};
+  rt.spawn_sgt([&] {
+    for (int i = 0; i < 10; ++i) {
+      Runtime::current()->spawn_sgt([&] {
+        ++count;
+        Runtime::current()->spawn_sgt([&] { ++count; });
+      });
+    }
+  });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Runtime, SpawnSgtOnTargetsNode) {
+  Runtime rt(small_options(2, 2, StealScope::kNone));
+  std::atomic<int> on_node1{0};
+  for (int i = 0; i < 20; ++i) {
+    rt.spawn_sgt_on(1, [&] {
+      if (Runtime::current()->current_node() == 1) ++on_node1;
+    });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(on_node1.load(), 20);
+}
+
+TEST(Runtime, WorkIsStolenAcrossWorkers) {
+  Runtime rt(small_options(1, 4));
+  std::atomic<int> count{0};
+  // One external spawn seeds node 0's inject queue; the first worker to
+  // grab it spawns children into its own deque; others must steal.
+  rt.spawn_sgt([&] {
+    for (int i = 0; i < 200; ++i) {
+      Runtime::current()->spawn_sgt([&] {
+        ++count;
+        machine::spin_for_ns(50'000);
+      });
+    }
+  });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GT(rt.aggregate_stats().steals, 0u);
+}
+
+TEST(Runtime, TgtRunsOnSameWorkerAfterCurrentTask) {
+  Runtime rt(small_options(1, 2));
+  std::atomic<std::int32_t> sgt_worker{-2};
+  std::atomic<std::int32_t> tgt_worker{-3};
+  rt.spawn_sgt([&] {
+    sgt_worker = Runtime::current_worker();
+    Runtime::current()->spawn_tgt(
+        [&] { tgt_worker = Runtime::current_worker(); });
+  });
+  rt.wait_idle();
+  EXPECT_EQ(sgt_worker.load(), tgt_worker.load());
+}
+
+TEST(Runtime, TgtLifoOrder) {
+  Runtime rt(small_options(1, 1));
+  std::vector<int> order;
+  rt.spawn_sgt([&] {
+    Runtime* r = Runtime::current();
+    r->spawn_tgt([&] { order.push_back(1); });
+    r->spawn_tgt([&] { order.push_back(2); });
+    r->spawn_tgt([&] { order.push_back(3); });
+  });
+  rt.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Runtime, TgtAfterSyncSlotFiresWhenSignaled) {
+  Runtime rt(small_options(1, 2));
+  sync::SyncSlot slot;
+  std::atomic<bool> fired{false};
+  rt.spawn_tgt_after(slot, 3, [&] { fired = true; });
+  rt.spawn_sgt([&] { slot.signal(); });
+  rt.spawn_sgt([&] { slot.signal(); });
+  rt.wait_idle();
+  EXPECT_FALSE(fired.load());  // only two signals so far
+  rt.spawn_sgt([&] { slot.signal(); });
+  rt.wait_idle();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(Runtime, DataflowDiamondViaSlots) {
+  // a -> (b, c) -> d, EARTH style: d enabled only after both b and c.
+  Runtime rt(small_options(1, 2));
+  sync::SyncSlot d_ready;
+  std::atomic<int> bc_done{0};
+  std::atomic<bool> d_saw_both{false};
+  rt.spawn_tgt_after(d_ready, 2, [&] { d_saw_both = bc_done.load() == 2; });
+  rt.spawn_sgt([&] {
+    Runtime* r = Runtime::current();
+    r->spawn_sgt([&] {
+      ++bc_done;
+      d_ready.signal();
+    });
+    r->spawn_sgt([&] {
+      ++bc_done;
+      d_ready.signal();
+    });
+  });
+  rt.wait_idle();
+  EXPECT_TRUE(d_saw_both.load());
+}
+
+TEST(Runtime, LgtRunsInFiberAndYields) {
+  Runtime rt(small_options(1, 1));
+  std::vector<int> order;
+  rt.spawn_lgt(0, [&] {
+    order.push_back(1);
+    Runtime::yield();
+    order.push_back(2);
+  });
+  rt.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Runtime, TwoLgtsInterleaveOnOneWorker) {
+  // Coarse-grain multithreading: while LGT A is between yields, LGT B runs
+  // on the same worker. Hold the single worker on a gate until both LGTs
+  // are enqueued, so the interleaving is deterministic.
+  Runtime rt(small_options(1, 1));
+  std::vector<int> order;
+  std::atomic<bool> gate{false};
+  rt.spawn_sgt([&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  rt.spawn_lgt(0, [&] {
+    order.push_back(10);
+    Runtime::yield();
+    order.push_back(11);
+  });
+  rt.spawn_lgt(0, [&] {
+    order.push_back(20);
+    Runtime::yield();
+    order.push_back(21);
+  });
+  gate.store(true, std::memory_order_release);
+  rt.wait_idle();
+  ASSERT_EQ(order.size(), 4u);
+  // A yielded before B started or interleaved; either way B's first half
+  // must appear between A's halves (single worker, FIFO LGT queue).
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21}));
+}
+
+TEST(Runtime, AwaitSuspendsLgtUntilFutureSet) {
+  Runtime rt(small_options(1, 1));
+  sync::Future<int> f;
+  std::atomic<int> got{0};
+  std::atomic<bool> producer_ran{false};
+  rt.spawn_lgt(0, [&] {
+    got = Runtime::await(f);  // blocks the fiber, frees the worker
+  });
+  rt.spawn_sgt([&] {
+    producer_ran = true;
+    f.set(99);
+  });
+  rt.wait_idle();
+  EXPECT_TRUE(producer_ran.load());
+  EXPECT_EQ(got.load(), 99);
+}
+
+TEST(Runtime, AwaitReadyFutureDoesNotBlock) {
+  Runtime rt(small_options(1, 1));
+  sync::Future<int> f;
+  f.set(5);
+  std::atomic<int> got{0};
+  rt.spawn_lgt(0, [&] { got = Runtime::await(f); });
+  rt.wait_idle();
+  EXPECT_EQ(got.load(), 5);
+}
+
+TEST(Runtime, AwaitFromExternalThreadFallsBackToBlockingGet) {
+  sync::Future<int> f;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    f.set(3);
+  });
+  EXPECT_EQ(Runtime::await(f), 3);
+  producer.join();
+}
+
+TEST(Runtime, ManyLgtsWithFuturesDrain) {
+  Runtime rt(small_options(2, 2));
+  constexpr int kLgts = 16;
+  std::vector<sync::Future<int>> futures(kLgts);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < kLgts; ++i) {
+    rt.spawn_lgt(static_cast<std::uint32_t>(i % 2), [&, i] {
+      sum += Runtime::await(futures[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (int i = 0; i < kLgts; ++i) {
+    rt.spawn_sgt([&, i] { futures[static_cast<std::size_t>(i)].set(i); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(sum.load(), kLgts * (kLgts - 1) / 2);
+}
+
+TEST(Runtime, PipelineOfLgtsThroughFutures) {
+  // LGT chain: each stage awaits the previous stage's output.
+  Runtime rt(small_options(1, 2));
+  constexpr int kStages = 8;
+  std::vector<sync::Future<int>> links(kStages + 1);
+  for (int s = 0; s < kStages; ++s) {
+    rt.spawn_lgt(0, [&, s] {
+      const int v = Runtime::await(links[static_cast<std::size_t>(s)]);
+      links[static_cast<std::size_t>(s) + 1].set(v + 1);
+    });
+  }
+  links[0].set(0);
+  rt.wait_idle();
+  EXPECT_EQ(links[kStages].get(), kStages);
+}
+
+TEST(Runtime, HierarchyLgtSpawnsSgtsSpawnTgts) {
+  Runtime rt(small_options(2, 2));
+  std::atomic<int> tgts{0};
+  std::atomic<int> sgts{0};
+  rt.spawn_lgt(0, [&] {
+    Runtime* r = Runtime::current();
+    for (int i = 0; i < 8; ++i) {
+      r->spawn_sgt([&] {
+        ++sgts;
+        for (int j = 0; j < 4; ++j)
+          Runtime::current()->spawn_tgt([&] { ++tgts; });
+      });
+    }
+  });
+  rt.wait_idle();
+  EXPECT_EQ(sgts.load(), 8);
+  EXPECT_EQ(tgts.load(), 32);
+  const WorkerStats agg = rt.aggregate_stats();
+  EXPECT_EQ(agg.tgts_executed, 32u);
+  EXPECT_GE(agg.sgts_executed, 8u);
+  EXPECT_GE(agg.lgt_resumes, 1u);
+}
+
+TEST(Runtime, StealScopeNoneKeepsWorkOnSpawningWorker) {
+  Runtime rt(small_options(1, 4, StealScope::kNone));
+  std::atomic<int> count{0};
+  rt.spawn_sgt([&] {
+    for (int i = 0; i < 50; ++i)
+      Runtime::current()->spawn_sgt([&] { ++count; });
+  });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(rt.aggregate_stats().steals, 0u);
+}
+
+TEST(Runtime, NodeScopeNeverStealsAcrossNodes) {
+  Runtime rt(small_options(2, 2, StealScope::kNode));
+  std::atomic<int> wrong_node{0};
+  rt.spawn_sgt_on(1, [&] {
+    for (int i = 0; i < 100; ++i) {
+      Runtime::current()->spawn_sgt([&] {
+        if (Runtime::current()->current_node() != 1) ++wrong_node;
+        machine::spin_for_ns(10'000);
+      });
+    }
+  });
+  rt.wait_idle();
+  EXPECT_EQ(wrong_node.load(), 0);
+}
+
+TEST(Runtime, CurrentWorkerIsMinusOneExternally) {
+  EXPECT_EQ(Runtime::current_worker(), -1);
+  EXPECT_EQ(Runtime::current(), nullptr);
+  Runtime rt(small_options(1, 1));
+  std::atomic<std::int32_t> inside{-5};
+  rt.spawn_sgt([&] { inside = Runtime::current_worker(); });
+  rt.wait_idle();
+  EXPECT_GE(inside.load(), 0);
+}
+
+TEST(Runtime, MaxWorkersCapRespectsNodes) {
+  RuntimeOptions opts = small_options(2, 8);
+  opts.max_workers = 2;
+  Runtime rt(opts);
+  EXPECT_EQ(rt.num_workers(), 2u);  // one per node, never below
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) rt.spawn_sgt_on(1, [&] { ++count; });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Runtime, PollersRunOnIdleWorkers) {
+  Runtime rt(small_options(1, 1));
+  std::atomic<int> polled{0};
+  rt.add_poller([&](std::uint32_t) {
+    ++polled;
+    return false;
+  });
+  rt.spawn_sgt([] {});
+  rt.wait_idle();
+  // The idle loop calls pollers while hunting for work.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GT(polled.load(), 0);
+}
+
+TEST(Runtime, StressManySmallTasks) {
+  Runtime rt(small_options(2, 2));
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kTasks = 20000;
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn_sgt([&sum, i] { sum += static_cast<std::uint64_t>(i); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(Runtime, FrameAllocatorsPerNode) {
+  Runtime rt(small_options(2, 1));
+  void* f0 = rt.frames(0).allocate(128);
+  void* f1 = rt.frames(1).allocate(128);
+  EXPECT_NE(f0, nullptr);
+  EXPECT_NE(f1, nullptr);
+  rt.frames(0).release(f0, 128);
+  rt.frames(1).release(f1, 128);
+}
+
+TEST(Runtime, GlobalMemoryAccessibleFromTasks) {
+  Runtime rt(small_options(2, 1));
+  const mem::GlobalAddress addr = rt.memory().alloc(1, sizeof(std::int64_t));
+  rt.spawn_sgt_on(0, [&] {
+    Runtime::current()->memory().store<std::int64_t>(0, addr, 42);
+  });
+  rt.wait_idle();
+  EXPECT_EQ(rt.memory().load<std::int64_t>(1, addr), 42);
+}
+
+// ------------------------------------------------------------ LoadBalancer
+
+TEST(LoadBalancer, MovesLgtsFromLoadedToIdleNode) {
+  // Workers parked: pile LGTs onto node 0's queue faster than one worker
+  // drains them, then rebalance explicitly.
+  RuntimeOptions opts = small_options(2, 1, StealScope::kNone);
+  Runtime rt(opts);
+  std::atomic<int> ran_on_node1{0};
+  std::atomic<bool> release{false};
+  // Occupy node 0's single worker so its LGT queue backs up.
+  rt.spawn_sgt_on(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 8; ++i) {
+    rt.spawn_lgt(0, [&] {
+      if (Runtime::current()->current_node() == 1) ++ran_on_node1;
+    });
+  }
+  LoadBalancer balancer(rt, {});
+  std::uint32_t moved = 0;
+  for (int round = 0; round < 4; ++round) moved += balancer.rebalance_once();
+  release = true;
+  rt.wait_idle();
+  EXPECT_GT(moved, 0u);
+  EXPECT_GT(ran_on_node1.load(), 0);
+  EXPECT_EQ(balancer.total_moves(), moved);
+}
+
+TEST(LoadBalancer, NoMovesWhenBalanced) {
+  Runtime rt(small_options(2, 1, StealScope::kNone));
+  LoadBalancer balancer(rt, {});
+  EXPECT_EQ(balancer.rebalance_once(), 0u);
+}
+
+TEST(LoadBalancer, BackgroundThreadStartsAndStops) {
+  Runtime rt(small_options(2, 1, StealScope::kNone));
+  LoadBalancer balancer(rt, {});
+  balancer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  balancer.stop();
+}
+
+TEST(Runtime, MigrateOneLgtMovesReadyFiber) {
+  RuntimeOptions opts = small_options(2, 1, StealScope::kNone);
+  Runtime rt(opts);
+  std::atomic<bool> hold{true};
+  std::atomic<std::uint32_t> observed_node{99};
+  rt.spawn_sgt_on(0, [&] {
+    while (hold.load()) std::this_thread::yield();
+  });
+  rt.spawn_lgt(0, [&] {
+    observed_node = Runtime::current()->current_node();
+  });
+  // The LGT is parked on node 0 (its worker is busy); move it to node 1.
+  bool moved = false;
+  for (int i = 0; i < 100 && !moved; ++i) {
+    moved = rt.migrate_one_lgt(0, 1);
+    if (!moved) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hold = false;
+  rt.wait_idle();
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(observed_node.load(), 1u);
+}
+
+}  // namespace
+}  // namespace htvm::rt

@@ -1,0 +1,522 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "ssp/codegen.h"
+#include "ssp/dependence.h"
+#include "ssp/hybrid.h"
+#include "ssp/loop_nest.h"
+#include "ssp/modulo_schedule.h"
+#include "ssp/resource_model.h"
+#include "ssp/simulate.h"
+#include "ssp/ssp.h"
+
+namespace htvm::ssp {
+namespace {
+
+// ----------------------------------------------------------------- LoopNest
+
+TEST(LoopNest, ValidNestPassesValidation) {
+  EXPECT_EQ(make_matmul_nest(8, 8, 8).validate(), "");
+  EXPECT_EQ(make_stencil_nest(16, 16).validate(), "");
+  EXPECT_EQ(make_recurrence_nest(32, 8).validate(), "");
+  EXPECT_EQ(make_short_inner_nest(64, 4).validate(), "");
+}
+
+TEST(LoopNest, RejectsBadTripCounts) {
+  LoopNest nest("bad", {4, 0});
+  nest.add_op("x", 0, 1);
+  EXPECT_NE(nest.validate(), "");
+}
+
+TEST(LoopNest, RejectsNegativeLexDistance) {
+  LoopNest nest("bad", {4, 4});
+  const auto a = nest.add_op("a", 0, 1);
+  const auto b = nest.add_op("b", 0, 1);
+  nest.add_dep(a, b, {-1, 0});
+  EXPECT_NE(nest.validate(), "");
+}
+
+TEST(LoopNest, RejectsWrongRankDistance) {
+  LoopNest nest("bad", {4, 4});
+  const auto a = nest.add_op("a", 0, 1);
+  nest.add_dep(a, a, {1});
+  EXPECT_NE(nest.validate(), "");
+}
+
+TEST(LoopNest, RejectsZeroSelfDependence) {
+  LoopNest nest("bad", {4});
+  const auto a = nest.add_op("a", 0, 1);
+  nest.add_dep(a, a, {0});
+  EXPECT_NE(nest.validate(), "");
+}
+
+TEST(LoopNest, InnerOuterProducts) {
+  const LoopNest nest = make_matmul_nest(2, 3, 5);
+  EXPECT_EQ(nest.outer_product(0), 1);
+  EXPECT_EQ(nest.inner_product(0), 15);
+  EXPECT_EQ(nest.outer_product(1), 2);
+  EXPECT_EQ(nest.inner_product(1), 5);
+  EXPECT_EQ(nest.outer_product(2), 6);
+  EXPECT_EQ(nest.inner_product(2), 1);
+}
+
+// --------------------------------------------------------------- dependence
+
+TEST(Dependence, ProjectionDropsOuterCarried) {
+  const LoopNest nest = make_stencil_nest(8, 8);
+  // store -> load_n carried at level 0: pipelining level 1 drops it.
+  const auto deps1 = project_deps(nest, 1);
+  for (const Dep1D& d : deps1)
+    EXPECT_FALSE(d.src == 5 && d.dst == 2)
+        << "outer-carried dep must be dropped";
+  // Pipelining level 0 keeps it with distance 1.
+  const auto deps0 = project_deps(nest, 0);
+  bool found = false;
+  for (const Dep1D& d : deps0)
+    if (d.src == 5 && d.dst == 2) {
+      found = true;
+      EXPECT_EQ(d.distance, 1);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dependence, InnerCarriedIsDroppedFromKernelConstraints) {
+  const LoopNest nest = make_recurrence_nest(16, 8);
+  // store -> load carried at level 1; pipelining level 0 drops it: the
+  // SSP rotation gap (S*II between successive reps of a slice) satisfies
+  // it by construction, which is why SSP escapes the inner recurrence.
+  const auto deps0 = project_deps(nest, 0);
+  for (const Dep1D& d : deps0)
+    EXPECT_FALSE(d.src == 3 && d.dst == 0)
+        << "inner-carried dep must not constrain the level-0 kernel";
+  EXPECT_FALSE(level_carries_dependence(deps0));
+  EXPECT_TRUE(level_carries_dependence(project_deps(nest, 1)));
+  // The timing audit confirms the dropped dependence still holds in the
+  // final schedule.
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(verify_plan_timing(nest, plan), 0u);
+}
+
+TEST(Dependence, ResMiiFromBusiestClass) {
+  const auto model = ResourceModel::itanium_like();  // 2 mem, 2 fp, 2 int
+  const LoopNest mm = make_matmul_nest(4, 4, 4);  // 3 mem ops, 2 fp
+  EXPECT_EQ(res_mii(mm, model), 2u);  // ceil(3/2)
+  const auto narrow = ResourceModel::narrow();
+  EXPECT_EQ(res_mii(mm, narrow), 3u);  // 3 mem ops / 1 port
+}
+
+TEST(Dependence, RecMiiOfSimpleRecurrence) {
+  // a -> a with latency 6, distance 1: RecMII = 6.
+  std::vector<Dep1D> deps{{0, 0, 6, 1}};
+  EXPECT_EQ(rec_mii(1, deps), 6u);
+  EXPECT_FALSE(ii_feasible(1, deps, 5));
+  EXPECT_TRUE(ii_feasible(1, deps, 6));
+}
+
+TEST(Dependence, RecMiiOfMultiOpCycle) {
+  // a -(4)-> b -(6)-> a with total distance 2: RecMII = ceil(10/2) = 5.
+  std::vector<Dep1D> deps{{0, 1, 4, 1}, {1, 0, 6, 1}};
+  EXPECT_EQ(rec_mii(2, deps), 5u);
+}
+
+TEST(Dependence, AcyclicDepsGiveRecMiiOne) {
+  std::vector<Dep1D> deps{{0, 1, 9, 0}, {1, 2, 9, 0}};
+  EXPECT_EQ(rec_mii(3, deps), 1u);
+}
+
+// ---------------------------------------------------------- modulo schedule
+
+class ScheduleLegality
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+LoopNest nest_by_name(const std::string& name) {
+  if (name == "matmul") return make_matmul_nest(6, 6, 6);
+  if (name == "stencil") return make_stencil_nest(12, 12);
+  if (name == "recurrence") return make_recurrence_nest(24, 6);
+  return make_short_inner_nest(48, 3);
+}
+
+TEST_P(ScheduleLegality, RespectsDependencesAndResources) {
+  const auto& [name, level] = GetParam();
+  const LoopNest nest = nest_by_name(name);
+  if (static_cast<std::size_t>(level) >= nest.levels()) GTEST_SKIP();
+  const auto model = ResourceModel::itanium_like();
+  const auto deps = project_deps(nest, static_cast<std::size_t>(level));
+  const KernelSchedule kernel = modulo_schedule(nest.ops(), deps, model);
+  ASSERT_TRUE(kernel.ok) << name << " level " << level;
+  EXPECT_TRUE(kernel.respects(deps));
+  // Resource legality: simulate many overlapped iterations; zero conflicts.
+  const LevelPlan plan =
+      plan_level(nest, static_cast<std::size_t>(level), model);
+  const SimulationResult sim = simulate_group(nest, kernel, 4, 8, model);
+  EXPECT_EQ(sim.conflicts, 0u) << name << " level " << level;
+  EXPECT_GE(kernel.ii, res_mii(nest, model));
+  (void)plan;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NestSuite, ScheduleLegality,
+    ::testing::Combine(::testing::Values("matmul", "stencil", "recurrence",
+                                         "short_inner"),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) + "_L" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ModuloSchedule, AchievesMiiOnIndependentBody) {
+  const LoopNest nest = make_short_inner_nest(8, 8);
+  const auto model = ResourceModel::itanium_like();
+  const auto deps = project_deps(nest, 1);
+  const KernelSchedule kernel = modulo_schedule(nest.ops(), deps, model);
+  ASSERT_TRUE(kernel.ok);
+  // 3 mem ops on 2 ports -> ResMII 2; no recurrences -> II should be 2.
+  EXPECT_EQ(kernel.ii, 2u);
+}
+
+TEST(ModuloSchedule, RecurrenceBoundsInnermostII) {
+  const LoopNest nest = make_recurrence_nest(8, 64);
+  const auto model = ResourceModel::itanium_like();
+  const auto deps = project_deps(nest, 1);
+  const KernelSchedule kernel = modulo_schedule(nest.ops(), deps, model);
+  ASSERT_TRUE(kernel.ok);
+  // Cycle load(4) -> mul(6) -> add(4) -> store(1) -> load, distance 1:
+  // RecMII = 15.
+  EXPECT_EQ(kernel.ii, 15u);
+}
+
+TEST(ModuloSchedule, EmptyOpsFails) {
+  const auto model = ResourceModel::itanium_like();
+  EXPECT_FALSE(modulo_schedule({}, {}, model).ok);
+}
+
+TEST(ModuloSchedule, StagesCoverSpan) {
+  const LoopNest nest = make_matmul_nest(4, 4, 4);
+  const auto model = ResourceModel::itanium_like();
+  const auto deps = project_deps(nest, 2);
+  const KernelSchedule k = modulo_schedule(nest.ops(), deps, model);
+  ASSERT_TRUE(k.ok);
+  EXPECT_EQ(k.stages, (k.span + k.ii - 1) / k.ii);
+  EXPECT_GT(k.stages, 0u);
+}
+
+// ---------------------------------------------------------------- SSP plans
+
+TEST(Ssp, OuterLevelBeatsInnermostOnInnerRecurrence) {
+  // The flagship SSP result: an inner-carried recurrence inflates the
+  // innermost II; pipelining the (independent) outer level is resource-
+  // bound instead and much faster.
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan inner = innermost_plan(nest, model);
+  const LevelPlan outer = plan_level(nest, 0, model);
+  ASSERT_TRUE(inner.ok);
+  ASSERT_TRUE(outer.ok);
+  EXPECT_GT(inner.kernel.ii, outer.kernel.ii);
+  EXPECT_LT(outer.predicted_cycles, inner.predicted_cycles);
+  const LevelPlan best = choose_level(nest, model);
+  EXPECT_EQ(best.level, 0u);
+}
+
+TEST(Ssp, ShortInnerTripFavorsOuterLevel) {
+  const LoopNest nest = make_short_inner_nest(256, 2);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan best = choose_level(nest, model);
+  ASSERT_TRUE(best.ok);
+  EXPECT_EQ(best.level, 0u);
+  const LevelPlan inner = innermost_plan(nest, model);
+  EXPECT_LT(best.predicted_cycles, inner.predicted_cycles);
+}
+
+TEST(Ssp, PipeliningBeatsSequentialEverywhere) {
+  const auto model = ResourceModel::itanium_like();
+  for (const auto* name : {"matmul", "stencil", "recurrence", "short_inner"}) {
+    const LoopNest nest = nest_by_name(name);
+    const LevelPlan best = choose_level(nest, model);
+    ASSERT_TRUE(best.ok) << name;
+    EXPECT_LT(best.predicted_cycles, sequential_cycles(nest)) << name;
+  }
+}
+
+TEST(Ssp, ChoosesSomeLevelForEveryNest) {
+  const auto model = ResourceModel::narrow();
+  for (const auto* name : {"matmul", "stencil", "recurrence", "short_inner"}) {
+    const LevelPlan best = choose_level(nest_by_name(name), model);
+    EXPECT_TRUE(best.ok) << name;
+  }
+}
+
+TEST(Ssp, UtilizationWithinUnitInterval) {
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = choose_level(make_matmul_nest(8, 8, 8), model);
+  ASSERT_TRUE(plan.ok);
+  EXPECT_GT(plan.predicted_utilization, 0.0);
+  EXPECT_LE(plan.predicted_utilization, 1.0);
+}
+
+TEST(Ssp, RegisterPressurePositiveForEveryPlan) {
+  const auto model = ResourceModel::itanium_like();
+  for (const auto* name : {"matmul", "stencil", "recurrence", "short_inner"}) {
+    const LoopNest nest = nest_by_name(name);
+    const LevelPlan plan = choose_level(nest, model);
+    ASSERT_TRUE(plan.ok) << name;
+    EXPECT_GE(plan.register_pressure, nest.ops().size()) << name;
+  }
+}
+
+TEST(Ssp, DeeperPipelinesNeedMoreRegisters) {
+  // The recurrence nest at level 0 pipelines at II=1 with 15 stages; the
+  // innermost plan crawls at II=15 with 1 stage. Lifetime/II is therefore
+  // much larger for the aggressive plan.
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan outer = plan_level(nest, 0, model);
+  const LevelPlan inner = innermost_plan(nest, model);
+  ASSERT_TRUE(outer.ok && inner.ok);
+  EXPECT_GT(outer.register_pressure, inner.register_pressure);
+}
+
+TEST(Ssp, RegisterBudgetRedirectsLevelChoice) {
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan unconstrained = choose_level(nest, model);
+  EXPECT_EQ(unconstrained.level, 0u);
+  // A budget below the aggressive plan's demand forces the cheaper level.
+  const std::uint32_t tight = unconstrained.register_pressure - 1;
+  const LevelPlan constrained = choose_level(nest, model, tight);
+  ASSERT_TRUE(constrained.ok);
+  EXPECT_NE(constrained.level, 0u);
+  EXPECT_LE(constrained.register_pressure, tight);
+}
+
+TEST(Ssp, ImpossibleBudgetFallsBackToLowestPressure) {
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = choose_level(nest, model, /*max_registers=*/1);
+  ASSERT_TRUE(plan.ok);  // fallback still yields a usable plan
+  // It must be the lowest-pressure level available.
+  std::uint32_t lowest = ~0u;
+  for (std::size_t l = 0; l < nest.levels(); ++l) {
+    const LevelPlan p = plan_level(nest, l, model);
+    if (p.ok) lowest = std::min(lowest, p.register_pressure);
+  }
+  EXPECT_EQ(plan.register_pressure, lowest);
+}
+
+TEST(Ssp, PressureCountsLoopCarriedLifetimes) {
+  // One op feeding itself across an iteration at distance 1 with a long
+  // latency must hold multiple rotating copies live.
+  std::vector<Op> ops{{"acc", 1, 8}};
+  std::vector<Dep1D> deps{{0, 0, 8, 1}};
+  const auto model = ResourceModel::itanium_like();
+  const KernelSchedule k = modulo_schedule(ops, deps, model);
+  ASSERT_TRUE(k.ok);
+  EXPECT_EQ(k.ii, 8u);  // RecMII = 8/1
+  EXPECT_EQ(estimate_register_pressure(ops, deps, k), 1u);
+}
+
+TEST(Ssp, DescribeMentionsChosenLevel) {
+  const auto model = ResourceModel::itanium_like();
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const std::string text = describe(nest, choose_level(nest, model));
+  EXPECT_NE(text.find("level=0"), std::string::npos);
+  EXPECT_NE(text.find("II="), std::string::npos);
+}
+
+// --------------------------------------------------------------- simulation
+
+TEST(Simulate, MatchesAnalyticModelOnGroup) {
+  const LoopNest nest = make_short_inner_nest(64, 8);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  ASSERT_TRUE(plan.ok);
+  const std::uint32_t s = plan.kernel.stages;
+  const auto p = static_cast<std::uint64_t>(nest.inner_product(0));
+  const SimulationResult sim =
+      simulate_group(nest, plan.kernel, s, p, model);
+  EXPECT_EQ(sim.conflicts, 0u);
+  // Exact group makespan: last point issues at (S*P - 1)*II, finishes
+  // span cycles after its base.
+  const std::uint64_t analytic =
+      plan.kernel.ii * (static_cast<std::uint64_t>(s) * p - 1) +
+      plan.kernel.span;
+  EXPECT_EQ(sim.cycles, analytic);
+}
+
+TEST(Simulate, FullPlanConflictFree) {
+  const auto model = ResourceModel::itanium_like();
+  for (const auto* name : {"matmul", "stencil", "recurrence", "short_inner"}) {
+    const LoopNest nest = nest_by_name(name);
+    const LevelPlan plan = choose_level(nest, model);
+    const SimulationResult sim = simulate_plan(nest, plan, model);
+    EXPECT_EQ(sim.conflicts, 0u) << name;
+    EXPECT_EQ(verify_plan_timing(nest, plan), 0u) << name;
+    EXPECT_GT(sim.cycles, 0u) << name;
+    EXPECT_GT(sim.utilization, 0.0) << name;
+    EXPECT_LE(sim.utilization, 1.0) << name;
+  }
+}
+
+TEST(Simulate, SspSimulatedFasterThanInnermostSimulated) {
+  const LoopNest nest = make_recurrence_nest(64, 64);
+  const auto model = ResourceModel::itanium_like();
+  const auto ssp_sim = simulate_plan(nest, plan_level(nest, 0, model), model);
+  const auto inner_sim =
+      simulate_plan(nest, innermost_plan(nest, model), model);
+  EXPECT_LT(ssp_sim.cycles, inner_sim.cycles);
+}
+
+// ------------------------------------------------------------------ codegen
+
+TEST(Codegen, AllocationMatchesPressureEstimate) {
+  const auto model = ResourceModel::itanium_like();
+  for (const auto* name : {"matmul", "stencil", "recurrence", "short_inner"}) {
+    const LoopNest nest = nest_by_name(name);
+    const LevelPlan plan = choose_level(nest, model);
+    ASSERT_TRUE(plan.ok) << name;
+    const auto deps = project_deps(nest, plan.level);
+    const RegisterAssignment regs =
+        allocate_rotating_registers(nest.ops(), deps, plan.kernel);
+    ASSERT_TRUE(regs.ok) << name << ": " << regs.error;
+    EXPECT_EQ(regs.registers_used, plan.register_pressure) << name;
+  }
+}
+
+TEST(Codegen, AssignedRangesAreDisjoint) {
+  const auto model = ResourceModel::itanium_like();
+  const LoopNest nest = make_recurrence_nest(32, 32);
+  const LevelPlan plan = plan_level(nest, 0, model);
+  const auto deps = project_deps(nest, plan.level);
+  const RegisterAssignment regs =
+      allocate_rotating_registers(nest.ops(), deps, plan.kernel);
+  ASSERT_TRUE(regs.ok);
+  std::vector<int> owner(regs.registers_used, -1);
+  for (std::size_t op = 0; op < nest.ops().size(); ++op) {
+    for (std::uint32_t r = regs.base[op]; r < regs.base[op] + regs.span[op];
+         ++r) {
+      ASSERT_LT(r, regs.registers_used);
+      ASSERT_EQ(owner[r], -1) << "register " << r << " double-assigned";
+      owner[r] = static_cast<int>(op);
+    }
+  }
+}
+
+TEST(Codegen, TinyFileFailsWithDiagnostic) {
+  const auto model = ResourceModel::itanium_like();
+  const LoopNest nest = make_recurrence_nest(32, 32);
+  const LevelPlan plan = plan_level(nest, 0, model);
+  const auto deps = project_deps(nest, plan.level);
+  const RegisterAssignment regs = allocate_rotating_registers(
+      nest.ops(), deps, plan.kernel, /*file_size=*/2);
+  EXPECT_FALSE(regs.ok);
+  EXPECT_NE(regs.error.find("rotating file exhausted"), std::string::npos);
+}
+
+TEST(Codegen, ListingHasOneRowPerKernelCycleAndEveryOp) {
+  const auto model = ResourceModel::itanium_like();
+  const LoopNest nest = make_matmul_nest(8, 8, 8);
+  const LevelPlan plan = choose_level(nest, model);
+  const auto deps = project_deps(nest, plan.level);
+  const RegisterAssignment regs =
+      allocate_rotating_registers(nest.ops(), deps, plan.kernel);
+  const std::string listing = kernel_listing(nest, plan, regs);
+  std::size_t cycle_rows = 0;
+  std::size_t pos = 0;
+  while ((pos = listing.find("cycle ", pos)) != std::string::npos) {
+    ++cycle_rows;
+    ++pos;
+  }
+  EXPECT_EQ(cycle_rows, plan.kernel.ii);
+  for (const Op& op : nest.ops())
+    EXPECT_NE(listing.find(op.name), std::string::npos) << op.name;
+  EXPECT_NE(listing.find("II="), std::string::npos);
+}
+
+TEST(Codegen, ListingShowsRotatingOperandShifts) {
+  const auto model = ResourceModel::itanium_like();
+  const LoopNest nest = make_recurrence_nest(16, 16);
+  const LevelPlan plan = innermost_plan(nest, model);
+  const auto deps = project_deps(nest, plan.level);
+  const RegisterAssignment regs =
+      allocate_rotating_registers(nest.ops(), deps, plan.kernel);
+  const std::string listing = kernel_listing(nest, plan, regs);
+  // The inner-carried store->load dependence (distance 1) must surface as
+  // a shifted rotating operand somewhere in the listing.
+  EXPECT_NE(listing.find("@+"), std::string::npos);
+}
+
+// -------------------------------------------------------------- hybrid SSP
+
+TEST(Hybrid, IndependentLevelScalesNearLinearlyAtLowSync) {
+  const LoopNest nest = make_recurrence_nest(256, 32);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);  // outer: independent
+  ASSERT_FALSE(plan.carries_dependence);
+  const HybridResult t1 = hybrid_cycles(nest, plan, {1, 10});
+  const HybridResult t8 = hybrid_cycles(nest, plan, {8, 10});
+  ASSERT_TRUE(t1.ok && t8.ok);
+  EXPECT_FALSE(t8.pipelined_handoff);
+  EXPECT_GT(t8.speedup_vs_single, 5.5);
+  EXPECT_LT(t8.cycles, t1.cycles);
+}
+
+TEST(Hybrid, SpeedupMonotoneInThreads) {
+  const LoopNest nest = make_short_inner_nest(512, 4);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  std::uint64_t prev = ~0ull;
+  for (std::uint32_t t : {1u, 2u, 4u, 8u, 16u}) {
+    const HybridResult r = hybrid_cycles(nest, plan, {t, 50});
+    ASSERT_TRUE(r.ok);
+    EXPECT_LE(r.cycles, prev);
+    prev = r.cycles;
+  }
+}
+
+TEST(Hybrid, CarriedLevelSaturates) {
+  // Pipelining a carried level across threads: handoff-limited, so speedup
+  // must flatten well below linear.
+  const LoopNest nest = make_stencil_nest(512, 16);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  ASSERT_TRUE(plan.ok);
+  ASSERT_TRUE(plan.carries_dependence);
+  const HybridResult t16 = hybrid_cycles(nest, plan, {16, 100});
+  ASSERT_TRUE(t16.ok);
+  EXPECT_TRUE(t16.pipelined_handoff);
+  EXPECT_LT(t16.speedup_vs_single, 16.0 * 0.8);
+}
+
+TEST(Hybrid, SyncOverheadDegradesSpeedup) {
+  const LoopNest nest = make_recurrence_nest(256, 32);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  const HybridResult cheap = hybrid_cycles(nest, plan, {8, 10});
+  const HybridResult costly = hybrid_cycles(nest, plan, {8, 100000});
+  EXPECT_GT(cheap.speedup_vs_single, costly.speedup_vs_single);
+}
+
+TEST(Hybrid, MoreThreadsThanGroupsClamped) {
+  const LoopNest nest = make_short_inner_nest(4, 2);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  const HybridResult r = hybrid_cycles(nest, plan, {64, 10});
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_LE(r.speedup_vs_single,
+            static_cast<double>(r.groups) + 1.0);
+}
+
+TEST(Hybrid, ZeroThreadsRejected) {
+  const LoopNest nest = make_short_inner_nest(4, 2);
+  const auto model = ResourceModel::itanium_like();
+  const LevelPlan plan = plan_level(nest, 0, model);
+  EXPECT_FALSE(hybrid_cycles(nest, plan, {0, 10}).ok);
+}
+
+}  // namespace
+}  // namespace htvm::ssp

@@ -1,0 +1,414 @@
+// Stress, fuzz, and model-checking style property tests across the stack.
+// Everything is seeded and deterministic; parameterized suites sweep seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "hints/parser.h"
+#include "litlx/litlx.h"
+#include "sim/machine.h"
+#include "ssp/simulate.h"
+#include "util/rng.h"
+
+namespace htvm {
+namespace {
+
+// ----------------------------------------------------------- config fuzzing
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, ParseRoundTripAndHopProperties) {
+  util::Xoshiro256 rng(GetParam());
+  machine::MachineConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(1 + rng.next_below(40));
+  cfg.thread_units_per_node =
+      static_cast<std::uint32_t>(1 + rng.next_below(16));
+  cfg.latency_frame = static_cast<std::uint32_t>(rng.next_below(8));
+  cfg.latency_local_sram =
+      cfg.latency_frame + static_cast<std::uint32_t>(rng.next_below(40));
+  cfg.latency_local_dram = cfg.latency_local_sram +
+                           static_cast<std::uint32_t>(rng.next_below(100));
+  cfg.network.topology = static_cast<machine::Topology>(rng.next_below(3));
+  cfg.network.hop_cycles = static_cast<std::uint32_t>(1 + rng.next_below(80));
+  ASSERT_EQ(cfg.validate(), "");
+
+  // to_string -> parse must reproduce the config.
+  machine::MachineConfig parsed;
+  ASSERT_EQ(parsed.parse(cfg.to_string()), "");
+  EXPECT_EQ(parsed.nodes, cfg.nodes);
+  EXPECT_EQ(parsed.network.topology, cfg.network.topology);
+  EXPECT_EQ(parsed.latency_local_dram, cfg.latency_local_dram);
+
+  // Hop-distance properties: identity, symmetry, triangle inequality.
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(cfg.nodes));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(cfg.nodes));
+    const auto c = static_cast<std::uint32_t>(rng.next_below(cfg.nodes));
+    ASSERT_EQ(cfg.hop_distance(a, a), 0u);
+    ASSERT_EQ(cfg.hop_distance(a, b), cfg.hop_distance(b, a));
+    ASSERT_LE(cfg.hop_distance(a, c),
+              cfg.hop_distance(a, b) + cfg.hop_distance(b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------------------- deque fuzzing
+
+class DequeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DequeFuzz, RandomOpsLoseNothing) {
+  rt::WsDeque<std::size_t*> deque;
+  constexpr std::size_t kItems = 30000;
+  std::vector<std::size_t> items(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) items[i] = i;
+
+  std::atomic<bool> done{false};
+  std::vector<std::size_t> stolen;
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (auto v = deque.steal()) stolen.push_back(**v);
+    }
+    while (auto v = deque.steal()) stolen.push_back(**v);
+  });
+
+  util::Xoshiro256 rng(GetParam());
+  std::vector<std::size_t> popped;
+  std::size_t pushed = 0;
+  while (pushed < kItems) {
+    if (rng.next_bool(0.6)) {
+      deque.push(&items[pushed++]);
+    } else if (auto v = deque.pop()) {
+      popped.push_back(**v);
+    }
+  }
+  while (auto v = deque.pop()) popped.push_back(**v);
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  std::vector<std::size_t> all(popped);
+  all.insert(all.end(), stolen.begin(), stolen.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) ASSERT_EQ(all[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DequeFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --------------------------------------------------------- runtime chaos mix
+
+class RuntimeChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeChaos, MixedHierarchyWorkloadDrains) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 2;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+
+  util::Xoshiro256 rng(GetParam());
+  std::atomic<std::uint64_t> work_done{0};
+  std::uint64_t expected = 0;
+
+  for (int round = 0; round < 40; ++round) {
+    const double dice = rng.next_double();
+    if (dice < 0.3) {
+      // LGT with random yields and a future handshake.
+      const int yields = static_cast<int>(rng.next_below(4));
+      sync::Future<int> f;
+      expected += 2;
+      runtime.spawn_lgt(
+          static_cast<std::uint32_t>(rng.next_below(2)), [&, yields, f] {
+            for (int y = 0; y < yields; ++y) rt::Runtime::yield();
+            work_done += static_cast<std::uint64_t>(
+                rt::Runtime::await(f));
+          });
+      runtime.spawn_sgt([f] { f.set(2); });
+    } else if (dice < 0.7) {
+      // SGT tree of random depth; each leaf counts 1. The recursion
+      // closure must outlive this loop iteration -> shared ownership.
+      const int depth = static_cast<int>(1 + rng.next_below(4));
+      expected += 1ull << depth;
+      auto tree = std::make_shared<std::function<void(int)>>();
+      *tree = [&runtime, &work_done, tree](int d) {
+        if (d == 0) {
+          ++work_done;
+          return;
+        }
+        for (int k = 0; k < 2; ++k)
+          runtime.spawn_sgt([tree, d] { (*tree)(d - 1); });
+      };
+      runtime.spawn_sgt([tree, depth] { (*tree)(depth); });
+    } else {
+      // Dataflow: TGT enabled after N signals.
+      const std::uint32_t fan = 1 + static_cast<std::uint32_t>(
+                                        rng.next_below(3));
+      expected += fan + 1;
+      auto slot = std::make_shared<sync::SyncSlot>();
+      runtime.spawn_tgt_after(*slot, fan, [&work_done, slot] {
+        ++work_done;
+      });
+      for (std::uint32_t s = 0; s < fan; ++s) {
+        runtime.spawn_sgt([&work_done, slot] {
+          ++work_done;
+          slot->signal();
+        });
+      }
+    }
+  }
+  runtime.wait_idle();
+  EXPECT_EQ(work_done.load(), expected);
+  EXPECT_EQ(runtime.outstanding(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeChaos,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ------------------------------------------- object-space model checking
+
+class ObjectSpaceModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObjectSpaceModel, RandomTraceMatchesSequentialReference) {
+  // Sequentially apply a random read/write trace through the ObjectSpace
+  // (which replicates, invalidates, and migrates underneath) and check
+  // every read against a plain reference array. Any stale replica or
+  // botched migration shows up as a mismatch.
+  machine::MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_memory_bytes = 1 << 20;
+  machine::LatencyInjector injector(cfg, 0.0);
+  mem::GlobalMemory gm(injector);
+  mem::ObjectSpace::Params params;
+  params.replicate_threshold = 2;
+  params.migrate_threshold = 6;
+  mem::ObjectSpace space(gm, params);
+
+  constexpr int kObjects = 6;
+  constexpr std::uint64_t kBytes = 64;
+  std::vector<mem::ObjectSpace::ObjectId> ids;
+  std::vector<std::vector<std::byte>> reference(
+      kObjects, std::vector<std::byte>(kBytes));
+  for (int o = 0; o < kObjects; ++o)
+    ids.push_back(space.create(static_cast<std::uint32_t>(o % 4), kBytes));
+
+  util::Xoshiro256 rng(GetParam());
+  for (int step = 0; step < 4000; ++step) {
+    const auto o = static_cast<std::size_t>(rng.next_below(kObjects));
+    const auto node = static_cast<std::uint32_t>(rng.next_below(4));
+    const auto offset = rng.next_below(kBytes - 8);
+    if (rng.next_bool(0.3)) {
+      const std::uint64_t value = rng.next();
+      space.write_at(node, ids[o], offset, &value, sizeof(value));
+      std::memcpy(reference[o].data() + offset, &value, sizeof(value));
+    } else {
+      std::uint64_t got = 0, want = 0;
+      space.read_at(node, ids[o], offset, &got, sizeof(got));
+      std::memcpy(&want, reference[o].data() + offset, sizeof(want));
+      ASSERT_EQ(got, want) << "object " << o << " node " << node
+                           << " step " << step;
+    }
+  }
+  // The machinery actually engaged.
+  const mem::ObjectStats stats = space.stats();
+  EXPECT_GT(stats.replications + stats.migrations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectSpaceModel,
+                         ::testing::Values(7, 77, 777, 7777, 77777));
+
+// ------------------------------------------------------------ sim determinism
+
+TEST(SimDeterminism, IdenticalRunsProduceIdenticalResults) {
+  auto run_once = [] {
+    machine::MachineConfig cfg = machine::MachineConfig::cluster(3, 3);
+    sim::SimMachine m(cfg);
+    m.set_steal_policy(sim::StealPolicy::kGlobal);
+    util::Xoshiro256 rng(55);
+    for (int t = 0; t < 200; ++t) {
+      const auto tu = static_cast<std::uint32_t>(rng.next_below(9));
+      const auto cost = static_cast<sim::Cycle>(100 + rng.next_below(900));
+      const bool talks = rng.next_bool(0.3);
+      m.spawn_at(tu, [cost, talks](sim::SimContext& ctx) -> sim::SimTask {
+        co_await ctx.compute(cost);
+        if (talks) {
+          ctx.send_parcel((ctx.tu() + 3) % 9, 128,
+                          [](sim::SimContext& c) -> sim::SimTask {
+                            co_await c.compute(50);
+                          });
+        }
+        co_await ctx.remote_load((ctx.node() + 1) % 3, 16);
+        co_await ctx.compute(cost / 2);
+      });
+    }
+    struct Result {
+      sim::Cycle makespan;
+      std::uint64_t steals;
+      std::uint64_t tasks;
+    };
+    Result r{};
+    r.makespan = m.run();
+    r.steals = m.total_steals();
+    r.tasks = m.total_tasks();
+    return std::tuple{r.makespan, r.steals, r.tasks};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------------- percolation stress
+
+TEST(PercolationStress, CapacityRespectedUnderConcurrency) {
+  litlx::MachineOptions opts;
+  opts.config.nodes = 2;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 4 << 20;
+  opts.percolation_buffer_bytes = 2048;  // deliberately tight
+  litlx::Machine machine(opts);
+
+  std::vector<mem::ObjectSpace::ObjectId> ids;
+  for (int o = 0; o < 32; ++o)
+    ids.push_back(machine.objects().create(0, 256));
+  std::atomic<int> ran{0};
+  util::Xoshiro256 rng(9);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<mem::ObjectSpace::ObjectId> inputs;
+    const int k = static_cast<int>(1 + rng.next_below(4));
+    for (int i = 0; i < k; ++i)
+      inputs.push_back(ids[rng.next_below(ids.size())]);
+    machine.percolate_and_run(1, inputs, [&] { ++ran; });
+  }
+  machine.wait_idle();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_LE(machine.percolation().resident_bytes(1), 2048u);
+  EXPECT_GT(machine.percolation().stats().evictions.load(), 0u);
+}
+
+// --------------------------------------------------------- hint parser fuzzing
+
+class HintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HintFuzz, RandomTokenSoupNeverCrashes) {
+  util::Xoshiro256 rng(GetParam());
+  const std::vector<std::string> vocab = {
+      "hint", "loop",   "object", "{",    "}",   "=",       ";",
+      "\"x\"", "target", "kind",   "42",  "1.5", "runtime", "locality",
+      "#",     "\n",     "priority", "schedule", "guided"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string source;
+    const int tokens = static_cast<int>(rng.next_below(30));
+    for (int t = 0; t < tokens; ++t) {
+      source += vocab[rng.next_below(vocab.size())];
+      source += ' ';
+    }
+    // Must terminate and either parse cleanly or produce a diagnostic.
+    const hints::ParseResult result = hints::parse(source);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HintFuzz, ::testing::Values(3, 6, 9));
+
+// -------------------------------------------------------------- SSP fuzzing
+
+class SspFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+ssp::LoopNest random_nest(util::Xoshiro256& rng) {
+  const std::size_t levels = 1 + rng.next_below(3);
+  std::vector<std::int64_t> trips;
+  for (std::size_t l = 0; l < levels; ++l)
+    trips.push_back(static_cast<std::int64_t>(2 + rng.next_below(12)));
+  ssp::LoopNest nest("fuzz", trips);
+  const std::size_t ops = 2 + rng.next_below(8);
+  for (std::size_t o = 0; o < ops; ++o) {
+    nest.add_op("op" + std::to_string(o),
+                static_cast<std::uint32_t>(rng.next_below(3)),
+                static_cast<std::uint32_t>(1 + rng.next_below(8)));
+  }
+  // Random legal dependences: forward intra-iteration edges plus a few
+  // loop-carried ones (lexicographically positive by construction).
+  const std::size_t deps = rng.next_below(ops * 2);
+  for (std::size_t d = 0; d < deps; ++d) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(ops));
+    auto dst = static_cast<std::uint32_t>(rng.next_below(ops));
+    std::vector<int> distance(levels, 0);
+    if (rng.next_bool(0.5)) {
+      // Carried: positive distance at a random level.
+      distance[rng.next_below(levels)] =
+          static_cast<int>(1 + rng.next_below(2));
+    } else {
+      // Intra-iteration: force src < dst to stay acyclic.
+      if (src == dst) continue;
+      if (src > dst) dst = src;  // degenerate; skip below
+      if (src >= dst) continue;
+    }
+    nest.add_dep(src, dst, distance);
+  }
+  return nest;
+}
+
+TEST_P(SspFuzz, RandomNestsScheduleLegally) {
+  util::Xoshiro256 rng(GetParam());
+  const auto model = ssp::ResourceModel::itanium_like();
+  for (int trial = 0; trial < 30; ++trial) {
+    const ssp::LoopNest nest = random_nest(rng);
+    ASSERT_EQ(nest.validate(), "") << "trial " << trial;
+    const ssp::LevelPlan plan = ssp::choose_level(nest, model);
+    if (!plan.ok) continue;  // recurrence-infeasible nests are legal output
+    const auto deps = ssp::project_deps(nest, plan.level);
+    EXPECT_TRUE(plan.kernel.respects(deps)) << "trial " << trial;
+    EXPECT_GE(plan.kernel.ii, ssp::rec_mii(nest.ops().size(), deps))
+        << "trial " << trial;
+    const ssp::SimulationResult sim =
+        ssp::simulate_plan(nest, plan, model);
+    EXPECT_EQ(sim.conflicts, 0u) << "trial " << trial;
+    EXPECT_EQ(ssp::verify_plan_timing(nest, plan), 0u) << "trial " << trial;
+    EXPECT_LE(plan.predicted_cycles,
+              ssp::sequential_cycles(nest) * 2)
+        << "pipelining should never be drastically worse than sequential";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SspFuzz,
+                         ::testing::Values(17, 34, 51, 68, 85, 102, 119,
+                                           136));
+
+// ---------------------------------------------------- forall under pressure
+
+TEST(ForallStress, ManyInvocationsInterleavedWithHierarchy) {
+  litlx::MachineOptions opts;
+  opts.config.nodes = 2;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  litlx::Machine machine(opts);
+  std::atomic<std::int64_t> total{0};
+  util::Xoshiro256 rng(77);
+  std::int64_t expected = 0;
+  for (int round = 0; round < 30; ++round) {
+    const auto n = static_cast<std::int64_t>(50 + rng.next_below(500));
+    expected += n;
+    litlx::ForallOptions fopts;
+    const auto names = sched::scheduler_names();
+    fopts.schedule = names[rng.next_below(names.size())];
+    litlx::forall(machine, 0, n, [&](std::int64_t) { ++total; }, fopts);
+    if (round % 5 == 0) {
+      expected += 1;
+      machine.spawn_lgt(round % 2, [&] {
+        rt::Runtime::yield();
+        ++total;
+      });
+    }
+  }
+  machine.wait_idle();
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+#include "sync/atomic_block.h"
+#include "sync/barrier.h"
+#include "sync/future.h"
+#include "sync/sync_slot.h"
+
+namespace htvm::sync {
+namespace {
+
+// ----------------------------------------------------------------- SyncSlot
+
+TEST(SyncSlot, FiresWhenCountReachesZero) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(3, [&] { ++fired; });
+  EXPECT_FALSE(slot.signal());
+  EXPECT_FALSE(slot.signal());
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(slot.signal());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(slot.fired());
+}
+
+TEST(SyncSlot, ZeroCountFiresImmediately) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(0, [&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SyncSlot, MultiSignalDecrementsByN) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(5, [&] { ++fired; });
+  EXPECT_FALSE(slot.signal(3));
+  EXPECT_EQ(slot.pending(), 2u);
+  EXPECT_TRUE(slot.signal(10));  // clamps at zero, fires once
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SyncSlot, OverSignalAfterFireIsIgnored) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(1, [&] { ++fired; });
+  slot.signal();
+  slot.signal();
+  slot.signal();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(slot.fire_count(), 1u);
+}
+
+TEST(SyncSlot, RearmRestoresCount) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(2, [&] { ++fired; });
+  slot.signal(2);
+  EXPECT_EQ(fired, 1);
+  slot.rearm();
+  EXPECT_EQ(slot.pending(), 2u);
+  slot.signal(2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(slot.fire_count(), 2u);
+}
+
+TEST(SyncSlot, ConcurrentSignalsFireExactlyOnce) {
+  for (int round = 0; round < 20; ++round) {
+    SyncSlot slot;
+    std::atomic<int> fired{0};
+    constexpr int kThreads = 4;
+    constexpr int kSignalsPerThread = 250;
+    slot.arm(kThreads * kSignalsPerThread, [&] { ++fired; });
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kSignalsPerThread; ++i) slot.signal();
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(fired.load(), 1);
+  }
+}
+
+// ----------------------------------------------------------------- DataSlot
+
+TEST(DataSlot, ConsumerAfterPutRunsInline) {
+  DataSlot<int> slot;
+  slot.put(42);
+  int seen = 0;
+  slot.when_ready([&](const int& v) { seen = v; });
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(DataSlot, ConsumersBufferedUntilPut) {
+  DataSlot<std::string> slot;
+  std::vector<std::string> seen;
+  slot.when_ready([&](const std::string& v) { seen.push_back(v + "-a"); });
+  slot.when_ready([&](const std::string& v) { seen.push_back(v + "-b"); });
+  EXPECT_TRUE(seen.empty());
+  slot.put("x");
+  EXPECT_EQ(seen, (std::vector<std::string>{"x-a", "x-b"}));
+}
+
+TEST(DataSlot, ReadyFlag) {
+  DataSlot<int> slot;
+  EXPECT_FALSE(slot.ready());
+  slot.put(1);
+  EXPECT_TRUE(slot.ready());
+  EXPECT_EQ(slot.value(), 1);
+}
+
+// ------------------------------------------------------------------- Future
+
+TEST(Future, GetReturnsSetValue) {
+  Future<int> f;
+  f.set(7);
+  EXPECT_EQ(f.get(), 7);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Future, OnReadyBuffersUntilSet) {
+  Future<int> f;
+  int seen = 0;
+  f.on_ready([&](const int& v) { seen = v; });
+  EXPECT_EQ(f.buffered_consumers(), 1u);
+  EXPECT_EQ(seen, 0);
+  f.set(9);
+  EXPECT_EQ(seen, 9);
+  EXPECT_EQ(f.buffered_consumers(), 0u);
+}
+
+TEST(Future, ManyBufferedConsumersAllRun) {
+  Future<int> f;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i) f.on_ready([&](const int& v) { sum += v; });
+  f.set(2);
+  EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(Future, SecondSetIsIgnored) {
+  Future<int> f;
+  f.set(1);
+  f.set(2);
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(Future, GetBlocksUntilProducer) {
+  Future<int> f;
+  std::thread producer([f] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    f.set(5);
+  });
+  EXPECT_EQ(f.get(), 5);  // blocks until set
+  producer.join();
+}
+
+TEST(Future, CopiesShareState) {
+  Future<int> a;
+  Future<int> b = a;
+  a.set(3);
+  EXPECT_EQ(b.get(), 3);
+}
+
+TEST(Future, ThenComposes) {
+  Future<int> f;
+  Future<int> g = f.then([](const int& v) { return v * 10; });
+  EXPECT_FALSE(g.ready());
+  f.set(4);
+  EXPECT_EQ(g.get(), 40);
+}
+
+TEST(Future, ThenOnReadyFutureRunsInline) {
+  Future<int> f;
+  f.set(1);
+  Future<int> g = f.then([](const int& v) { return v + 1; });
+  EXPECT_TRUE(g.ready());
+  EXPECT_EQ(g.get(), 2);
+}
+
+TEST(Future, ConcurrentConsumersAndProducer) {
+  for (int round = 0; round < 10; ++round) {
+    Future<int> f;
+    std::atomic<int> sum{0};
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < 4; ++t) {
+      consumers.emplace_back([&, f] {
+        for (int i = 0; i < 100; ++i)
+          f.on_ready([&](const int& v) { sum += v; });
+      });
+    }
+    std::thread producer([f] { f.set(1); });
+    for (auto& t : consumers) t.join();
+    producer.join();
+    EXPECT_EQ(sum.load(), 400);
+  }
+}
+
+// ------------------------------------------------------------------ Barrier
+
+TEST(Barrier, SingleParticipantPassesThrough) {
+  Barrier b(1);
+  EXPECT_TRUE(b.arrive_and_wait());
+  EXPECT_EQ(b.phase(), 1u);
+}
+
+TEST(Barrier, ArriveReturnsTrueOnceForLast) {
+  Barrier b(3);
+  EXPECT_FALSE(b.arrive());
+  EXPECT_FALSE(b.arrive());
+  EXPECT_TRUE(b.arrive());
+  EXPECT_EQ(b.phase(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossPhases) {
+  Barrier b(2);
+  for (int phase = 0; phase < 5; ++phase) {
+    EXPECT_FALSE(b.arrive());
+    EXPECT_TRUE(b.arrive());
+  }
+  EXPECT_EQ(b.phase(), 5u);
+}
+
+TEST(Barrier, ThreadsSynchronizeAcrossPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between barriers every thread must observe the full increment.
+        if (counter.load() < kThreads * (p + 1)) failed = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, ExactlyOneCompletionPerPhase) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> completions{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < 20; ++p)
+        if (barrier.arrive_and_wait()) ++completions;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions.load(), 20);
+}
+
+// -------------------------------------------------------------- AtomicBlock
+
+TEST(AtomicBlock, ExecutesTheBlock) {
+  AtomicDomain domain;
+  int x = 0;
+  domain.atomically({&x}, [&] { x = 5; });
+  EXPECT_EQ(x, 5);
+}
+
+TEST(AtomicBlock, MultiWordTransfersConserveTotal) {
+  AtomicDomain domain;
+  // Bank-transfer stress: concurrent transfers between 8 accounts must
+  // conserve the total, and snapshot reads must never see a torn sum.
+  constexpr int kAccounts = 8;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 5000;
+  std::array<long, kAccounts> balance{};
+  balance.fill(1000);
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const auto a = static_cast<std::size_t>(rng.next_below(kAccounts));
+        auto b = static_cast<std::size_t>(rng.next_below(kAccounts));
+        if (a == b) b = (b + 1) % kAccounts;
+        domain.atomically({&balance[a], &balance[b]}, [&] {
+          balance[a] -= 1;
+          balance[b] += 1;
+        });
+        if (i % 64 == 0) {
+          long sum = 0;
+          domain.atomically({&balance[0], &balance[1], &balance[2],
+                             &balance[3], &balance[4], &balance[5],
+                             &balance[6], &balance[7]},
+                            [&] {
+                              for (long v : balance) sum += v;
+                            });
+          if (sum != 1000 * kAccounts) torn = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(torn.load());
+  long total = 0;
+  for (long v : balance) total += v;
+  EXPECT_EQ(total, 1000 * kAccounts);
+}
+
+TEST(AtomicBlock, TryAtomicallyFailsUnderConflict) {
+  AtomicDomain domain;
+  int x = 0;
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    domain.atomically({&x}, [&] {
+      locked = true;
+      while (!release.load()) util::cpu_relax();
+    });
+  });
+  while (!locked.load()) util::cpu_relax();
+  bool ran = domain.try_atomically({&x}, [&] { x = 1; });
+  EXPECT_FALSE(ran);
+  EXPECT_GE(domain.conflicts_observed(), 1u);
+  release = true;
+  holder.join();
+  EXPECT_TRUE(domain.try_atomically({&x}, [&] { x = 2; }));
+  EXPECT_EQ(x, 2);
+}
+
+TEST(AtomicBlock, StripeOfIsStable) {
+  int x;
+  EXPECT_EQ(AtomicDomain::stripe_of(&x), AtomicDomain::stripe_of(&x));
+  EXPECT_LT(AtomicDomain::stripe_of(&x), AtomicDomain::kStripes);
+}
+
+TEST(AtomicBlock, DuplicateAddressesAreDeduplicated) {
+  AtomicDomain domain;
+  int x = 0;
+  // Would self-deadlock if the same stripe were acquired twice.
+  domain.atomically({&x, &x, &x}, [&] { x = 3; });
+  EXPECT_EQ(x, 3);
+}
+
+TEST(AtomicBlock, SameCacheLineSharesStripe) {
+  alignas(64) std::array<char, 64> line{};
+  EXPECT_EQ(AtomicDomain::stripe_of(&line[0]),
+            AtomicDomain::stripe_of(&line[63]));
+}
+
+}  // namespace
+}  // namespace htvm::sync

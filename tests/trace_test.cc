@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "runtime/runtime.h"
+#include "sim/machine.h"
+#include "trace/tracer.h"
+
+namespace htvm::trace {
+namespace {
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  tracer.record("cat", "x", 0, 0, 1);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, RecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record("cat", "alpha", 3, 100, 50);
+  ASSERT_EQ(tracer.size(), 1u);
+  const Event e = tracer.snapshot()[0];
+  EXPECT_EQ(e.name, "alpha");
+  EXPECT_EQ(e.lane, 3u);
+  EXPECT_EQ(e.start, 100u);
+  EXPECT_EQ(e.duration, 50u);
+}
+
+TEST(Tracer, CapacityBoundsAndCountsDrops) {
+  Tracer tracer(4);
+  tracer.enable();
+  for (int i = 0; i < 10; ++i) tracer.record("c", "e", 0, 0, 1);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record("sim", "occupancy", 1, 10, 20);
+  tracer.record("sim", "occupancy", 2, 30, 5);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":30"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Tracer, JsonEscapesNames) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record("c", "quo\"te\\slash\nnewline", 0, 0, 1);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("quo\\\"te\\\\slash newline"), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentRecordsAreSafe) {
+  Tracer tracer(100000);
+  tracer.enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 5000; ++i)
+        tracer.record("c", "e", static_cast<std::uint32_t>(t), 0, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.size(), 20000u);
+}
+
+// -------------------------------------------------------- runtime tracing
+
+TEST(RuntimeTracing, CapturesSgtAndLgtSpans) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  Tracer tracer;
+  runtime.set_tracer(&tracer);
+  tracer.enable();
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) runtime.spawn_sgt([&] { ++count; });
+  runtime.spawn_lgt(0, [&] {
+    rt::Runtime::yield();
+    ++count;
+  });
+  runtime.wait_idle();
+  tracer.disable();
+
+  std::uint64_t sgts = 0, lgts = 0;
+  for (const Event& e : tracer.snapshot()) {
+    if (e.name == "sgt") ++sgts;
+    if (e.name == "lgt_resume") ++lgts;
+  }
+  EXPECT_EQ(sgts, 10u);
+  EXPECT_GE(lgts, 2u);  // one resume per yield segment
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(RuntimeTracing, UntracedRunIsClean) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 1;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  Tracer tracer;
+  runtime.set_tracer(&tracer);  // attached but not enabled
+  runtime.spawn_sgt([] {});
+  runtime.wait_idle();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ------------------------------------------------------------ sim tracing
+
+TEST(SimTracing, VirtualOccupancySpansMatchSchedule) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = 1;
+  sim::SimMachine m(cfg);
+  Tracer tracer;
+  m.set_tracer(&tracer);
+  tracer.enable();
+  m.spawn_at(0, [](sim::SimContext& ctx) -> sim::SimTask {
+    co_await ctx.compute(100);
+    co_await ctx.stall(50);
+    co_await ctx.compute(30);
+  });
+  m.run();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);  // two occupancy segments around the stall
+  EXPECT_EQ(events[0].start, 0u);
+  EXPECT_EQ(events[0].duration, 100u);
+  EXPECT_EQ(events[1].start, 150u);
+  EXPECT_EQ(events[1].duration, 30u);
+}
+
+TEST(SimTracing, LanesFollowThreadUnits) {
+  machine::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.thread_units_per_node = 3;
+  sim::SimMachine m(cfg);
+  Tracer tracer;
+  m.set_tracer(&tracer);
+  tracer.enable();
+  for (std::uint32_t tu = 0; tu < 3; ++tu) {
+    m.spawn_at(tu, [](sim::SimContext& ctx) -> sim::SimTask {
+      co_await ctx.compute(10);
+    });
+  }
+  m.run();
+  std::set<std::uint32_t> lanes;
+  for (const Event& e : tracer.snapshot()) lanes.insert(e.lane);
+  EXPECT_EQ(lanes.size(), 3u);
+}
+
+}  // namespace
+}  // namespace htvm::trace

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/mpsc_queue.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/stats.h"
+
+namespace htvm::util {
+namespace {
+
+// ---------------------------------------------------------------- Xoshiro256
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Xoshiro256 rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 500 draws
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleInRange) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.next_double_in(5.0, 6.5);
+    EXPECT_GE(d, 5.0);
+    EXPECT_LT(d, 6.5);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Xoshiro256 rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(14);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.03);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256 rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, JumpProducesIndependentStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformityChiSquaredSanity) {
+  Xoshiro256 rng(123);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 15 dof: p=0.001 critical value is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+// ------------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(5);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian() * 3 + 1;
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copy
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1);
+  s.add(2);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 9
+  h.add(-5.0);   // clamps to 0
+  h.add(50.0);   // clamps to 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0, 10, 5), b(0, 10, 5);
+  a.add(1);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(4), 1u);
+}
+
+TEST(Histogram, ToStringHasOneLinePerBucket) {
+  Histogram h(0, 4, 4);
+  h.add(1);
+  const std::string s = h.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------------- TextTable
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"longer-name", "1"});
+  t.add_row({"x", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Every line has the same start column for the second field.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTable, FmtHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::fmt(std::int64_t{-7}), "-7");
+}
+
+// -------------------------------------------------------------------- Arena
+
+TEST(Arena, AllocationsAreDistinctAndAligned) {
+  Arena arena(1024);
+  void* a = arena.allocate(100);
+  void* b = arena.allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::max_align_t),
+            0u);
+}
+
+TEST(Arena, RespectsExplicitAlignment) {
+  Arena arena(1024);
+  arena.allocate(1);  // misalign the bump pointer
+  void* p = arena.allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, GrowsBeyondBlockSize) {
+  Arena arena(128);
+  void* big = arena.allocate(10000);
+  EXPECT_NE(big, nullptr);
+  std::memset(big, 0xab, 10000);  // must be writable
+  EXPECT_GE(arena.blocks(), 1u);
+}
+
+TEST(Arena, ResetReclaimsAndKeepsFirstBlock) {
+  Arena arena(256);
+  for (int i = 0; i < 50; ++i) arena.allocate(100);
+  EXPECT_GT(arena.blocks(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  void* p = arena.allocate(10);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, CreateConstructsObject) {
+  Arena arena;
+  struct Point {
+    int x, y;
+  };
+  Point* p = arena.create<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ArrayAllocation) {
+  Arena arena;
+  double* xs = arena.allocate_array<double>(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i;
+  EXPECT_DOUBLE_EQ(xs[99], 99.0);
+}
+
+// ---------------------------------------------------------------- SpinLock
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        Guard<SpinLock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// --------------------------------------------------------------- MpscQueue
+
+TEST(MpscQueue, FifoSingleProducer) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpscQueue, EmptyInitially) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(MpscQueue, MultiProducerDeliversEverything) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (auto v = q.pop()) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+      seen[static_cast<std::size_t>(*v)] = true;
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(MpscQueue, MoveOnlyPayload) {
+  MpscQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(7));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace htvm::util
