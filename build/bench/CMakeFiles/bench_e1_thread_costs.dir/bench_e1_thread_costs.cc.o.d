@@ -326,8 +326,9 @@ bench/CMakeFiles/bench_e1_thread_costs.dir/bench_e1_thread_costs.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/shared_mutex \
  /usr/include/c++/12/thread /root/repo/src/machine/latency.h \
- /root/repo/src/machine/config.h /root/repo/src/mem/global_memory.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/machine/config.h /root/repo/src/util/rng.h \
+ /root/repo/src/mem/global_memory.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/runtime/deque.h /usr/include/c++/12/optional \
  /root/repo/src/sync/future.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h
+ /root/repo/src/trace/tracer.h

@@ -14,8 +14,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/htvm_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/htvm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htvm_parcel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htvm_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htvm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htvm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htvm_sync.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htvm_util.dir/DependInfo.cmake"
   )
 

@@ -249,19 +249,7 @@ examples/CMakeFiles/adaptive_scheduling.dir/adaptive_scheduling.cpp.o: \
  /root/repo/src/mem/global_memory.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/machine/latency.h /root/repo/src/machine/config.h \
- /root/repo/src/parcel/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/parcel/parcel.h /root/repo/src/runtime/runtime.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/shared_mutex /usr/include/c++/12/thread \
- /root/repo/src/mem/frame.h /root/repo/src/util/spinlock.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -349,19 +337,31 @@ examples/CMakeFiles/adaptive_scheduling.dir/adaptive_scheduling.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
- /root/repo/src/runtime/deque.h /root/repo/src/runtime/fiber.h \
- /usr/include/ucontext.h \
+ /root/repo/src/parcel/engine.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/parcel/parcel.h \
+ /root/repo/src/runtime/runtime.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/thread \
+ /root/repo/src/mem/frame.h /root/repo/src/runtime/deque.h \
+ /root/repo/src/runtime/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sync/future.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h \
- /root/repo/src/parcel/percolation.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/runtime/load_balancer.h /root/repo/src/sched/schedulers.h \
- /root/repo/src/sync/atomic_block.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/parcel/percolation.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/runtime/load_balancer.h \
+ /root/repo/src/sched/schedulers.h /root/repo/src/sync/atomic_block.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/litlx/forall.h /root/repo/src/sync/barrier.h

@@ -204,4 +204,92 @@ src/CMakeFiles/htvm_mem.dir/mem/global_memory.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/machine/latency.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/machine/config.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/machine/config.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/adxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cldemoteintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clflushoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clwbintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clzerointrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/enqcmdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fxsrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lzcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lwpintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/movdirintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pconfigintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/popcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pkuintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rdseedintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rtmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/serializeintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/sgxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tbmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tsxldtrkintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/uintrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/waitpkgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wbnoinvdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavecintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xtestintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/hresetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/smmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxvnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512erintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512pfintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512cdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512dqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlbwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vldqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmavlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124fmapsintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124vnniwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnnivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bitalgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/shaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/f16cintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/gfniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vaesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vpclmulqdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxtileintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxint8intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h

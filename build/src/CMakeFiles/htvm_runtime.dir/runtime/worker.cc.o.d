@@ -225,8 +225,8 @@ src/CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/shared_mutex /root/repo/src/machine/latency.h \
- /root/repo/src/machine/config.h /root/repo/src/mem/frame.h \
- /usr/include/c++/12/cstddef /root/repo/src/util/spinlock.h \
+ /root/repo/src/machine/config.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -314,6 +314,7 @@ src/CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/mem/frame.h /usr/include/c++/12/cstddef \
  /root/repo/src/mem/global_memory.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/runtime/deque.h /usr/include/c++/12/optional \
@@ -323,5 +324,4 @@ src/CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sync/future.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h \
- /root/repo/src/runtime/tls.h
+ /root/repo/src/trace/tracer.h /root/repo/src/runtime/tls.h

@@ -305,8 +305,7 @@ tests/CMakeFiles/test_mem.dir/mem_test.cc.o: /root/repo/tests/mem_test.cc \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/mem/global_memory.h /root/repo/src/machine/latency.h \
  /usr/include/c++/12/chrono /root/repo/src/machine/config.h \
- /root/repo/src/util/rng.h /root/repo/src/mem/frame.h \
- /root/repo/src/util/spinlock.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -392,4 +391,5 @@ tests/CMakeFiles/test_mem.dir/mem_test.cc.o: /root/repo/tests/mem_test.cc \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxint8intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/mem/frame.h

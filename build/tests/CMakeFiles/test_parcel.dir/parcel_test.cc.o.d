@@ -309,7 +309,7 @@ tests/CMakeFiles/test_parcel.dir/parcel_test.cc.o: \
  /root/repo/src/parcel/parcel.h /root/repo/src/runtime/runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/shared_mutex \
  /root/repo/src/machine/latency.h /root/repo/src/machine/config.h \
- /root/repo/src/mem/frame.h /root/repo/src/util/spinlock.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -396,11 +396,11 @@ tests/CMakeFiles/test_parcel.dir/parcel_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
- /root/repo/src/mem/global_memory.h /root/repo/src/runtime/deque.h \
- /root/repo/src/runtime/fiber.h /usr/include/ucontext.h \
+ /root/repo/src/mem/frame.h /root/repo/src/mem/global_memory.h \
+ /root/repo/src/runtime/deque.h /root/repo/src/runtime/fiber.h \
+ /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/sync/future.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h \
- /root/repo/src/parcel/percolation.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/mem/data_object.h
+ /root/repo/src/trace/tracer.h /root/repo/src/parcel/percolation.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/mem/data_object.h

@@ -310,7 +310,7 @@ tests/CMakeFiles/test_runtime.dir/runtime_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/shared_mutex \
  /root/repo/src/machine/latency.h /root/repo/src/machine/config.h \
- /root/repo/src/mem/frame.h /root/repo/src/util/spinlock.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -397,6 +397,6 @@ tests/CMakeFiles/test_runtime.dir/runtime_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
- /root/repo/src/mem/global_memory.h /usr/include/c++/12/cstring \
- /root/repo/src/sync/future.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h
+ /root/repo/src/mem/frame.h /root/repo/src/mem/global_memory.h \
+ /usr/include/c++/12/cstring /root/repo/src/sync/future.h \
+ /root/repo/src/sync/sync_slot.h /root/repo/src/trace/tracer.h

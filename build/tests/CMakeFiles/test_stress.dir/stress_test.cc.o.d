@@ -312,12 +312,7 @@ tests/CMakeFiles/test_stress.dir/stress_test.cc.o: \
  /usr/include/c++/12/chrono /root/repo/src/util/stats.h \
  /root/repo/src/hints/knowledge_base.h /root/repo/src/mem/data_object.h \
  /root/repo/src/mem/global_memory.h /root/repo/src/machine/latency.h \
- /root/repo/src/machine/config.h /root/repo/src/parcel/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/parcel/parcel.h \
- /root/repo/src/runtime/runtime.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/shared_mutex /root/repo/src/mem/frame.h \
+ /root/repo/src/machine/config.h /root/repo/src/util/rng.h \
  /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
@@ -405,17 +400,22 @@ tests/CMakeFiles/test_stress.dir/stress_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
- /root/repo/src/runtime/deque.h /root/repo/src/runtime/fiber.h \
- /usr/include/ucontext.h \
+ /root/repo/src/parcel/engine.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/parcel/parcel.h /root/repo/src/runtime/runtime.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/shared_mutex \
+ /root/repo/src/mem/frame.h /root/repo/src/runtime/deque.h \
+ /root/repo/src/runtime/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/sync/future.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h \
- /root/repo/src/parcel/percolation.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/runtime/load_balancer.h /root/repo/src/sched/schedulers.h \
- /root/repo/src/sync/atomic_block.h /root/repo/src/litlx/forall.h \
- /root/repo/src/sync/barrier.h /root/repo/src/sim/machine.h \
- /usr/include/c++/12/coroutine /root/repo/src/sim/engine.h \
- /root/repo/src/ssp/simulate.h /root/repo/src/ssp/ssp.h \
- /root/repo/src/ssp/modulo_schedule.h /root/repo/src/ssp/dependence.h \
- /root/repo/src/ssp/loop_nest.h /root/repo/src/ssp/resource_model.h
+ /root/repo/src/trace/tracer.h /root/repo/src/parcel/percolation.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/runtime/load_balancer.h \
+ /root/repo/src/sched/schedulers.h /root/repo/src/sync/atomic_block.h \
+ /root/repo/src/litlx/forall.h /root/repo/src/sync/barrier.h \
+ /root/repo/src/sim/machine.h /usr/include/c++/12/coroutine \
+ /root/repo/src/sim/engine.h /root/repo/src/ssp/simulate.h \
+ /root/repo/src/ssp/ssp.h /root/repo/src/ssp/modulo_schedule.h \
+ /root/repo/src/ssp/dependence.h /root/repo/src/ssp/loop_nest.h \
+ /root/repo/src/ssp/resource_model.h

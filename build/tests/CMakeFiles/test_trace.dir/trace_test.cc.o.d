@@ -307,7 +307,7 @@ tests/CMakeFiles/test_trace.dir/trace_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/shared_mutex \
  /root/repo/src/machine/latency.h /root/repo/src/machine/config.h \
- /root/repo/src/mem/frame.h /root/repo/src/util/spinlock.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/spinlock.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -394,12 +394,12 @@ tests/CMakeFiles/test_trace.dir/trace_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
- /root/repo/src/mem/global_memory.h /usr/include/c++/12/cstring \
- /root/repo/src/runtime/deque.h /root/repo/src/runtime/fiber.h \
- /usr/include/ucontext.h \
+ /root/repo/src/mem/frame.h /root/repo/src/mem/global_memory.h \
+ /usr/include/c++/12/cstring /root/repo/src/runtime/deque.h \
+ /root/repo/src/runtime/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/sync/future.h /root/repo/src/sync/sync_slot.h \
- /root/repo/src/trace/tracer.h /root/repo/src/util/rng.h \
- /root/repo/src/sim/machine.h /usr/include/c++/12/coroutine \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.h
+ /root/repo/src/trace/tracer.h /root/repo/src/sim/machine.h \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/engine.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/stats.h

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/test_sync[1]_include.cmake")
 include("/root/repo/build/tests/test_mem[1]_include.cmake")
 include("/root/repo/build/tests/test_runtime[1]_include.cmake")
 include("/root/repo/build/tests/test_parcel[1]_include.cmake")
+include("/root/repo/build/tests/test_parcel_fault[1]_include.cmake")
 include("/root/repo/build/tests/test_sched[1]_include.cmake")
 include("/root/repo/build/tests/test_ssp[1]_include.cmake")
 include("/root/repo/build/tests/test_hints[1]_include.cmake")

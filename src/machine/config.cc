@@ -107,6 +107,10 @@ std::string MachineConfig::validate() const {
   if (!(latency_local_dram >= latency_local_sram))
     return "local_dram latency must be >= local_sram latency";
   if (network.cycles_per_byte < 0) return "cycles_per_byte must be >= 0";
+  if (faults.drop_probability < 0.0 || faults.drop_probability > 1.0)
+    return "drop_probability must be in [0, 1]";
+  if (faults.duplicate_probability < 0.0 || faults.duplicate_probability > 1.0)
+    return "duplicate_probability must be in [0, 1]";
   if (thread_costs.sgt_spawn_cycles > thread_costs.lgt_spawn_cycles)
     return "SGT spawn cost must not exceed LGT spawn cost";
   if (thread_costs.tgt_spawn_cycles > thread_costs.sgt_spawn_cycles)
@@ -129,6 +133,7 @@ std::string MachineConfig::parse(const std::string& text) {
   std::unordered_map<std::string, std::uint64_t*> uint_keys = {
       {"node_memory_bytes", &node_memory_bytes},
       {"frame_memory_bytes", &frame_memory_bytes},
+      {"fault_seed", &faults.seed},
   };
   std::unordered_map<std::string, std::uint32_t*> u32_keys = {
       {"nodes", &nodes},
@@ -139,6 +144,7 @@ std::string MachineConfig::parse(const std::string& text) {
       {"latency_local_dram", &latency_local_dram},
       {"hop_cycles", &network.hop_cycles},
       {"inject_cycles", &network.inject_cycles},
+      {"jitter_cycles", &faults.jitter_cycles},
       {"lgt_spawn_cycles", &thread_costs.lgt_spawn_cycles},
       {"sgt_spawn_cycles", &thread_costs.sgt_spawn_cycles},
       {"tgt_spawn_cycles", &thread_costs.tgt_spawn_cycles},
@@ -172,12 +178,17 @@ std::string MachineConfig::parse(const std::string& text) {
                   value + "'";
       continue;
     }
-    if (key == "cycles_per_byte") {
+    std::unordered_map<std::string, double*> double_keys = {
+        {"cycles_per_byte", &network.cycles_per_byte},
+        {"drop_probability", &faults.drop_probability},
+        {"duplicate_probability", &faults.duplicate_probability},
+    };
+    if (auto itd = double_keys.find(key); itd != double_keys.end()) {
       char* end = nullptr;
       const double v = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0' || v < 0)
         return "line " + std::to_string(line_no) + ": bad double value";
-      network.cycles_per_byte = v;
+      *itd->second = v;
       continue;
     }
 
@@ -208,6 +219,9 @@ std::string MachineConfig::to_string() const {
       << "hop_cycles = " << network.hop_cycles << '\n'
       << "inject_cycles = " << network.inject_cycles << '\n'
       << "cycles_per_byte = " << network.cycles_per_byte << '\n'
+      << "drop_probability = " << faults.drop_probability << '\n'
+      << "duplicate_probability = " << faults.duplicate_probability << '\n'
+      << "jitter_cycles = " << faults.jitter_cycles << '\n'
       << "lgt_spawn_cycles = " << thread_costs.lgt_spawn_cycles << '\n'
       << "sgt_spawn_cycles = " << thread_costs.sgt_spawn_cycles << '\n'
       << "tgt_spawn_cycles = " << thread_costs.tgt_spawn_cycles << '\n';

@@ -42,6 +42,24 @@ struct NetworkParams {
   double cycles_per_byte = 0.25;       // serialization cost
 };
 
+// Adversarial network behaviour for the parcel transport. The default is
+// the ideal network the paper assumes (nothing dropped, nothing duplicated,
+// no jitter); turning any knob on makes cross-node parcel links lossy and
+// activates the parcel engine's reliable-delivery protocol. All sampling
+// is driven by a seeded util::Xoshiro256 so fault sequences are
+// reproducible for a given seed.
+struct NetworkFaultModel {
+  double drop_probability = 0.0;       // per physical link traversal
+  double duplicate_probability = 0.0;  // per accepted traversal
+  std::uint32_t jitter_cycles = 0;     // extra uniform delay in [0, jitter]
+  std::uint64_t seed = 0x5eedfau;      // fault RNG stream seed
+
+  bool active() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           jitter_cycles > 0;
+  }
+};
+
 struct ThreadCostParams {
   // Invocation + management cost of each thread level, in cycles. The
   // paper's qualitative claim is LGT >> SGT >> TGT; defaults follow
@@ -66,6 +84,7 @@ struct MachineConfig {
   std::uint32_t latency_local_dram = 60;
 
   NetworkParams network;
+  NetworkFaultModel faults;
   ThreadCostParams thread_costs;
 
   // Per-node memory capacities (bytes) for the global-address-space arenas.

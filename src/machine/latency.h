@@ -12,6 +12,8 @@
 #include <cstdint>
 
 #include "machine/config.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
 
 namespace htvm::machine {
 
@@ -51,5 +53,45 @@ class LatencyInjector {
 // Cycle-count helper: converts a host duration back into model cycles for
 // reporting (monitor, benches).
 std::uint64_t ns_to_cycles(std::chrono::nanoseconds ns, double cycle_ns);
+
+// Realizes the NetworkFaultModel: per-traversal drop/duplicate trials and
+// jitter draws from one seeded Xoshiro256 stream. Thread-safe (senders on
+// every worker share it); a spinlock is fine because each draw is a few
+// dozen cycles. With an inactive model every query is a cheap constant.
+class NetworkFaultInjector {
+ public:
+  explicit NetworkFaultInjector(const NetworkFaultModel& model)
+      : model_(model), rng_(model.seed) {}
+
+  bool active() const { return model_.active(); }
+  const NetworkFaultModel& model() const { return model_; }
+
+  // Samples one link traversal: should the packet be lost?
+  bool should_drop() {
+    if (model_.drop_probability <= 0.0) return false;
+    util::Guard<util::SpinLock> g(lock_);
+    return rng_.next_bool(model_.drop_probability);
+  }
+
+  // Samples one accepted traversal: does the network deliver a second copy?
+  bool should_duplicate() {
+    if (model_.duplicate_probability <= 0.0) return false;
+    util::Guard<util::SpinLock> g(lock_);
+    return rng_.next_bool(model_.duplicate_probability);
+  }
+
+  // Extra delay for one traversal, uniform in [0, jitter_cycles] cycles.
+  std::uint64_t jitter_cycles() {
+    if (model_.jitter_cycles == 0) return 0;
+    util::Guard<util::SpinLock> g(lock_);
+    return rng_.next_below(static_cast<std::uint64_t>(model_.jitter_cycles) +
+                           1);
+  }
+
+ private:
+  NetworkFaultModel model_;
+  util::SpinLock lock_;
+  util::Xoshiro256 rng_;
+};
 
 }  // namespace htvm::machine

@@ -1,19 +1,37 @@
 #include "parcel/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace htvm::parcel {
 
-ParcelEngine::ParcelEngine(rt::Runtime& runtime) : runtime_(runtime) {
-  for (std::uint32_t n = 0; n < runtime_.num_nodes(); ++n)
+ParcelEngine::ParcelEngine(rt::Runtime& runtime,
+                           ReliabilityOptions reliability)
+    : runtime_(runtime),
+      reliability_options_(reliability),
+      faults_(runtime.options().config.faults) {
+  switch (reliability_options_.mode) {
+    case ReliabilityOptions::Mode::kOn: reliable_ = true; break;
+    case ReliabilityOptions::Mode::kOff: reliable_ = false; break;
+    case ReliabilityOptions::Mode::kAuto: reliable_ = faults_.active(); break;
+  }
+  const std::uint32_t nodes = runtime_.num_nodes();
+  for (std::uint32_t n = 0; n < nodes; ++n) {
     inboxes_.push_back(std::make_unique<Inbox>());
+    tx_.push_back(std::make_unique<TxState>());
+    auto rx = std::make_unique<RxState>();
+    rx->streams.resize(nodes);
+    rx_.push_back(std::move(rx));
+  }
+  tx_seq_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(nodes) * nodes);
   poller_id_ =
       runtime_.add_poller([this](std::uint32_t node) { return poll(node); });
 }
 
 ParcelEngine::~ParcelEngine() {
-  // Let every in-flight parcel deliver, then detach from the runtime so no
-  // worker can call into a dead engine.
+  // Let every in-flight parcel deliver (or dead-letter), then detach from
+  // the runtime so no worker can call into a dead engine.
   runtime_.wait_idle();
   runtime_.remove_poller(poller_id_);
 }
@@ -43,23 +61,103 @@ ParcelEngine::Clock::duration ParcelEngine::network_delay(
       static_cast<std::uint64_t>(static_cast<double>(cycles) * cycle_ns));
 }
 
-void ParcelEngine::enqueue(std::shared_ptr<Parcel> parcel) {
-  stats_.sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes.fetch_add(parcel->payload.size(), std::memory_order_relaxed);
-  const std::uint32_t dst = parcel->dst_node;
-  const auto due = Clock::now() + network_delay(parcel->src_node, dst,
-                                                parcel->payload.size());
-  Inbox& inbox = *inboxes_[dst];
+ParcelEngine::Clock::duration ParcelEngine::retransmit_timeout(
+    const Parcel& parcel) const {
+  // Base floor (covers poll cadence in functional mode) plus twice the
+  // modeled round trip when latency injection is on.
+  const auto rtt =
+      network_delay(parcel.src_node, parcel.dst_node, parcel.payload.size()) +
+      network_delay(parcel.dst_node, parcel.src_node, 8);
+  return std::chrono::duration_cast<Clock::duration>(
+             reliability_options_.base_timeout) +
+         2 * rtt;
+}
+
+void ParcelEngine::trace_transport(const char* name, const Parcel& parcel) {
+  trace::Tracer* tracer = runtime_.tracer();
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer->record("parcel", name, parcel.src_node, runtime_.trace_now_us(), 0);
+}
+
+void ParcelEngine::enqueue_physical(std::shared_ptr<Parcel> parcel,
+                                    Clock::time_point due) {
+  Inbox& inbox = *inboxes_[parcel->dst_node];
   {
     std::lock_guard<std::mutex> lock(inbox.mutex);
     inbox.queue.push(
-        Timed{due, seq_.fetch_add(1, std::memory_order_relaxed),
+        Timed{due, order_.fetch_add(1, std::memory_order_relaxed),
               std::move(parcel)});
   }
-  // A parcel is pending work: hold a work token so wait_idle() cannot
-  // return while it is in flight, and wake parked workers to poll.
+  // A physical parcel in an inbox is pending work: hold a work token so
+  // wait_idle() cannot return while it sits there, and wake parked workers
+  // to poll. The token is released when poll() pops the copy.
   runtime_.hold_work();
   runtime_.notify_work();
+}
+
+void ParcelEngine::transmit(const std::shared_ptr<Parcel>& parcel) {
+  const bool cross = parcel->dst_node != parcel->src_node;
+  // Only acknowledged traffic may be dropped: losing an unreliable parcel
+  // would leak its pending work forever. Reliable data recovers via
+  // retransmit; a lost ack is recovered by the data retransmit + re-ack.
+  const bool faulty =
+      faults_.active() && cross &&
+      (parcel->reliable || parcel->kind == ParcelKind::kAck);
+  const auto now = Clock::now();
+  const auto base_delay =
+      network_delay(parcel->src_node, parcel->dst_node,
+                    parcel->payload.size());
+  if (!faulty) {
+    enqueue_physical(parcel, now + base_delay);
+    return;
+  }
+  const double cycle_ns = runtime_.injector().cycle_ns();
+  auto jitter = [&]() -> Clock::duration {
+    const std::uint64_t cycles = faults_.jitter_cycles();
+    if (cycles == 0 || cycle_ns <= 0.0) return Clock::duration::zero();
+    return std::chrono::nanoseconds(static_cast<std::uint64_t>(
+        static_cast<double>(cycles) * cycle_ns));
+  };
+  if (faults_.should_drop()) {
+    stats_.drops.fetch_add(1, std::memory_order_relaxed);
+    trace_transport("drop", *parcel);
+    return;
+  }
+  enqueue_physical(parcel, now + base_delay + jitter());
+  if (faults_.should_duplicate()) {
+    stats_.duplicates.fetch_add(1, std::memory_order_relaxed);
+    trace_transport("dup", *parcel);
+    enqueue_physical(parcel, now + base_delay + jitter());
+  }
+}
+
+void ParcelEngine::submit(std::shared_ptr<Parcel> parcel) {
+  stats_.sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(parcel->payload.size(), std::memory_order_relaxed);
+  const std::uint32_t src = parcel->src_node;
+  const std::uint32_t dst = parcel->dst_node;
+  if (reliable_ && src != dst) {
+    // Same-node parcels never traverse the network, so only cross-node
+    // traffic pays for sequencing and acknowledgment.
+    parcel->reliable = true;
+    const std::uint32_t nodes = runtime_.num_nodes();
+    parcel->seq =
+        tx_seq_[static_cast<std::size_t>(src) * nodes + dst].fetch_add(
+            1, std::memory_order_relaxed) +
+        1;
+    const auto timeout = retransmit_timeout(*parcel);
+    {
+      TxState& tx = *tx_[src];
+      std::lock_guard<std::mutex> lock(tx.mutex);
+      tx.pending.emplace(tx_key(dst, parcel->seq),
+                         PendingTx{parcel, Clock::now() + timeout, timeout,
+                                   0});
+    }
+    // One logical work token per un-acked parcel: wait_idle() stays
+    // blocked until the message is acknowledged or dead-lettered.
+    runtime_.hold_work();
+  }
+  transmit(parcel);
 }
 
 void ParcelEngine::send(std::uint32_t dst_node, HandlerId handler,
@@ -69,7 +167,7 @@ void ParcelEngine::send(std::uint32_t dst_node, HandlerId handler,
   p->src_node = runtime_.current_node();
   p->handler = handler;
   p->payload = std::move(payload);
-  enqueue(std::move(p));
+  submit(std::move(p));
 }
 
 sync::Future<Payload> ParcelEngine::request(std::uint32_t dst_node,
@@ -82,7 +180,7 @@ sync::Future<Payload> ParcelEngine::request(std::uint32_t dst_node,
   p->handler = handler;
   p->payload = std::move(payload);
   p->on_reply = [reply](Payload value) { reply.set(std::move(value)); };
-  enqueue(std::move(p));
+  submit(std::move(p));
   return reply;
 }
 
@@ -94,12 +192,107 @@ void ParcelEngine::invoke_at(std::uint32_t dst_node,
   p->src_node = runtime_.current_node();
   p->closure = std::move(fn);
   p->payload.resize(modeled_bytes);  // sizing for the latency model only
-  enqueue(std::move(p));
+  submit(std::move(p));
+}
+
+void ParcelEngine::send_ack(const Parcel& data, std::uint32_t node) {
+  auto ack = std::make_shared<Parcel>();
+  ack->kind = ParcelKind::kAck;
+  ack->dst_node = data.src_node;
+  ack->src_node = node;
+  ack->seq = data.seq;
+  ack->payload.resize(8);  // sizing for the latency model only
+  transmit(std::move(ack));
+}
+
+void ParcelEngine::handle_ack(const Parcel& ack, std::uint32_t node) {
+  bool erased = false;
+  {
+    TxState& tx = *tx_[node];
+    std::lock_guard<std::mutex> lock(tx.mutex);
+    erased = tx.pending.erase(tx_key(ack.src_node, ack.seq)) > 0;
+  }
+  if (erased) {
+    stats_.acks.fetch_add(1, std::memory_order_relaxed);
+    runtime_.release_work();  // the logical in-flight token
+  }
+  // else: duplicate ack, or ack for an already dead-lettered parcel.
+}
+
+bool ParcelEngine::already_seen(const Parcel& parcel, std::uint32_t node) {
+  RxState& rx = *rx_[node];
+  std::lock_guard<std::mutex> lock(rx.mutex);
+  RxStream& stream = rx.streams[parcel.src_node];
+  if (parcel.seq <= stream.contiguous) return true;
+  if (stream.out_of_order.count(parcel.seq) > 0) return true;
+  if (parcel.seq == stream.contiguous + 1) {
+    ++stream.contiguous;
+    // Fold in any out-of-order arrivals the gap closure reaches.
+    auto it = stream.out_of_order.begin();
+    while (it != stream.out_of_order.end() && *it == stream.contiguous + 1) {
+      ++stream.contiguous;
+      it = stream.out_of_order.erase(it);
+    }
+  } else {
+    stream.out_of_order.insert(parcel.seq);
+  }
+  return false;
+}
+
+bool ParcelEngine::run_retransmit_timer(std::uint32_t node) {
+  std::vector<std::shared_ptr<Parcel>> expired;
+  std::vector<std::shared_ptr<Parcel>> exhausted;
+  {
+    TxState& tx = *tx_[node];
+    std::lock_guard<std::mutex> lock(tx.mutex);
+    if (tx.pending.empty()) return false;
+    const auto now = Clock::now();
+    for (auto it = tx.pending.begin(); it != tx.pending.end();) {
+      PendingTx& entry = it->second;
+      if (entry.deadline > now) {
+        ++it;
+        continue;
+      }
+      if (entry.retries >= reliability_options_.max_retries) {
+        exhausted.push_back(entry.parcel);
+        it = tx.pending.erase(it);
+        continue;
+      }
+      ++entry.retries;
+      const auto backed_off = std::chrono::duration_cast<Clock::duration>(
+          entry.timeout * reliability_options_.backoff);
+      entry.timeout = std::min(
+          backed_off, std::chrono::duration_cast<Clock::duration>(
+                          reliability_options_.max_timeout));
+      entry.deadline = now + entry.timeout;
+      expired.push_back(entry.parcel);
+      ++it;
+    }
+  }
+  // Act outside the lock: transmit takes inbox locks and dead_letter can
+  // run arbitrary continuations (which may send parcels themselves).
+  for (auto& parcel : expired) {
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    trace_transport("retry", *parcel);
+    transmit(parcel);
+  }
+  for (auto& parcel : exhausted) dead_letter(std::move(parcel));
+  return !expired.empty() || !exhausted.empty();
+}
+
+void ParcelEngine::dead_letter(std::shared_ptr<Parcel> parcel) {
+  stats_.dead_letters.fetch_add(1, std::memory_order_relaxed);
+  trace_transport("dead_letter", *parcel);
+  // Resolve the requester's future with an empty payload so nothing ever
+  // blocks on a message the network has eaten. claim() excludes the
+  // (unlikely) race with a late copy still being delivered.
+  if (parcel->claim() && parcel->on_reply) parcel->on_reply(Payload{});
+  runtime_.release_work();  // the logical in-flight token
 }
 
 bool ParcelEngine::poll(std::uint32_t node) {
+  bool did = run_retransmit_timer(node);
   Inbox& inbox = *inboxes_[node];
-  bool did = false;
   while (true) {
     std::shared_ptr<Parcel> parcel;
     {
@@ -109,17 +302,39 @@ bool ParcelEngine::poll(std::uint32_t node) {
       parcel = inbox.queue.top().parcel;
       inbox.queue.pop();
     }
-    deliver(*parcel, node);
-    runtime_.release_work();
+    if (parcel->kind == ParcelKind::kAck) {
+      handle_ack(*parcel, node);
+    } else if (parcel->reliable) {
+      if (already_seen(*parcel, node)) {
+        stats_.dup_suppressed.fetch_add(1, std::memory_order_relaxed);
+        trace_transport("dup_suppressed", *parcel);
+      } else {
+        deliver(*parcel, node);
+      }
+      // Ack every copy: the previous ack may have been dropped.
+      send_ack(*parcel, node);
+    } else {
+      deliver(*parcel, node);
+    }
+    runtime_.release_work();  // the physical inbox token
     did = true;
   }
   return did;
 }
 
 void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
+  // A reliable parcel the sender has already dead-lettered must not run:
+  // its requester future is settled and the sender stopped counting it.
+  if (parcel.reliable && !parcel.claim()) return;
   stats_.delivered.fetch_add(1, std::memory_order_relaxed);
   if (parcel.closure) {
     parcel.closure();
+    return;
+  }
+  if (parcel.is_reply) {
+    // Keep the payload intact (a retransmitted copy may still be in
+    // flight); Future::set ignores a second resolution anyway.
+    if (parcel.on_reply) parcel.on_reply(parcel.payload);
     return;
   }
   Handler* handler = nullptr;
@@ -131,17 +346,16 @@ void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
   Payload reply = (*handler)(parcel.payload, parcel.src_node);
   if (parcel.on_reply) {
     stats_.replies.fetch_add(1, std::memory_order_relaxed);
-    // The reply travels back over the network before the requester sees it.
+    // The reply travels back over the network (reliably, if the request
+    // did) before the requester sees it.
     auto back = std::make_shared<Parcel>();
     back->dst_node = parcel.src_node;
     back->src_node = node;
-    const std::size_t reply_bytes = reply.size();
-    back->closure = [cb = std::move(parcel.on_reply),
-                     value = std::move(reply)]() mutable {
-      cb(std::move(value));
-    };
-    back->payload.resize(reply_bytes);
-    enqueue(std::move(back));
+    back->is_reply = true;
+    back->on_reply = std::move(parcel.on_reply);
+    parcel.on_reply = nullptr;
+    back->payload = std::move(reply);
+    submit(std::move(back));
   }
 }
 

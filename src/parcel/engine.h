@@ -1,4 +1,5 @@
-// ParcelEngine: per-node inboxes + delivery timing + handler dispatch.
+// ParcelEngine: per-node inboxes + delivery timing + handler dispatch,
+// with an optional reliable-delivery protocol over a faulty network model.
 //
 // Senders never block (split-transaction discipline): send/request/invoke_at
 // enqueue the parcel with a delivery deadline derived from the machine's
@@ -6,12 +7,31 @@
 // parcels through the runtime's poller hook, executing handlers on the
 // receiving node. Replies are parcels in the opposite direction, fulfilling
 // the requester's Future -- the paper's split transaction.
+//
+// Reliability. When the machine's NetworkFaultModel is active (or
+// reliability is forced on), every cross-node data parcel travels under a
+// stop-and-wait-per-message protocol:
+//   * the sender assigns a per-(src,dst) sequence number and keeps the
+//     parcel in a per-source retransmit table;
+//   * each physical traversal is subject to the fault model (drop,
+//     duplicate, jitter), realized by machine::NetworkFaultInjector;
+//   * the receiver suppresses duplicates (per-stream contiguous watermark +
+//     out-of-order set, so state stays bounded) and acks every copy;
+//   * acks erase the retransmit entry; a timeout (exponential backoff,
+//     capped) retransmits; after max_retries the parcel is dead-lettered:
+//     its requester Future is resolved with an empty payload so callers
+//     and wait_idle() never hang on a lost message.
+// The retransmit timer rides the runtime's per-node poller hook, and each
+// in-flight reliable parcel holds a runtime work token, so idleness
+// accounting stays exact: wait_idle() returns only once every logical
+// parcel is acknowledged or dead-lettered.
 #pragma once
 
 #include <chrono>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,17 +43,41 @@
 namespace htvm::parcel {
 
 struct EngineStats {
-  std::atomic<std::uint64_t> sent{0};
-  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> sent{0};       // logical data parcels submitted
+  std::atomic<std::uint64_t> delivered{0};  // handler/closure executions
   std::atomic<std::uint64_t> replies{0};
   std::atomic<std::uint64_t> bytes{0};
+  // Reliable-transport counters (all zero on an ideal network).
+  std::atomic<std::uint64_t> retries{0};         // timeout retransmissions
+  std::atomic<std::uint64_t> drops{0};           // physical copies lost
+  std::atomic<std::uint64_t> duplicates{0};      // physical copies cloned
+  std::atomic<std::uint64_t> dup_suppressed{0};  // receiver-side dedup hits
+  std::atomic<std::uint64_t> acks{0};            // acks received by senders
+  std::atomic<std::uint64_t> dead_letters{0};    // parcels given up on
+};
+
+// Reliable-delivery knobs. Timeouts are host-time: the floor covers the
+// functional backend (cycle_ns = 0, where modeled delivery is immediate but
+// polling cadence is not); on a latency-injected backend the engine adds
+// the modeled round trip on top of `base_timeout` automatically.
+struct ReliabilityOptions {
+  enum class Mode : std::uint8_t { kAuto = 0, kOff = 1, kOn = 2 };
+  // kAuto: reliable exactly when the machine's fault model is active.
+  Mode mode = Mode::kAuto;
+  // Retransmissions before a parcel is dead-lettered. 0 = first timeout
+  // dead-letters (retries disabled).
+  std::uint32_t max_retries = 10;
+  std::chrono::nanoseconds base_timeout{300'000};  // 300 us floor
+  double backoff = 2.0;                            // timeout *= backoff/retry
+  std::chrono::nanoseconds max_timeout{10'000'000};  // 10 ms backoff cap
 };
 
 class ParcelEngine {
  public:
   // Registers itself as a poller on the runtime; construct the engine
   // before spawning work that sends parcels.
-  explicit ParcelEngine(rt::Runtime& runtime);
+  explicit ParcelEngine(rt::Runtime& runtime,
+                        ReliabilityOptions reliability = {});
   ~ParcelEngine();
 
   ParcelEngine(const ParcelEngine&) = delete;
@@ -48,7 +92,10 @@ class ParcelEngine {
 
   // Split transaction: the future is fulfilled with the handler's reply
   // payload after the return trip. The caller typically continues other
-  // work and awaits the future later (or chains with .on_ready).
+  // work and awaits the future later (or chains with .on_ready). If the
+  // request (or its reply) is dead-lettered, the future resolves with an
+  // empty payload and stats().dead_letters is incremented -- it never
+  // hangs.
   sync::Future<Payload> request(std::uint32_t dst_node, HandlerId handler,
                                 Payload payload);
 
@@ -59,9 +106,12 @@ class ParcelEngine {
 
   const EngineStats& stats() const { return stats_; }
   rt::Runtime& runtime() { return runtime_; }
+  // True when cross-node data parcels are sequence-numbered and acked.
+  bool reliable() const { return reliable_; }
 
-  // Drains due parcels for `node`; returns true if any ran. Wired into the
-  // runtime's poller hook automatically; exposed for deterministic tests.
+  // Drains due parcels for `node` and runs its retransmit timer; returns
+  // true if any work ran. Wired into the runtime's poller hook
+  // automatically; exposed for deterministic tests.
   bool poll(std::uint32_t node);
 
  private:
@@ -69,11 +119,11 @@ class ParcelEngine {
 
   struct Timed {
     Clock::time_point due;
-    std::uint64_t seq;
+    std::uint64_t order;
     std::shared_ptr<Parcel> parcel;
     bool operator>(const Timed& other) const {
       if (due != other.due) return due > other.due;
-      return seq > other.seq;
+      return order > other.order;
     }
   };
 
@@ -82,18 +132,76 @@ class ParcelEngine {
     std::priority_queue<Timed, std::vector<Timed>, std::greater<>> queue;
   };
 
-  void enqueue(std::shared_ptr<Parcel> parcel);
+  // Sender-side retransmit record for one un-acked reliable parcel.
+  struct PendingTx {
+    std::shared_ptr<Parcel> parcel;
+    Clock::time_point deadline;
+    Clock::duration timeout;  // current (pre-backoff) value
+    std::uint32_t retries = 0;
+  };
+
+  // Per source node: everything this node has in flight, keyed by
+  // (dst_node, seq) packed into 64 bits.
+  struct TxState {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, PendingTx> pending;
+  };
+
+  // Receiver-side duplicate suppression for one (src -> this node) stream:
+  // every seq <= contiguous has been delivered; out-of-order arrivals
+  // above the watermark are tracked explicitly and folded in when the gap
+  // closes, so memory stays proportional to reordering, not traffic.
+  struct RxStream {
+    std::uint64_t contiguous = 0;
+    std::set<std::uint64_t> out_of_order;
+  };
+
+  struct RxState {
+    std::mutex mutex;
+    std::vector<RxStream> streams;  // indexed by src node
+  };
+
+  static std::uint64_t tx_key(std::uint32_t dst, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(dst) << 48) | (seq & 0xFFFFFFFFFFFFull);
+  }
+
+  // Logical submission: stats, sequence assignment, retransmit
+  // registration, then first physical transmission.
+  void submit(std::shared_ptr<Parcel> parcel);
+  // One physical transmission attempt: applies the fault model (drop /
+  // duplicate / jitter) and enqueues the surviving copies.
+  void transmit(const std::shared_ptr<Parcel>& parcel);
+  void enqueue_physical(std::shared_ptr<Parcel> parcel,
+                        Clock::time_point due);
+  void send_ack(const Parcel& data, std::uint32_t node);
+  void handle_ack(const Parcel& ack, std::uint32_t node);
+  // True if this reliable parcel was already delivered (duplicate).
+  bool already_seen(const Parcel& parcel, std::uint32_t node);
+  // Scans `node`'s retransmit table: re-sends expired entries, dead-letters
+  // exhausted ones. Returns true if it acted on anything.
+  bool run_retransmit_timer(std::uint32_t node);
+  void dead_letter(std::shared_ptr<Parcel> parcel);
+
   void deliver(Parcel& parcel, std::uint32_t node);
   Clock::duration network_delay(std::uint32_t src, std::uint32_t dst,
                                 std::uint64_t bytes) const;
+  Clock::duration retransmit_timeout(const Parcel& parcel) const;
+  void trace_transport(const char* name, const Parcel& parcel);
 
   rt::Runtime& runtime_;
   rt::Runtime::PollerId poller_id_ = 0;
+  ReliabilityOptions reliability_options_;
+  bool reliable_ = false;
+  machine::NetworkFaultInjector faults_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::unique_ptr<TxState>> tx_;
+  std::vector<std::unique_ptr<RxState>> rx_;
+  // Per (src,dst) stream sequence counters, row-major [src * nodes + dst].
+  std::vector<std::atomic<std::uint64_t>> tx_seq_;
   mutable std::mutex handlers_mutex_;
   std::vector<Handler> handlers_;
   std::unordered_map<std::string, HandlerId> handler_names_;
-  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> order_{0};  // inbox FIFO tie-break
   EngineStats stats_;
 };
 

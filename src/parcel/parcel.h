@@ -11,6 +11,7 @@
 // cost is modeled from a declared payload size.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -28,6 +29,11 @@ using Payload = std::vector<std::byte>;
 // (empty = no reply content; one-way sends ignore the return value).
 using Handler = std::function<Payload(const Payload&, std::uint32_t)>;
 
+// Transport-level parcel class. Data parcels carry application work; ack
+// parcels confirm delivery of a reliable data parcel (they are themselves
+// unreliable -- a lost ack is recovered by the data retransmit).
+enum class ParcelKind : std::uint8_t { kData = 0, kAck = 1 };
+
 struct Parcel {
   std::uint32_t dst_node = 0;
   std::uint32_t src_node = 0;
@@ -37,6 +43,24 @@ struct Parcel {
   std::function<void()> closure;
   // Split-transaction continuation: invoked with the handler's reply.
   std::function<void(Payload)> on_reply;
+
+  // --- reliable-transport fields (engine-managed) ---
+  ParcelKind kind = ParcelKind::kData;
+  // Set on reply parcels: delivery invokes on_reply with the payload
+  // instead of dispatching a handler.
+  bool is_reply = false;
+  // True when the engine tracks this parcel for acknowledged delivery:
+  // it carries a sequence number, is retransmitted on timeout, and is
+  // deduplicated at the receiver.
+  bool reliable = false;
+  // Position in the (src_node, dst_node) stream, starting at 1; 0 = unset.
+  // Acks echo the sequence number of the data parcel they confirm.
+  std::uint64_t seq = 0;
+  // Settled exactly once, by whichever of delivery and sender-side
+  // dead-lettering happens first; the loser backs off. Only consulted for
+  // reliable parcels.
+  std::atomic<bool> settled{false};
+  bool claim() { return !settled.exchange(true, std::memory_order_acq_rel); }
 };
 
 // Payload packing helpers for POD types.

@@ -4,6 +4,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+// TSan tracks per-stack shadow state and corrupts (then crashes) when a
+// raw swapcontext moves execution to a stack it has never seen. Its fiber
+// API exists for exactly this: announce each fiber and each switch.
+#if defined(__SANITIZE_THREAD__)
+#define HTVM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HTVM_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef HTVM_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace htvm::rt {
 
 namespace {
@@ -26,9 +40,17 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
               static_cast<unsigned>(self >> 32),
               static_cast<unsigned>(self & 0xffffffffu));
+#ifdef HTVM_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+#ifdef HTVM_TSAN_FIBERS
+  // A fiber is never destroyed while running on its own stack.
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   const std::uintptr_t bits =
@@ -41,6 +63,9 @@ void Fiber::run_entry() {
   finished_ = true;
   // Return to whichever thread performed the final resume. Never falls off
   // the trampoline (uc_link is null; falling off would exit the thread).
+#ifdef HTVM_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
   swapcontext(&context_, &return_context_);
   std::fprintf(stderr, "htvm::rt: finished fiber resumed\n");
   std::abort();
@@ -54,6 +79,12 @@ void Fiber::resume() {
   Fiber* const prev = tl_current_fiber;
   tl_current_fiber = this;
   started_ = true;
+#ifdef HTVM_TSAN_FIBERS
+  // Re-captured on every resume: the fiber may be resumed from a
+  // different OS thread (LGT migration) than the one that last ran it.
+  tsan_return_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_context_, &context_);
   tl_current_fiber = prev;
 }
@@ -64,6 +95,9 @@ void Fiber::yield() {
     std::fprintf(stderr, "htvm::rt: Fiber::yield outside a fiber\n");
     std::abort();
   }
+#ifdef HTVM_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
   swapcontext(&self->context_, &self->return_context_);
 }
 

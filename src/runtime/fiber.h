@@ -56,6 +56,11 @@ class Fiber {
   ucontext_t return_context_{};
   bool started_ = false;
   bool finished_ = false;
+  // ThreadSanitizer fiber contexts (null outside TSan builds): TSan cannot
+  // follow raw swapcontext stack switches, so every switch is announced
+  // through its fiber API.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_return_ = nullptr;
 };
 
 }  // namespace htvm::rt

@@ -37,6 +37,7 @@
 #include "sync/sync_slot.h"
 #include "trace/tracer.h"
 #include "util/rng.h"
+#include "util/spinlock.h"
 
 namespace htvm::rt {
 
@@ -67,17 +68,65 @@ struct WorkerStats {
   std::uint64_t parks = 0;
 };
 
+// Internal counterpart: workers bump these lock-free while
+// worker_stats()/aggregate_stats() snapshot them from other threads, so
+// the fields must be atomic (plain u64s here were a data race).
+struct AtomicWorkerStats {
+  std::atomic<std::uint64_t> sgts_executed{0};
+  std::atomic<std::uint64_t> tgts_executed{0};
+  std::atomic<std::uint64_t> lgt_resumes{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> failed_steal_rounds{0};
+  std::atomic<std::uint64_t> parks{0};
+  WorkerStats snapshot() const {
+    WorkerStats out;
+    out.sgts_executed = sgts_executed.load(std::memory_order_relaxed);
+    out.tgts_executed = tgts_executed.load(std::memory_order_relaxed);
+    out.lgt_resumes = lgt_resumes.load(std::memory_order_relaxed);
+    out.steals = steals.load(std::memory_order_relaxed);
+    out.failed_steal_rounds =
+        failed_steal_rounds.load(std::memory_order_relaxed);
+    out.parks = parks.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+struct Lgt;
+
+// Wake-callback indirection for blocked LGTs. Future::on_ready consumers
+// capture a shared_ptr to the gate instead of a raw Lgt*: the gate outlives
+// the LGT, ~Lgt nulls the back-pointer under the gate lock, and a per-block
+// epoch lets stale consumers (from an earlier blocking episode) be ignored.
+// Without this, a consumer registered on a future that outlives the LGT
+// would fire into freed memory, and a leftover consumer from a previous
+// await could double-re-enqueue the fiber.
+struct LgtWakeGate {
+  util::SpinLock lock;
+  Lgt* lgt = nullptr;  // nulled by ~Lgt
+};
+
 // An LGT instance. Created by Runtime::spawn_lgt; owned by the runtime's
 // queues/registries throughout its life.
 struct Lgt {
   Lgt(std::function<void()> entry, std::size_t stack_bytes)
-      : fiber(std::move(entry), stack_bytes) {}
+      : fiber(std::move(entry), stack_bytes),
+        gate(std::make_shared<LgtWakeGate>()) {
+    gate->lgt = this;
+  }
+  ~Lgt() {
+    util::Guard<util::SpinLock> g(gate->lock);
+    gate->lgt = nullptr;
+  }
   Fiber fiber;
   std::uint32_t node = 0;
   class Runtime* runtime = nullptr;
   // Two-phase wakeup: both the blocking worker and the wake callback
   // "check in"; whichever is second re-enqueues the fiber (lgt_checkin).
   std::atomic<int> checkins{0};
+  // Incremented once per blocking episode; a wake consumer carrying an
+  // older epoch is stale and must not check in.
+  std::atomic<std::uint64_t> wake_epoch{0};
+  std::shared_ptr<LgtWakeGate> gate;
   enum class Exit : std::uint8_t { kYielded, kBlocked };
   Exit exit_reason = Exit::kYielded;
 };
@@ -119,13 +168,23 @@ class Runtime {
   // Blocks the current LGT on a future without blocking its worker: the
   // fiber switches out and is re-enqueued when the value arrives. From a
   // non-fiber context this falls back to a blocking get.
+  //
+  // Exactly one wake consumer is registered per blocking episode, and the
+  // consumer goes through the LGT's wake gate with the episode's epoch:
+  // a consumer that fires late (after the LGT resumed, moved on to another
+  // await, or finished entirely) is recognized as stale and ignored
+  // instead of dereferencing a dead LGT or double-re-enqueueing it.
   template <typename T>
   static const T& await(const sync::Future<T>& future) {
     Lgt* lgt = current_lgt();
     if (lgt == nullptr) return future.get();
     while (!future.ready()) {
+      const std::uint64_t epoch =
+          lgt->wake_epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
       lgt->checkins.store(0, std::memory_order_relaxed);
-      future.on_ready([lgt](const T&) { lgt->runtime->lgt_checkin(lgt); });
+      future.on_ready([gate = lgt->gate, epoch](const T&) {
+        gated_lgt_checkin(*gate, epoch);
+      });
       lgt->runtime->block_current_lgt(lgt);
     }
     return future.get();
@@ -181,6 +240,7 @@ class Runtime {
   // complete events (host microseconds since runtime start, lane =
   // worker id). Attach before spawning work; detach only when idle.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
   std::uint64_t trace_now_us() const;
 
   // Work tokens: keep wait_idle() from returning while an external
@@ -193,6 +253,9 @@ class Runtime {
 
   // LGT wakeup protocol (public for Future callbacks) and load balancing.
   void lgt_checkin(Lgt* lgt);
+  // Gate-guarded check-in used by await()'s wake consumers: no-ops if the
+  // LGT is gone or the consumer's blocking episode has passed.
+  static void gated_lgt_checkin(LgtWakeGate& gate, std::uint64_t epoch);
   std::size_t lgt_queue_depth(std::uint32_t node) const;
   std::size_t sgt_backlog(std::uint32_t node) const;
   // Moves one ready LGT from `from` to `to` (dynamic load adaptation at
@@ -218,7 +281,7 @@ class Runtime {
     WsDeque<SgtJob*> deque;
     std::vector<std::function<void()>> tgt_stack;
     util::Xoshiro256 rng{1};
-    WorkerStats stats;
+    AtomicWorkerStats stats;
     std::thread thread;
   };
 

@@ -17,20 +17,36 @@ Runtime::Runtime(RuntimeOptions options)
     nodes_.push_back(std::make_unique<NodeState>());
   }
 
-  std::uint32_t per_node = cfg.thread_units_per_node;
+  // One worker per modeled thread unit, capped by max_workers. The cap is
+  // distributed with its remainder (max_workers=6, nodes=4 -> 2+2+1+1, not
+  // 1 each), so no granted worker budget is silently rounded away; at
+  // least one worker per node is always kept even when max_workers < nodes.
+  std::vector<std::uint32_t> node_workers(cfg.nodes,
+                                          cfg.thread_units_per_node);
   if (options_.max_workers != 0) {
-    per_node = std::max<std::uint32_t>(
-        1, std::min(per_node, options_.max_workers / cfg.nodes));
+    const std::uint32_t base = options_.max_workers / cfg.nodes;
+    const std::uint32_t remainder = options_.max_workers % cfg.nodes;
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+      const std::uint32_t share = base + (n < remainder ? 1 : 0);
+      node_workers[n] =
+          std::max<std::uint32_t>(1, std::min(node_workers[n], share));
+    }
   }
-  const std::uint32_t total = per_node * cfg.nodes;
+  std::uint32_t total = 0;
+  for (const std::uint32_t count : node_workers) total += count;
+  assert(options_.max_workers == 0 ||
+         total <= std::max(options_.max_workers, cfg.nodes));
   workers_.reserve(total);
-  for (std::uint32_t i = 0; i < total; ++i) {
-    auto w = std::make_unique<Worker>();
-    w->id = i;
-    w->node = i / per_node;
-    w->runtime = this;
-    w->rng = util::Xoshiro256(0x5eed + i);
-    workers_.push_back(std::move(w));
+  std::uint32_t id = 0;
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    for (std::uint32_t k = 0; k < node_workers[n]; ++k, ++id) {
+      auto w = std::make_unique<Worker>();
+      w->id = id;
+      w->node = n;
+      w->runtime = this;
+      w->rng = util::Xoshiro256(0x5eed + id);
+      workers_.push_back(std::move(w));
+    }
   }
   for (auto& w : workers_) {
     Worker* raw = w.get();
@@ -147,6 +163,16 @@ void Runtime::lgt_checkin(Lgt* lgt) {
   }
 }
 
+void Runtime::gated_lgt_checkin(LgtWakeGate& gate, std::uint64_t epoch) {
+  // The gate lock excludes ~Lgt, so the back-pointer read is safe; the
+  // epoch check drops consumers from an earlier blocking episode.
+  util::Guard<util::SpinLock> g(gate.lock);
+  Lgt* lgt = gate.lgt;
+  if (lgt == nullptr) return;  // LGT already finished and was destroyed
+  if (lgt->wake_epoch.load(std::memory_order_acquire) != epoch) return;
+  lgt->runtime->lgt_checkin(lgt);
+}
+
 std::size_t Runtime::lgt_queue_depth(std::uint32_t node) const {
   NodeState& ns = *nodes_[node];
   std::lock_guard<std::mutex> lock(ns.lgt_mutex);
@@ -220,18 +246,19 @@ std::uint32_t Runtime::current_node() const {
 }
 
 WorkerStats Runtime::worker_stats(std::uint32_t worker) const {
-  return workers_[worker]->stats;
+  return workers_[worker]->stats.snapshot();
 }
 
 WorkerStats Runtime::aggregate_stats() const {
   WorkerStats total;
   for (const auto& w : workers_) {
-    total.sgts_executed += w->stats.sgts_executed;
-    total.tgts_executed += w->stats.tgts_executed;
-    total.lgt_resumes += w->stats.lgt_resumes;
-    total.steals += w->stats.steals;
-    total.failed_steal_rounds += w->stats.failed_steal_rounds;
-    total.parks += w->stats.parks;
+    const WorkerStats s = w->stats.snapshot();
+    total.sgts_executed += s.sgts_executed;
+    total.tgts_executed += s.tgts_executed;
+    total.lgt_resumes += s.lgt_resumes;
+    total.steals += s.steals;
+    total.failed_steal_rounds += s.failed_steal_rounds;
+    total.parks += s.parks;
   }
   return total;
 }

@@ -29,7 +29,7 @@ void Runtime::worker_main(Worker& w) {
     }
     if (++failures >= options_.park_threshold) {
       std::unique_lock<std::mutex> lock(park_mutex_);
-      ++w.stats.parks;
+      w.stats.parks.fetch_add(1, std::memory_order_relaxed);
       // Bounded wait: pollers (e.g. parcels with modeled in-flight delay)
       // can make work become due without any enqueue bumping the epoch.
       park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
@@ -94,7 +94,7 @@ void Runtime::drain_tgts(Worker& w) {
   while (!w.tgt_stack.empty()) {
     std::function<void()> tgt = std::move(w.tgt_stack.back());
     w.tgt_stack.pop_back();
-    ++w.stats.tgts_executed;
+    w.stats.tgts_executed.fetch_add(1, std::memory_order_relaxed);
     tgt();
     task_finished();
   }
@@ -108,7 +108,7 @@ std::uint64_t Runtime::trace_now_us() const {
 }
 
 void Runtime::run_sgt(Worker& w, SgtJob* job) {
-  ++w.stats.sgts_executed;
+  w.stats.sgts_executed.fetch_add(1, std::memory_order_relaxed);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
   job->fn();
@@ -120,7 +120,7 @@ void Runtime::run_sgt(Worker& w, SgtJob* job) {
 }
 
 void Runtime::resume_lgt(Worker& w, std::unique_ptr<Lgt> lgt) {
-  ++w.stats.lgt_resumes;
+  w.stats.lgt_resumes.fetch_add(1, std::memory_order_relaxed);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
   Lgt* raw = lgt.get();
@@ -160,7 +160,7 @@ bool Runtime::try_steal(Worker& w) {
     if (auto job = victim.deque.steal()) {
       if (victim.node != w.node)
         injector_.network_transfer(victim.node, w.node, 64);
-      ++w.stats.steals;
+      w.stats.steals.fetch_add(1, std::memory_order_relaxed);
       if (tracer_ != nullptr && tracer_->enabled())
         tracer_->record("runtime", "steal", w.id, trace_now_us(), 1);
       run_sgt(w, *job);
@@ -193,13 +193,13 @@ bool Runtime::try_steal(Worker& w) {
       }
       if (job != nullptr) {
         injector_.network_transfer(node, w.node, 64);
-        ++w.stats.steals;
+        w.stats.steals.fetch_add(1, std::memory_order_relaxed);
         run_sgt(w, job);
         return true;
       }
     }
   }
-  ++w.stats.failed_steal_rounds;
+  w.stats.failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 

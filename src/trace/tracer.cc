@@ -12,12 +12,21 @@ void Tracer::record(const char* category, std::string name,
                     std::uint32_t lane, std::uint64_t start,
                     std::uint64_t duration) {
   if (!enabled()) return;
-  util::Guard<util::SpinLock> g(lock_);
-  if (events_.size() >= capacity_) {
+  if (capacity_ == 0) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  events_.push_back(Event{category, std::move(name), lane, start, duration});
+  util::Guard<util::SpinLock> g(lock_);
+  if (events_.size() < capacity_) {
+    events_.push_back(
+        Event{category, std::move(name), lane, start, duration});
+    return;
+  }
+  // Ring is full: overwrite the oldest retained event so the tail of the
+  // run survives, and count the displaced one.
+  events_[next_] = Event{category, std::move(name), lane, start, duration};
+  next_ = (next_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t Tracer::size() const {
@@ -28,12 +37,22 @@ std::size_t Tracer::size() const {
 void Tracer::clear() {
   util::Guard<util::SpinLock> g(lock_);
   events_.clear();
+  next_ = 0;
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<Event> Tracer::snapshot() const {
   util::Guard<util::SpinLock> g(lock_);
-  return events_;
+  if (events_.size() < capacity_ || next_ == 0) return events_;
+  // Rotate so the snapshot reads oldest -> newest: the overwrite cursor
+  // points at the oldest retained event.
+  std::vector<Event> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(next_),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
 }
 
 namespace {

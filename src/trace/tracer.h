@@ -4,8 +4,10 @@
 //
 // A Tracer collects complete-events (name, category, lane, start,
 // duration) into a bounded ring and exports Chrome trace-event JSON
-// (chrome://tracing / Perfetto). Both backends emit into it: the real
-// runtime stamps host microseconds per worker lane; the virtual-time
+// (chrome://tracing / Perfetto). The ring keeps the NEWEST events: once
+// capacity is reached, each record overwrites the oldest retained event
+// and dropped() counts the overwrites. Both backends emit into it: the
+// real runtime stamps host microseconds per worker lane; the virtual-time
 // simulator stamps cycles per thread-unit lane. Recording is lock-striped
 // and wait-free enough for the SGT hot path; a disabled tracer costs one
 // branch.
@@ -41,17 +43,20 @@ class Tracer {
     return enabled_.load(std::memory_order_acquire);
   }
 
-  // Records one complete event; drops (and counts) when the ring is full.
+  // Records one complete event. When the ring is full the OLDEST event is
+  // overwritten (a trace tail is worth more than a trace head when
+  // diagnosing the state a run ended in); dropped() counts overwrites.
   void record(const char* category, std::string name, std::uint32_t lane,
               std::uint64_t start, std::uint64_t duration);
 
   std::size_t size() const;
+  // Number of events overwritten since construction / the last clear().
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
   void clear();
 
-  // Snapshot of the recorded events in insertion order.
+  // Snapshot of the retained events, oldest first.
   std::vector<Event> snapshot() const;
 
   // Chrome trace-event JSON ("traceEvents" array of ph:"X" records).
@@ -63,7 +68,8 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   mutable util::SpinLock lock_;
   std::size_t capacity_;
-  std::vector<Event> events_;
+  std::vector<Event> events_;  // ring once events_.size() == capacity_
+  std::size_t next_ = 0;       // overwrite cursor (oldest retained event)
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -483,6 +483,47 @@ TEST(Runtime, MaxWorkersCapRespectsNodes) {
   EXPECT_EQ(count.load(), 10);
 }
 
+// Regression: the cap used to be applied as floor(max_workers / nodes) per
+// node, silently rounding the budget away (max_workers=6 on 4 nodes gave 4
+// workers). The remainder must be distributed instead.
+TEST(Runtime, MaxWorkersCapDistributesRemainder) {
+  {
+    RuntimeOptions opts = small_options(4, 4);
+    opts.max_workers = 6;
+    Runtime rt(opts);
+    EXPECT_EQ(rt.num_workers(), 6u);  // 2+2+1+1, not 1+1+1+1
+    std::uint32_t on_node0 = 0;
+    for (std::uint32_t w = 0; w < rt.num_workers(); ++w)
+      if (rt.node_of_worker(w) == 0) ++on_node0;
+    EXPECT_EQ(on_node0, 2u);
+  }
+  {
+    RuntimeOptions opts = small_options(4, 4);
+    opts.max_workers = 5;
+    Runtime rt(opts);
+    EXPECT_EQ(rt.num_workers(), 5u);
+  }
+  {
+    // Per-node thread units still bound each node's share.
+    RuntimeOptions opts = small_options(2, 2);
+    opts.max_workers = 16;
+    Runtime rt(opts);
+    EXPECT_EQ(rt.num_workers(), 4u);
+  }
+  {
+    // Work spawned everywhere still completes under an uneven cap.
+    RuntimeOptions opts = small_options(3, 4);
+    opts.max_workers = 7;  // 3+2+2
+    Runtime rt(opts);
+    EXPECT_EQ(rt.num_workers(), 7u);
+    std::atomic<int> count{0};
+    for (std::uint32_t n = 0; n < 3; ++n)
+      for (int i = 0; i < 20; ++i) rt.spawn_sgt_on(n, [&] { ++count; });
+    rt.wait_idle();
+    EXPECT_EQ(count.load(), 60);
+  }
+}
+
 TEST(Runtime, PollersRunOnIdleWorkers) {
   Runtime rt(small_options(1, 1));
   std::atomic<int> polled{0};

@@ -11,12 +11,68 @@
 
 #include "hints/parser.h"
 #include "litlx/litlx.h"
+#include "runtime/deque.h"
 #include "sim/machine.h"
 #include "ssp/simulate.h"
 #include "util/rng.h"
 
 namespace htvm {
 namespace {
+
+// -------------------------------------------------- WsDeque growth stress
+
+// The owner pushes far past the initial capacity (forcing repeated ring
+// growth) while thieves hammer steal() the whole time; slow thieves may
+// still be reading a retired ring mid-grow. Every item must come out
+// exactly once across owner pops and thief steals.
+TEST(WsDequeStress, GrowthUnderConcurrentSteals) {
+  constexpr std::uint64_t kItems = 100'000;
+  constexpr int kThieves = 3;
+  rt::WsDeque<std::uint64_t> dq(/*initial_capacity=*/2);  // many grows
+  std::vector<std::atomic<std::uint32_t>> seen(kItems);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             dq.size_estimate() > 0) {
+        if (const auto v = dq.steal()) {
+          ++seen[static_cast<std::size_t>(*v)];
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::thread owner([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      dq.push(i);
+      if (i % 7 == 0) {
+        if (const auto v = dq.pop())
+          ++seen[static_cast<std::size_t>(*v)];
+      }
+    }
+    // Drain what the thieves have not taken; the owner is the only
+    // pusher, so one empty pop means the deque stays empty for it.
+    while (const auto v = dq.pop())
+      ++seen[static_cast<std::size_t>(*v)];
+    done.store(true, std::memory_order_release);
+  });
+
+  owner.join();
+  for (auto& t : thieves) t.join();
+
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    const auto count = seen[static_cast<std::size_t>(i)].load();
+    ASSERT_EQ(count, 1u) << "item " << i << " consumed " << count
+                         << " times";
+    total += count;
+  }
+  EXPECT_EQ(total, kItems);
+}
 
 // ----------------------------------------------------------- config fuzzing
 

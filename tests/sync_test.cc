@@ -88,6 +88,32 @@ TEST(SyncSlot, ConcurrentSignalsFireExactlyOnce) {
   }
 }
 
+// Regression: concurrent multi-count signals whose total far exceeds the
+// armed count must clamp at zero (never wrap the u32 counter back up),
+// fire exactly once, and leave the slot rearm-able.
+TEST(SyncSlot, ConcurrentOverSignalClampsAndFiresOnce) {
+  for (int round = 0; round < 50; ++round) {
+    SyncSlot slot;
+    std::atomic<int> fired{0};
+    slot.arm(100, [&] { ++fired; });
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) slot.signal(7);  // 1400 total vs 100
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(slot.pending(), 0u);  // clamped, not wrapped
+    EXPECT_EQ(slot.fire_count(), 1u);
+    slot.rearm();
+    EXPECT_EQ(slot.pending(), 100u);
+    EXPECT_TRUE(slot.signal(100));
+    EXPECT_EQ(fired.load(), 2);
+  }
+}
+
 // ----------------------------------------------------------------- DataSlot
 
 TEST(DataSlot, ConsumerAfterPutRunsInline) {

@@ -42,6 +42,32 @@ TEST(Tracer, CapacityBoundsAndCountsDrops) {
   EXPECT_EQ(tracer.dropped(), 0u);
 }
 
+// Regression: the "bounded ring" used to drop the NEWEST events once full,
+// so a long run's trace showed only its startup. A true ring keeps the
+// newest, counts the overwritten, and snapshots oldest-first.
+TEST(Tracer, RingKeepsNewestEvents) {
+  Tracer tracer(4);
+  tracer.enable();
+  for (int i = 0; i < 10; ++i)
+    tracer.record("c", "e" + std::to_string(i), 0,
+                  static_cast<std::uint64_t>(i), 1);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {  // the last four, oldest first
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "e" + std::to_string(6 + i));
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].start,
+              static_cast<std::uint64_t>(6 + i));
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record("c", "fresh", 0, 99, 1);
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.snapshot()[0].name, "fresh");
+}
+
 TEST(Tracer, ChromeJsonShape) {
   Tracer tracer;
   tracer.enable();
