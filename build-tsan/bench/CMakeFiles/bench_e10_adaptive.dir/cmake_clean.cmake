@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_adaptive.dir/bench_e10_adaptive.cc.o"
+  "CMakeFiles/bench_e10_adaptive.dir/bench_e10_adaptive.cc.o.d"
+  "bench_e10_adaptive"
+  "bench_e10_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_neuro.dir/bench_e11_neuro.cc.o"
+  "CMakeFiles/bench_e11_neuro.dir/bench_e11_neuro.cc.o.d"
+  "bench_e11_neuro"
+  "bench_e11_neuro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_neuro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

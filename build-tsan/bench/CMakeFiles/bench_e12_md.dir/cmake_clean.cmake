@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_md.dir/bench_e12_md.cc.o"
+  "CMakeFiles/bench_e12_md.dir/bench_e12_md.cc.o.d"
+  "bench_e12_md"
+  "bench_e12_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

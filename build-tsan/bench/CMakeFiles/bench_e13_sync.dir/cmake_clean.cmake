@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_sync.dir/bench_e13_sync.cc.o"
+  "CMakeFiles/bench_e13_sync.dir/bench_e13_sync.cc.o.d"
+  "bench_e13_sync"
+  "bench_e13_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

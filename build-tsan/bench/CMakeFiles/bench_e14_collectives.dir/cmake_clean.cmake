@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_collectives.dir/bench_e14_collectives.cc.o"
+  "CMakeFiles/bench_e14_collectives.dir/bench_e14_collectives.cc.o.d"
+  "bench_e14_collectives"
+  "bench_e14_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

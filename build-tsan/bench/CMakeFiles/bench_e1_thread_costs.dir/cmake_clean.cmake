@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_thread_costs.dir/bench_e1_thread_costs.cc.o"
+  "CMakeFiles/bench_e1_thread_costs.dir/bench_e1_thread_costs.cc.o.d"
+  "bench_e1_thread_costs"
+  "bench_e1_thread_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_thread_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_latency_hiding.dir/bench_e2_latency_hiding.cc.o"
+  "CMakeFiles/bench_e2_latency_hiding.dir/bench_e2_latency_hiding.cc.o.d"
+  "bench_e2_latency_hiding"
+  "bench_e2_latency_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_latency_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_loop_sched.dir/bench_e3_loop_sched.cc.o"
+  "CMakeFiles/bench_e3_loop_sched.dir/bench_e3_loop_sched.cc.o.d"
+  "bench_e3_loop_sched"
+  "bench_e3_loop_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_loop_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ssp.dir/bench_e4_ssp.cc.o"
+  "CMakeFiles/bench_e4_ssp.dir/bench_e4_ssp.cc.o.d"
+  "bench_e4_ssp"
+  "bench_e4_ssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

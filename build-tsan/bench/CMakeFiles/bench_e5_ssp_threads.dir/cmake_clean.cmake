@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_ssp_threads.dir/bench_e5_ssp_threads.cc.o"
+  "CMakeFiles/bench_e5_ssp_threads.dir/bench_e5_ssp_threads.cc.o.d"
+  "bench_e5_ssp_threads"
+  "bench_e5_ssp_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_ssp_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

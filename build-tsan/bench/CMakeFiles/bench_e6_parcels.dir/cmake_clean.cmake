@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_parcels.dir/bench_e6_parcels.cc.o"
+  "CMakeFiles/bench_e6_parcels.dir/bench_e6_parcels.cc.o.d"
+  "bench_e6_parcels"
+  "bench_e6_parcels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_parcels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_percolation.dir/bench_e7_percolation.cc.o"
+  "CMakeFiles/bench_e7_percolation.dir/bench_e7_percolation.cc.o.d"
+  "bench_e7_percolation"
+  "bench_e7_percolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_percolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_locality.dir/bench_e8_locality.cc.o"
+  "CMakeFiles/bench_e8_locality.dir/bench_e8_locality.cc.o.d"
+  "bench_e8_locality"
+  "bench_e8_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

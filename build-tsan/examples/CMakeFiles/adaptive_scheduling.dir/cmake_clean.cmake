@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_scheduling.dir/adaptive_scheduling.cpp.o"
+  "CMakeFiles/adaptive_scheduling.dir/adaptive_scheduling.cpp.o.d"
+  "adaptive_scheduling"
+  "adaptive_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hints_tool.dir/hints_tool.cpp.o"
+  "CMakeFiles/hints_tool.dir/hints_tool.cpp.o.d"
+  "hints_tool"
+  "hints_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hints_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

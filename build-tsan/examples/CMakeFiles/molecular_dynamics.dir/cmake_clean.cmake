@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecular_dynamics.dir/molecular_dynamics.cpp.o"
+  "CMakeFiles/molecular_dynamics.dir/molecular_dynamics.cpp.o.d"
+  "molecular_dynamics"
+  "molecular_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecular_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

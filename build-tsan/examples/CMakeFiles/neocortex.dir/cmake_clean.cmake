@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neocortex.dir/neocortex.cpp.o"
+  "CMakeFiles/neocortex.dir/neocortex.cpp.o.d"
+  "neocortex"
+  "neocortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neocortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for neocortex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed.dir/testbed.cpp.o"
+  "CMakeFiles/testbed.dir/testbed.cpp.o.d"
+  "testbed"
+  "testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_adapt.dir/adapt/advisor.cc.o"
+  "CMakeFiles/htvm_adapt.dir/adapt/advisor.cc.o.d"
+  "CMakeFiles/htvm_adapt.dir/adapt/controller.cc.o"
+  "CMakeFiles/htvm_adapt.dir/adapt/controller.cc.o.d"
+  "CMakeFiles/htvm_adapt.dir/adapt/monitor.cc.o"
+  "CMakeFiles/htvm_adapt.dir/adapt/monitor.cc.o.d"
+  "libhtvm_adapt.a"
+  "libhtvm_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

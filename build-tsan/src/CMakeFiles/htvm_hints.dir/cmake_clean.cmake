@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_hints.dir/hints/knowledge_base.cc.o"
+  "CMakeFiles/htvm_hints.dir/hints/knowledge_base.cc.o.d"
+  "CMakeFiles/htvm_hints.dir/hints/lexer.cc.o"
+  "CMakeFiles/htvm_hints.dir/hints/lexer.cc.o.d"
+  "CMakeFiles/htvm_hints.dir/hints/parser.cc.o"
+  "CMakeFiles/htvm_hints.dir/hints/parser.cc.o.d"
+  "libhtvm_hints.a"
+  "libhtvm_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtvm_hints.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_litlx.dir/litlx/collectives.cc.o"
+  "CMakeFiles/htvm_litlx.dir/litlx/collectives.cc.o.d"
+  "CMakeFiles/htvm_litlx.dir/litlx/forall.cc.o"
+  "CMakeFiles/htvm_litlx.dir/litlx/forall.cc.o.d"
+  "CMakeFiles/htvm_litlx.dir/litlx/machine.cc.o"
+  "CMakeFiles/htvm_litlx.dir/litlx/machine.cc.o.d"
+  "libhtvm_litlx.a"
+  "libhtvm_litlx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_litlx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

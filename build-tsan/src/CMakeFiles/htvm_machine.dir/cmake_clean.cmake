@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_machine.dir/machine/config.cc.o"
+  "CMakeFiles/htvm_machine.dir/machine/config.cc.o.d"
+  "CMakeFiles/htvm_machine.dir/machine/latency.cc.o"
+  "CMakeFiles/htvm_machine.dir/machine/latency.cc.o.d"
+  "libhtvm_machine.a"
+  "libhtvm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_md.dir/md/forces.cc.o"
+  "CMakeFiles/htvm_md.dir/md/forces.cc.o.d"
+  "CMakeFiles/htvm_md.dir/md/integrate.cc.o"
+  "CMakeFiles/htvm_md.dir/md/integrate.cc.o.d"
+  "CMakeFiles/htvm_md.dir/md/system.cc.o"
+  "CMakeFiles/htvm_md.dir/md/system.cc.o.d"
+  "libhtvm_md.a"
+  "libhtvm_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for htvm_md.
+# This may be replaced when dependencies are built.

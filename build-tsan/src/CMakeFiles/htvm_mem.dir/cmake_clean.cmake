@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_mem.dir/mem/data_object.cc.o"
+  "CMakeFiles/htvm_mem.dir/mem/data_object.cc.o.d"
+  "CMakeFiles/htvm_mem.dir/mem/frame.cc.o"
+  "CMakeFiles/htvm_mem.dir/mem/frame.cc.o.d"
+  "CMakeFiles/htvm_mem.dir/mem/global_memory.cc.o"
+  "CMakeFiles/htvm_mem.dir/mem/global_memory.cc.o.d"
+  "libhtvm_mem.a"
+  "libhtvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_neuro.dir/neuro/network.cc.o"
+  "CMakeFiles/htvm_neuro.dir/neuro/network.cc.o.d"
+  "CMakeFiles/htvm_neuro.dir/neuro/simulation.cc.o"
+  "CMakeFiles/htvm_neuro.dir/neuro/simulation.cc.o.d"
+  "libhtvm_neuro.a"
+  "libhtvm_neuro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_neuro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_parcel.dir/parcel/engine.cc.o"
+  "CMakeFiles/htvm_parcel.dir/parcel/engine.cc.o.d"
+  "CMakeFiles/htvm_parcel.dir/parcel/parcel.cc.o"
+  "CMakeFiles/htvm_parcel.dir/parcel/parcel.cc.o.d"
+  "CMakeFiles/htvm_parcel.dir/parcel/percolation.cc.o"
+  "CMakeFiles/htvm_parcel.dir/parcel/percolation.cc.o.d"
+  "libhtvm_parcel.a"
+  "libhtvm_parcel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

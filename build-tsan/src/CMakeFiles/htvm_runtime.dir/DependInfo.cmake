@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/deque.cc" "src/CMakeFiles/htvm_runtime.dir/runtime/deque.cc.o" "gcc" "src/CMakeFiles/htvm_runtime.dir/runtime/deque.cc.o.d"
+  "/root/repo/src/runtime/fiber.cc" "src/CMakeFiles/htvm_runtime.dir/runtime/fiber.cc.o" "gcc" "src/CMakeFiles/htvm_runtime.dir/runtime/fiber.cc.o.d"
+  "/root/repo/src/runtime/load_balancer.cc" "src/CMakeFiles/htvm_runtime.dir/runtime/load_balancer.cc.o" "gcc" "src/CMakeFiles/htvm_runtime.dir/runtime/load_balancer.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/CMakeFiles/htvm_runtime.dir/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/htvm_runtime.dir/runtime/scheduler.cc.o.d"
+  "/root/repo/src/runtime/worker.cc" "src/CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o" "gcc" "src/CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_sync.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_runtime.dir/runtime/deque.cc.o"
+  "CMakeFiles/htvm_runtime.dir/runtime/deque.cc.o.d"
+  "CMakeFiles/htvm_runtime.dir/runtime/fiber.cc.o"
+  "CMakeFiles/htvm_runtime.dir/runtime/fiber.cc.o.d"
+  "CMakeFiles/htvm_runtime.dir/runtime/load_balancer.cc.o"
+  "CMakeFiles/htvm_runtime.dir/runtime/load_balancer.cc.o.d"
+  "CMakeFiles/htvm_runtime.dir/runtime/scheduler.cc.o"
+  "CMakeFiles/htvm_runtime.dir/runtime/scheduler.cc.o.d"
+  "CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o"
+  "CMakeFiles/htvm_runtime.dir/runtime/worker.cc.o.d"
+  "libhtvm_runtime.a"
+  "libhtvm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

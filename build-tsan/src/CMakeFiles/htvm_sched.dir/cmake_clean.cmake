@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_sched.dir/sched/schedulers.cc.o"
+  "CMakeFiles/htvm_sched.dir/sched/schedulers.cc.o.d"
+  "libhtvm_sched.a"
+  "libhtvm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

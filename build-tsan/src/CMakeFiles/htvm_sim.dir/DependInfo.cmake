@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/htvm_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/htvm_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/locality.cc" "src/CMakeFiles/htvm_sim.dir/sim/locality.cc.o" "gcc" "src/CMakeFiles/htvm_sim.dir/sim/locality.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/htvm_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/htvm_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/task.cc" "src/CMakeFiles/htvm_sim.dir/sim/task.cc.o" "gcc" "src/CMakeFiles/htvm_sim.dir/sim/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/htvm_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/htvm_sim.dir/sim/locality.cc.o"
+  "CMakeFiles/htvm_sim.dir/sim/locality.cc.o.d"
+  "CMakeFiles/htvm_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/htvm_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/htvm_sim.dir/sim/task.cc.o"
+  "CMakeFiles/htvm_sim.dir/sim/task.cc.o.d"
+  "libhtvm_sim.a"
+  "libhtvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

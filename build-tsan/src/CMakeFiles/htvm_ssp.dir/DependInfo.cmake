@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssp/codegen.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/codegen.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/codegen.cc.o.d"
+  "/root/repo/src/ssp/dependence.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/dependence.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/dependence.cc.o.d"
+  "/root/repo/src/ssp/hybrid.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/hybrid.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/hybrid.cc.o.d"
+  "/root/repo/src/ssp/loop_nest.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/loop_nest.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/loop_nest.cc.o.d"
+  "/root/repo/src/ssp/modulo_schedule.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/modulo_schedule.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/modulo_schedule.cc.o.d"
+  "/root/repo/src/ssp/resource_model.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/resource_model.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/resource_model.cc.o.d"
+  "/root/repo/src/ssp/simulate.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/simulate.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/simulate.cc.o.d"
+  "/root/repo/src/ssp/ssp.cc" "src/CMakeFiles/htvm_ssp.dir/ssp/ssp.cc.o" "gcc" "src/CMakeFiles/htvm_ssp.dir/ssp/ssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_ssp.dir/ssp/codegen.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/codegen.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/dependence.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/dependence.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/hybrid.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/hybrid.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/loop_nest.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/loop_nest.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/modulo_schedule.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/modulo_schedule.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/resource_model.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/resource_model.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/simulate.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/simulate.cc.o.d"
+  "CMakeFiles/htvm_ssp.dir/ssp/ssp.cc.o"
+  "CMakeFiles/htvm_ssp.dir/ssp/ssp.cc.o.d"
+  "libhtvm_ssp.a"
+  "libhtvm_ssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

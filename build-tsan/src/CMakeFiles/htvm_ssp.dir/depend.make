@@ -1,0 +1,2 @@
+# Empty dependencies file for htvm_ssp.
+# This may be replaced when dependencies are built.

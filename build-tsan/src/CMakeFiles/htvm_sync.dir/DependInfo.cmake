@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/atomic_block.cc" "src/CMakeFiles/htvm_sync.dir/sync/atomic_block.cc.o" "gcc" "src/CMakeFiles/htvm_sync.dir/sync/atomic_block.cc.o.d"
+  "/root/repo/src/sync/barrier.cc" "src/CMakeFiles/htvm_sync.dir/sync/barrier.cc.o" "gcc" "src/CMakeFiles/htvm_sync.dir/sync/barrier.cc.o.d"
+  "/root/repo/src/sync/sync_slot.cc" "src/CMakeFiles/htvm_sync.dir/sync/sync_slot.cc.o" "gcc" "src/CMakeFiles/htvm_sync.dir/sync/sync_slot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/htvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

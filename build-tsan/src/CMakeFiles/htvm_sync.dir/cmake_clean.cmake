@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_sync.dir/sync/atomic_block.cc.o"
+  "CMakeFiles/htvm_sync.dir/sync/atomic_block.cc.o.d"
+  "CMakeFiles/htvm_sync.dir/sync/barrier.cc.o"
+  "CMakeFiles/htvm_sync.dir/sync/barrier.cc.o.d"
+  "CMakeFiles/htvm_sync.dir/sync/sync_slot.cc.o"
+  "CMakeFiles/htvm_sync.dir/sync/sync_slot.cc.o.d"
+  "libhtvm_sync.a"
+  "libhtvm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_trace.dir/trace/tracer.cc.o"
+  "CMakeFiles/htvm_trace.dir/trace/tracer.cc.o.d"
+  "libhtvm_trace.a"
+  "libhtvm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_util.dir/util/arena.cc.o"
+  "CMakeFiles/htvm_util.dir/util/arena.cc.o.d"
+  "CMakeFiles/htvm_util.dir/util/rng.cc.o"
+  "CMakeFiles/htvm_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/htvm_util.dir/util/stats.cc.o"
+  "CMakeFiles/htvm_util.dir/util/stats.cc.o.d"
+  "libhtvm_util.a"
+  "libhtvm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

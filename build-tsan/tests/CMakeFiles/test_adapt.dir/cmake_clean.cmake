@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapt.dir/adapt_test.cc.o"
+  "CMakeFiles/test_adapt.dir/adapt_test.cc.o.d"
+  "test_adapt"
+  "test_adapt.pdb"
+  "test_adapt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_claims.dir/claims_test.cc.o"
+  "CMakeFiles/test_claims.dir/claims_test.cc.o.d"
+  "test_claims"
+  "test_claims.pdb"
+  "test_claims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hints.dir/hints_test.cc.o"
+  "CMakeFiles/test_hints.dir/hints_test.cc.o.d"
+  "test_hints"
+  "test_hints.pdb"
+  "test_hints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

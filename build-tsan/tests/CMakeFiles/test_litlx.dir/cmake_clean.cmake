@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litlx.dir/litlx_test.cc.o"
+  "CMakeFiles/test_litlx.dir/litlx_test.cc.o.d"
+  "test_litlx"
+  "test_litlx.pdb"
+  "test_litlx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litlx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md.dir/md_test.cc.o"
+  "CMakeFiles/test_md.dir/md_test.cc.o.d"
+  "test_md"
+  "test_md.pdb"
+  "test_md[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neuro.dir/neuro_test.cc.o"
+  "CMakeFiles/test_neuro.dir/neuro_test.cc.o.d"
+  "test_neuro"
+  "test_neuro.pdb"
+  "test_neuro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neuro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

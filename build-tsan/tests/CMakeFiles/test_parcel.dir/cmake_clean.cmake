@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcel.dir/parcel_test.cc.o"
+  "CMakeFiles/test_parcel.dir/parcel_test.cc.o.d"
+  "test_parcel"
+  "test_parcel.pdb"
+  "test_parcel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

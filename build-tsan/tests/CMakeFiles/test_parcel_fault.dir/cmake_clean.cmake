@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcel_fault.dir/parcel_fault_test.cc.o"
+  "CMakeFiles/test_parcel_fault.dir/parcel_fault_test.cc.o.d"
+  "test_parcel_fault"
+  "test_parcel_fault.pdb"
+  "test_parcel_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcel_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

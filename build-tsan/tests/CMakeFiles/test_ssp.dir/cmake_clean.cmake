@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssp.dir/ssp_test.cc.o"
+  "CMakeFiles/test_ssp.dir/ssp_test.cc.o.d"
+  "test_ssp"
+  "test_ssp.pdb"
+  "test_ssp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

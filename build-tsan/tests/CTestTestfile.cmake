@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sync[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parcel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parcel_fault[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sched[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ssp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_hints[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_adapt[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_litlx[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_neuro[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_md[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stress[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_claims[1]_include.cmake")
