@@ -142,11 +142,12 @@ double run_oracle(int invocations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E10: continuous compilation -- adaptive policy selection",
       "no fixed schedule wins every phase; the monitor-fed controller "
       "approaches the per-phase oracle, and hints remove the cold start");
+  bench::Reporter reporter(argc, argv, "e10_adaptive");
 
   constexpr int kInvocations = kPhaseLength * 6;  // 6 workload phases
   const double oracle = run_oracle(kInvocations);
@@ -166,7 +167,7 @@ int main() {
                  bench::TextTable::fmt(primed.total / oracle, 3)});
   table.add_row({"oracle(per-phase best)", bench::TextTable::fmt(oracle, 0),
                  "1.000"});
-  bench::print_table(table);
+  reporter.table("policies", table);
 
   std::printf("--- observation-window (probe period) ablation ---\n");
   bench::TextTable windows({"probe_period", "total_cost", "switches"});
@@ -176,6 +177,6 @@ int main() {
                      bench::TextTable::fmt(o.total, 0),
                      bench::TextTable::fmt(o.switches)});
   }
-  bench::print_table(windows);
+  reporter.table("probe_period_ablation", windows);
   return 0;
 }

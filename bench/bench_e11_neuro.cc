@@ -94,11 +94,12 @@ sim::Cycle project(bool hubs, const std::string& policy, std::uint32_t tus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E11: neuron-network application on the thread hierarchy",
       "hub columns create imbalance that dynamic column scheduling fixes; "
       "scaling saturates when one column dominates a step");
+  bench::Reporter reporter(argc, argv, "e11_neuro");
 
   std::printf("--- (a) real runtime: steps/second, 2 nodes x 2 TUs ---\n");
   bench::TextTable real_table(
@@ -111,7 +112,7 @@ int main() {
                         bench::TextTable::fmt(s_guided, 1),
                         bench::TextTable::fmt(s_guided / s_static, 2)});
   }
-  bench::print_table(real_table);
+  reporter.table("real_runtime", real_table);
 
   std::printf("--- (b) simulated projection: step makespan (cycles) ---\n");
   for (const bool hubs : {false, true}) {
@@ -135,7 +136,8 @@ int main() {
     }
     std::printf("%s network (32 columns)\n",
                 hubs ? "hub-skewed" : "flat");
-    bench::print_table(table);
+    reporter.table(std::string("projection/") + (hubs ? "hub-skewed" : "flat"),
+                   table);
   }
   return 0;
 }

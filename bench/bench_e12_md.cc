@@ -87,11 +87,12 @@ sim::Cycle project(const md::System& sys, const md::CellList& cells,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E12: molecular dynamics (protein + water + Na/Cl ions)",
       "cell-parallel MD scales with TUs; ghost exchange dominated by "
       "surface-to-volume; percolating ghost layers hides the fetch");
+  bench::Reporter reporter(argc, argv, "e12_md");
 
   std::printf("--- (a) real runtime: step time, 2 nodes x 2 TUs ---\n");
   bench::TextTable real_table(
@@ -105,7 +106,7 @@ int main() {
                         bench::TextTable::fmt(o.pairs_per_second / 1e6,
                                               2)});
   }
-  bench::print_table(real_table);
+  reporter.table("real_runtime", real_table);
 
   std::printf("--- (b) simulated projection: force-pass makespan ---\n");
   md::System sys(sized_params(800));
@@ -122,7 +123,7 @@ int main() {
                                             static_cast<double>(t_guided),
                                         2)});
   }
-  bench::print_table(proj);
+  reporter.table("projection", proj);
 
   std::printf("--- (c) ghost-exchange model (block decomposition) ---\n");
   // Slab decomposition of the cell grid across nodes: cells whose slab
@@ -165,6 +166,6 @@ int main() {
                                                      1, percolated)),
                                          1)});
   }
-  bench::print_table(ghost);
+  reporter.table("ghost_exchange", ghost);
   return 0;
 }

@@ -9,6 +9,8 @@
 // stripe; barrier cost grows with participants.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.h"
+
 #include <memory>
 #include <thread>
 #include <vector>
@@ -131,4 +133,4 @@ BENCHMARK(BM_BarrierTwoThreads);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HTVM_GBENCH_MAIN("e13_sync")

@@ -44,11 +44,12 @@ double tree_allreduce_seconds(std::uint32_t nodes, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E14: split-phase tree collectives vs global barrier+shared-cell",
       "dataflow collectives complete in O(log n) network steps; a barrier "
       "plus shared counter serializes O(n) round trips at one home node");
+  bench::Reporter reporter(argc, argv, "e14_collectives");
 
   // (a) analytic cost on the cluster network model.
   bench::TextTable model(
@@ -75,7 +76,7 @@ int main() {
                        1)});
   }
   std::printf("--- (a) analytic allreduce cost (cluster network) ---\n");
-  bench::print_table(model);
+  reporter.table("model", model);
 
   // (b) real runtime wall time of the tree allreduce.
   std::printf("--- (b) real runtime: tree allreduce wall time ---\n");
@@ -85,6 +86,6 @@ int main() {
     real_table.add_row(
         {std::to_string(n), bench::TextTable::fmt(seconds * 1e6, 1)});
   }
-  bench::print_table(real_table);
+  reporter.table("real_runtime", real_table);
   return 0;
 }

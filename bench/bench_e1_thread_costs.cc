@@ -12,7 +12,9 @@
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
+#include "gbench_json.h"
 #include "mem/frame.h"
 #include "runtime/fiber.h"
 #include "runtime/runtime.h"
@@ -106,6 +108,24 @@ void BM_SgtFrameAllocRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_SgtFrameAllocRelease)->Arg(64)->Arg(1024)->Arg(16384);
 
+void BM_SpawnSgtBatch(benchmark::State& state) {
+  // The batched spawn path: build a batch of inline-storage Tasks and
+  // inject them with one call (one lock/epoch bump per batch).
+  rt::Runtime& runtime = shared_runtime();
+  constexpr int kBatch = 1024;
+  std::atomic<int> sink{0};
+  std::vector<rt::Task> tasks(kBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i)
+      tasks[static_cast<std::size_t>(i)].emplace(
+          [&sink] { sink.fetch_add(1); });
+    runtime.spawn_sgt_batch(0, tasks);
+    runtime.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpawnSgtBatch)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+HTVM_GBENCH_MAIN("e1_thread_costs")

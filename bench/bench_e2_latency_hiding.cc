@@ -64,11 +64,12 @@ double run_bandwidth(std::uint32_t threads, sim::Cycle work, int rounds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   htvm::bench::print_header(
       "E2: latency hiding by multithreading (sim, 1 TU)",
       "enough threads per thread unit overlap remote latency with compute; "
       "efficiency saturates near 1 at k ~ 1 + L/w");
+  htvm::bench::Reporter reporter(argc, argv, "e2_latency_hiding");
 
   const sim::Cycle work = 100;
   const int rounds = 20;
@@ -85,7 +86,7 @@ int main() {
         std::uint64_t{1 + latency / work}));
     table.add_row(row);
   }
-  htvm::bench::print_table(table);
+  reporter.table("efficiency", table);
 
   // Bandwidth wall: with bounded DRAM ports, adding threads saturates at
   // the bandwidth bound ports * work / dram_latency, not at 1.0.
@@ -106,6 +107,6 @@ int main() {
                             std::min(1.0, ports * 100.0 / 400.0), 3));
     bw.add_row(row);
   }
-  htvm::bench::print_table(bw);
+  reporter.table("bandwidth", bw);
   return 0;
 }

@@ -22,7 +22,7 @@ using namespace htvm;
 
 namespace {
 
-constexpr std::int64_t kIterations = 4096;
+std::int64_t g_iterations = 4096;  // --smoke shrinks this
 constexpr std::uint32_t kWorkers = 16;
 constexpr sim::Cycle kDispatchOverhead = 40;  // per chunk claim
 
@@ -82,15 +82,17 @@ Outcome run(const std::string& policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E3: loop scheduling under imbalance (sim, 16 TUs, 4096 iters)",
       "dynamic scheduling beats static under skewed iteration costs; "
       "static is competitive only on uniform loops");
+  bench::Reporter reporter(argc, argv, "e3_loop_sched");
+  if (reporter.smoke()) g_iterations = 512;
 
   for (const std::string shape :
        {"uniform", "linear", "bimodal", "random"}) {
-    const auto costs = make_costs(shape, kIterations);
+    const auto costs = make_costs(shape, g_iterations);
     std::uint64_t total = 0;
     for (auto c : costs) total += c;
     const double ideal = static_cast<double>(total) / kWorkers;
@@ -107,13 +109,16 @@ int main() {
     std::printf("--- iteration cost distribution: %s (ideal makespan %.0f) "
                 "---\n",
                 shape.c_str(), ideal);
-    bench::print_table(table);
+    reporter.table("distribution/" + shape, table);
   }
 
   // Worker sweep: guided vs static_block on the linear skew.
-  const auto costs = make_costs("linear", kIterations);
+  const auto costs = make_costs("linear", g_iterations);
   bench::TextTable sweep({"workers", "static_block", "guided", "speedup"});
-  for (std::uint32_t w : {2u, 4u, 8u, 16u, 32u}) {
+  const std::vector<std::uint32_t> sweep_workers =
+      reporter.smoke() ? std::vector<std::uint32_t>{2u, 4u}
+                       : std::vector<std::uint32_t>{2u, 4u, 8u, 16u, 32u};
+  for (std::uint32_t w : sweep_workers) {
     machine::MachineConfig cfg;
     cfg.nodes = 1;
     cfg.thread_units_per_node = w;
@@ -145,6 +150,6 @@ int main() {
                                          2)});
   }
   std::printf("--- worker sweep on linear skew ---\n");
-  bench::print_table(sweep);
+  reporter.table("worker_sweep", sweep);
   return 0;
 }

@@ -4,18 +4,19 @@
 // have short trip counts.
 //
 // For each nest in the canonical suite: the innermost plan, every forced
-// level (the ablation from DESIGN.md §5), and the model-selected level,
+// level (the ablation from DESIGN.md §6), and the model-selected level,
 // with both analytically predicted and cycle-simulated totals.
 #include "common.h"
 #include "ssp/simulate.h"
 
 using namespace htvm;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E4: single-dimension software pipelining vs innermost MS",
       "SSP at the model-selected level >= innermost pipelining; big wins "
       "on inner-carried recurrences and short inner trips");
+  bench::Reporter reporter(argc, argv, "e4_ssp");
 
   const auto model = ssp::ResourceModel::itanium_like();
   const std::vector<ssp::LoopNest> suite = {
@@ -65,7 +66,7 @@ int main() {
                 nest.name().c_str(),
                 static_cast<unsigned long long>(
                     ssp::sequential_cycles(nest)));
-    bench::print_table(table);
+    reporter.table(nest.name(), table);
   }
   return 0;
 }

@@ -12,11 +12,12 @@
 
 using namespace htvm;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E5: hybrid SSP x threads",
       "ILP (software pipelining) and TLP (thread partitioning) compose; "
       "carried levels saturate, independent levels scale near-linearly");
+  bench::Reporter reporter(argc, argv, "e5_ssp_threads");
 
   const auto model = ssp::ResourceModel::itanium_like();
   struct Case {
@@ -48,7 +49,8 @@ int main() {
       }
       std::printf("sync overhead = %llu cycles\n",
                   static_cast<unsigned long long>(sync));
-      bench::print_table(table);
+      reporter.table(std::string(c.label) + "/sync=" + std::to_string(sync),
+                     table);
     }
   }
   return 0;

@@ -124,7 +124,7 @@ FaultyRunResult run_faulty(double drop, double dup, int requests) {
   return r;
 }
 
-void run_faulty_network_section() {
+void run_faulty_network_section(bench::Reporter& reporter) {
   std::printf(
       "--- reliable transport on a faulty network (real runtime) ---\n");
   constexpr int kRequests = 2000;
@@ -145,7 +145,7 @@ void run_faulty_network_section() {
                    std::to_string(r.dead_letters),
                    r.all_resolved ? "all" : "MISSING"});
   }
-  bench::print_table(table);
+  reporter.table("faulty_network", table);
   std::printf(
       "(drop=dup=0 must show zero retries/drops: reliability is free on an "
       "ideal network)\n\n");
@@ -153,11 +153,12 @@ void run_faulty_network_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E6: split-transaction parcels, moving work to data (sim)",
       "one parcel carrying the computation beats per-update round trips; "
       "bulk data pulls lose as the object grows");
+  bench::Reporter reporter(argc, argv, "e6_parcels");
 
   for (const std::uint64_t bytes : {256ull, 4096ull, 65536ull}) {
     bench::TextTable table({"updates", "blocking_rpc", "data_to_work",
@@ -175,8 +176,8 @@ int main() {
     }
     std::printf("--- object size %llu bytes ---\n",
                 static_cast<unsigned long long>(bytes));
-    bench::print_table(table);
+    reporter.table("bytes=" + std::to_string(bytes), table);
   }
-  run_faulty_network_section();
+  run_faulty_network_section(reporter);
   return 0;
 }

@@ -5,7 +5,7 @@
 //
 // A compute task consumes B remote blocks in order. A staging engine
 // (DMA/percolation) may run up to `depth` block fetches ahead of the
-// consumer; depth 0 is demand fetching (the ablation from DESIGN.md §5).
+// consumer; depth 0 is demand fetching (the ablation from DESIGN.md §6).
 // Expected shape: makespan(depth 0) = B*(fetch+compute); as depth grows,
 // makespan -> B*max(fetch, compute) + min-term fill; the knee sits where
 // depth covers the fetch/compute ratio.
@@ -64,12 +64,13 @@ sim::Cycle run(std::uint32_t depth, int blocks, sim::Cycle fetch,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E7: percolation depth vs demand fetch (sim)",
       "staging data ahead of execution removes remote-wait time; depth 0 "
       "(demand fetch) pays fetch+compute per block, deep enough "
       "percolation pays only max(fetch, compute)");
+  bench::Reporter reporter(argc, argv, "e7_percolation");
 
   const int blocks = 64;
   for (const auto& [fetch, compute] :
@@ -91,7 +92,9 @@ int main() {
     std::printf("--- fetch=%llu compute=%llu (per block, %d blocks) ---\n",
                 static_cast<unsigned long long>(fetch),
                 static_cast<unsigned long long>(compute), blocks);
-    bench::print_table(table);
+    reporter.table("fetch=" + std::to_string(fetch) + "/compute=" +
+                       std::to_string(compute),
+                   table);
   }
   return 0;
 }

@@ -59,11 +59,12 @@ sim::LocalityStats replay(const std::vector<Access>& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E8: locality adaptation (analytic directory, 4-node torus)",
       "replication serves read-hot sharing, migration serves write-hot "
       "single users, adaptive tracks the best fixed policy");
+  bench::Reporter reporter(argc, argv, "e8_locality");
 
   const sim::LocalityPolicy policies[] = {
       sim::LocalityPolicy::kRemoteAlways,
@@ -89,10 +90,11 @@ int main() {
       }
     }
     std::printf("--- write fraction %.2f ---\n", write_fraction);
-    bench::print_table(table);
+    reporter.table("write_fraction=" + bench::TextTable::fmt(write_fraction, 2),
+                   table);
   }
 
-  // Ablation (DESIGN.md section 5): the consistency-protocol thresholds.
+  // Ablation (DESIGN.md section 6): the consistency-protocol thresholds.
   // Too-eager replication churns invalidations; too-lazy migration leaves
   // cycles on the table. The sweep shows the broad basin in between.
   std::printf("--- threshold ablation (adaptive policy, skew 0.7, "
@@ -114,6 +116,6 @@ int main() {
                      bench::TextTable::fmt(s.migrations)});
     }
   }
-  bench::print_table(sweep);
+  reporter.table("threshold_ablation", sweep);
   return 0;
 }

@@ -56,11 +56,12 @@ const char* name_of(sim::StealPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E9: load balancing by stealing/migration (sim, 4 nodes x 4 TUs)",
       "stealing recovers utilization under spawn skew; cross-node "
       "migration is needed when whole nodes are overloaded");
+  bench::Reporter reporter(argc, argv, "e9_load_balance");
 
   constexpr int kTasks = 1024;
   for (const double skew : {0.0, 0.5, 1.0}) {
@@ -77,7 +78,7 @@ int main() {
     std::printf("--- spawn skew %.1f (fraction of tasks landing on TU 0) "
                 "---\n",
                 skew);
-    bench::print_table(table);
+    reporter.table("skew=" + bench::TextTable::fmt(skew, 1), table);
   }
 
   // Ablation: central queue (all work on TU 0, global stealing) vs
@@ -93,6 +94,6 @@ int main() {
                     bench::TextTable::fmt(distributed.makespan),
                     bench::TextTable::fmt(distributed.utilization, 3)});
   std::printf("--- central-queue ablation ---\n");
-  bench::print_table(ablation);
+  reporter.table("central_queue_ablation", ablation);
   return 0;
 }

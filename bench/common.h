@@ -4,15 +4,34 @@
 // prints its series as a fixed-width table, in the spirit of the tables a
 // paper reports. Deterministic experiments run on the virtual-time
 // simulator; real-overhead experiments (E1, E13) use google-benchmark.
+//
+// Every harness also accepts:
+//   --json <path>   write the run's series as machine-readable JSON
+//                   (schema below) -- BENCH_baseline.json is built from
+//                   these emissions so PRs can track a perf trajectory;
+//   --smoke         tiny iteration counts, for the `bench-smoke` ctest
+//                   label (exercises the hot path + emitters, not perf).
+//
+// JSON schema:
+//   { "experiment": "...", "smoke": bool,
+//     "sections": [ { "name": "...",
+//                     "rows": [ { "<column>": <number|string>, ... } ] } ] }
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.h"
 
 namespace htvm::bench {
+
+using util::TextTable;
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("=== %s ===\n", experiment);
@@ -23,6 +42,124 @@ inline void print_table(const util::TextTable& table) {
   std::printf("%s\n", table.to_string().c_str());
 }
 
-using util::TextTable;
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Emits a cell as a JSON number when it parses fully as one (the tables
+// format numbers as plain decimals), otherwise as a quoted string. "inf"
+// and "nan" parse via strtod but are not valid JSON, so they stay quoted.
+inline std::string json_cell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (errno == 0 && end != nullptr && *end == '\0' && std::isfinite(v))
+      return cell;
+  }
+  return "\"" + json_escape(cell) + "\"";
+}
+
+}  // namespace detail
+
+// Collects every printed table and, when --json was given, writes them as
+// one JSON document on finish()/destruction.
+class Reporter {
+ public:
+  // Consumes --json <path> and --smoke from argv (compacting it) so the
+  // remaining flags can go to another parser (e.g. google-benchmark).
+  Reporter(int* argc, char** argv, std::string experiment)
+      : experiment_(std::move(experiment)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+        json_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke_ = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  Reporter(int argc, char** argv, std::string experiment)
+      : Reporter(&argc, argv, std::move(experiment)) {}
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  ~Reporter() { finish(); }
+
+  bool smoke() const { return smoke_; }
+  const std::string& json_path() const { return json_path_; }
+
+  // Prints the table (like print_table) and records it under `section`.
+  void table(const std::string& section, const util::TextTable& t) {
+    print_table(t);
+    sections_.emplace_back(section, t);
+  }
+
+  // Records without printing (for data already echoed another way).
+  void record(const std::string& section, const util::TextTable& t) {
+    sections_.emplace_back(section, t);
+  }
+
+  // Writes the JSON document if --json was given. Idempotent.
+  void finish() {
+    if (json_path_.empty() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"smoke\": %s,\n",
+                 detail::json_escape(experiment_).c_str(),
+                 smoke_ ? "true" : "false");
+    std::fprintf(f, "  \"sections\": [");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const auto& [name, t] = sections_[s];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"rows\": [",
+                   s == 0 ? "" : ",", detail::json_escape(name).c_str());
+      const auto& headers = t.headers();
+      const auto& rows = t.rows();
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::fprintf(f, "%s\n      {", r == 0 ? "" : ",");
+        for (std::size_t c = 0; c < headers.size() && c < rows[r].size();
+             ++c) {
+          std::fprintf(f, "%s\"%s\": %s", c == 0 ? "" : ", ",
+                       detail::json_escape(headers[c]).c_str(),
+                       detail::json_cell(rows[r][c]).c_str());
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "\n    ]}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path_.c_str());
+  }
+
+ private:
+  std::string experiment_;
+  std::string json_path_;
+  bool smoke_ = false;
+  bool written_ = false;
+  std::vector<std::pair<std::string, util::TextTable>> sections_;
+};
 
 }  // namespace htvm::bench

@@ -1,0 +1,72 @@
+// Glue for the google-benchmark harnesses (E1, E13): a drop-in main that
+// honors the shared --json/--smoke flags from common.h. Results stream to
+// the console as usual; a capturing reporter mirrors each run into a
+// TextTable so the JSON schema matches the table-based harnesses.
+//
+//   HTVM_GBENCH_MAIN("e1_thread_costs")
+//
+// --smoke shrinks --benchmark_min_time so the binary finishes in well
+// under a second (the bench-smoke ctest label).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace htvm::bench {
+
+namespace detail {
+
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      // Normalize to ns/iteration regardless of the display time unit.
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      const auto it = run.counters.find("items_per_second");
+      table.add_row({run.benchmark_name(),
+                     TextTable::fmt(run.real_accumulated_time / iters * 1e9,
+                                    1),
+                     TextTable::fmt(run.cpu_accumulated_time / iters * 1e9,
+                                    1),
+                     TextTable::fmt(static_cast<std::int64_t>(run.iterations)),
+                     it == run.counters.end()
+                         ? std::string("0")
+                         : TextTable::fmt(it->second.value, 1)});
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  TextTable table{{"name", "real_time_ns", "cpu_time_ns", "iterations",
+                   "items_per_second"}};
+};
+
+}  // namespace detail
+
+inline int gbench_main(int argc, char** argv, const char* experiment) {
+  Reporter reporter(&argc, argv, experiment);
+  std::vector<char*> args(argv, argv + argc);
+  // Old-style double flag (the toolchain ships pre-0.10 google-benchmark).
+  char min_time[] = "--benchmark_min_time=0.01";
+  if (reporter.smoke()) args.push_back(min_time);
+  int adjusted = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted, args.data());
+  detail::CapturingReporter capture;
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  reporter.record("benchmarks", capture.table);
+  reporter.finish();
+  return 0;
+}
+
+}  // namespace htvm::bench
+
+#define HTVM_GBENCH_MAIN(experiment)                          \
+  int main(int argc, char** argv) {                           \
+    return htvm::bench::gbench_main(argc, argv, experiment);  \
+  }

@@ -1,11 +1,8 @@
 #include "litlx/forall.h"
 
-#include <chrono>
-#include <memory>
-
 namespace htvm::litlx {
 
-namespace {
+namespace detail {
 
 std::string resolve_policy(Machine& machine, const ForallOptions& options) {
   if (!options.schedule.empty()) return options.schedule;
@@ -15,96 +12,26 @@ std::string resolve_policy(Machine& machine, const ForallOptions& options) {
   return "guided";
 }
 
-}  // namespace
+}  // namespace detail
 
+// std::function call sites share the templated implementation; the body
+// still pays one type-erased call per chunk, but the wrapper itself adds
+// nothing on top.
 ForallResult forall_chunks(
     Machine& machine, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& body,
     ForallOptions options) {
-  using Clock = std::chrono::steady_clock;
-
-  ForallResult result;
-  result.policy = resolve_policy(machine, options);
-  if (begin >= end) return result;
-
-  // A "chunk = N;" hint for the site sets the grain of chunked policies.
-  const std::int64_t hinted_chunk =
-      machine.knowledge().loop_chunk(options.site).value_or(0);
-  auto scheduler = sched::make_scheduler(result.policy, hinted_chunk);
-  if (scheduler == nullptr) {
-    result.policy = "guided";
-    scheduler = sched::make_scheduler(result.policy, hinted_chunk);
-  }
-  const std::int64_t total = end - begin;
-  const std::uint32_t pullers =
-      options.pullers != 0 ? options.pullers
-                           : machine.runtime().num_workers();
-  scheduler->reset(total, pullers);
-
-  // Shared invocation state, alive until the last puller finishes.
-  struct State {
-    std::unique_ptr<sched::LoopScheduler> scheduler;
-    std::function<void(std::int64_t, std::int64_t)> body;
-    std::int64_t offset = 0;
-    std::string site;
-    std::atomic<std::uint32_t> remaining{0};
-    std::atomic<std::uint64_t> chunks{0};
-    std::vector<double> busy;  // per puller, written exclusively by it
-    sync::Future<int> done;
-  };
-  auto state = std::make_shared<State>();
-  state->scheduler = std::move(scheduler);
-  state->body = body;
-  state->offset = begin;
-  state->site = options.site;
-  state->remaining.store(pullers);
-  state->busy.assign(pullers, 0.0);
-
-  const auto t0 = Clock::now();
-  const std::uint32_t nodes = machine.runtime().num_nodes();
-  for (std::uint32_t p = 0; p < pullers; ++p) {
-    machine.spawn_sgt_on(p % nodes, [state, p, &machine] {
-      while (auto chunk = state->scheduler->next(p)) {
-        const auto c0 = Clock::now();
-        state->body(state->offset + chunk->begin,
-                    state->offset + chunk->end);
-        const double dt =
-            std::chrono::duration<double>(Clock::now() - c0).count();
-        state->scheduler->report(p, *chunk, dt);
-        state->busy[p] += dt;
-        state->chunks.fetch_add(1, std::memory_order_relaxed);
-        const auto worker = rt::Runtime::current_worker();
-        machine.monitor().record_chunk(
-            state->site, worker < 0 ? 0 : static_cast<std::uint32_t>(worker),
-            dt);
-      }
-      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        state->done.set(1);
-    });
-  }
-  rt::Runtime::await(state->done);
-  result.span_seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-  result.chunks = state->chunks.load();
-
-  machine.monitor().record_invocation(options.site, result.span_seconds,
-                                      state->busy);
-  if (options.adaptive) {
-    machine.controller().report(options.site, result.policy,
-                                result.span_seconds);
-  }
-  return result;
+  return detail::forall_chunks_impl(machine, begin, end, body, options);
 }
 
 ForallResult forall(Machine& machine, std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t)>& body,
                     ForallOptions options) {
-  return forall_chunks(
-      machine, begin, end,
-      [&body](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) body(i);
-      },
-      std::move(options));
+  auto chunk_body = [&body](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  };
+  return detail::forall_chunks_impl(machine, begin, end, chunk_body,
+                                    options);
 }
 
 }  // namespace htvm::litlx

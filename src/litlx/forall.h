@@ -8,16 +8,27 @@
 //      (continuous-compilation mode; measured spans feed back into it);
 //   3. a "schedule = ...;" hint for the site in the knowledge base;
 //   4. guided self-scheduling (the robust default).
+//
+// Fine-grain fast path: the templated overloads keep the loop body as its
+// concrete type all the way into the chunk-puller SGTs -- no std::function
+// wrapper per invocation and no second indirection per chunk -- and the
+// pullers themselves are spawned through Runtime::spawn_sgt_batch (one
+// inject-lock acquisition per node, not per puller). The std::function
+// overloads remain for ABI-stable call sites and delegate to the same
+// implementation.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "litlx/machine.h"
+#include "runtime/task.h"
 
 namespace htvm::litlx {
 
@@ -39,6 +50,103 @@ struct ForallResult {
   std::uint64_t chunks = 0;
 };
 
+namespace detail {
+
+std::string resolve_policy(Machine& machine, const ForallOptions& options);
+
+// Shared implementation, generic over the chunk body's concrete type. The
+// body outlives every puller (forall blocks on `done` before returning),
+// so State carries a plain pointer to it -- no copy, no type erasure.
+template <typename ChunkBody>
+ForallResult forall_chunks_impl(Machine& machine, std::int64_t begin,
+                                std::int64_t end, ChunkBody& body,
+                                ForallOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  ForallResult result;
+  result.policy = resolve_policy(machine, options);
+  if (begin >= end) return result;
+
+  // A "chunk = N;" hint for the site sets the grain of chunked policies.
+  const std::int64_t hinted_chunk =
+      machine.knowledge().loop_chunk(options.site).value_or(0);
+  auto scheduler = sched::make_scheduler(result.policy, hinted_chunk);
+  if (scheduler == nullptr) {
+    result.policy = "guided";
+    scheduler = sched::make_scheduler(result.policy, hinted_chunk);
+  }
+  const std::int64_t total = end - begin;
+  const std::uint32_t pullers =
+      options.pullers != 0 ? options.pullers
+                           : machine.runtime().num_workers();
+  scheduler->reset(total, pullers);
+
+  // Shared invocation state, alive until the last puller finishes.
+  struct State {
+    std::unique_ptr<sched::LoopScheduler> scheduler;
+    ChunkBody* body = nullptr;
+    std::int64_t offset = 0;
+    std::string site;
+    std::atomic<std::uint32_t> remaining{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::vector<double> busy;  // per puller, written exclusively by it
+    sync::Future<int> done;
+  };
+  auto state = std::make_shared<State>();
+  state->scheduler = std::move(scheduler);
+  state->body = &body;
+  state->offset = begin;
+  state->site = options.site;
+  state->remaining.store(pullers);
+  state->busy.assign(pullers, 0.0);
+
+  const auto t0 = Clock::now();
+  const std::uint32_t nodes = machine.runtime().num_nodes();
+  // Pullers are placed round-robin over nodes; batch-spawn all pullers of
+  // one node together so the cross-node inject lock is taken once per
+  // node, not once per puller.
+  std::vector<rt::Task> batch;
+  batch.reserve((pullers + nodes - 1) / nodes);
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    for (std::uint32_t p = node; p < pullers; p += nodes) {
+      batch.emplace_back([state, p, &machine] {
+        while (auto chunk = state->scheduler->next(p)) {
+          const auto c0 = Clock::now();
+          (*state->body)(state->offset + chunk->begin,
+                         state->offset + chunk->end);
+          const double dt =
+              std::chrono::duration<double>(Clock::now() - c0).count();
+          state->scheduler->report(p, *chunk, dt);
+          state->busy[p] += dt;
+          state->chunks.fetch_add(1, std::memory_order_relaxed);
+          const auto worker = rt::Runtime::current_worker();
+          machine.monitor().record_chunk(
+              state->site,
+              worker < 0 ? 0 : static_cast<std::uint32_t>(worker), dt);
+        }
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          state->done.set(1);
+      });
+    }
+    machine.runtime().spawn_sgt_batch(node, batch);
+    batch.clear();
+  }
+  rt::Runtime::await(state->done);
+  result.span_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.chunks = state->chunks.load();
+
+  machine.monitor().record_invocation(options.site, result.span_seconds,
+                                      state->busy);
+  if (options.adaptive) {
+    machine.controller().report(options.site, result.policy,
+                                result.span_seconds);
+  }
+  return result;
+}
+
+}  // namespace detail
+
 // Runs body(i) for every i in [begin, end). Blocks the caller until done
 // (fiber-aware: from inside an LGT the fiber suspends instead).
 ForallResult forall(Machine& machine, std::int64_t begin, std::int64_t end,
@@ -50,6 +158,30 @@ ForallResult forall_chunks(
     Machine& machine, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& body,
     ForallOptions options = {});
+
+// Fast-path templated overloads: taken automatically for any body that is
+// not already a std::function (lambdas, functors, function pointers).
+template <typename ChunkBody,
+          typename = std::enable_if_t<
+              std::is_invocable_v<ChunkBody&, std::int64_t, std::int64_t>>>
+ForallResult forall_chunks(Machine& machine, std::int64_t begin,
+                           std::int64_t end, ChunkBody&& body,
+                           ForallOptions options = {}) {
+  return detail::forall_chunks_impl(machine, begin, end, body, options);
+}
+
+template <typename Body,
+          typename = std::enable_if_t<
+              std::is_invocable_v<Body&, std::int64_t> &&
+              !std::is_invocable_v<Body&, std::int64_t, std::int64_t>>>
+ForallResult forall(Machine& machine, std::int64_t begin, std::int64_t end,
+                    Body&& body, ForallOptions options = {}) {
+  auto chunk_body = [&body](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  };
+  return detail::forall_chunks_impl(machine, begin, end, chunk_body,
+                                    options);
+}
 
 // Parallel reduction: combines body(i) values with `combine` (must be
 // associative and commutative; evaluation order is unspecified). Each
@@ -70,24 +202,23 @@ T forall_reduce(Machine& machine, std::int64_t begin, std::int64_t end,
   // travels in the chunk closure through a per-invocation map keyed by
   // the scheduler's worker id -- which is exactly the puller index, so we
   // can use it directly.
-  ForallResult r = forall_chunks(
-      machine, begin, end,
-      [&](std::int64_t lo, std::int64_t hi) {
-        // One accumulator per chunk, merged under a slot claimed from the
-        // pool; cheap because chunks >> pullers merges are amortized.
-        T acc = identity;
-        for (std::int64_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
-        const std::uint32_t slot =
-            next_slot.fetch_add(1, std::memory_order_relaxed) % pullers;
-        static_assert(std::is_copy_assignable_v<T>);
-        // Merge into the slot under a spin via atomic flag per slot is
-        // avoided: slots are contended only when two chunks pick the same
-        // slot concurrently, so serialize with a per-call mutex table.
-        machine.atomically({&partial[slot]}, [&] {
-          partial[slot] = combine(partial[slot], acc);
-        });
-      },
-      options);
+  auto chunk_body = [&](std::int64_t lo, std::int64_t hi) {
+    // One accumulator per chunk, merged under a slot claimed from the
+    // pool; cheap because chunks >> pullers merges are amortized.
+    T acc = identity;
+    for (std::int64_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+    const std::uint32_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % pullers;
+    static_assert(std::is_copy_assignable_v<T>);
+    // Merge into the slot under a spin via atomic flag per slot is
+    // avoided: slots are contended only when two chunks pick the same
+    // slot concurrently, so serialize with a per-call mutex table.
+    machine.atomically({&partial[slot]}, [&] {
+      partial[slot] = combine(partial[slot], acc);
+    });
+  };
+  ForallResult r =
+      detail::forall_chunks_impl(machine, begin, end, chunk_body, options);
   T total = identity;
   for (const T& p : partial) total = combine(total, p);
   if (result != nullptr) *result = r;

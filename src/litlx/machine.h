@@ -55,14 +55,22 @@ class Machine {
   void spawn_lgt(std::uint32_t node, std::function<void()> entry) {
     runtime_->spawn_lgt(node, std::move(entry));
   }
-  void spawn_sgt(std::function<void()> fn) {
-    runtime_->spawn_sgt(std::move(fn));
+  // SGT/TGT spawns forward the callable's concrete type into the
+  // runtime's pooled inline-storage path (no std::function wrap here).
+  template <typename F>
+  void spawn_sgt(F&& fn) {
+    runtime_->spawn_sgt(std::forward<F>(fn));
   }
-  void spawn_sgt_on(std::uint32_t node, std::function<void()> fn) {
-    runtime_->spawn_sgt_on(node, std::move(fn));
+  template <typename F>
+  void spawn_sgt_on(std::uint32_t node, F&& fn) {
+    runtime_->spawn_sgt_on(node, std::forward<F>(fn));
   }
-  void spawn_tgt(std::function<void()> fn) {
-    runtime_->spawn_tgt(std::move(fn));
+  void spawn_sgt_batch(std::uint32_t node, std::span<rt::Task> tasks) {
+    runtime_->spawn_sgt_batch(node, tasks);
+  }
+  template <typename F>
+  void spawn_tgt(F&& fn) {
+    runtime_->spawn_tgt(std::forward<F>(fn));
   }
   void spawn_tgt_after(sync::SyncSlot& slot, std::uint32_t count,
                        std::function<void()> fn) {

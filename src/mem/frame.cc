@@ -18,8 +18,7 @@ FrameAllocator::~FrameAllocator() {
 }
 
 void* FrameAllocator::allocate(std::size_t bytes) {
-  allocations_.fetch_add(1, std::memory_order_relaxed);
-  frames_live_.fetch_add(1, std::memory_order_relaxed);
+  stats_.record_allocation();
   const std::size_t cls = class_index(bytes);
   if (cls >= kClasses) {
     void* p = std::malloc(bytes);
@@ -37,7 +36,7 @@ void* FrameAllocator::allocate(std::size_t bytes) {
     }
   }
   if (frame != nullptr) {
-    recycle_hits_.fetch_add(1, std::memory_order_relaxed);
+    stats_.record_recycle_hit();
   } else {
     frame = std::malloc(rounded);
   }
@@ -46,7 +45,7 @@ void* FrameAllocator::allocate(std::size_t bytes) {
 }
 
 void FrameAllocator::release(void* frame, std::size_t bytes) {
-  frames_live_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.record_release();
   const std::size_t cls = class_index(bytes);
   if (cls >= kClasses) {
     std::free(frame);

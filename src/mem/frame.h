@@ -10,12 +10,12 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "mem/pool_stats.h"
 #include "util/spinlock.h"
 
 namespace htvm::mem {
@@ -38,16 +38,11 @@ class FrameAllocator {
   void* allocate(std::size_t bytes);
   void release(void* frame, std::size_t bytes);
 
-  // Diagnostics.
-  std::uint64_t frames_live() const {
-    return frames_live_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t allocations() const {
-    return allocations_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t recycle_hits() const {
-    return recycle_hits_.load(std::memory_order_relaxed);
-  }
+  // Diagnostics (shared pool-stats surface, see mem/pool_stats.h).
+  std::uint64_t frames_live() const { return stats_.live(); }
+  std::uint64_t allocations() const { return stats_.allocations(); }
+  std::uint64_t recycle_hits() const { return stats_.recycle_hits(); }
+  PoolStatsSnapshot stats() const { return stats_.snapshot(); }
 
   static std::size_t class_index(std::size_t bytes);
   static std::size_t class_bytes(std::size_t index) {
@@ -61,9 +56,7 @@ class FrameAllocator {
   };
 
   std::array<FreeList, kClasses> classes_;
-  std::atomic<std::uint64_t> frames_live_{0};
-  std::atomic<std::uint64_t> allocations_{0};
-  std::atomic<std::uint64_t> recycle_hits_{0};
+  PoolStats stats_;
 };
 
 // Typed frame handle: an SGT's local state, shared by its TGTs.

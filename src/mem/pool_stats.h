@@ -1,0 +1,68 @@
+// Shared stats surface for the runtime's recycling pools.
+//
+// Both fine-grain allocators on the SGT critical path -- FrameAllocator
+// (frame storage) and rt::TaskPool (task slots) -- recycle memory through
+// free lists instead of returning it to the OS. They report through this
+// common counter block so benchmarks and tests can assert the same
+// invariant everywhere: after warmup, the hot path is allocation-free
+// (recycle hit rate -> 1.0).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace htvm::mem {
+
+struct PoolStatsSnapshot {
+  std::uint64_t allocations = 0;   // total allocate() calls
+  std::uint64_t recycle_hits = 0;  // calls served from a free list
+  std::uint64_t live = 0;          // currently checked-out objects
+  // Fraction of allocations served without touching the underlying
+  // allocator. 0.0 when nothing was allocated yet.
+  double hit_rate() const {
+    return allocations == 0
+               ? 0.0
+               : static_cast<double>(recycle_hits) /
+                     static_cast<double>(allocations);
+  }
+};
+
+// Counters are bumped lock-free by the pool's hot path while other
+// threads snapshot them, so every field is atomic (relaxed: they are
+// monotonic diagnostics, not synchronization).
+class PoolStats {
+ public:
+  void record_allocation() {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_recycle_hit() {
+    recycle_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_release() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recycle_hits() const {
+    return recycle_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t live() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  PoolStatsSnapshot snapshot() const {
+    PoolStatsSnapshot out;
+    out.allocations = allocations();
+    out.recycle_hits = recycle_hits();
+    out.live = live();
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> recycle_hits_{0};
+  std::atomic<std::uint64_t> live_{0};
+};
+
+}  // namespace htvm::mem

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -19,9 +20,8 @@ template <typename T>
 class WsDeque {
  public:
   explicit WsDeque(std::size_t initial_capacity = 64)
-      : array_(new Ring(initial_capacity)) {
-    retired_.emplace_back(array_.load(std::memory_order_relaxed));
-  }
+      : current_(std::make_unique<Ring>(initial_capacity)),
+        array_(current_.get()) {}
 
   WsDeque(const WsDeque&) = delete;
   WsDeque& operator=(const WsDeque&) = delete;
@@ -107,21 +107,54 @@ class WsDeque {
     }
   };
 
-  // Owner only. Old rings stay alive (retired list) because a slow thief
-  // may still be reading them; they are reclaimed in the destructor.
+  // A ring displaced by grow(). It must stay alive while a slow thief may
+  // still read it; `retire_bottom` records the exclusive upper end of the
+  // indices it ever held, so the owner can tell when every index a stale
+  // thief could be probing has already been consumed.
+  struct Retired {
+    std::unique_ptr<Ring> ring;
+    std::int64_t retire_bottom = 0;
+  };
+
+  // Old rings are generation-reclaimed instead of accumulating for the
+  // deque's lifetime: the unbounded retired list was effectively a leak
+  // proportional to the deepest-ever backlog. Reclamation happens only on
+  // the owner's push side (no concurrent owner access) and frees a ring
+  // once (a) top_ has passed its retire_bottom -- every steal of an index
+  // the ring ever held has resolved its CAS, so a stale thief's read from
+  // it can no longer be of a live slot -- and (b) at least kRetireSlack
+  // younger retirees exist, so a thief that loaded array_ just before the
+  // replacement has had two full grow cycles to finish its probe.
+  static constexpr std::size_t kRetireSlack = 2;
+
+  void reclaim_retired(std::int64_t top_now) {
+    while (retired_.size() > kRetireSlack &&
+           retired_.front().retire_bottom <= top_now) {
+      // Rings retire in push order, so their ranges are nested: each
+      // later ring's retire_bottom is >= the front's (debug invariant).
+      assert(retired_.size() < 2 ||
+             retired_.front().retire_bottom <= retired_[1].retire_bottom);
+      retired_.erase(retired_.begin());
+    }
+  }
+
+  // Owner only.
   Ring* grow(Ring* old, std::int64_t b, std::int64_t t) {
     auto bigger = std::make_unique<Ring>(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     Ring* raw = bigger.get();
-    retired_.push_back(std::move(bigger));
+    retired_.push_back(Retired{std::move(current_), b});
+    current_ = std::move(bigger);
     array_.store(raw, std::memory_order_release);
+    reclaim_retired(t);
     return raw;
   }
 
   alignas(64) std::atomic<std::int64_t> top_{0};
   alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::unique_ptr<Ring> current_;    // owner-only mutation
   alignas(64) std::atomic<Ring*> array_;
-  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only mutation
+  std::vector<Retired> retired_;     // owner-only mutation
 };
 
 }  // namespace htvm::rt

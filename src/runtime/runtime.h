@@ -25,14 +25,19 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "machine/latency.h"
 #include "mem/frame.h"
 #include "mem/global_memory.h"
+#include "mem/pool_stats.h"
 #include "runtime/deque.h"
 #include "runtime/fiber.h"
+#include "runtime/task.h"
+#include "runtime/task_pool.h"
 #include "sync/future.h"
 #include "sync/sync_slot.h"
 #include "trace/tracer.h"
@@ -146,14 +151,49 @@ class Runtime {
   void spawn_lgt(std::uint32_t node, std::function<void()> entry);
 
   // Spawns a small-grain thread on the current node (node 0 from external
-  // threads).
-  void spawn_sgt(std::function<void()> fn);
-  void spawn_sgt_on(std::uint32_t node, std::function<void()> fn);
+  // threads). The callable is moved into a pooled, inline-storage Task
+  // slot: captures that fit Task::kInlineBytes never touch the heap, and
+  // the slot itself is recycled through per-worker free lists, so the
+  // steady-state spawn path is allocation-free.
+  template <typename F>
+  void spawn_sgt(F&& fn) {
+    spawn_sgt_on(current_node(), std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void spawn_sgt_on(std::uint32_t node, F&& fn) {
+    injector_.spawn_cost(1);
+    task_started();
+    Task* slot = task_pool_->allocate(worker_hint());
+    slot->emplace(std::forward<F>(fn));
+    enqueue_sgt(node, slot);
+    work_arrived();
+  }
+
+  // Batched SGT spawn: moves every Task in `tasks` onto `node`, taking
+  // the node inject lock once for the whole batch (or, from a worker on
+  // `node`, pushing straight into its own deque) and waking workers once.
+  // The caller builds the Tasks in place (e.g. a stack array) and they
+  // are left empty on return.
+  void spawn_sgt_batch(std::uint32_t node, std::span<Task> tasks);
 
   // Spawns a tiny-grain thread: runs on this worker, after the current
   // task, sharing the enclosing SGT's frame (by capture). From an external
-  // thread this degrades to an SGT on node 0.
-  void spawn_tgt(std::function<void()> fn);
+  // thread this degrades to an SGT on node 0. TGTs live by value in the
+  // worker's strand stack (inline storage, no allocation).
+  template <typename F>
+  void spawn_tgt(F&& fn) {
+    const std::int32_t wid = worker_hint();
+    if (wid < 0) {
+      // External context: degrade gracefully to an SGT on node 0.
+      spawn_sgt_on(0, std::forward<F>(fn));
+      return;
+    }
+    injector_.spawn_cost(2);
+    task_started();
+    workers_[static_cast<std::size_t>(wid)]->tgt_stack.emplace_back(
+        std::forward<F>(fn));
+  }
 
   // Arms `slot` with `count` so that when it fires the TGT is enabled on
   // the worker that delivered the final signal.
@@ -222,6 +262,11 @@ class Runtime {
   std::uint64_t outstanding() const {
     return outstanding_.load(std::memory_order_acquire);
   }
+  // Task-slot pool counters (allocations / recycle hits / live): after
+  // warmup the spawn path should be ~all recycle hits.
+  mem::PoolStatsSnapshot task_pool_stats() const {
+    return task_pool_->stats();
+  }
 
   // ------------------------------------------------------------- extension
 
@@ -263,33 +308,43 @@ class Runtime {
   bool migrate_one_lgt(std::uint32_t from, std::uint32_t to);
 
  private:
-  struct SgtJob {
-    std::function<void()> fn;
-  };
-
   struct NodeState {
     mutable std::mutex lgt_mutex;
     std::deque<std::unique_ptr<Lgt>> lgt_ready;  // parked ready fibers
+    // External / cross-node SGT arrivals: a two-list swap queue. Producers
+    // append under the lock; the consuming worker swaps the whole vector
+    // with its private scratch and drains it lock-free. `inject_size` is a
+    // monotonic hint so idle workers skip the lock entirely when empty.
     mutable std::mutex inject_mutex;
-    std::deque<SgtJob*> inject;  // external / cross-node SGT arrivals
+    std::vector<Task*> inject;
+    std::atomic<std::size_t> inject_size{0};
   };
 
   struct Worker {
     std::uint32_t id = 0;
     std::uint32_t node = 0;
     Runtime* runtime = nullptr;
-    WsDeque<SgtJob*> deque;
-    std::vector<std::function<void()>> tgt_stack;
+    WsDeque<Task*> deque;
+    std::vector<Task> tgt_stack;
+    std::vector<Task*> inject_scratch;  // swap target for the inject queue
     util::Xoshiro256 rng{1};
     AtomicWorkerStats stats;
     std::thread thread;
   };
 
+  // Worker id of the calling thread if it belongs to THIS runtime, else -1
+  // (external threads, and workers of other runtimes).
+  std::int32_t worker_hint() const;
+  // Routes a pooled task to `node`: own-deque push when the caller is a
+  // worker on that node, otherwise the node's inject queue.
+  void enqueue_sgt(std::uint32_t node, Task* task);
+
   void worker_main(Worker& worker);
   bool try_run_one(Worker& worker);
   bool try_steal(Worker& worker);
+  bool drain_inject(Worker& worker);
   bool run_pollers(std::uint32_t node);
-  void run_sgt(Worker& worker, SgtJob* job);
+  void run_sgt(Worker& worker, Task* task);
   void drain_tgts(Worker& worker);
   void resume_lgt(Worker& worker, std::unique_ptr<Lgt> lgt);
   void block_current_lgt(Lgt* lgt);
@@ -309,6 +364,7 @@ class Runtime {
       std::chrono::steady_clock::now()};
   std::unique_ptr<mem::GlobalMemory> memory_;
   std::vector<std::unique_ptr<mem::FrameAllocator>> frame_allocators_;
+  std::unique_ptr<TaskPool> task_pool_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::unique_ptr<Worker>> workers_;
   mutable std::shared_mutex poller_mutex_;

@@ -15,6 +15,7 @@ Runtime::Runtime(RuntimeOptions options)
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     frame_allocators_.push_back(std::make_unique<mem::FrameAllocator>());
     nodes_.push_back(std::make_unique<NodeState>());
+    nodes_.back()->inject.reserve(64);
   }
 
   // One worker per modeled thread unit, capped by max_workers. The cap is
@@ -48,6 +49,7 @@ Runtime::Runtime(RuntimeOptions options)
       workers_.push_back(std::move(w));
     }
   }
+  task_pool_ = std::make_unique<TaskPool>(total);
   for (auto& w : workers_) {
     Worker* raw = w.get();
     raw->thread = std::thread([this, raw] { worker_main(*raw); });
@@ -59,10 +61,8 @@ Runtime::~Runtime() {
   stop_.store(true, std::memory_order_release);
   work_arrived();  // wake parked workers so they observe stop_
   for (auto& w : workers_) w->thread.join();
-  // Any SGT jobs left in queues would be a wait_idle bug; free defensively.
-  for (auto& node : nodes_) {
-    for (SgtJob* job : node->inject) delete job;
-  }
+  // Any tasks left in queues would be a wait_idle bug; their slots belong
+  // to the pool, whose slab teardown destroys un-run callables.
 }
 
 // ---------------------------------------------------------------- spawning
@@ -77,36 +77,49 @@ void Runtime::spawn_lgt(std::uint32_t node, std::function<void()> entry) {
   enqueue_lgt(std::move(lgt));
 }
 
-void Runtime::spawn_sgt(std::function<void()> fn) {
-  spawn_sgt_on(current_node(), std::move(fn));
+std::int32_t Runtime::worker_hint() const {
+  return detail::tl_runtime == this ? detail::tl_worker_id : -1;
 }
 
-void Runtime::spawn_sgt_on(std::uint32_t node, std::function<void()> fn) {
-  injector_.spawn_cost(1);
-  task_started();
-  auto* job = new SgtJob{std::move(fn)};
-  const std::int32_t wid = current_worker();
-  if (wid >= 0 && Runtime::current() == this &&
-      workers_[static_cast<std::size_t>(wid)]->node == node) {
-    workers_[static_cast<std::size_t>(wid)]->deque.push(job);
+void Runtime::enqueue_sgt(std::uint32_t node, Task* task) {
+  const std::int32_t wid = worker_hint();
+  if (wid >= 0 && workers_[static_cast<std::size_t>(wid)]->node == node) {
+    workers_[static_cast<std::size_t>(wid)]->deque.push(task);
+    return;
+  }
+  NodeState& ns = *nodes_[node];
+  {
+    std::lock_guard<std::mutex> lock(ns.inject_mutex);
+    ns.inject.push_back(task);
+    // Counter mutations stay under the lock so a concurrent swap-drain
+    // (which zeroes it) cannot interleave and leave a stale count.
+    ns.inject_size.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Runtime::spawn_sgt_batch(std::uint32_t node, std::span<Task> tasks) {
+  if (tasks.empty()) return;
+  for (std::size_t i = 0; i < tasks.size(); ++i) injector_.spawn_cost(1);
+  outstanding_.fetch_add(tasks.size(), std::memory_order_acq_rel);
+  const std::int32_t wid = worker_hint();
+  if (wid >= 0 && workers_[static_cast<std::size_t>(wid)]->node == node) {
+    Worker& w = *workers_[static_cast<std::size_t>(wid)];
+    for (Task& t : tasks) {
+      Task* slot = task_pool_->allocate(wid);
+      *slot = std::move(t);
+      w.deque.push(slot);
+    }
   } else {
     NodeState& ns = *nodes_[node];
     std::lock_guard<std::mutex> lock(ns.inject_mutex);
-    ns.inject.push_back(job);
+    for (Task& t : tasks) {
+      Task* slot = task_pool_->allocate(wid);
+      *slot = std::move(t);
+      ns.inject.push_back(slot);
+    }
+    ns.inject_size.fetch_add(tasks.size(), std::memory_order_release);
   }
   work_arrived();
-}
-
-void Runtime::spawn_tgt(std::function<void()> fn) {
-  const std::int32_t wid = current_worker();
-  if (wid < 0 || Runtime::current() != this) {
-    // External context: degrade gracefully to an SGT on node 0.
-    spawn_sgt_on(0, std::move(fn));
-    return;
-  }
-  injector_.spawn_cost(2);
-  task_started();
-  workers_[static_cast<std::size_t>(wid)]->tgt_stack.push_back(std::move(fn));
 }
 
 void Runtime::spawn_tgt_after(sync::SyncSlot& slot, std::uint32_t count,
@@ -184,9 +197,8 @@ std::size_t Runtime::sgt_backlog(std::uint32_t node) const {
   for (const auto& w : workers_) {
     if (w->node == node) total += w->deque.size_estimate();
   }
-  NodeState& ns = *nodes_[node];
-  std::lock_guard<std::mutex> lock(ns.inject_mutex);
-  return total + ns.inject.size();
+  const NodeState& ns = *nodes_[node];
+  return total + ns.inject_size.load(std::memory_order_acquire);
 }
 
 bool Runtime::migrate_one_lgt(std::uint32_t from, std::uint32_t to) {

@@ -1,0 +1,148 @@
+// Inline-storage task: the SGT/TGT work unit on the fine-grain hot path.
+//
+// The paper's cost hierarchy (§3.1.1) only holds if spawning an SGT is
+// dramatically cheaper than an LGT, so the spawn path must not pay a heap
+// allocation plus std::function type-erasure per task. A Task type-erases
+// its callable through a static ops table and stores captures inline when
+// they fit kInlineBytes (the common case: a few pointers and indices);
+// oversized or alignment-exotic captures fall back to one heap cell.
+// sizeof(Task) == 128 (two cache lines), so a TaskPool slab packs slots
+// densely and a recycled slot is reused in place with zero allocation.
+//
+// Tasks are move-only, single-shot callables: invoke() runs the callable
+// and destroys it, leaving the Task empty for reuse.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace htvm::rt {
+
+class Task {
+ public:
+  // Inline capture budget: sizeof(Task) minus the ops pointer, rounded so
+  // the whole Task is 128 bytes. Plenty for a shared_ptr + a few scalars;
+  // a bare std::function (32 B) also fits, so wrapping APIs stay cheap.
+  static constexpr std::size_t kInlineBytes = 120 - sizeof(void*);
+
+  // True when captures of F are stored inline (no heap allocation on
+  // spawn). Exposed so tests can pin the SBO boundary.
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  Task(F&& fn) {  // NOLINT(google-explicit-constructor): spawn-site sugar
+    emplace(std::forward<F>(fn));
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  // Installs a callable. The Task must be empty (default-constructed,
+  // moved-from, invoked, or reset).
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>, "Task callable must be ()-able");
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      // Heap fallback: the inline storage holds just the owning pointer.
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  // Runs the callable and destroys it; the Task is empty afterwards.
+  void invoke() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  // Destroys the callable without running it (teardown path).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke_destroy)(void* storage);
+    void (*destroy)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move dst <- src, destroy src
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* at(void* s) { return std::launder(reinterpret_cast<Fn*>(s)); }
+    static void invoke_destroy(void* s) {
+      Fn* fn = at(s);
+      (*fn)();
+      fn->~Fn();
+    }
+    static void destroy(void* s) { at(s)->~Fn(); }
+    static void relocate(void* dst, void* src) {
+      Fn* fn = at(src);
+      ::new (dst) Fn(std::move(*fn));
+      fn->~Fn();
+    }
+    static constexpr Ops kOps{&invoke_destroy, &destroy, &relocate};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* at(void* s) { return *reinterpret_cast<Fn**>(s); }
+    static void invoke_destroy(void* s) {
+      Fn* fn = at(s);
+      (*fn)();
+      delete fn;
+    }
+    static void destroy(void* s) { delete at(s); }
+    static void relocate(void* dst, void* src) {
+      *reinterpret_cast<Fn**>(dst) = at(src);
+    }
+    static constexpr Ops kOps{&invoke_destroy, &destroy, &relocate};
+  };
+
+  void move_from(Task& other) noexcept {
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(Task) == 128, "Task must stay two cache lines");
+
+}  // namespace htvm::rt

@@ -1,0 +1,90 @@
+#include "runtime/task_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace htvm::rt {
+
+TaskPool::TaskPool(std::uint32_t workers) : caches_(workers) {
+  for (WorkerCache& c : caches_) c.free.reserve(kCacheCap);
+  shared_free_.reserve(kSlabSlots);
+}
+
+TaskPool::~TaskPool() {
+  // Slots still holding un-run callables (runtime teardown with queued
+  // work) are destroyed by ~Task when the slabs go away.
+}
+
+Task* TaskPool::carve_slab(std::vector<Task*>* cache) {
+  auto slab = std::make_unique<Task[]>(kSlabSlots);
+  Task* base = slab.get();
+  {
+    util::Guard<util::SpinLock> g(shared_lock_);
+    slabs_.push_back(std::move(slab));
+    if (cache == nullptr) {
+      for (std::size_t i = 1; i < kSlabSlots; ++i)
+        shared_free_.push_back(base + i);
+    }
+  }
+  if (cache != nullptr) {
+    for (std::size_t i = 1; i < kSlabSlots; ++i) cache->push_back(base + i);
+  }
+  return base;
+}
+
+Task* TaskPool::allocate(std::int32_t worker) {
+  stats_.record_allocation();
+  std::vector<Task*>* cache = nullptr;
+  if (worker >= 0 && static_cast<std::size_t>(worker) < caches_.size()) {
+    cache = &caches_[static_cast<std::size_t>(worker)].free;
+    if (!cache->empty()) {
+      stats_.record_recycle_hit();
+      Task* slot = cache->back();
+      cache->pop_back();
+      return slot;
+    }
+  }
+  // Recycle miss in the local cache: refill a batch from the shared list.
+  {
+    util::Guard<util::SpinLock> g(shared_lock_);
+    if (!shared_free_.empty()) {
+      stats_.record_recycle_hit();
+      Task* slot = shared_free_.back();
+      shared_free_.pop_back();
+      if (cache != nullptr) {
+        const std::size_t take =
+            std::min(kRefillBatch - 1, shared_free_.size());
+        cache->insert(cache->end(), shared_free_.end() - take,
+                      shared_free_.end());
+        shared_free_.resize(shared_free_.size() - take);
+      }
+      return slot;
+    }
+  }
+  return carve_slab(cache);
+}
+
+void TaskPool::release(Task* slot, std::int32_t worker) {
+  assert(!*slot && "released Task still holds a callable");
+  stats_.record_release();
+  if (worker >= 0 && static_cast<std::size_t>(worker) < caches_.size()) {
+    std::vector<Task*>& cache = caches_[static_cast<std::size_t>(worker)].free;
+    cache.push_back(slot);
+    if (cache.size() > kCacheCap) {
+      // Rebalance: flush the older half back to the shared list so
+      // producer workers (who keep missing) can refill from it.
+      const std::size_t keep = kCacheCap / 2;
+      util::Guard<util::SpinLock> g(shared_lock_);
+      shared_free_.insert(shared_free_.end(), cache.begin(),
+                          cache.begin() + static_cast<std::ptrdiff_t>(
+                                              cache.size() - keep));
+      cache.erase(cache.begin(), cache.begin() + static_cast<std::ptrdiff_t>(
+                                                     cache.size() - keep));
+    }
+    return;
+  }
+  util::Guard<util::SpinLock> g(shared_lock_);
+  shared_free_.push_back(slot);
+}
+
+}  // namespace htvm::rt

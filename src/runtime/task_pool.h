@@ -1,0 +1,72 @@
+// Slab/freelist pool of Task slots: the allocation-free SGT spawn path.
+//
+// Mirrors mem::FrameAllocator's recycle design (and shares its stats
+// surface, mem/pool_stats.h): slots are carved from slabs once and then
+// recycled forever. Ownership is tiered for the common flows:
+//
+//   * per-worker caches -- a worker releases the task it just ran into its
+//     own cache and the next spawn on that worker pops it back, both
+//     lock-free (the cache is owner-only by construction);
+//   * a shared overflow list -- when a worker's cache exceeds its cap
+//     (work flowed from producer workers to consumer workers, e.g. one
+//     node spawns and others steal), half the cache is flushed to the
+//     shared list under a spin lock, rebalancing slots back toward the
+//     producers, which refill from it in batches on a cache miss;
+//   * external threads (no worker identity) allocate/release directly on
+//     the shared list.
+//
+// A slot's contents are synchronized by whatever handed the Task* between
+// threads (deque publish fence, inject mutex); the pool itself only needs
+// the shared-list lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/pool_stats.h"
+#include "runtime/task.h"
+#include "util/spinlock.h"
+
+namespace htvm::rt {
+
+class TaskPool {
+ public:
+  // Tunables: slabs of 64 slots (8 KiB at sizeof(Task)==128); caches flush
+  // half above 256 slots and refill 32 at a time, so steady-state producer
+  // -> consumer flows touch the shared lock once per ~128 tasks.
+  static constexpr std::size_t kSlabSlots = 64;
+  static constexpr std::size_t kCacheCap = 256;
+  static constexpr std::size_t kRefillBatch = 32;
+
+  explicit TaskPool(std::uint32_t workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  // Returns an empty slot. `worker` is the caller's worker id, or any
+  // negative value from a thread that is not a runtime worker.
+  Task* allocate(std::int32_t worker);
+  // Returns a slot whose Task has been invoked or reset (i.e. empty).
+  void release(Task* slot, std::int32_t worker);
+
+  mem::PoolStatsSnapshot stats() const { return stats_.snapshot(); }
+
+ private:
+  struct alignas(64) WorkerCache {
+    std::vector<Task*> free;  // touched only by the owning worker
+  };
+
+  // Carves a fresh slab and returns one slot, pushing the rest onto
+  // `cache` (nullptr: onto the shared list). Called on recycle miss.
+  Task* carve_slab(std::vector<Task*>* cache);
+
+  std::vector<WorkerCache> caches_;
+  util::SpinLock shared_lock_;
+  std::vector<Task*> shared_free_;
+  std::vector<std::unique_ptr<Task[]>> slabs_;  // guarded by shared_lock_
+  mem::PoolStats stats_;
+};
+
+}  // namespace htvm::rt

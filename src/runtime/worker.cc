@@ -46,30 +46,21 @@ void Runtime::worker_main(Worker& w) {
 }
 
 bool Runtime::try_run_one(Worker& w) {
-  bool did = false;
   if (!w.tgt_stack.empty()) {
+    // Strands are genuine work: return immediately so this round neither
+    // polls nor steals (nor counts a failed_steal_round) while busy.
     drain_tgts(w);
-    did = true;
+    return true;
   }
-  if (auto job = w.deque.pop()) {
-    run_sgt(w, *job);
+  if (auto task = w.deque.pop()) {
+    run_sgt(w, *task);
+    return true;
+  }
+  if (drain_inject(w)) {
+    if (auto task = w.deque.pop()) run_sgt(w, *task);
     return true;
   }
   NodeState& ns = *nodes_[w.node];
-  {
-    SgtJob* job = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(ns.inject_mutex);
-      if (!ns.inject.empty()) {
-        job = ns.inject.front();
-        ns.inject.pop_front();
-      }
-    }
-    if (job != nullptr) {
-      run_sgt(w, job);
-      return true;
-    }
-  }
   {
     std::unique_ptr<Lgt> lgt;
     {
@@ -86,16 +77,33 @@ bool Runtime::try_run_one(Worker& w) {
   }
   if (run_pollers(w.node)) return true;
   if (try_steal(w)) return true;
-  return did;
+  return false;
+}
+
+bool Runtime::drain_inject(Worker& w) {
+  NodeState& ns = *nodes_[w.node];
+  if (ns.inject_size.load(std::memory_order_acquire) == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(ns.inject_mutex);
+    if (ns.inject.empty()) return false;
+    // Two-list swap: take the whole producer list in O(1) and give the
+    // producers back our (empty, capacity-retaining) scratch vector.
+    ns.inject.swap(w.inject_scratch);
+    ns.inject_size.store(0, std::memory_order_release);
+  }
+  // Drain lock-free into the own deque, keeping the batch stealable.
+  for (Task* task : w.inject_scratch) w.deque.push(task);
+  w.inject_scratch.clear();
+  return true;
 }
 
 void Runtime::drain_tgts(Worker& w) {
   // LIFO: the most recently enabled strand has the hottest frame state.
   while (!w.tgt_stack.empty()) {
-    std::function<void()> tgt = std::move(w.tgt_stack.back());
+    Task tgt = std::move(w.tgt_stack.back());
     w.tgt_stack.pop_back();
     w.stats.tgts_executed.fetch_add(1, std::memory_order_relaxed);
-    tgt();
+    tgt.invoke();
     task_finished();
   }
 }
@@ -107,14 +115,14 @@ std::uint64_t Runtime::trace_now_us() const {
           .count());
 }
 
-void Runtime::run_sgt(Worker& w, SgtJob* job) {
+void Runtime::run_sgt(Worker& w, Task* task) {
   w.stats.sgts_executed.fetch_add(1, std::memory_order_relaxed);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
-  job->fn();
+  task->invoke();
   if (traced)
     tracer_->record("runtime", "sgt", w.id, t0, trace_now_us() - t0);
-  delete job;
+  task_pool_->release(task, static_cast<std::int32_t>(w.id));
   task_finished();
   drain_tgts(w);
 }
@@ -157,13 +165,13 @@ bool Runtime::try_steal(Worker& w) {
 
   auto attempt = [&](Worker& victim) -> bool {
     if (&victim == &w) return false;
-    if (auto job = victim.deque.steal()) {
+    if (auto task = victim.deque.steal()) {
       if (victim.node != w.node)
         injector_.network_transfer(victim.node, w.node, 64);
       w.stats.steals.fetch_add(1, std::memory_order_relaxed);
       if (tracer_ != nullptr && tracer_->enabled())
         tracer_->record("runtime", "steal", w.id, trace_now_us(), 1);
-      run_sgt(w, *job);
+      run_sgt(w, *task);
       return true;
     }
     return false;
@@ -183,18 +191,20 @@ bool Runtime::try_steal(Worker& w) {
     for (std::uint32_t node = 0; node < nodes_.size(); ++node) {
       if (node == w.node) continue;
       NodeState& other = *nodes_[node];
-      SgtJob* job = nullptr;
+      if (other.inject_size.load(std::memory_order_acquire) == 0) continue;
+      Task* task = nullptr;
       {
         std::lock_guard<std::mutex> lock(other.inject_mutex);
         if (!other.inject.empty()) {
-          job = other.inject.back();
+          task = other.inject.back();
           other.inject.pop_back();
+          other.inject_size.fetch_sub(1, std::memory_order_release);
         }
       }
-      if (job != nullptr) {
+      if (task != nullptr) {
         injector_.network_transfer(node, w.node, 64);
         w.stats.steals.fetch_add(1, std::memory_order_relaxed);
-        run_sgt(w, job);
+        run_sgt(w, task);
         return true;
       }
     }

@@ -73,6 +73,10 @@ class TextTable {
   void add_row(std::vector<std::string> cells);
   std::string to_string() const;
 
+  // Structured access for machine-readable exporters (bench --json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   static std::string fmt(double v, int precision = 2);
   static std::string fmt(std::uint64_t v);
   static std::string fmt(std::int64_t v);
