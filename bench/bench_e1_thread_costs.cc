@@ -12,10 +12,12 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gbench_json.h"
 #include "mem/frame.h"
+#include "obs/export.h"
 #include "runtime/fiber.h"
 #include "runtime/runtime.h"
 
@@ -126,6 +128,14 @@ void BM_SpawnSgtBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SpawnSgtBatch)->Unit(benchmark::kMillisecond);
 
+// Unified end-of-run telemetry over every benchmark above: the shared
+// runtime's rt.* worker counters plus its pool.* gauges, embedded in the
+// --json document so the baseline records how much real work each number
+// rests on (spawn counts, steal traffic, pool recycle rates).
+std::string runtime_telemetry() {
+  return obs::to_json(shared_runtime().telemetry_snapshot());
+}
+
 }  // namespace
 
-HTVM_GBENCH_MAIN("e1_thread_costs")
+HTVM_GBENCH_MAIN_TELEMETRY("e1_thread_costs", runtime_telemetry)

@@ -4,7 +4,7 @@
 // have short trip counts.
 //
 // For each nest in the canonical suite: the innermost plan, every forced
-// level (the ablation from DESIGN.md §6), and the model-selected level,
+// level (the ablation from DESIGN.md §7), and the model-selected level,
 // with both analytically predicted and cycle-simulated totals.
 #include "common.h"
 #include "ssp/simulate.h"

@@ -15,8 +15,10 @@
 // with object size; data-to-work beats RPC only while the object is small.
 #include <atomic>
 #include <chrono>
+#include <string>
 
 #include "common.h"
+#include "obs/export.h"
 #include "parcel/engine.h"
 #include "sim/machine.h"
 
@@ -89,7 +91,8 @@ struct FaultyRunResult {
   bool all_resolved = false;
 };
 
-FaultyRunResult run_faulty(double drop, double dup, int requests) {
+FaultyRunResult run_faulty(double drop, double dup, int requests,
+                           std::string* telemetry_out = nullptr) {
   rt::RuntimeOptions opts;
   opts.config.nodes = 2;
   opts.config.thread_units_per_node = 2;
@@ -114,13 +117,18 @@ FaultyRunResult run_faulty(double drop, double dup, int requests) {
 
   FaultyRunResult r;
   r.ms = std::chrono::duration<double, std::milli>(elapsed).count();
-  const parcel::EngineStats& s = engine.stats();
-  r.retries = s.retries.load();
-  r.drops = s.drops.load();
-  r.dup_suppressed = s.dup_suppressed.load();
-  r.dead_letters = s.dead_letters.load();
+  const parcel::EngineStats s = engine.stats();
+  r.retries = s.retries;
+  r.drops = s.drops;
+  r.dup_suppressed = s.dup_suppressed;
+  r.dead_letters = s.dead_letters;
   r.all_resolved = true;
   for (auto& reply : replies) r.all_resolved &= reply.ready();
+  if (telemetry_out != nullptr) {
+    // One unified snapshot covering the runtime's rt.* counters and the
+    // engine's parcel.* sources, embedded into the --json document.
+    *telemetry_out = obs::to_json(rt.telemetry_snapshot());
+  }
   return r;
 }
 
@@ -133,9 +141,13 @@ void run_faulty_network_section(bench::Reporter& reporter) {
   struct Setting {
     double drop, dup;
   };
-  for (const Setting s : {Setting{0.0, 0.0}, Setting{0.05, 0.0},
-                          Setting{0.2, 0.05}, Setting{0.4, 0.1}}) {
-    const FaultyRunResult r = run_faulty(s.drop, s.dup, kRequests);
+  const Setting settings[] = {Setting{0.0, 0.0}, Setting{0.05, 0.0},
+                              Setting{0.2, 0.05}, Setting{0.4, 0.1}};
+  std::string telemetry;
+  for (const Setting& s : settings) {
+    const bool last = &s == &settings[std::size(settings) - 1];
+    const FaultyRunResult r =
+        run_faulty(s.drop, s.dup, kRequests, last ? &telemetry : nullptr);
     char drop_buf[16], dup_buf[16], ms_buf[32];
     std::snprintf(drop_buf, sizeof drop_buf, "%.2f", s.drop);
     std::snprintf(dup_buf, sizeof dup_buf, "%.2f", s.dup);
@@ -146,6 +158,7 @@ void run_faulty_network_section(bench::Reporter& reporter) {
                    r.all_resolved ? "all" : "MISSING"});
   }
   reporter.table("faulty_network", table);
+  if (!telemetry.empty()) reporter.set_telemetry(telemetry);
   std::printf(
       "(drop=dup=0 must show zero retries/drops: reliability is free on an "
       "ideal network)\n\n");

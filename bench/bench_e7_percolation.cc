@@ -5,7 +5,7 @@
 //
 // A compute task consumes B remote blocks in order. A staging engine
 // (DMA/percolation) may run up to `depth` block fetches ahead of the
-// consumer; depth 0 is demand fetching (the ablation from DESIGN.md §6).
+// consumer; depth 0 is demand fetching (the ablation from DESIGN.md §7).
 // Expected shape: makespan(depth 0) = B*(fetch+compute); as depth grows,
 // makespan -> B*max(fetch, compute) + min-term fill; the knee sits where
 // depth covers the fetch/compute ratio.

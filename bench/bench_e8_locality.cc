@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
                    table);
   }
 
-  // Ablation (DESIGN.md section 6): the consistency-protocol thresholds.
+  // Ablation (DESIGN.md section 7): the consistency-protocol thresholds.
   // Too-eager replication churns invalidations; too-lazy migration leaves
   // cycles on the table. The sweep shows the broad basin in between.
   std::printf("--- threshold ablation (adaptive policy, skew 0.7, "

@@ -15,7 +15,10 @@
 // JSON schema:
 //   { "experiment": "...", "smoke": bool,
 //     "sections": [ { "name": "...",
-//                     "rows": [ { "<column>": <number|string>, ... } ] } ] }
+//                     "rows": [ { "<column>": <number|string>, ... } ] } ],
+//     "telemetry": { ...htvm.telemetry.v1 document... } }   // optional
+// The telemetry member is present when the harness called set_telemetry()
+// with an obs::to_json() document (see src/obs/export.h).
 #pragma once
 
 #include <cerrno>
@@ -118,6 +121,12 @@ class Reporter {
     sections_.emplace_back(section, t);
   }
 
+  // Attaches a pre-serialized telemetry JSON object (obs::to_json output)
+  // to be embedded verbatim as the document's "telemetry" member.
+  void set_telemetry(std::string telemetry_json) {
+    telemetry_json_ = std::move(telemetry_json);
+  }
+
   // Writes the JSON document if --json was given. Idempotent.
   void finish() {
     if (json_path_.empty() || written_) return;
@@ -149,7 +158,11 @@ class Reporter {
       }
       std::fprintf(f, "\n    ]}");
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ]");
+    if (!telemetry_json_.empty()) {
+      std::fprintf(f, ",\n  \"telemetry\": %s", telemetry_json_.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path_.c_str());
   }
@@ -157,6 +170,7 @@ class Reporter {
  private:
   std::string experiment_;
   std::string json_path_;
+  std::string telemetry_json_;
   bool smoke_ = false;
   bool written_ = false;
   std::vector<std::pair<std::string, util::TextTable>> sections_;

@@ -49,7 +49,13 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 }  // namespace detail
 
-inline int gbench_main(int argc, char** argv, const char* experiment) {
+// Optional: returns a serialized telemetry object (obs::to_json output)
+// captured after the benchmarks ran; embedded as the JSON document's
+// "telemetry" member.
+using TelemetryFn = std::string (*)();
+
+inline int gbench_main(int argc, char** argv, const char* experiment,
+                       TelemetryFn telemetry = nullptr) {
   Reporter reporter(&argc, argv, experiment);
   std::vector<char*> args(argv, argv + argc);
   // Old-style double flag (the toolchain ships pre-0.10 google-benchmark).
@@ -60,6 +66,7 @@ inline int gbench_main(int argc, char** argv, const char* experiment) {
   detail::CapturingReporter capture;
   benchmark::RunSpecifiedBenchmarks(&capture);
   reporter.record("benchmarks", capture.table);
+  if (telemetry != nullptr) reporter.set_telemetry(telemetry());
   reporter.finish();
   return 0;
 }
@@ -69,4 +76,11 @@ inline int gbench_main(int argc, char** argv, const char* experiment) {
 #define HTVM_GBENCH_MAIN(experiment)                          \
   int main(int argc, char** argv) {                           \
     return htvm::bench::gbench_main(argc, argv, experiment);  \
+  }
+
+// As HTVM_GBENCH_MAIN, but embeds `fn()` (a TelemetryFn) as the JSON
+// document's "telemetry" member after the benchmarks complete.
+#define HTVM_GBENCH_MAIN_TELEMETRY(experiment, fn)                \
+  int main(int argc, char** argv) {                               \
+    return htvm::bench::gbench_main(argc, argv, experiment, fn);  \
   }

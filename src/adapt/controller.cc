@@ -95,6 +95,9 @@ AdaptiveController::SiteState& AdaptiveController::state(
     it = sites_
              .emplace(site, SiteState(policies_, options_.decay))
              .first;
+    // A brand-new site is already exploring; phase signals predating it
+    // shouldn't count as a re-exploration.
+    it->second.seen_phase_epoch = phase_epoch_;
   }
   return it->second;
 }
@@ -105,9 +108,23 @@ void AdaptiveController::set_initial(const std::string& site,
   state(site).initial = policy;
 }
 
+void AdaptiveController::signal_phase_change() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++phase_epoch_;
+}
+
 std::string AdaptiveController::choose(const std::string& site) {
   std::lock_guard<std::mutex> lock(mutex_);
   SiteState& s = state(site);
+
+  // An externally signaled phase change (sampler feedback) re-opens
+  // exploration the same way the per-site jump_ratio detector does.
+  if (s.seen_phase_epoch < phase_epoch_) {
+    s.seen_phase_epoch = phase_epoch_;
+    ++s.generation;
+    ++s.reexplorations;
+    s.gen_samples.clear();
+  }
 
   // Hinted start: trust the hint immediately. A structured hint narrows
   // the search space (paper §4.1), so hinted sites skip the first

@@ -77,6 +77,11 @@ class AdaptiveController {
 
   void set_initial(const std::string& site, const std::string& policy);
 
+  // External phase-change signal (e.g. the telemetry sampler observing a
+  // system-wide throughput shift): every site re-explores its policies at
+  // its next choose(), exactly as if the jump_ratio detector had fired.
+  void signal_phase_change();
+
   // Introspection.
   std::optional<std::string> current_best(const std::string& site) const;
   std::uint64_t switches(const std::string& site) const;
@@ -94,6 +99,8 @@ class AdaptiveController {
     // phase change starts a new generation and re-samples every policy.
     std::map<std::string, std::uint32_t> gen_samples;
     std::uint64_t generation = 0;
+    // Last externally signaled phase epoch this site has reacted to.
+    std::uint64_t seen_phase_epoch = 0;
     explicit SiteState(std::vector<std::string> policies, double decay)
         : scoreboard(std::move(policies), decay) {}
   };
@@ -104,6 +111,7 @@ class AdaptiveController {
   Options options_;
   mutable std::mutex mutex_;
   std::map<std::string, SiteState> sites_;
+  std::uint64_t phase_epoch_ = 0;  // bumped by signal_phase_change()
 };
 
 }  // namespace htvm::adapt

@@ -11,6 +11,42 @@ PerfMonitor::PerfMonitor(std::uint32_t workers) {
     slots_.push_back(std::make_unique<WorkerSlot>());
 }
 
+PerfMonitor::~PerfMonitor() {
+  if (registry_ == nullptr) return;
+  for (const auto id : metric_sources_) registry_->remove_source(id);
+}
+
+void PerfMonitor::register_with(obs::MetricsRegistry& registry) {
+  if (registry_ != nullptr) return;
+  registry_ = &registry;
+  metric_sources_.push_back(registry.add_counter_source(
+      "monitor.tasks",
+      [this] { return static_cast<double>(total_tasks()); }));
+  metric_sources_.push_back(registry.add_counter_source(
+      "monitor.remote_accesses",
+      [this] { return static_cast<double>(total_remote_accesses()); }));
+  metric_sources_.push_back(registry.add_counter_source(
+      "monitor.steals",
+      [this] { return static_cast<double>(total_steals()); }));
+  metric_sources_.push_back(registry.add_gauge_source(
+      "monitor.busy_seconds", [this] { return total_busy_seconds(); }));
+}
+
+void PerfMonitor::ingest(const obs::SampleDelta& delta) {
+  if (delta.dt_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(rates_mutex_);
+  for (const obs::MetricValue& m : delta.deltas) {
+    if (m.kind != obs::MetricKind::kCounter) continue;
+    rates_[m.name].add(m.value / delta.dt_seconds);
+  }
+}
+
+util::RunningStats PerfMonitor::rate_stats(const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(rates_mutex_);
+  const auto it = rates_.find(metric);
+  return it == rates_.end() ? util::RunningStats{} : it->second;
+}
+
 void PerfMonitor::add_busy(std::uint32_t worker, double seconds) {
   slot(worker).busy_ns.fetch_add(
       static_cast<std::uint64_t>(seconds * 1e9),
@@ -125,6 +161,13 @@ std::string PerfMonitor::summary() const {
         << " span_mean=" << r.span_seconds.mean()
         << " chunk_cv=" << r.chunk_seconds.cv()
         << " imbalance=" << r.imbalance << '\n';
+  }
+  {
+    std::lock_guard<std::mutex> lock(rates_mutex_);
+    for (const auto& [name, stats] : rates_) {
+      out << "  rate " << name << ": mean=" << stats.mean()
+          << "/s cv=" << stats.cv() << " n=" << stats.count() << '\n';
+    }
   }
   return out.str();
 }

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/sampler.h"
 #include "util/stats.h"
 
 namespace htvm::adapt {
@@ -43,6 +45,7 @@ struct LatencyReport {
 class PerfMonitor {
  public:
   explicit PerfMonitor(std::uint32_t workers);
+  ~PerfMonitor();
 
   // --- hot-path hooks (lock-free, per worker) ---------------------------
   void on_task(std::uint32_t worker) { slot(worker).tasks.fetch_add(1); }
@@ -79,6 +82,20 @@ class PerfMonitor {
   std::vector<std::string> sites() const;
   std::string summary() const;
 
+  // --- unified telemetry ---------------------------------------------------
+  // Publishes the monitor's aggregates into `registry` ("monitor.*"
+  // sources reading the per-worker atomic slots). Call at most once; the
+  // destructor unregisters.
+  void register_with(obs::MetricsRegistry& registry);
+
+  // Sampler feedback: folds one periodic delta into per-metric rate
+  // statistics (counter increments divided by the interval). This is the
+  // monitor's view of system-wide activity between its own hook calls.
+  void ingest(const obs::SampleDelta& delta);
+  // Rate distribution (per-second) observed for a sampled counter metric,
+  // e.g. "rt.sgts_executed". Empty stats if never sampled.
+  util::RunningStats rate_stats(const std::string& metric) const;
+
  private:
   struct alignas(64) WorkerSlot {
     std::atomic<std::uint64_t> tasks{0};
@@ -106,6 +123,10 @@ class PerfMonitor {
   std::map<std::string, SiteSlot> sites_;
   mutable std::mutex probes_mutex_;
   std::map<std::string, util::Histogram> probes_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::vector<obs::MetricsRegistry::SourceId> metric_sources_;
+  mutable std::mutex rates_mutex_;
+  std::map<std::string, util::RunningStats> rates_;
 };
 
 }  // namespace htvm::adapt

@@ -100,6 +100,10 @@ ForallResult forall_chunks_impl(Machine& machine, std::int64_t begin,
   state->remaining.store(pullers);
   state->busy.assign(pullers, 0.0);
 
+  trace::Tracer* tracer = machine.runtime().tracer();
+  const bool traced = tracer != nullptr && tracer->enabled();
+  const std::uint64_t trace_t0 =
+      traced ? machine.runtime().trace_now_us() : 0;
   const auto t0 = Clock::now();
   const std::uint32_t nodes = machine.runtime().num_nodes();
   // Pullers are placed round-robin over nodes; batch-spawn all pullers of
@@ -135,6 +139,15 @@ ForallResult forall_chunks_impl(Machine& machine, std::int64_t begin,
   result.span_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   result.chunks = state->chunks.load();
+  if (traced) {
+    // Whole-invocation span named after the code site (dynamic name:
+    // copied into the event's inline buffer, no allocation).
+    const auto worker = rt::Runtime::current_worker();
+    tracer->record_dynamic(
+        "litlx", options.site,
+        worker < 0 ? 0 : static_cast<std::uint32_t>(worker), trace_t0,
+        machine.runtime().trace_now_us() - trace_t0);
+  }
 
   machine.monitor().record_invocation(options.site, result.span_seconds,
                                       state->busy);

@@ -20,6 +20,7 @@ Machine::Machine(MachineOptions options) : options_(std::move(options)) {
   load_balancer_ =
       std::make_unique<rt::LoadBalancer>(*runtime_, rt::LoadBalancer::Policy{});
   monitor_ = std::make_unique<adapt::PerfMonitor>(runtime_->num_workers());
+  monitor_->register_with(runtime_->metrics());
   controller_ = std::make_unique<adapt::AdaptiveController>(
       sched::scheduler_names(), adapt::AdaptiveController::Options{});
   if (!options_.hint_script.empty()) {
@@ -41,10 +42,9 @@ std::string Machine::report() const {
   out << "runtime: sgts=" << agg.sgts_executed
       << " tgts=" << agg.tgts_executed << " lgt_resumes=" << agg.lgt_resumes
       << " steals=" << agg.steals << " parks=" << agg.parks << "\n";
-  out << "parcels: sent=" << parcels_->stats().sent.load()
-      << " delivered=" << parcels_->stats().delivered.load()
-      << " replies=" << parcels_->stats().replies.load()
-      << " bytes=" << parcels_->stats().bytes.load() << "\n";
+  const parcel::EngineStats pstats = parcels_->stats();
+  out << "parcels: sent=" << pstats.sent << " delivered=" << pstats.delivered
+      << " replies=" << pstats.replies << " bytes=" << pstats.bytes << "\n";
   const mem::MemoryStats& mstats = runtime_->memory().stats();
   out << "memory: local=" << mstats.local_accesses.load()
       << " remote=" << mstats.remote_accesses.load()
@@ -62,10 +62,55 @@ std::string Machine::report() const {
   return out.str();
 }
 
+void Machine::start_sampler(std::chrono::milliseconds period) {
+  if (sampler_ != nullptr) return;
+  obs::Sampler::Options opts;
+  opts.period = period;
+  sampler_ = std::make_unique<obs::Sampler>(runtime_->metrics(), opts);
+  sampler_->set_callback([this](const obs::SampleDelta& delta) {
+    monitor_->ingest(delta);
+    if (delta.dt_seconds <= 0.0) return;
+    // Phase detector: a sustained jump (or collapse) in the SGT completion
+    // rate relative to its EWMA means the workload changed shape; tell the
+    // controller to re-explore its policy choices.
+    for (const obs::MetricValue& m : delta.deltas) {
+      if (m.name != "rt.sgts_executed") continue;
+      const double rate = m.value / delta.dt_seconds;
+      constexpr double kJump = 4.0;
+      constexpr std::uint64_t kWarmup = 4;
+      if (sgt_rate_samples_ >= kWarmup && sgt_rate_ewma_ > 0.0 &&
+          (rate > kJump * sgt_rate_ewma_ ||
+           rate < sgt_rate_ewma_ / kJump)) {
+        controller_->signal_phase_change();
+        // Restart the baseline at the new level so one shift signals once.
+        sgt_rate_ewma_ = rate;
+        sgt_rate_samples_ = 0;
+        break;
+      }
+      sgt_rate_ewma_ = sgt_rate_samples_ == 0
+                           ? rate
+                           : 0.7 * sgt_rate_ewma_ + 0.3 * rate;
+      ++sgt_rate_samples_;
+      break;
+    }
+  });
+  sampler_->start();
+}
+
+void Machine::stop_sampler() {
+  if (sampler_ == nullptr) return;
+  sampler_->stop();
+}
+
 Machine::~Machine() {
   // Drain all outstanding work before any component is torn down; members
   // then destruct in reverse declaration order (parcels before runtime).
   runtime_->wait_idle();
+  if (sampler_ != nullptr) sampler_->stop();
+  // Write the HTVM_METRICS dump while every component's sources are still
+  // registered; the runtime destructor would otherwise dump after the
+  // parcel engine, balancer, and monitor have unregistered theirs.
+  runtime_->dump_metrics();
 }
 
 }  // namespace htvm::litlx

@@ -15,6 +15,7 @@
 //   dataflow sync + atomic blocks ....... spawn_tgt_after / atomically
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "adapt/monitor.h"
 #include "hints/knowledge_base.h"
 #include "mem/data_object.h"
+#include "obs/sampler.h"
 #include "parcel/engine.h"
 #include "parcel/percolation.h"
 #include "runtime/load_balancer.h"
@@ -119,6 +121,22 @@ class Machine {
 
   void wait_idle() { runtime_->wait_idle(); }
 
+  // ------------------------------------------------------------- telemetry
+
+  // One coherent snapshot of every registered counter/gauge/timer in the
+  // machine (runtime workers, parcels, pools, balancer, monitor).
+  obs::TelemetrySnapshot telemetry_snapshot() const {
+    return runtime_->telemetry_snapshot();
+  }
+
+  // Periodic telemetry sampling (off by default). Each tick snapshots the
+  // registry into a bounded delta ring and feeds the adaptive layer: the
+  // perf monitor ingests per-metric rates, and a sustained shift in SGT
+  // throughput signals the controller to re-explore (phase change).
+  void start_sampler(std::chrono::milliseconds period);
+  void stop_sampler();
+  obs::Sampler* sampler() { return sampler_.get(); }
+
   // One-stop status report: machine shape, runtime/worker statistics,
   // parcel traffic, memory traffic, percolation state, and the monitor's
   // per-site summary. The runtime face of Fig. 1's feedback loop.
@@ -148,6 +166,10 @@ class Machine {
   std::unique_ptr<adapt::PerfMonitor> monitor_;
   std::unique_ptr<adapt::AdaptiveController> controller_;
   sync::AtomicDomain atomic_domain_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  // Sampler-driven phase detector state (EWMA of the SGT completion rate).
+  double sgt_rate_ewma_ = 0.0;
+  std::uint64_t sgt_rate_samples_ = 0;
 };
 
 }  // namespace htvm::litlx

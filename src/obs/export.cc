@@ -1,0 +1,172 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace htvm::obs {
+
+namespace {
+
+void escape_into(std::ostringstream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+      continue;
+    }
+    out << c;
+  }
+}
+
+// Metric values are counters or small reals; emit integers without a
+// fractional part so counter comparisons in tests/tools stay exact, and
+// keep non-finite values JSON-legal (null).
+void number_into(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out << buf;
+}
+
+void metrics_object_into(std::ostringstream& out,
+                         const std::vector<MetricValue>& metrics) {
+  out << '{';
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    escape_into(out, m.name);
+    out << "\":";
+    number_into(out, m.value);
+  }
+  out << '}';
+}
+
+void body_into(std::ostringstream& out, const TelemetrySnapshot& snapshot,
+               const std::vector<SampleDelta>* samples) {
+  out << "{\"schema\":\"htvm.telemetry.v1\",\"sequence\":"
+      << snapshot.sequence << ",\"uptime_seconds\":";
+  number_into(out, snapshot.uptime_seconds);
+  out << ",\"metrics\":";
+  metrics_object_into(out, snapshot.metrics);
+  out << ",\"kinds\":{";
+  bool first = true;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    escape_into(out, m.name);
+    out << "\":\""
+        << (m.kind == MetricKind::kCounter ? "counter" : "gauge") << '"';
+  }
+  out << "},\"timers\":{";
+  first = true;
+  for (const TimerStats& t : snapshot.timers) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    escape_into(out, t.name);
+    out << "\":{\"count\":" << t.count << ",\"p50\":";
+    number_into(out, t.p50);
+    out << ",\"p95\":";
+    number_into(out, t.p95);
+    out << ",\"max\":";
+    number_into(out, t.max);
+    out << '}';
+  }
+  out << '}';
+  if (samples != nullptr) {
+    out << ",\"samples\":[";
+    first = true;
+    for (const SampleDelta& s : *samples) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"sequence\":" << s.sequence << ",\"dt_seconds\":";
+      number_into(out, s.dt_seconds);
+      out << ",\"deltas\":";
+      metrics_object_into(out, s.deltas);
+      out << '}';
+    }
+    out << ']';
+  }
+  out << '}';
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "htvm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  body_into(out, snapshot, nullptr);
+  return out.str();
+}
+
+std::string to_json(const TelemetrySnapshot& snapshot,
+                    const std::vector<SampleDelta>& samples) {
+  std::ostringstream out;
+  body_into(out, snapshot, &samples);
+  return out.str();
+}
+
+std::string to_prometheus(const TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const MetricValue& m : snapshot.metrics) {
+    const std::string name = prometheus_name(m.name);
+    out << "# TYPE " << name
+        << (m.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+    out << name << ' ';
+    number_into(out, m.value);
+    out << '\n';
+  }
+  for (const TimerStats& t : snapshot.timers) {
+    const std::string name = prometheus_name(t.name);
+    out << "# TYPE " << name << "_count counter\n"
+        << name << "_count " << t.count << '\n';
+    const struct {
+      const char* suffix;
+      double value;
+    } quantiles[] = {{"_p50", t.p50}, {"_p95", t.p95}, {"_max", t.max}};
+    for (const auto& q : quantiles) {
+      out << "# TYPE " << name << q.suffix << " gauge\n"
+          << name << q.suffix << ' ';
+      number_into(out, q.value);
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool write_json_file(const std::string& path,
+                     const TelemetrySnapshot& snapshot) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json(snapshot);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace htvm::obs

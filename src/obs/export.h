@@ -1,0 +1,40 @@
+// Exposition of a TelemetrySnapshot: one JSON schema shared by benches,
+// tests, and the HTVM_METRICS=<path> end-of-run dump, plus a
+// Prometheus-text rendering for scrape-style consumers.
+//
+// JSON schema ("htvm.telemetry.v1"):
+//   { "schema": "htvm.telemetry.v1",
+//     "sequence": N, "uptime_seconds": S,
+//     "metrics": { "<name>": <number>, ... },           // sorted by name
+//     "kinds":   { "<name>": "counter"|"gauge", ... },
+//     "timers":  { "<name>": {"count":N,"p50":X,"p95":X,"max":X}, ... },
+//     "samples": [ { "sequence": N, "dt_seconds": S,
+//                    "deltas": { "<name>": <number>, ... } }, ... ] }
+// "samples" is present only when Sampler deltas are passed in; counter
+// deltas are per-interval increments, gauge entries are the level at the
+// sample instant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/sampler.h"
+
+namespace htvm::obs {
+
+std::string to_json(const TelemetrySnapshot& snapshot);
+std::string to_json(const TelemetrySnapshot& snapshot,
+                    const std::vector<SampleDelta>& samples);
+
+// Prometheus text exposition (metric names have dots mapped to
+// underscores and an "htvm_" prefix; timers render as three gauges:
+// _p50 / _p95 / _max plus a _count counter).
+std::string to_prometheus(const TelemetrySnapshot& snapshot);
+
+// Writes `snapshot` as JSON to `path`; returns false (and logs to stderr)
+// on I/O failure. Used by the HTVM_METRICS end-of-run dump.
+bool write_json_file(const std::string& path,
+                     const TelemetrySnapshot& snapshot);
+
+}  // namespace htvm::obs

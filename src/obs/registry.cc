@@ -1,0 +1,134 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace htvm::obs {
+
+Counter::Counter(std::uint32_t shards)
+    : shard_count_(shards == 0 ? 1 : shards),
+      slots_(std::make_unique<Slot[]>(shard_count_)) {}
+
+std::uint64_t Counter::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < shard_count_; ++i)
+    sum += slots_[i].value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+Timer::Timer(std::uint32_t shards, double lo, double hi, std::size_t buckets)
+    : shard_count_(shards == 0 ? 1 : shards) {
+  slots_.reserve(shard_count_);
+  for (std::uint32_t i = 0; i < shard_count_; ++i)
+    slots_.push_back(std::make_unique<Slot>(lo, hi, buckets));
+}
+
+void Timer::observe(std::uint32_t shard, double value) {
+  Slot& slot = *slots_[shard % shard_count_];
+  util::Guard<util::SpinLock> g(slot.lock);
+  slot.hist.add(value);
+}
+
+util::Histogram Timer::merged() const {
+  // Seed shape from shard 0 (all shards share lo/hi/buckets).
+  util::Histogram out = [&] {
+    const Slot& s = *slots_[0];
+    util::Guard<util::SpinLock> g(s.lock);
+    return s.hist;
+  }();
+  for (std::uint32_t i = 1; i < shard_count_; ++i) {
+    const Slot& s = *slots_[i];
+    util::Guard<util::SpinLock> g(s.lock);
+    out.merge(s.hist);
+  }
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(std::uint32_t default_shards)
+    : default_shards_(default_shards == 0 ? 1 : default_shards),
+      start_(std::chrono::steady_clock::now()) {}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::make_unique<Counter>(default_shards_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Timer* MetricsRegistry::timer(const std::string& name, double lo, double hi,
+                              std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_
+             .emplace(name, std::make_unique<Timer>(default_shards_, lo, hi,
+                                                    buckets))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::SourceId MetricsRegistry::add_source(std::string name,
+                                                      MetricKind kind,
+                                                      Source source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SourceId id = next_source_++;
+  sources_.push_back(SourceEntry{id, std::move(name), kind,
+                                 std::move(source)});
+  return id;
+}
+
+MetricsRegistry::SourceId MetricsRegistry::add_counter_source(
+    std::string name, Source source) {
+  return add_source(std::move(name), MetricKind::kCounter,
+                    std::move(source));
+}
+
+MetricsRegistry::SourceId MetricsRegistry::add_gauge_source(std::string name,
+                                                            Source source) {
+  return add_source(std::move(name), MetricKind::kGauge, std::move(source));
+}
+
+void MetricsRegistry::remove_source(SourceId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(sources_, [id](const SourceEntry& s) { return s.id == id; });
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + sources_.size();
+}
+
+TelemetrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TelemetrySnapshot out;
+  out.sequence = ++snapshots_;
+  out.uptime_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  out.metrics.reserve(counters_.size() + sources_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.metrics.push_back(MetricValue{
+        name, MetricKind::kCounter, static_cast<double>(counter->total())});
+  }
+  for (const SourceEntry& s : sources_)
+    out.metrics.push_back(MetricValue{s.name, s.kind, s.read()});
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  out.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    const util::Histogram merged = timer->merged();
+    out.timers.push_back(TimerStats{name, merged.total(),
+                                    merged.quantile(0.5),
+                                    merged.quantile(0.95),
+                                    merged.quantile(1.0)});
+  }
+  return out;
+}
+
+}  // namespace htvm::obs

@@ -1,0 +1,174 @@
+// Unified metrics registry: the single telemetry surface for the whole
+// stack (paper §4.2 -- "feedback derived from the execution and resource
+// allocation monitoring"). Before this subsystem the repo had four
+// disjoint counter structs (rt::WorkerStats, parcel::EngineStats,
+// mem::PoolStatsSnapshot, adapt::PerfMonitor slots); every producer now
+// registers here instead, and benches, tests, the HTVM_METRICS dump, the
+// adaptive controller, and the Sampler all read one schema.
+//
+// Three metric shapes:
+//   Counter -- monotonic u64, per-worker sharded slots (cacheline-padded,
+//              relaxed fetch_add on the hot path, summed on snapshot).
+//   Source  -- a registered read callback over state a component already
+//              owns (an atomic it bumps anyway). Counter-kind sources are
+//              monotonic; gauge-kind sources are levels (may go down).
+//   Timer   -- a util::Histogram per shard, merged on snapshot; records
+//              latency/duration distributions (p50/p95/max exposition).
+//
+// Naming convention: dotted lowercase paths, "<subsystem>.<counter>"
+// (rt.sgts_executed, parcel.sent, pool.task.allocations, monitor.tasks,
+// lb.lgt_moves). The exporter turns dots into underscores for Prometheus.
+//
+// Lifetime: Counter/Timer objects live as long as the registry (pointers
+// handed out are stable). Sources must be removed (remove_source) before
+// the state they read dies; components that outlive the registry need no
+// cleanup. Source callbacks are invoked under the registry mutex and must
+// only read (typically one or two relaxed atomic loads).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/spinlock.h"
+
+namespace htvm::obs {
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1 };
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+};
+
+struct TimerStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+// One coherent point-in-time view of every registered metric. `metrics`
+// is sorted by name and names are unique; this is the document that
+// obs::to_json / to_prometheus serialize and the Sampler diffs.
+struct TelemetrySnapshot {
+  std::uint64_t sequence = 0;       // snapshot count for this registry
+  double uptime_seconds = 0.0;      // since registry construction
+  std::vector<MetricValue> metrics;
+  std::vector<TimerStats> timers;
+};
+
+// Monotonic counter with per-shard slots. Shard by worker id: each worker
+// bumps its own cacheline, the total is summed on demand. add() is
+// wait-free; total()/shard() are relaxed reads (diagnostics, not
+// synchronization).
+class Counter {
+ public:
+  explicit Counter(std::uint32_t shards);
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint32_t shard, std::uint64_t delta = 1) {
+    slots_[shard % shard_count_].value.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+  std::uint64_t shard(std::uint32_t i) const {
+    return slots_[i % shard_count_].value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const;
+  std::uint32_t shard_count() const { return shard_count_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::uint32_t shard_count_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+// Histogram-backed duration/latency recorder. Each shard owns a spinlock
+// + histogram, so concurrent observes from different workers never
+// contend; merged() folds the shards into one distribution.
+class Timer {
+ public:
+  Timer(std::uint32_t shards, double lo, double hi, std::size_t buckets);
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void observe(std::uint32_t shard, double value);
+  util::Histogram merged() const;
+
+ private:
+  struct alignas(64) Slot {
+    mutable util::SpinLock lock;
+    util::Histogram hist;
+    Slot(double lo, double hi, std::size_t buckets)
+        : hist(lo, hi, buckets) {}
+  };
+  std::uint32_t shard_count_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+class MetricsRegistry {
+ public:
+  using Source = std::function<double()>;
+  using SourceId = std::uint64_t;
+
+  // `default_shards` sizes new counters/timers; pass the worker count so
+  // shard i belongs to worker i.
+  explicit MetricsRegistry(std::uint32_t default_shards = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Create-or-get; the returned pointer is stable for the registry's life.
+  Counter* counter(const std::string& name);
+  Timer* timer(const std::string& name, double lo, double hi,
+               std::size_t buckets = 64);
+
+  // Registers a read callback over component-owned state. Counter sources
+  // are monotonic (the Sampler emits their deltas); gauge sources are
+  // levels (the Sampler emits their current value).
+  SourceId add_counter_source(std::string name, Source source);
+  SourceId add_gauge_source(std::string name, Source source);
+  // Must be called before the state a source reads is destroyed. After
+  // return, no snapshot will invoke the callback.
+  void remove_source(SourceId id);
+
+  TelemetrySnapshot snapshot() const;
+
+  std::uint32_t default_shards() const { return default_shards_; }
+  std::size_t metric_count() const;
+
+ private:
+  SourceId add_source(std::string name, MetricKind kind, Source source);
+
+  struct SourceEntry {
+    SourceId id;
+    std::string name;
+    MetricKind kind;
+    Source read;
+  };
+
+  std::uint32_t default_shards_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::vector<SourceEntry> sources_;
+  SourceId next_source_ = 1;
+  mutable std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace htvm::obs

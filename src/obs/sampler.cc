@@ -1,0 +1,72 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+
+namespace htvm::obs {
+
+Sampler::Sampler(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  // Prime the baseline so the first periodic delta covers only the first
+  // interval, not the registry's whole history.
+  sample_once();
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.period);
+      if (!running_.load(std::memory_order_acquire)) break;
+      sample_once();
+    }
+  });
+}
+
+void Sampler::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sampler::sample_once() {
+  const TelemetrySnapshot snap = registry_.snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  SampleDelta delta;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    delta.sequence = samples_.load(std::memory_order_relaxed) + 1;
+    delta.dt_seconds =
+        primed_ ? std::chrono::duration<double>(now - prev_time_).count()
+                : 0.0;
+    delta.deltas.reserve(snap.metrics.size());
+    for (const MetricValue& m : snap.metrics) {
+      double value = m.value;
+      if (m.kind == MetricKind::kCounter) {
+        const auto it = prev_counters_.find(m.name);
+        value = it == prev_counters_.end() ? m.value : m.value - it->second;
+        prev_counters_[m.name] = m.value;
+      }
+      delta.deltas.push_back(MetricValue{m.name, m.kind, value});
+    }
+    prev_time_ = now;
+    primed_ = true;
+    ring_.push_back(delta);
+    while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  if (callback_) callback_(delta);
+}
+
+std::vector<SampleDelta> Sampler::recent(std::size_t max_items) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = max_items == 0
+                            ? ring_.size()
+                            : std::min(max_items, ring_.size());
+  return std::vector<SampleDelta>(ring_.end() - static_cast<std::ptrdiff_t>(n),
+                                  ring_.end());
+}
+
+}  // namespace htvm::obs

@@ -1,0 +1,87 @@
+// Periodic registry sampler: the runtime-monitor feedback channel of the
+// paper's Fig. 1 made concrete. A background thread (off by default)
+// snapshots the MetricsRegistry at a configurable period and keeps a
+// bounded ring of per-interval deltas; adapt::PerfMonitor ingests them as
+// rate statistics, the adaptive controller uses throughput jumps as a
+// phase-change signal, and bench --json embeds the ring alongside its
+// timing series.
+//
+// Counter metrics appear in a delta as the increment over the interval;
+// gauge metrics appear as their level at the sample instant. Metrics that
+// did not change are still listed (delta 0) so consumers see a stable
+// schema.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace htvm::obs {
+
+struct SampleDelta {
+  std::uint64_t sequence = 0;  // sample index, starting at 1
+  double dt_seconds = 0.0;     // wall time since the previous sample
+  std::vector<MetricValue> deltas;  // sorted by name
+};
+
+struct SamplerOptions {
+  std::chrono::milliseconds period{10};
+  std::size_t ring_capacity = 128;  // oldest deltas are evicted
+};
+
+class Sampler {
+ public:
+  using Options = SamplerOptions;
+  // Invoked synchronously on the sampler thread after each delta is
+  // ringed (and from sample_once() callers). Must not call back into
+  // this Sampler.
+  using Callback = std::function<void(const SampleDelta&)>;
+
+  explicit Sampler(MetricsRegistry& registry, Options options = {});
+  ~Sampler();  // stops the thread
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Set before start(); not thread-safe against a running sampler.
+  void set_callback(Callback callback) { callback_ = std::move(callback); }
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // One deterministic tick (snapshot + delta + ring + callback), usable
+  // without start() for tests and single-threaded harnesses.
+  void sample_once();
+
+  // Ring contents, oldest first; `max_items` = 0 returns everything.
+  std::vector<SampleDelta> recent(std::size_t max_items = 0) const;
+  std::uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  MetricsRegistry& registry_;
+  Options options_;
+  Callback callback_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::atomic<std::uint64_t> samples_{0};
+
+  mutable std::mutex mutex_;  // guards ring_ and prev_
+  std::deque<SampleDelta> ring_;
+  std::map<std::string, double> prev_counters_;
+  std::chrono::steady_clock::time_point prev_time_;
+  bool primed_ = false;
+};
+
+}  // namespace htvm::obs

@@ -27,6 +27,7 @@ ParcelEngine::ParcelEngine(rt::Runtime& runtime,
       static_cast<std::size_t>(nodes) * nodes);
   poller_id_ =
       runtime_.add_poller([this](std::uint32_t node) { return poll(node); });
+  register_metrics();
 }
 
 ParcelEngine::~ParcelEngine() {
@@ -34,6 +35,48 @@ ParcelEngine::~ParcelEngine() {
   // the runtime so no worker can call into a dead engine.
   runtime_.wait_idle();
   runtime_.remove_poller(poller_id_);
+  for (const auto id : metric_sources_) runtime_.metrics().remove_source(id);
+}
+
+void ParcelEngine::register_metrics() {
+  obs::MetricsRegistry& reg = runtime_.metrics();
+  const struct {
+    const char* name;
+    const std::atomic<std::uint64_t>* value;
+  } counters[] = {
+      {"parcel.sent", &stats_.sent},
+      {"parcel.delivered", &stats_.delivered},
+      {"parcel.replies", &stats_.replies},
+      {"parcel.bytes", &stats_.bytes},
+      {"parcel.retries", &stats_.retries},
+      {"parcel.drops", &stats_.drops},
+      {"parcel.duplicates", &stats_.duplicates},
+      {"parcel.dup_suppressed", &stats_.dup_suppressed},
+      {"parcel.acks", &stats_.acks},
+      {"parcel.dead_letters", &stats_.dead_letters},
+  };
+  for (const auto& c : counters) {
+    metric_sources_.push_back(reg.add_counter_source(
+        c.name, [value = c.value] {
+          return static_cast<double>(
+              value->load(std::memory_order_relaxed));
+        }));
+  }
+}
+
+EngineStats ParcelEngine::stats() const {
+  EngineStats out;
+  out.sent = stats_.sent.load(std::memory_order_relaxed);
+  out.delivered = stats_.delivered.load(std::memory_order_relaxed);
+  out.replies = stats_.replies.load(std::memory_order_relaxed);
+  out.bytes = stats_.bytes.load(std::memory_order_relaxed);
+  out.retries = stats_.retries.load(std::memory_order_relaxed);
+  out.drops = stats_.drops.load(std::memory_order_relaxed);
+  out.duplicates = stats_.duplicates.load(std::memory_order_relaxed);
+  out.dup_suppressed = stats_.dup_suppressed.load(std::memory_order_relaxed);
+  out.acks = stats_.acks.load(std::memory_order_relaxed);
+  out.dead_letters = stats_.dead_letters.load(std::memory_order_relaxed);
+  return out;
 }
 
 HandlerId ParcelEngine::register_handler(std::string name, Handler handler) {
@@ -76,7 +119,30 @@ ParcelEngine::Clock::duration ParcelEngine::retransmit_timeout(
 void ParcelEngine::trace_transport(const char* name, const Parcel& parcel) {
   trace::Tracer* tracer = runtime_.tracer();
   if (tracer == nullptr || !tracer->enabled()) return;
-  tracer->record("parcel", name, parcel.src_node, runtime_.trace_now_us(), 0);
+  trace::Event e;
+  e.category = "parcel";
+  e.static_name = name;
+  e.phase = trace::Phase::kInstant;
+  e.pid = trace::kLaneParcelNodes;
+  e.lane = parcel.src_node;
+  e.start = runtime_.trace_now_us();
+  tracer->record_event(e);
+}
+
+std::uint64_t ParcelEngine::flow_key(const Parcel& parcel) const {
+  const std::uint64_t stream =
+      static_cast<std::uint64_t>(parcel.src_node) * runtime_.num_nodes() +
+      parcel.dst_node;
+  return (stream << 32) | (parcel.seq & 0xFFFFFFFFull);
+}
+
+void ParcelEngine::trace_flow(const char* name, trace::Phase phase,
+                              const Parcel& parcel, std::uint32_t lane) {
+  trace::Tracer* tracer = runtime_.tracer();
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer->record_flow("parcel", name, phase, flow_key(parcel),
+                      trace::kLaneParcelNodes, lane,
+                      runtime_.trace_now_us());
 }
 
 void ParcelEngine::enqueue_physical(std::shared_ptr<Parcel> parcel,
@@ -156,6 +222,9 @@ void ParcelEngine::submit(std::shared_ptr<Parcel> parcel) {
     // One logical work token per un-acked parcel: wait_idle() stays
     // blocked until the message is acknowledged or dead-lettered.
     runtime_.hold_work();
+    // Flow arrow start: Perfetto stitches this to the retransmit steps
+    // and the delivery on the destination lane via flow_key.
+    trace_flow("xfer", trace::Phase::kFlowStart, *parcel, src);
   }
   transmit(parcel);
 }
@@ -274,6 +343,7 @@ bool ParcelEngine::run_retransmit_timer(std::uint32_t node) {
   for (auto& parcel : expired) {
     stats_.retries.fetch_add(1, std::memory_order_relaxed);
     trace_transport("retry", *parcel);
+    trace_flow("xfer", trace::Phase::kFlowStep, *parcel, parcel->src_node);
     transmit(parcel);
   }
   for (auto& parcel : exhausted) dead_letter(std::move(parcel));
@@ -327,6 +397,12 @@ void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
   // its requester future is settled and the sender stopped counting it.
   if (parcel.reliable && !parcel.claim()) return;
   stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (parcel.reliable)
+    trace_flow("xfer", trace::Phase::kFlowEnd, parcel, node);
+  // The handler/closure run shows as a complete span on the destination
+  // node's parcel lane.
+  trace::Span deliver_span(runtime_.tracer(), "parcel", "deliver", node,
+                           trace::kLaneParcelNodes);
   if (parcel.closure) {
     parcel.closure();
     return;

@@ -27,6 +27,7 @@
 // parcel is acknowledged or dead-lettered.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -42,18 +43,23 @@
 
 namespace htvm::parcel {
 
+// Point-in-time value snapshot of the engine's counters, as returned by
+// ParcelEngine::stats(). Copyable plain integers: callers get one coherent
+// reading instead of a reference into live atomics whose fields could move
+// between loads. The same counters are registered as "parcel.*" sources in
+// the runtime's metrics registry.
 struct EngineStats {
-  std::atomic<std::uint64_t> sent{0};       // logical data parcels submitted
-  std::atomic<std::uint64_t> delivered{0};  // handler/closure executions
-  std::atomic<std::uint64_t> replies{0};
-  std::atomic<std::uint64_t> bytes{0};
+  std::uint64_t sent = 0;       // logical data parcels submitted
+  std::uint64_t delivered = 0;  // handler/closure executions
+  std::uint64_t replies = 0;
+  std::uint64_t bytes = 0;
   // Reliable-transport counters (all zero on an ideal network).
-  std::atomic<std::uint64_t> retries{0};         // timeout retransmissions
-  std::atomic<std::uint64_t> drops{0};           // physical copies lost
-  std::atomic<std::uint64_t> duplicates{0};      // physical copies cloned
-  std::atomic<std::uint64_t> dup_suppressed{0};  // receiver-side dedup hits
-  std::atomic<std::uint64_t> acks{0};            // acks received by senders
-  std::atomic<std::uint64_t> dead_letters{0};    // parcels given up on
+  std::uint64_t retries = 0;         // timeout retransmissions
+  std::uint64_t drops = 0;           // physical copies lost
+  std::uint64_t duplicates = 0;      // physical copies cloned
+  std::uint64_t dup_suppressed = 0;  // receiver-side dedup hits
+  std::uint64_t acks = 0;            // acks received by senders
+  std::uint64_t dead_letters = 0;    // parcels given up on
 };
 
 // Reliable-delivery knobs. Timeouts are host-time: the floor covers the
@@ -104,7 +110,7 @@ class ParcelEngine {
   void invoke_at(std::uint32_t dst_node, std::uint64_t modeled_bytes,
                  std::function<void()> fn);
 
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const;
   rt::Runtime& runtime() { return runtime_; }
   // True when cross-node data parcels are sequence-numbered and acked.
   bool reliable() const { return reliable_; }
@@ -116,6 +122,21 @@ class ParcelEngine {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  // Live counters the workers bump; stats() and the registry sources read
+  // them relaxed (monotonic diagnostics, not synchronization).
+  struct AtomicEngineStats {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> replies{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> dup_suppressed{0};
+    std::atomic<std::uint64_t> acks{0};
+    std::atomic<std::uint64_t> dead_letters{0};
+  };
 
   struct Timed {
     Clock::time_point due;
@@ -187,6 +208,12 @@ class ParcelEngine {
                                 std::uint64_t bytes) const;
   Clock::duration retransmit_timeout(const Parcel& parcel) const;
   void trace_transport(const char* name, const Parcel& parcel);
+  // Flow-arrow id binding one reliable parcel's send -> retry -> deliver
+  // events: (src,dst) stream index in the high bits, sequence in the low.
+  std::uint64_t flow_key(const Parcel& parcel) const;
+  void trace_flow(const char* name, trace::Phase phase, const Parcel& parcel,
+                  std::uint32_t lane);
+  void register_metrics();
 
   rt::Runtime& runtime_;
   rt::Runtime::PollerId poller_id_ = 0;
@@ -202,7 +229,8 @@ class ParcelEngine {
   std::vector<Handler> handlers_;
   std::unordered_map<std::string, HandlerId> handler_names_;
   std::atomic<std::uint64_t> order_{0};  // inbox FIFO tie-break
-  EngineStats stats_;
+  AtomicEngineStats stats_;
+  std::vector<obs::MetricsRegistry::SourceId> metric_sources_;
 };
 
 }  // namespace htvm::parcel

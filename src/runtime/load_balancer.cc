@@ -3,9 +3,18 @@
 namespace htvm::rt {
 
 LoadBalancer::LoadBalancer(Runtime& runtime, Policy policy)
-    : runtime_(runtime), policy_(policy) {}
+    : runtime_(runtime), policy_(policy) {
+  moves_source_ = runtime_.metrics().add_counter_source(
+      "lb.lgt_moves", [this] {
+        return static_cast<double>(
+            total_moves_.load(std::memory_order_relaxed));
+      });
+}
 
-LoadBalancer::~LoadBalancer() { stop(); }
+LoadBalancer::~LoadBalancer() {
+  stop();
+  runtime_.metrics().remove_source(moves_source_);
+}
 
 std::size_t LoadBalancer::node_load(std::uint32_t node) const {
   // An LGT represents substantially more pending work than one SGT.

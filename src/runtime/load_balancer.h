@@ -54,6 +54,7 @@ class LoadBalancer {
   std::atomic<bool> running_{false};
   std::thread thread_;
   std::atomic<std::uint64_t> total_moves_{0};
+  obs::MetricsRegistry::SourceId moves_source_ = 0;
 };
 
 }  // namespace htvm::rt

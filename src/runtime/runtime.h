@@ -26,6 +26,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "mem/frame.h"
 #include "mem/global_memory.h"
 #include "mem/pool_stats.h"
+#include "obs/registry.h"
 #include "runtime/deque.h"
 #include "runtime/fiber.h"
 #include "runtime/task.h"
@@ -64,6 +66,11 @@ struct RuntimeOptions {
   std::uint32_t max_workers = 0;  // 0 = no cap
 };
 
+// Legacy-shaped view of the worker counters. The counters themselves now
+// live in the runtime's obs::MetricsRegistry ("rt.*" sharded counters,
+// shard = worker id); this struct is materialized from registry shards so
+// existing callers keep working while telemetry_snapshot() exposes the
+// same numbers to every other consumer.
 struct WorkerStats {
   std::uint64_t sgts_executed = 0;
   std::uint64_t tgts_executed = 0;
@@ -71,29 +78,6 @@ struct WorkerStats {
   std::uint64_t steals = 0;
   std::uint64_t failed_steal_rounds = 0;
   std::uint64_t parks = 0;
-};
-
-// Internal counterpart: workers bump these lock-free while
-// worker_stats()/aggregate_stats() snapshot them from other threads, so
-// the fields must be atomic (plain u64s here were a data race).
-struct AtomicWorkerStats {
-  std::atomic<std::uint64_t> sgts_executed{0};
-  std::atomic<std::uint64_t> tgts_executed{0};
-  std::atomic<std::uint64_t> lgt_resumes{0};
-  std::atomic<std::uint64_t> steals{0};
-  std::atomic<std::uint64_t> failed_steal_rounds{0};
-  std::atomic<std::uint64_t> parks{0};
-  WorkerStats snapshot() const {
-    WorkerStats out;
-    out.sgts_executed = sgts_executed.load(std::memory_order_relaxed);
-    out.tgts_executed = tgts_executed.load(std::memory_order_relaxed);
-    out.lgt_resumes = lgt_resumes.load(std::memory_order_relaxed);
-    out.steals = steals.load(std::memory_order_relaxed);
-    out.failed_steal_rounds =
-        failed_steal_rounds.load(std::memory_order_relaxed);
-    out.parks = parks.load(std::memory_order_relaxed);
-    return out;
-  }
 };
 
 struct Lgt;
@@ -268,6 +252,20 @@ class Runtime {
     return task_pool_->stats();
   }
 
+  // The unified metrics registry. The runtime owns it and registers its
+  // own "rt.*" worker counters and "pool.*" gauges; other components
+  // (parcel engine, load balancer, perf monitor) register theirs here so
+  // one telemetry_snapshot() covers the whole system.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::TelemetrySnapshot telemetry_snapshot() const {
+    return metrics_->snapshot();
+  }
+  // Writes the HTVM_METRICS dump (if requested) exactly once. Callers
+  // that tear down registered sources before the runtime dies (Machine)
+  // invoke this first; the destructor is the fallback.
+  void dump_metrics();
+
   // ------------------------------------------------------------- extension
 
   // Per-node pollers (the parcel engine registers its inbox drain here).
@@ -328,8 +326,19 @@ class Runtime {
     std::vector<Task> tgt_stack;
     std::vector<Task*> inject_scratch;  // swap target for the inject queue
     util::Xoshiro256 rng{1};
-    AtomicWorkerStats stats;
     std::thread thread;
+  };
+
+  // Registry-backed worker counters: each is a sharded obs::Counter whose
+  // shard index is the worker id, so worker_main's bumps stay one relaxed
+  // fetch_add on a worker-private cache line.
+  struct WorkerCounters {
+    obs::Counter* sgts_executed = nullptr;
+    obs::Counter* tgts_executed = nullptr;
+    obs::Counter* lgt_resumes = nullptr;
+    obs::Counter* steals = nullptr;
+    obs::Counter* failed_steal_rounds = nullptr;
+    obs::Counter* parks = nullptr;
   };
 
   // Worker id of the calling thread if it belongs to THIS runtime, else -1
@@ -360,8 +369,17 @@ class Runtime {
   RuntimeOptions options_;
   machine::LatencyInjector injector_;
   trace::Tracer* tracer_ = nullptr;
+  // HTVM_TRACE=<path>: the runtime owns a tracer and writes the Chrome
+  // JSON at shutdown. nullptr unless the env var was set at construction.
+  std::unique_ptr<trace::Tracer> env_tracer_;
+  std::string env_trace_path_;
+  std::string env_metrics_path_;  // HTVM_METRICS=<path>
+  bool metrics_dumped_ = false;
   std::chrono::steady_clock::time_point start_time_{
       std::chrono::steady_clock::now()};
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  WorkerCounters counters_;
+  std::vector<obs::MetricsRegistry::SourceId> gauge_sources_;
   std::unique_ptr<mem::GlobalMemory> memory_;
   std::vector<std::unique_ptr<mem::FrameAllocator>> frame_allocators_;
   std::unique_ptr<TaskPool> task_pool_;

@@ -1,7 +1,10 @@
 // Runtime construction, spawning APIs, LGT wakeup protocol, lifecycle.
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
+#include "obs/export.h"
 #include "runtime/runtime.h"
 #include "runtime/tls.h"
 
@@ -50,6 +53,63 @@ Runtime::Runtime(RuntimeOptions options)
     }
   }
   task_pool_ = std::make_unique<TaskPool>(total);
+
+  // Unified telemetry: one registry, sharded per worker. The runtime's
+  // own counters resolve to stable Counter pointers before any worker
+  // thread starts; pool counters are exposed as sources reading the
+  // pools' existing atomics.
+  metrics_ = std::make_unique<obs::MetricsRegistry>(total);
+  counters_.sgts_executed = metrics_->counter("rt.sgts_executed");
+  counters_.tgts_executed = metrics_->counter("rt.tgts_executed");
+  counters_.lgt_resumes = metrics_->counter("rt.lgt_resumes");
+  counters_.steals = metrics_->counter("rt.steals");
+  counters_.failed_steal_rounds =
+      metrics_->counter("rt.failed_steal_rounds");
+  counters_.parks = metrics_->counter("rt.parks");
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "pool.task.allocations",
+      [this] { return static_cast<double>(task_pool_->stats().allocations); }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "pool.task.recycle_hits", [this] {
+        return static_cast<double>(task_pool_->stats().recycle_hits);
+      }));
+  gauge_sources_.push_back(metrics_->add_gauge_source(
+      "pool.task.live",
+      [this] { return static_cast<double>(task_pool_->stats().live); }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "pool.frame.allocations", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& fa : frame_allocators_) sum += fa->allocations();
+        return static_cast<double>(sum);
+      }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "pool.frame.recycle_hits", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& fa : frame_allocators_) sum += fa->recycle_hits();
+        return static_cast<double>(sum);
+      }));
+  gauge_sources_.push_back(metrics_->add_gauge_source(
+      "pool.frame.live", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& fa : frame_allocators_) sum += fa->frames_live();
+        return static_cast<double>(sum);
+      }));
+
+  // End-of-run dumps controlled by the environment: HTVM_TRACE=<path>
+  // attaches an owned, enabled tracer whose Chrome JSON is written at
+  // shutdown; HTVM_METRICS=<path> writes one telemetry snapshot.
+  if (const char* path = std::getenv("HTVM_TRACE");
+      path != nullptr && *path != '\0' && tracer_ == nullptr) {
+    env_trace_path_ = path;
+    env_tracer_ = std::make_unique<trace::Tracer>();
+    env_tracer_->enable();
+    tracer_ = env_tracer_.get();
+  }
+  if (const char* path = std::getenv("HTVM_METRICS");
+      path != nullptr && *path != '\0') {
+    env_metrics_path_ = path;
+  }
+
   for (auto& w : workers_) {
     Worker* raw = w.get();
     raw->thread = std::thread([this, raw] { worker_main(*raw); });
@@ -61,8 +121,27 @@ Runtime::~Runtime() {
   stop_.store(true, std::memory_order_release);
   work_arrived();  // wake parked workers so they observe stop_
   for (auto& w : workers_) w->thread.join();
+  dump_metrics();
+  if (env_tracer_ != nullptr && !env_trace_path_.empty()) {
+    if (std::FILE* f = std::fopen(env_trace_path_.c_str(), "w")) {
+      const std::string json = env_tracer_->to_chrome_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "runtime: cannot write trace to %s\n",
+                   env_trace_path_.c_str());
+    }
+  }
   // Any tasks left in queues would be a wait_idle bug; their slots belong
   // to the pool, whose slab teardown destroys un-run callables.
+}
+
+void Runtime::dump_metrics() {
+  if (metrics_dumped_) return;
+  metrics_dumped_ = true;
+  if (env_metrics_path_.empty()) return;
+  obs::write_json_file(env_metrics_path_, metrics_->snapshot());
 }
 
 // ---------------------------------------------------------------- spawning
@@ -258,20 +337,24 @@ std::uint32_t Runtime::current_node() const {
 }
 
 WorkerStats Runtime::worker_stats(std::uint32_t worker) const {
-  return workers_[worker]->stats.snapshot();
+  WorkerStats out;
+  out.sgts_executed = counters_.sgts_executed->shard(worker);
+  out.tgts_executed = counters_.tgts_executed->shard(worker);
+  out.lgt_resumes = counters_.lgt_resumes->shard(worker);
+  out.steals = counters_.steals->shard(worker);
+  out.failed_steal_rounds = counters_.failed_steal_rounds->shard(worker);
+  out.parks = counters_.parks->shard(worker);
+  return out;
 }
 
 WorkerStats Runtime::aggregate_stats() const {
   WorkerStats total;
-  for (const auto& w : workers_) {
-    const WorkerStats s = w->stats.snapshot();
-    total.sgts_executed += s.sgts_executed;
-    total.tgts_executed += s.tgts_executed;
-    total.lgt_resumes += s.lgt_resumes;
-    total.steals += s.steals;
-    total.failed_steal_rounds += s.failed_steal_rounds;
-    total.parks += s.parks;
-  }
+  total.sgts_executed = counters_.sgts_executed->total();
+  total.tgts_executed = counters_.tgts_executed->total();
+  total.lgt_resumes = counters_.lgt_resumes->total();
+  total.steals = counters_.steals->total();
+  total.failed_steal_rounds = counters_.failed_steal_rounds->total();
+  total.parks = counters_.parks->total();
   return total;
 }
 

@@ -29,7 +29,7 @@ void Runtime::worker_main(Worker& w) {
     }
     if (++failures >= options_.park_threshold) {
       std::unique_lock<std::mutex> lock(park_mutex_);
-      w.stats.parks.fetch_add(1, std::memory_order_relaxed);
+      counters_.parks->add(w.id);
       // Bounded wait: pollers (e.g. parcels with modeled in-flight delay)
       // can make work become due without any enqueue bumping the epoch.
       park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
@@ -102,13 +102,16 @@ void Runtime::drain_tgts(Worker& w) {
   while (!w.tgt_stack.empty()) {
     Task tgt = std::move(w.tgt_stack.back());
     w.tgt_stack.pop_back();
-    w.stats.tgts_executed.fetch_add(1, std::memory_order_relaxed);
+    counters_.tgts_executed->add(w.id);
     tgt.invoke();
     task_finished();
   }
 }
 
 std::uint64_t Runtime::trace_now_us() const {
+  // When a tracer is attached its epoch is the canonical clock, so worker
+  // events, RAII spans, and parcel flows all share one timeline.
+  if (tracer_ != nullptr) return tracer_->now_us();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_time_)
@@ -116,7 +119,7 @@ std::uint64_t Runtime::trace_now_us() const {
 }
 
 void Runtime::run_sgt(Worker& w, Task* task) {
-  w.stats.sgts_executed.fetch_add(1, std::memory_order_relaxed);
+  counters_.sgts_executed->add(w.id);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
   task->invoke();
@@ -128,7 +131,7 @@ void Runtime::run_sgt(Worker& w, Task* task) {
 }
 
 void Runtime::resume_lgt(Worker& w, std::unique_ptr<Lgt> lgt) {
-  w.stats.lgt_resumes.fetch_add(1, std::memory_order_relaxed);
+  counters_.lgt_resumes->add(w.id);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
   Lgt* raw = lgt.get();
@@ -168,7 +171,7 @@ bool Runtime::try_steal(Worker& w) {
     if (auto task = victim.deque.steal()) {
       if (victim.node != w.node)
         injector_.network_transfer(victim.node, w.node, 64);
-      w.stats.steals.fetch_add(1, std::memory_order_relaxed);
+      counters_.steals->add(w.id);
       if (tracer_ != nullptr && tracer_->enabled())
         tracer_->record("runtime", "steal", w.id, trace_now_us(), 1);
       run_sgt(w, *task);
@@ -203,13 +206,13 @@ bool Runtime::try_steal(Worker& w) {
       }
       if (task != nullptr) {
         injector_.network_transfer(node, w.node, 64);
-        w.stats.steals.fetch_add(1, std::memory_order_relaxed);
+        counters_.steals->add(w.id);
         run_sgt(w, task);
         return true;
       }
     }
   }
-  w.stats.failed_steal_rounds.fetch_add(1, std::memory_order_relaxed);
+  counters_.failed_steal_rounds->add(w.id);
   return false;
 }
 

@@ -1,5 +1,6 @@
 #include "trace/tracer.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace htvm::trace {
@@ -8,9 +9,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   events_.reserve(capacity < 4096 ? capacity : 4096);
 }
 
-void Tracer::record(const char* category, std::string name,
-                    std::uint32_t lane, std::uint64_t start,
-                    std::uint64_t duration) {
+void Tracer::record_event(const Event& e) {
   if (!enabled()) return;
   if (capacity_ == 0) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -18,15 +17,55 @@ void Tracer::record(const char* category, std::string name,
   }
   util::Guard<util::SpinLock> g(lock_);
   if (events_.size() < capacity_) {
-    events_.push_back(
-        Event{category, std::move(name), lane, start, duration});
+    events_.push_back(e);
     return;
   }
   // Ring is full: overwrite the oldest retained event so the tail of the
   // run survives, and count the displaced one.
-  events_[next_] = Event{category, std::move(name), lane, start, duration};
+  events_[next_] = e;
   next_ = (next_ + 1) % capacity_;
   dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::record(const char* category, const char* name,
+                    std::uint32_t lane, std::uint64_t start,
+                    std::uint64_t duration) {
+  if (!enabled()) return;
+  Event e;
+  e.category = category;
+  e.static_name = name;
+  e.lane = lane;
+  e.start = start;
+  e.duration = duration;
+  record_event(e);
+}
+
+void Tracer::record_dynamic(const char* category, std::string_view name,
+                            std::uint32_t lane, std::uint64_t start,
+                            std::uint64_t duration) {
+  if (!enabled()) return;
+  Event e;
+  e.category = category;
+  e.set_dynamic_name(name);
+  e.lane = lane;
+  e.start = start;
+  e.duration = duration;
+  record_event(e);
+}
+
+void Tracer::record_flow(const char* category, const char* name, Phase phase,
+                         std::uint64_t flow_id, std::uint32_t pid,
+                         std::uint32_t lane, std::uint64_t ts) {
+  if (!enabled()) return;
+  Event e;
+  e.category = category;
+  e.static_name = name;
+  e.phase = phase;
+  e.pid = pid;
+  e.lane = lane;
+  e.start = ts;
+  e.flow_id = flow_id;
+  record_event(e);
 }
 
 std::size_t Tracer::size() const {
@@ -42,21 +81,27 @@ void Tracer::clear() {
 }
 
 std::vector<Event> Tracer::snapshot() const {
-  util::Guard<util::SpinLock> g(lock_);
-  if (events_.size() < capacity_ || next_ == 0) return events_;
-  // Rotate so the snapshot reads oldest -> newest: the overwrite cursor
-  // points at the oldest retained event.
   std::vector<Event> out;
-  out.reserve(events_.size());
-  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(next_),
-             events_.end());
-  out.insert(out.end(), events_.begin(),
-             events_.begin() + static_cast<std::ptrdiff_t>(next_));
+  std::size_t next = 0;
+  {
+    // Only the raw copy happens under the lock; Event is trivially
+    // copyable, so this is one allocation + memcpy, not a per-event
+    // string copy that would stall recorders.
+    util::Guard<util::SpinLock> g(lock_);
+    out = events_;
+    next = next_;
+  }
+  if (out.size() == capacity_ && next != 0) {
+    // Rotate so the snapshot reads oldest -> newest: the overwrite cursor
+    // points at the oldest retained event.
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(next),
+                out.end());
+  }
   return out;
 }
 
 namespace {
-void escape_into(std::ostringstream& out, const std::string& s) {
+void escape_into(std::ostringstream& out, std::string_view s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') out << '\\';
     if (static_cast<unsigned char>(c) < 0x20) {
@@ -73,13 +118,52 @@ std::string Tracer::to_chrome_json() const {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   bool first = true;
+  bool any_parcel_lane = false;
+  auto common = [&](const Event& e, const char* ph) {
+    out << "{\"ph\":\"" << ph << "\",\"cat\":\"" << e.category
+        << "\",\"name\":\"";
+    escape_into(out, e.name());
+    out << "\",\"pid\":" << e.pid << ",\"tid\":" << e.lane
+        << ",\"ts\":" << e.start;
+  };
   for (const Event& e : events) {
     if (!first) out << ',';
     first = false;
-    out << "{\"ph\":\"X\",\"cat\":\"" << e.category << "\",\"name\":\"";
-    escape_into(out, e.name);
-    out << "\",\"pid\":0,\"tid\":" << e.lane << ",\"ts\":" << e.start
-        << ",\"dur\":" << e.duration << "}";
+    any_parcel_lane = any_parcel_lane || e.pid == kLaneParcelNodes;
+    switch (e.phase) {
+      case Phase::kComplete:
+        common(e, "X");
+        out << ",\"dur\":" << e.duration << "}";
+        break;
+      case Phase::kInstant:
+        common(e, "i");
+        out << ",\"s\":\"t\"}";
+        break;
+      case Phase::kFlowStart:
+        common(e, "s");
+        out << ",\"id\":" << e.flow_id << "}";
+        break;
+      case Phase::kFlowStep:
+        common(e, "t");
+        out << ",\"id\":" << e.flow_id << "}";
+        break;
+      case Phase::kFlowEnd:
+        common(e, "f");
+        // bp:"e" binds the arrow to the enclosing slice's end rather than
+        // requiring an exactly-matching timestamp.
+        out << ",\"bp\":\"e\",\"id\":" << e.flow_id << "}";
+        break;
+    }
+  }
+  if (any_parcel_lane) {
+    // Name the process rows so Perfetto shows "workers" and "parcel
+    // nodes" instead of bare pids.
+    if (!first) out << ',';
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+        << kLaneWorkers
+        << ",\"args\":{\"name\":\"workers\"}},"
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+        << kLaneParcelNodes << ",\"args\":{\"name\":\"parcel nodes\"}}";
   }
   out << "]}";
   return out.str();

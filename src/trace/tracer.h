@@ -2,33 +2,88 @@
 // adaptive compiler also serves the human: "informed choices about which
 // pieces of the code to instrument").
 //
-// A Tracer collects complete-events (name, category, lane, start,
-// duration) into a bounded ring and exports Chrome trace-event JSON
-// (chrome://tracing / Perfetto). The ring keeps the NEWEST events: once
-// capacity is reached, each record overwrites the oldest retained event
-// and dropped() counts the overwrites. Both backends emit into it: the
-// real runtime stamps host microseconds per worker lane; the virtual-time
-// simulator stamps cycles per thread-unit lane. Recording is lock-striped
-// and wait-free enough for the SGT hot path; a disabled tracer costs one
-// branch.
+// A Tracer collects events into a bounded ring and exports Chrome
+// trace-event JSON (chrome://tracing / Perfetto). Event shapes:
+//   kComplete            ph:"X"  spans with a duration (SGT runs, LGT
+//                                resumes, occupancy segments, HTVM spans)
+//   kInstant             ph:"i"  point markers (steals, drops, retries)
+//   kFlowStart/Step/End  ph:"s"/"t"/"f"  flow arrows stitching one
+//                                logical parcel's send -> retransmit ->
+//                                deliver across node lanes
+// Lanes are (pid, tid) pairs: pid kLaneWorkers carries worker/thread-unit
+// lanes, pid kLaneParcelNodes carries per-node parcel transport lanes, so
+// runtime spans and parcel flows render as separate process rows.
+//
+// The ring keeps the NEWEST events: once capacity is reached, each record
+// overwrites the oldest retained event and dropped() counts the
+// overwrites. Both backends emit into it: the real runtime stamps host
+// microseconds per worker lane; the virtual-time simulator stamps cycles
+// per thread-unit lane.
+//
+// Hot-path discipline: record() takes interned static strings (no
+// allocation, one memcpy of a POD Event under a spinlock);
+// record_dynamic() copies a short name into a fixed inline buffer
+// (truncating, still no allocation). A disabled tracer costs one branch.
+// snapshot() copies the raw ring under the lock (trivially copyable
+// events) and rotates/serializes outside it, so recorders are never
+// stalled behind JSON generation.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "util/spinlock.h"
 
 namespace htvm::trace {
 
+enum class Phase : std::uint8_t {
+  kComplete = 0,  // ph "X" (needs duration)
+  kInstant,       // ph "i"
+  kFlowStart,     // ph "s" (needs flow_id)
+  kFlowStep,      // ph "t" (needs flow_id)
+  kFlowEnd,       // ph "f" (needs flow_id)
+};
+
+// Process-row ids for the (pid, tid) lane space.
+inline constexpr std::uint32_t kLaneWorkers = 0;
+inline constexpr std::uint32_t kLaneParcelNodes = 1;
+
 struct Event {
-  const char* category = "";  // static strings only (no ownership)
-  std::string name;
-  std::uint32_t lane = 0;     // worker id / thread-unit id
+  static constexpr std::size_t kInlineNameBytes = 32;
+
+  const char* category = "";        // static strings only (no ownership)
+  const char* static_name = nullptr;  // interned; nullptr => inline_name
+  char inline_name[kInlineNameBytes] = {};  // NUL-terminated copy
+  Phase phase = Phase::kComplete;
+  std::uint32_t pid = kLaneWorkers;
+  std::uint32_t lane = 0;     // worker id / thread-unit id / node id
   std::uint64_t start = 0;    // us (real backend) or cycles (sim backend)
   std::uint64_t duration = 0;
+  std::uint64_t flow_id = 0;  // binds kFlowStart/Step/End triples
+
+  std::string_view name() const {
+    return static_name != nullptr ? std::string_view(static_name)
+                                  : std::string_view(inline_name);
+  }
+  void set_dynamic_name(std::string_view name) {
+    static_name = nullptr;
+    const std::size_t n = name.size() < kInlineNameBytes - 1
+                              ? name.size()
+                              : kInlineNameBytes - 1;
+    std::memcpy(inline_name, name.data(), n);
+    inline_name[n] = '\0';
+  }
 };
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event must stay POD: snapshot() memcpys the ring under a "
+              "spinlock");
 
 class Tracer {
  public:
@@ -43,11 +98,39 @@ class Tracer {
     return enabled_.load(std::memory_order_acquire);
   }
 
-  // Records one complete event. When the ring is full the OLDEST event is
-  // overwritten (a trace tail is worth more than a trace head when
-  // diagnosing the state a run ended in); dropped() counts overwrites.
-  void record(const char* category, std::string name, std::uint32_t lane,
+  // Host microseconds since this tracer's construction: the canonical
+  // timestamp source for every real-backend recorder, so spans, flows,
+  // and worker events share one clock.
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Records one complete event with an INTERNED name (string literal or
+  // otherwise immortal storage -- the tracer keeps only the pointer).
+  // When the ring is full the OLDEST event is overwritten (a trace tail
+  // is worth more than a trace head when diagnosing the state a run ended
+  // in); dropped() counts overwrites.
+  void record(const char* category, const char* name, std::uint32_t lane,
               std::uint64_t start, std::uint64_t duration);
+
+  // Same, for names built at runtime: copies up to kInlineNameBytes-1
+  // bytes into the event's inline buffer (longer names are truncated).
+  void record_dynamic(const char* category, std::string_view name,
+                      std::uint32_t lane, std::uint64_t start,
+                      std::uint64_t duration);
+
+  // Full-control record (phase, pid, flow id). `e.category` and
+  // `e.static_name` must be interned if set.
+  void record_event(const Event& e);
+
+  // Flow-event convenience: one arrow segment of `flow_id` on lane
+  // (pid, lane) at `ts`.
+  void record_flow(const char* category, const char* name, Phase phase,
+                   std::uint64_t flow_id, std::uint32_t pid,
+                   std::uint32_t lane, std::uint64_t ts);
 
   std::size_t size() const;
   // Number of events overwritten since construction / the last clear().
@@ -56,21 +139,74 @@ class Tracer {
   }
   void clear();
 
-  // Snapshot of the retained events, oldest first.
+  // Snapshot of the retained events, oldest first. The ring is copied
+  // under the lock (one trivially-copyable vector copy); rotation happens
+  // outside it.
   std::vector<Event> snapshot() const;
 
-  // Chrome trace-event JSON ("traceEvents" array of ph:"X" records).
-  // `time_unit` labels the displayTimeUnit field ("ms" for real traces;
-  // Chrome requires ms|ns, so cycle traces also use "ns" semantics).
+  // Chrome trace-event JSON ("traceEvents" array). Serialization runs on
+  // a snapshot copy, never under the recording lock.
   std::string to_chrome_json() const;
 
  private:
   std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{
+      std::chrono::steady_clock::now()};
   mutable util::SpinLock lock_;
   std::size_t capacity_;
   std::vector<Event> events_;  // ring once events_.size() == capacity_
   std::size_t next_ = 0;       // overwrite cursor (oldest retained event)
   std::atomic<std::uint64_t> dropped_{0};
 };
+
+// RAII complete-event span: records [construction, destruction) as one
+// ph:"X" event when the tracer is attached and enabled at construction
+// time. Cost with tracing off: one branch.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* category, const char* name,
+       std::uint32_t lane = 0, std::uint32_t pid = kLaneWorkers)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        category_(category),
+        name_(name),
+        lane_(lane),
+        pid_(pid),
+        start_(tracer_ != nullptr ? tracer_->now_us() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    Event e;
+    e.category = category_;
+    e.static_name = name_;
+    e.phase = Phase::kComplete;
+    e.pid = pid_;
+    e.lane = lane_;
+    e.start = start_;
+    e.duration = tracer_->now_us() - start_;
+    tracer_->record_event(e);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* category_;
+  const char* name_;
+  std::uint32_t lane_;
+  std::uint32_t pid_;
+  std::uint64_t start_;
+};
+
+#define HTVM_TRACE_CONCAT_INNER_(a, b) a##b
+#define HTVM_TRACE_CONCAT_(a, b) HTVM_TRACE_CONCAT_INNER_(a, b)
+
+// Scoped span over the rest of the enclosing block:
+//   HTVM_TRACE_SPAN(tracer_ptr, "litlx", "forall", worker_lane);
+// `name` must be an interned static string.
+#define HTVM_TRACE_SPAN(tracer, category, name, lane)             \
+  ::htvm::trace::Span HTVM_TRACE_CONCAT_(htvm_trace_span_,        \
+                                         __LINE__)(tracer, category, \
+                                                   name, lane)
 
 }  // namespace htvm::trace

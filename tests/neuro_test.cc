@@ -233,9 +233,9 @@ TEST(Dynamics, ParcelModeUsesTheParcelEngine) {
   Simulation::Options opts;
   opts.deliver_via_parcels = true;
   Simulation sim(machine, net, opts);
-  const auto sent_before = machine.parcels().stats().sent.load();
+  const auto sent_before = machine.parcels().stats().sent;
   sim.run(30);
-  EXPECT_GT(machine.parcels().stats().sent.load(), sent_before);
+  EXPECT_GT(machine.parcels().stats().sent, sent_before);
 }
 
 // --------------------------------------------------------------- plasticity

@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "adapt/monitor.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "parcel/engine.h"
+#include "runtime/load_balancer.h"
+#include "runtime/runtime.h"
+
+namespace htvm::obs {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, CounterAggregatesAcrossShards) {
+  MetricsRegistry reg(4);
+  Counter* c = reg.counter("x");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->shard_count(), 4u);
+  c->add(0, 10);
+  c->add(1, 20);
+  c->add(3, 5);
+  EXPECT_EQ(c->shard(0), 10u);
+  EXPECT_EQ(c->shard(1), 20u);
+  EXPECT_EQ(c->shard(3), 5u);
+  EXPECT_EQ(c->total(), 35u);
+  // Create-or-get: same name returns the same counter.
+  EXPECT_EQ(reg.counter("x"), c);
+}
+
+TEST(Registry, ConcurrentShardedAddsAreExact) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  MetricsRegistry reg(kThreads);
+  Counter* c = reg.counter("hits");
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->add(t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->total(), kThreads * kPerThread);
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(c->shard(t), kPerThread);
+}
+
+TEST(Registry, SourcesAppearInSnapshotWithKind) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> sent{7};
+  double level = 3.5;
+  const auto sid = reg.add_counter_source(
+      "eng.sent", [&sent] { return static_cast<double>(sent.load()); });
+  reg.add_gauge_source("eng.level", [&level] { return level; });
+  reg.counter("eng.bumps")->add(0, 2);
+
+  const TelemetrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  // Sorted by name, unique.
+  EXPECT_EQ(snap.metrics[0].name, "eng.bumps");
+  EXPECT_EQ(snap.metrics[1].name, "eng.level");
+  EXPECT_EQ(snap.metrics[2].name, "eng.sent");
+  EXPECT_EQ(snap.metrics[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.metrics[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap.metrics[2].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.metrics[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.metrics[1].value, 3.5);
+  EXPECT_DOUBLE_EQ(snap.metrics[2].value, 7.0);
+
+  reg.remove_source(sid);
+  EXPECT_EQ(reg.snapshot().metrics.size(), 2u);
+}
+
+TEST(Registry, SnapshotSequenceAndUptimeAdvance) {
+  MetricsRegistry reg;
+  const TelemetrySnapshot a = reg.snapshot();
+  const TelemetrySnapshot b = reg.snapshot();
+  EXPECT_EQ(b.sequence, a.sequence + 1);
+  EXPECT_GE(b.uptime_seconds, a.uptime_seconds);
+}
+
+TEST(Registry, TimerMergesShards) {
+  MetricsRegistry reg(2);
+  Timer* t = reg.timer("lat", 0.0, 100.0);
+  for (int i = 0; i < 50; ++i) t->observe(0, 10.0);
+  for (int i = 0; i < 50; ++i) t->observe(1, 90.0);
+  const TelemetrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].name, "lat");
+  EXPECT_EQ(snap.timers[0].count, 100u);
+  EXPECT_GT(snap.timers[0].p95, snap.timers[0].p50);
+}
+
+// ----------------------------------------------------------------- export
+
+TEST(Export, JsonCarriesSchemaMetricsAndKinds) {
+  MetricsRegistry reg;
+  reg.counter("a.count")->add(0, 3);
+  std::atomic<std::uint64_t> g{9};
+  reg.add_gauge_source("a.level",
+                       [&g] { return static_cast<double>(g.load()); });
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"schema\":\"htvm.telemetry.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.level\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+  EXPECT_EQ(json.find("\"samples\""), std::string::npos);
+}
+
+TEST(Export, JsonWithSamplesEmbedsDeltaRing) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("n");
+  Sampler sampler(reg);
+  sampler.sample_once();  // baseline
+  c->add(0, 4);
+  sampler.sample_once();
+  const std::string json = to_json(reg.snapshot(), sampler.recent());
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  EXPECT_NE(json.find("\"deltas\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":4"), std::string::npos);
+}
+
+TEST(Export, PrometheusMapsDotsAndPrefixes) {
+  MetricsRegistry reg;
+  reg.counter("rt.sgts_executed")->add(0, 5);
+  std::atomic<int> live{2};
+  reg.add_gauge_source("pool.task.live",
+                       [&live] { return static_cast<double>(live.load()); });
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("htvm_rt_sgts_executed 5"), std::string::npos);
+  EXPECT_NE(text.find("htvm_pool_task_live 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE htvm_rt_sgts_executed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE htvm_pool_task_live gauge"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(Sampler, DeltasAreIncrementsForCountersLevelsForGauges) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("cnt");
+  double level = 1.0;
+  reg.add_gauge_source("lvl", [&level] { return level; });
+
+  Sampler sampler(reg);
+  sampler.sample_once();  // primes the counter baseline
+  c->add(0, 10);
+  level = 42.0;
+  sampler.sample_once();
+  c->add(0, 5);
+  sampler.sample_once();
+
+  const auto samples = sampler.recent();
+  ASSERT_GE(samples.size(), 2u);
+  const SampleDelta& s1 = samples[samples.size() - 2];
+  const SampleDelta& s2 = samples[samples.size() - 1];
+  auto value_of = [](const SampleDelta& s, const std::string& name) {
+    for (const MetricValue& m : s.deltas)
+      if (m.name == name) return m.value;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of(s1, "cnt"), 10.0);  // increment, not total
+  EXPECT_DOUBLE_EQ(value_of(s2, "cnt"), 5.0);
+  EXPECT_DOUBLE_EQ(value_of(s2, "lvl"), 42.0);  // level at the instant
+  EXPECT_GT(s2.sequence, s1.sequence);
+}
+
+TEST(Sampler, RingEvictsOldest) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  Sampler::Options opts;
+  opts.ring_capacity = 3;
+  Sampler sampler(reg, opts);
+  for (int i = 0; i < 10; ++i) sampler.sample_once();
+  const auto samples = sampler.recent();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples.back().sequence, 10u);
+  EXPECT_EQ(samples.front().sequence, 8u);  // oldest retained
+  EXPECT_EQ(sampler.recent(2).size(), 2u);
+}
+
+TEST(Sampler, StartStopAndRestart) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("busy");
+  Sampler::Options opts;
+  opts.period = std::chrono::milliseconds(1);
+  Sampler sampler(reg, opts);
+
+  std::atomic<int> callbacks{0};
+  sampler.set_callback([&callbacks](const SampleDelta&) { ++callbacks; });
+
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  for (int i = 0; i < 50; ++i) {
+    c->add(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (sampler.samples_taken() >= 3) break;
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::uint64_t after_first = sampler.samples_taken();
+  EXPECT_GE(after_first, 1u);
+  EXPECT_GE(callbacks.load(), 1);
+
+  // stop() is idempotent; a stopped sampler takes no more samples.
+  sampler.stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(sampler.samples_taken(), after_first);
+
+  sampler.start();
+  for (int i = 0; i < 50 && sampler.samples_taken() <= after_first; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  sampler.stop();
+  EXPECT_GT(sampler.samples_taken(), after_first);
+}
+
+// --------------------------------------------- unified coverage (tentpole)
+
+// Every legacy counter struct the registry replaced must surface in one
+// Runtime::telemetry_snapshot(): rt::WorkerStats (rt.*), the task/frame
+// pools (pool.*), parcel::EngineStats (parcel.*), the LGT balancer
+// (lb.lgt_moves), and adapt::PerfMonitor (monitor.*).
+TEST(UnifiedTelemetry, SnapshotCoversEveryLegacyCounter) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 2;
+  opts.config.thread_units_per_node = 1;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  parcel::ParcelEngine engine(runtime);
+  rt::LoadBalancer balancer(runtime, {});
+  adapt::PerfMonitor monitor(runtime.num_workers());
+  monitor.register_with(runtime.metrics());
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) runtime.spawn_sgt([&done] { ++done; });
+  runtime.wait_idle();
+
+  const TelemetrySnapshot snap = runtime.telemetry_snapshot();
+  auto find = [&snap](const std::string& name) -> const MetricValue* {
+    for (const MetricValue& m : snap.metrics)
+      if (m.name == name) return &m;
+    return nullptr;
+  };
+  const char* expected[] = {
+      // rt::WorkerStats fields.
+      "rt.sgts_executed", "rt.tgts_executed", "rt.lgt_resumes",
+      "rt.steals", "rt.failed_steal_rounds", "rt.parks",
+      // Pool stats (task slots + per-node frame allocators).
+      "pool.task.allocations", "pool.task.recycle_hits", "pool.task.live",
+      "pool.frame.allocations", "pool.frame.recycle_hits",
+      "pool.frame.live",
+      // parcel::EngineStats fields.
+      "parcel.sent", "parcel.delivered", "parcel.replies", "parcel.bytes",
+      "parcel.retries", "parcel.drops", "parcel.duplicates",
+      "parcel.dup_suppressed", "parcel.acks", "parcel.dead_letters",
+      // LGT load balancer.
+      "lb.lgt_moves",
+      // adapt::PerfMonitor slots.
+      "monitor.tasks", "monitor.remote_accesses", "monitor.steals",
+      "monitor.busy_seconds",
+  };
+  for (const char* name : expected)
+    EXPECT_NE(find(name), nullptr) << "missing metric: " << name;
+
+  // The registry numbers are the live numbers, not parallel bookkeeping.
+  EXPECT_DOUBLE_EQ(find("rt.sgts_executed")->value, 32.0);
+  EXPECT_DOUBLE_EQ(find("rt.sgts_executed")->value,
+                   static_cast<double>(runtime.aggregate_stats()
+                                           .sgts_executed));
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(UnifiedTelemetry, WorkerStatsMaterializeFromShards) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) runtime.spawn_sgt([&done] { ++done; });
+  runtime.wait_idle();
+
+  std::uint64_t per_worker = 0;
+  for (std::uint32_t w = 0; w < runtime.num_workers(); ++w)
+    per_worker += runtime.worker_stats(w).sgts_executed;
+  EXPECT_EQ(per_worker, runtime.aggregate_stats().sgts_executed);
+  EXPECT_EQ(per_worker, 100u);
+}
+
+// Satellite: EngineStats is now a plain value snapshot -- one coherent
+// point-in-time copy, not a reference into live atomics.
+TEST(UnifiedTelemetry, EngineStatsIsPointInTimeValue) {
+  static_assert(std::is_copy_assignable_v<parcel::EngineStats>);
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 2;
+  opts.config.thread_units_per_node = 1;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  parcel::ParcelEngine engine(runtime);
+  const parcel::HandlerId h = engine.register_handler(
+      "echo",
+      [](const parcel::Payload& p, std::uint32_t) { return p; });
+
+  auto f1 = engine.request(1, h, parcel::pack(1));
+  runtime.wait_idle();
+  const parcel::EngineStats before = engine.stats();
+
+  auto f2 = engine.request(1, h, parcel::pack(2));
+  runtime.wait_idle();
+  const parcel::EngineStats after = engine.stats();
+
+  EXPECT_TRUE(f1.ready());
+  EXPECT_TRUE(f2.ready());
+  // The first copy is frozen; only the second sees the second request
+  // (each request-reply pair transmits the same number of parcels).
+  EXPECT_GT(before.sent, 0u);
+  EXPECT_EQ(after.sent, 2 * before.sent);
+  EXPECT_EQ(after.replies, 2 * before.replies);
+  EXPECT_GT(after.bytes, before.bytes);
+}
+
+// ------------------------------------------------- monitor/controller loop
+
+TEST(Feedback, MonitorIngestsSamplerDeltasAsRates) {
+  adapt::PerfMonitor monitor(2);
+  SampleDelta delta;
+  delta.sequence = 1;
+  delta.dt_seconds = 0.5;
+  delta.deltas.push_back({"rt.sgts_executed", MetricKind::kCounter, 100.0});
+  delta.deltas.push_back({"pool.task.live", MetricKind::kGauge, 7.0});
+  monitor.ingest(delta);
+  delta.sequence = 2;
+  delta.deltas[0].value = 200.0;
+  monitor.ingest(delta);
+
+  const util::RunningStats rates = monitor.rate_stats("rt.sgts_executed");
+  EXPECT_EQ(rates.count(), 2u);
+  EXPECT_DOUBLE_EQ(rates.mean(), 300.0);  // (200 + 400) / 2 per second
+  // Gauges are levels, not rates; they are not folded.
+  EXPECT_EQ(monitor.rate_stats("pool.task.live").count(), 0u);
+}
+
+TEST(Feedback, PhaseChangeSignalForcesReexploration) {
+  adapt::AdaptiveController::Options options;
+  options.explore_rounds = 1;
+  options.probe_period = 1000;  // no probes during the test
+  adapt::AdaptiveController controller({"a", "b"}, options);
+
+  // Explore both policies, then settle on the winner.
+  for (int i = 0; i < 6; ++i) {
+    const std::string p = controller.choose("site");
+    controller.report("site", p, p == "a" ? 1.0 : 10.0);
+  }
+  EXPECT_EQ(controller.choose("site"), "a");
+  controller.report("site", "a", 1.0);
+  EXPECT_EQ(controller.reexplorations("site"), 0u);
+
+  // A sampler-detected phase change: the site re-explores every policy.
+  // (Reported costs stay near the decayed scores so the controller's own
+  // jump_ratio detector does not fire a second re-exploration.)
+  controller.signal_phase_change();
+  std::vector<std::string> next;
+  for (int i = 0; i < 2; ++i) {
+    const std::string p = controller.choose("site");
+    next.push_back(p);
+    controller.report("site", p, p == "a" ? 1.0 : 10.0);
+  }
+  EXPECT_EQ(controller.reexplorations("site"), 1u);
+  // Both policies get re-sampled in the new generation.
+  EXPECT_NE(next[0], next[1]);
+
+  // Sites created after the signal do not count a spurious reexploration.
+  controller.choose("fresh_site");
+  EXPECT_EQ(controller.reexplorations("fresh_site"), 0u);
+}
+
+TEST(Feedback, SamplerDrivesMonitorRatesEndToEnd) {
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  adapt::PerfMonitor monitor(runtime.num_workers());
+  monitor.register_with(runtime.metrics());
+
+  Sampler sampler(runtime.metrics());
+  sampler.set_callback(
+      [&monitor](const SampleDelta& d) { monitor.ingest(d); });
+  sampler.sample_once();  // baseline
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) runtime.spawn_sgt([&done] { ++done; });
+  runtime.wait_idle();
+  sampler.sample_once();
+
+  const util::RunningStats rates = monitor.rate_stats("rt.sgts_executed");
+  ASSERT_GE(rates.count(), 1u);
+  EXPECT_GT(rates.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace htvm::obs

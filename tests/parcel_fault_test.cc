@@ -110,11 +110,11 @@ TEST(ParcelFault, DropAndDupStillExactlyOnce) {
     EXPECT_EQ(unpack<int>(replies[idx].get()), 3 * i);
   }
   const EngineStats& s = engine.stats();
-  EXPECT_GT(s.drops.load(), 0u);
-  EXPECT_GT(s.retries.load(), 0u);
-  EXPECT_EQ(s.dead_letters.load(), 0u);
+  EXPECT_GT(s.drops, 0u);
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_EQ(s.dead_letters, 0u);
   // Logical deliveries stay exact: request + reply per id, no more.
-  EXPECT_EQ(s.delivered.load(), static_cast<std::uint64_t>(2 * kRequests));
+  EXPECT_EQ(s.delivered, static_cast<std::uint64_t>(2 * kRequests));
 }
 
 TEST(ParcelFault, DuplicationOnlyIsSuppressed) {
@@ -130,10 +130,10 @@ TEST(ParcelFault, DuplicationOnlyIsSuppressed) {
   for (int i = 0; i < kSends; ++i) engine.send(1, h, pack(i));
   rt.wait_idle();
   EXPECT_EQ(runs.load(), kSends);  // duplicates never re-run the handler
-  EXPECT_GE(engine.stats().duplicates.load(),
+  EXPECT_GE(engine.stats().duplicates,
             static_cast<std::uint64_t>(kSends));
-  EXPECT_GT(engine.stats().dup_suppressed.load(), 0u);
-  EXPECT_EQ(engine.stats().dead_letters.load(), 0u);
+  EXPECT_GT(engine.stats().dup_suppressed, 0u);
+  EXPECT_EQ(engine.stats().dead_letters, 0u);
 }
 
 // With retries disabled and a black-hole link, a request must fail fast:
@@ -156,9 +156,9 @@ TEST(ParcelFault, RetriesDisabledDeadLetters) {
   rt.wait_idle();
   ASSERT_TRUE(reply.ready());
   EXPECT_TRUE(reply.get().empty());  // dead-letter resolves empty
-  EXPECT_GE(engine.stats().dead_letters.load(), 1u);
-  EXPECT_EQ(engine.stats().delivered.load(), 0u);
-  EXPECT_EQ(engine.stats().retries.load(), 0u);
+  EXPECT_GE(engine.stats().dead_letters, 1u);
+  EXPECT_EQ(engine.stats().delivered, 0u);
+  EXPECT_EQ(engine.stats().retries, 0u);
 }
 
 TEST(ParcelFault, ExhaustedRetriesAlsoDeadLetter) {
@@ -175,8 +175,8 @@ TEST(ParcelFault, ExhaustedRetriesAlsoDeadLetter) {
   rt.wait_idle();
   ASSERT_TRUE(reply.ready());
   EXPECT_TRUE(reply.get().empty());
-  EXPECT_EQ(engine.stats().retries.load(), 3u);
-  EXPECT_EQ(engine.stats().dead_letters.load(), 1u);
+  EXPECT_EQ(engine.stats().retries, 3u);
+  EXPECT_EQ(engine.stats().dead_letters, 1u);
 }
 
 // Reliability forced on over an ideal network: the ack/seq machinery must
@@ -206,11 +206,11 @@ TEST(ParcelFault, ReliableModeOnIdealNetworkIsTransparent) {
     EXPECT_EQ(unpack<int>(replies[static_cast<std::size_t>(i)].get()), 2 * i);
   }
   const EngineStats& s = engine.stats();
-  EXPECT_EQ(s.delivered.load(), static_cast<std::uint64_t>(2 * kRequests));
-  EXPECT_EQ(s.drops.load(), 0u);
-  EXPECT_EQ(s.retries.load(), 0u);
-  EXPECT_EQ(s.dup_suppressed.load(), 0u);
-  EXPECT_EQ(s.dead_letters.load(), 0u);
+  EXPECT_EQ(s.delivered, static_cast<std::uint64_t>(2 * kRequests));
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.dup_suppressed, 0u);
+  EXPECT_EQ(s.dead_letters, 0u);
 }
 
 TEST(ParcelFault, AutoModeStaysUnreliableWithoutFaults) {
@@ -226,7 +226,7 @@ TEST(ParcelFault, AutoModeStaysUnreliableWithoutFaults) {
   engine.send(1, h, {});
   rt.wait_idle();
   EXPECT_EQ(got.load(), 1);
-  EXPECT_EQ(engine.stats().acks.load(), 0u);  // no transport overhead
+  EXPECT_EQ(engine.stats().acks, 0u);  // no transport overhead
 }
 
 TEST(ParcelFault, ClosureParcelsSurviveLossToo) {
@@ -240,7 +240,7 @@ TEST(ParcelFault, ClosureParcelsSurviveLossToo) {
     engine.invoke_at(1, 32, [&] { ++ran; });
   rt.wait_idle();
   EXPECT_EQ(ran.load(), kInvokes);
-  EXPECT_GT(engine.stats().drops.load(), 0u);
+  EXPECT_GT(engine.stats().drops, 0u);
 }
 
 TEST(ParcelFault, TransportEventsReachTracer) {
@@ -257,8 +257,8 @@ TEST(ParcelFault, TransportEventsReachTracer) {
   bool saw_retry = false;
   for (const trace::Event& e : tracer.snapshot()) {
     if (std::string(e.category) != "parcel") continue;
-    saw_drop = saw_drop || e.name == "drop";
-    saw_retry = saw_retry || e.name == "retry";
+    saw_drop = saw_drop || e.name() == "drop";
+    saw_retry = saw_retry || e.name() == "retry";
   }
   EXPECT_TRUE(saw_drop);
   EXPECT_TRUE(saw_retry);

@@ -74,7 +74,7 @@ TEST(ParcelEngine, SplitTransactionRequestReply) {
   rt.wait_idle();
   ASSERT_TRUE(reply.ready());
   EXPECT_EQ(unpack<int>(reply.get()), 81);
-  EXPECT_EQ(engine.stats().replies.load(), 1u);
+  EXPECT_EQ(engine.stats().replies, 1u);
 }
 
 TEST(ParcelEngine, HandlerSeesSourceNode) {
@@ -152,7 +152,7 @@ TEST(ParcelEngine, ManyConcurrentRequests) {
     ASSERT_TRUE(replies[static_cast<std::size_t>(i)].ready());
     EXPECT_EQ(unpack<int>(replies[static_cast<std::size_t>(i)].get()), 2 * i);
   }
-  EXPECT_EQ(engine.stats().delivered.load(),
+  EXPECT_EQ(engine.stats().delivered,
             static_cast<std::uint64_t>(2 * kRequests));
 }
 
@@ -199,8 +199,8 @@ TEST(ParcelEngine, StatsCountBytes) {
   engine.send(1, h, Payload(100));
   engine.send(1, h, Payload(28));
   rt.wait_idle();
-  EXPECT_EQ(engine.stats().sent.load(), 2u);
-  EXPECT_EQ(engine.stats().bytes.load(), 128u);
+  EXPECT_EQ(engine.stats().sent, 2u);
+  EXPECT_EQ(engine.stats().bytes, 128u);
 }
 
 // --------------------------------------------------------------- Percolation

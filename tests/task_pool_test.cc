@@ -149,9 +149,11 @@ TEST(TaskPool, ConcurrentAllocateReleaseAcrossThreads) {
           invoked.fetch_add(1, std::memory_order_relaxed);
         });
         slot->invoke();
-        // Release to the next worker's cache to force cross-worker and
-        // shared-list traffic.
-        pool.release(slot, (wid + 1) % static_cast<std::int32_t>(kThreads));
+        // Per-worker caches are owner-only (only the releasing thread's
+        // own id is a valid cache index), so cross-worker traffic goes
+        // through the shared list: release half the slots there and let
+        // other workers' refills pick them up.
+        pool.release(slot, (i % 2) == 0 ? wid : -1);
       }
     });
   }

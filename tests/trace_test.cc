@@ -25,7 +25,7 @@ TEST(Tracer, RecordsWhenEnabled) {
   tracer.record("cat", "alpha", 3, 100, 50);
   ASSERT_EQ(tracer.size(), 1u);
   const Event e = tracer.snapshot()[0];
-  EXPECT_EQ(e.name, "alpha");
+  EXPECT_EQ(e.name(), "alpha");
   EXPECT_EQ(e.lane, 3u);
   EXPECT_EQ(e.start, 100u);
   EXPECT_EQ(e.duration, 50u);
@@ -49,14 +49,14 @@ TEST(Tracer, RingKeepsNewestEvents) {
   Tracer tracer(4);
   tracer.enable();
   for (int i = 0; i < 10; ++i)
-    tracer.record("c", "e" + std::to_string(i), 0,
-                  static_cast<std::uint64_t>(i), 1);
+    tracer.record_dynamic("c", "e" + std::to_string(i), 0,
+                          static_cast<std::uint64_t>(i), 1);
   EXPECT_EQ(tracer.size(), 4u);
   EXPECT_EQ(tracer.dropped(), 6u);
   const auto events = tracer.snapshot();
   ASSERT_EQ(events.size(), 4u);
   for (int i = 0; i < 4; ++i) {  // the last four, oldest first
-    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name(),
               "e" + std::to_string(6 + i));
     EXPECT_EQ(events[static_cast<std::size_t>(i)].start,
               static_cast<std::uint64_t>(6 + i));
@@ -65,7 +65,7 @@ TEST(Tracer, RingKeepsNewestEvents) {
   EXPECT_EQ(tracer.dropped(), 0u);
   tracer.record("c", "fresh", 0, 99, 1);
   ASSERT_EQ(tracer.size(), 1u);
-  EXPECT_EQ(tracer.snapshot()[0].name, "fresh");
+  EXPECT_EQ(tracer.snapshot()[0].name(), "fresh");
 }
 
 TEST(Tracer, ChromeJsonShape) {
@@ -103,6 +103,90 @@ TEST(Tracer, ConcurrentRecordsAreSafe) {
   EXPECT_EQ(tracer.size(), 20000u);
 }
 
+// Writers racing a small ring while a reader snapshots continuously:
+// every record lands either in the ring or in dropped(), exactly once.
+TEST(Tracer, ConcurrentRecordVsSnapshotAccountsEveryEvent) {
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  Tracer tracer(256);  // far smaller than the record volume
+  tracer.enable();
+  std::atomic<bool> stop{false};
+  std::thread reader([&tracer, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto events = tracer.snapshot();
+      if (!events.empty()) {
+        // Snapshot sees only fully-written PODs, never torn names.
+        for (const Event& e : events) EXPECT_EQ(e.name(), "e");
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        tracer.record("c", "e", static_cast<std::uint32_t>(t), i, 1);
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(tracer.size(), 256u);
+  EXPECT_EQ(tracer.dropped(), kThreads * kPerThread - 256u);
+}
+
+TEST(Tracer, DynamicNamesTruncateIntoInlineBuffer) {
+  Tracer tracer;
+  tracer.enable();
+  const std::string longname(100, 'x');
+  tracer.record_dynamic("c", longname, 0, 0, 1);
+  tracer.record_dynamic("c", "short", 0, 0, 1);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name().size(), Event::kInlineNameBytes - 1);
+  EXPECT_EQ(events[0].name(),
+            std::string(Event::kInlineNameBytes - 1, 'x'));
+  EXPECT_EQ(events[1].name(), "short");
+}
+
+TEST(Tracer, SpanRecordsCompleteEvent) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    HTVM_TRACE_SPAN(&tracer, "test", "scope", 5);
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name(), "scope");
+  EXPECT_EQ(events[0].phase, Phase::kComplete);
+  EXPECT_EQ(events[0].lane, 5u);
+
+  // Disabled (or absent) tracer: the span is a no-op.
+  tracer.disable();
+  { HTVM_TRACE_SPAN(&tracer, "test", "off", 0); }
+  { HTVM_TRACE_SPAN(nullptr, "test", "null", 0); }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, FlowEventsSerializeAsLinkedTriple) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_flow("parcel", "xfer", Phase::kFlowStart, 77,
+                     kLaneParcelNodes, 0, 10);
+  tracer.record_flow("parcel", "xfer", Phase::kFlowStep, 77,
+                     kLaneParcelNodes, 0, 20);
+  tracer.record_flow("parcel", "xfer", Phase::kFlowEnd, 77,
+                     kLaneParcelNodes, 1, 30);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // One flow id binds the triple; the end binds to its enclosing slice.
+  EXPECT_NE(json.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // Both process rows are named for the trace viewer.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
 // -------------------------------------------------------- runtime tracing
 
 TEST(RuntimeTracing, CapturesSgtAndLgtSpans) {
@@ -126,8 +210,8 @@ TEST(RuntimeTracing, CapturesSgtAndLgtSpans) {
 
   std::uint64_t sgts = 0, lgts = 0;
   for (const Event& e : tracer.snapshot()) {
-    if (e.name == "sgt") ++sgts;
-    if (e.name == "lgt_resume") ++lgts;
+    if (e.name() == "sgt") ++sgts;
+    if (e.name() == "lgt_resume") ++lgts;
   }
   EXPECT_EQ(sgts, 10u);
   EXPECT_GE(lgts, 2u);  // one resume per yield segment

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate an htvm.telemetry.v1 document.
+
+Accepts either a bare telemetry document (the HTVM_METRICS=<path> dump /
+obs::to_json output) or a bench --json document carrying one under its
+"telemetry" member. Exits nonzero with a diagnostic on the first schema
+violation, so it can gate ctest (the bench-smoke fixture wiring in
+bench/CMakeLists.txt) and ad-hoc runs:
+
+    tools/check_metrics_schema.py build/bench/bench_e9_smoke.json \
+        --require-telemetry --require-samples \
+        --require-metrics rt.sgts_executed rt.steals lb.lgt_moves
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+SCHEMA = "htvm.telemetry.v1"
+KINDS = {"counter", "gauge"}
+TIMER_FIELDS = {"count", "p50", "p95", "max"}
+
+
+def fail(msg):
+    print(f"check_metrics_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_number(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def check_metrics_object(obj, where):
+    require(isinstance(obj, dict), f"{where} must be an object")
+    for name, value in obj.items():
+        require(isinstance(name, str) and name,
+                f"{where} has a non-string/empty metric name")
+        require(is_number(value) or value is None,
+                f"{where}[{name!r}] must be a number, got {value!r}")
+
+
+def check_telemetry(doc):
+    require(isinstance(doc, dict), "telemetry document must be an object")
+    require(doc.get("schema") == SCHEMA,
+            f'schema must be "{SCHEMA}", got {doc.get("schema")!r}')
+    require(is_number(doc.get("sequence")), '"sequence" must be a number')
+    require(is_number(doc.get("uptime_seconds")),
+            '"uptime_seconds" must be a number')
+
+    metrics = doc.get("metrics")
+    check_metrics_object(metrics, '"metrics"')
+    kinds = doc.get("kinds")
+    require(isinstance(kinds, dict), '"kinds" must be an object')
+    require(set(kinds) == set(metrics),
+            '"kinds" keys must exactly match "metrics" keys '
+            f"(only in metrics: {sorted(set(metrics) - set(kinds))}, "
+            f"only in kinds: {sorted(set(kinds) - set(metrics))})")
+    for name, kind in kinds.items():
+        require(kind in KINDS,
+                f'kinds[{name!r}] must be "counter" or "gauge", '
+                f"got {kind!r}")
+
+    timers = doc.get("timers")
+    require(isinstance(timers, dict), '"timers" must be an object')
+    for name, t in timers.items():
+        require(isinstance(t, dict) and TIMER_FIELDS <= set(t),
+                f"timers[{name!r}] must carry {sorted(TIMER_FIELDS)}")
+        for field in TIMER_FIELDS:
+            require(is_number(t[field]) or t[field] is None,
+                    f"timers[{name!r}][{field!r}] must be a number")
+
+    samples = doc.get("samples")
+    if samples is not None:
+        require(isinstance(samples, list), '"samples" must be an array')
+        prev_seq = 0
+        for i, s in enumerate(samples):
+            where = f"samples[{i}]"
+            require(isinstance(s, dict), f"{where} must be an object")
+            require(is_number(s.get("sequence")),
+                    f'{where}["sequence"] must be a number')
+            require(s["sequence"] > prev_seq,
+                    f'{where}["sequence"] must increase monotonically')
+            prev_seq = s["sequence"]
+            require(is_number(s.get("dt_seconds")),
+                    f'{where}["dt_seconds"] must be a number')
+            check_metrics_object(s.get("deltas"), f'{where}["deltas"]')
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="telemetry JSON or bench --json file")
+    parser.add_argument("--require-telemetry", action="store_true",
+                        help="fail if a bench document lacks a telemetry "
+                             "member (default: bare documents only)")
+    parser.add_argument("--require-samples", action="store_true",
+                        help="fail unless a non-empty samples ring is "
+                             "present")
+    parser.add_argument("--require-metrics", nargs="*", default=[],
+                        metavar="NAME",
+                        help="metric names that must be present")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.path}: {e}")
+
+    if isinstance(doc, dict) and "schema" not in doc:
+        # A bench --json document: the telemetry rides in a member.
+        telemetry = doc.get("telemetry")
+        if telemetry is None:
+            require(not args.require_telemetry,
+                    f'{args.path} has no "telemetry" member')
+            print(f"check_metrics_schema: OK: {args.path} "
+                  "(no telemetry member)")
+            return
+        doc = telemetry
+
+    check_telemetry(doc)
+
+    missing = [m for m in args.require_metrics if m not in doc["metrics"]]
+    require(not missing, f"required metrics missing: {missing}")
+    if args.require_samples:
+        require(doc.get("samples"), '"samples" ring is absent or empty')
+
+    print(f"check_metrics_schema: OK: {args.path} "
+          f"({len(doc['metrics'])} metrics, "
+          f"{len(doc.get('samples') or [])} samples)")
+
+
+if __name__ == "__main__":
+    main()
