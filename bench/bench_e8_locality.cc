@@ -9,7 +9,14 @@
 // replication wins read-heavy traces, migration wins write-heavy
 // single-hot-node traces, remote-always is the floor, and the adaptive
 // policy tracks the best fixed policy across the whole sweep.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common.h"
+#include "litlx/machine.h"
+#include "mem/data_object.h"
+#include "obs/export.h"
 #include "sim/locality.h"
 #include "util/rng.h"
 
@@ -117,5 +124,71 @@ int main(int argc, char** argv) {
     }
   }
   reporter.table("threshold_ablation", sweep);
+
+  // Read scaling on the *real* object space (a full litlx::Machine in
+  // functional mode): N host threads hammer reads on one replicated
+  // object. The seqlock fast path (lock_free_reads=true) takes no
+  // locks, so read throughput should scale with threads; the mutex
+  // ablation serializes every read on the object's lock and flatlines.
+  // Absolute scaling is bounded by the host's core count --
+  // BENCH_baseline.json records the machine it was taken on.
+  std::printf("--- read scaling (real ObjectSpace, one replicated object) "
+              "---\n");
+  const int scale_iters = reporter.smoke() ? 2000 : 400000;
+  bench::TextTable scaling({"mode", "threads", "reads_per_sec",
+                            "per_thread_per_sec", "speedup_vs_1t"});
+  for (const bool lock_free : {true, false}) {
+    const char* mode = lock_free ? "seqlock" : "mutex";
+    double base_rate = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      litlx::MachineOptions mopts;
+      mopts.config = machine::MachineConfig::cluster(4, 1);
+      mopts.object_params.replicate_threshold = 1;  // copy on first read
+      mopts.object_params.allow_migration = false;  // keep the home pinned
+      mopts.object_params.lock_free_reads = lock_free;
+      litlx::Machine machine(mopts);
+      mem::ObjectSpace& space = machine.objects();
+      const auto id = space.create(0, 64);
+      std::uint64_t seed[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+      space.write(0, id, seed);
+      // Warm a replica on every node so the measured loop is all hits.
+      std::uint64_t scratch[8];
+      for (std::uint32_t n = 0; n < 4; ++n) {
+        space.read(n, id, scratch);
+        space.read(n, id, scratch);
+      }
+      std::atomic<bool> go{false};
+      std::vector<std::thread> pool;
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          const std::uint32_t node = static_cast<std::uint32_t>(t % 4);
+          std::uint64_t buf[8];
+          while (!go.load(std::memory_order_acquire)) {}
+          for (int i = 0; i < scale_iters; ++i) space.read(node, id, buf);
+        });
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      go.store(true, std::memory_order_release);
+      for (auto& th : pool) th.join();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double total = static_cast<double>(scale_iters) * threads;
+      const double rate = secs > 0.0 ? total / secs : 0.0;
+      if (threads == 1) base_rate = rate;
+      scaling.add_row(
+          {mode, std::to_string(threads), bench::TextTable::fmt(rate, 0),
+           bench::TextTable::fmt(threads > 0 ? rate / threads : 0.0, 0),
+           bench::TextTable::fmt(base_rate > 0.0 ? rate / base_rate : 0.0,
+                                 2)});
+      if (lock_free && threads == 8) {
+        // One runtime telemetry snapshot proves the memory layer's mem.*
+        // counters ride the same registry as rt.*/pool.* (gated by
+        // check_metrics_schema.py in the bench-smoke fixtures).
+        reporter.set_telemetry(obs::to_json(machine.telemetry_snapshot()));
+      }
+    }
+  }
+  reporter.table("read_scaling", scaling);
   return 0;
 }

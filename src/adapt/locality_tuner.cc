@@ -1,0 +1,111 @@
+#include "adapt/locality_tuner.h"
+
+#include <cassert>
+
+namespace htvm::adapt {
+
+namespace {
+
+constexpr const char* kSite = "mem.locality";
+
+std::vector<std::string> preset_names(
+    const std::vector<LocalityTuner::Preset>& presets) {
+  std::vector<std::string> names;
+  names.reserve(presets.size());
+  for (const auto& p : presets) names.push_back(p.name);
+  return names;
+}
+
+double delta_of(const obs::SampleDelta& delta, const char* name) {
+  for (const obs::MetricValue& m : delta.deltas)
+    if (m.name == name) return m.value;
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<LocalityTuner::Preset> LocalityTuner::default_presets() {
+  return {
+      {"eager", 2, 8},
+      {"balanced", 4, 16},
+      {"lazy", 16, 64},
+      {"stay_home", 64, 256},
+  };
+}
+
+namespace {
+
+// The tuner starts from whatever thresholds the object space already
+// has (the user's Params), so constructing it is behavior-neutral until
+// samples arrive: ensure a preset with those exact thresholds exists.
+std::vector<LocalityTuner::Preset> with_initial(
+    std::vector<LocalityTuner::Preset> presets,
+    const mem::ObjectSpace& objects) {
+  if (presets.empty()) presets = LocalityTuner::default_presets();
+  for (const auto& p : presets) {
+    if (p.replicate_threshold == objects.replicate_threshold() &&
+        p.migrate_threshold == objects.migrate_threshold())
+      return presets;
+  }
+  presets.push_back({"initial", objects.replicate_threshold(),
+                     objects.migrate_threshold()});
+  return presets;
+}
+
+}  // namespace
+
+LocalityTuner::LocalityTuner(mem::ObjectSpace& objects, Options options)
+    : objects_(objects),
+      options_([&] {
+        options.presets = with_initial(std::move(options.presets), objects);
+        return std::move(options);
+      }()),
+      controller_(preset_names(options_.presets), options_.controller) {
+  for (const Preset& p : options_.presets) {
+    if (p.replicate_threshold == objects_.replicate_threshold() &&
+        p.migrate_threshold == objects_.migrate_threshold()) {
+      current_ = p.name;
+      break;
+    }
+  }
+  controller_.set_initial(kSite, current_);
+}
+
+double LocalityTuner::cost_of(const obs::SampleDelta& delta) const {
+  // Network events per object access, weighted by their modeled expense:
+  // a remote read is one round trip, an invalidation is a home->holder
+  // round trip per stale replica, a replication pulls the whole object,
+  // a migration moves the authoritative copy. Lower = better locality.
+  const double reads = delta_of(delta, "mem.reads");
+  const double writes = delta_of(delta, "mem.writes");
+  const double accesses = reads + writes;
+  if (accesses <= 0.0) return 0.0;
+  const double cost = delta_of(delta, "mem.remote_reads") +
+                      2.0 * delta_of(delta, "mem.invalidations") +
+                      4.0 * delta_of(delta, "mem.replications") +
+                      8.0 * delta_of(delta, "mem.migrations");
+  return cost / accesses;
+}
+
+void LocalityTuner::apply(const std::string& name) {
+  for (const Preset& p : options_.presets) {
+    if (p.name != name) continue;
+    objects_.set_thresholds(p.replicate_threshold, p.migrate_threshold);
+    current_ = name;
+    return;
+  }
+  assert(false && "controller chose an unknown preset");
+}
+
+void LocalityTuner::ingest(const obs::SampleDelta& delta) {
+  const double accesses =
+      delta_of(delta, "mem.reads") + delta_of(delta, "mem.writes");
+  if (accesses < options_.min_accesses) return;  // idle interval: no signal
+  last_cost_ = cost_of(delta);
+  controller_.report(kSite, current_, last_cost_);
+  const std::string next = controller_.choose(kSite);
+  if (next != current_) apply(next);
+  ++rounds_;
+}
+
+}  // namespace htvm::adapt

@@ -1,0 +1,69 @@
+// Closes the paper's locality-adaptivity loop (§2: copies and migration
+// "to achieve high locality") on the *real* object space: instead of
+// freezing ObjectSpace's replicate/migrate thresholds at construction,
+// an AdaptiveController site picks among threshold presets, scored by
+// the remote-traffic cost the telemetry sampler observed during the
+// preset's tenure (mem.remote_reads vs mem.invalidations & co.). The
+// controller brings its usual machinery: explore every preset, exploit
+// the cheapest, probe the runner-up, re-explore on phase changes.
+//
+// litlx::Machine feeds the tuner from its sampler callback; tests feed
+// hand-built SampleDeltas, so adaptation is deterministic to verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "mem/data_object.h"
+#include "obs/sampler.h"
+
+namespace htvm::adapt {
+
+class LocalityTuner {
+ public:
+  struct Preset {
+    std::string name;
+    std::uint32_t replicate_threshold;
+    std::uint32_t migrate_threshold;
+  };
+
+  struct Options {
+    std::vector<Preset> presets;        // empty = default_presets()
+    double min_accesses = 16.0;         // skip idle sampling intervals
+    AdaptiveController::Options controller;
+  };
+
+  // From "replicate/migrate at the first sign of reuse" to "stay home":
+  // the spread is wide enough that the best choice genuinely depends on
+  // the read/write mix, which is what makes exploring worthwhile.
+  static std::vector<Preset> default_presets();
+
+  explicit LocalityTuner(mem::ObjectSpace& objects)
+      : LocalityTuner(objects, Options{}) {}
+  LocalityTuner(mem::ObjectSpace& objects, Options options);
+
+  // One sampler interval: report the measured cost of the preset in
+  // force, let the controller pick the next one, apply it. Intervals
+  // with fewer than min_accesses object accesses are ignored (no signal).
+  void ingest(const obs::SampleDelta& delta);
+
+  const std::string& current_preset() const { return current_; }
+  std::uint64_t rounds() const { return rounds_; }
+  double last_cost() const { return last_cost_; }
+  const std::vector<Preset>& presets() const { return options_.presets; }
+
+ private:
+  double cost_of(const obs::SampleDelta& delta) const;
+  void apply(const std::string& name);
+
+  mem::ObjectSpace& objects_;
+  Options options_;
+  AdaptiveController controller_;
+  std::string current_;
+  std::uint64_t rounds_ = 0;
+  double last_cost_ = 0.0;
+};
+
+}  // namespace htvm::adapt

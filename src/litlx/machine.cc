@@ -13,8 +13,10 @@ Machine::Machine(MachineOptions options) : options_(std::move(options)) {
   rt_opts.max_workers = options_.max_workers;
   runtime_ = std::make_unique<rt::Runtime>(rt_opts);
   parcels_ = std::make_unique<parcel::ParcelEngine>(*runtime_);
-  objects_ = std::make_unique<mem::ObjectSpace>(runtime_->memory(),
-                                                options_.object_params);
+  // The object space registers its mem.* counters in the runtime's
+  // registry, so telemetry_snapshot() covers the memory layer too.
+  objects_ = std::make_unique<mem::ObjectSpace>(
+      runtime_->memory(), options_.object_params, &runtime_->metrics());
   percolation_ = std::make_unique<parcel::PercolationManager>(
       *runtime_, *objects_, options_.percolation_buffer_bytes);
   load_balancer_ =
@@ -23,6 +25,9 @@ Machine::Machine(MachineOptions options) : options_(std::move(options)) {
   monitor_->register_with(runtime_->metrics());
   controller_ = std::make_unique<adapt::AdaptiveController>(
       sched::scheduler_names(), adapt::AdaptiveController::Options{});
+  if (options_.adaptive_locality) {
+    locality_tuner_ = std::make_unique<adapt::LocalityTuner>(*objects_);
+  }
   if (!options_.hint_script.empty()) {
     const std::string err = knowledge_.load_script(options_.hint_script);
     if (!err.empty()) {
@@ -69,6 +74,9 @@ void Machine::start_sampler(std::chrono::milliseconds period) {
   sampler_ = std::make_unique<obs::Sampler>(runtime_->metrics(), opts);
   sampler_->set_callback([this](const obs::SampleDelta& delta) {
     monitor_->ingest(delta);
+    // Locality adaptivity: retune the object space's consistency
+    // thresholds from this interval's mem.* rates.
+    if (locality_tuner_ != nullptr) locality_tuner_->ingest(delta);
     if (delta.dt_seconds <= 0.0) return;
     // Phase detector: a sustained jump (or collapse) in the SGT completion
     // rate relative to its EWMA means the workload changed shape; tell the

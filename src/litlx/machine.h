@@ -21,6 +21,7 @@
 
 #include "adapt/advisor.h"
 #include "adapt/controller.h"
+#include "adapt/locality_tuner.h"
 #include "adapt/monitor.h"
 #include "hints/knowledge_base.h"
 #include "mem/data_object.h"
@@ -40,6 +41,11 @@ struct MachineOptions {
   rt::StealScope steal_scope = rt::StealScope::kGlobal;
   std::uint32_t max_workers = 0;
   mem::ObjectSpace::Params object_params;
+  // When true (default) and the sampler is running, an
+  // adapt::LocalityTuner retunes the object space's replicate/migrate
+  // thresholds each sampling interval from the mem.* rates, instead of
+  // keeping object_params' fixed values.
+  bool adaptive_locality = true;
   std::uint64_t percolation_buffer_bytes = 8ull << 20;
   std::string hint_script;  // parsed into the knowledge base at startup
 };
@@ -151,6 +157,8 @@ class Machine {
   hints::KnowledgeBase& knowledge() { return knowledge_; }
   adapt::PerfMonitor& monitor() { return *monitor_; }
   adapt::AdaptiveController& controller() { return *controller_; }
+  // Null when MachineOptions::adaptive_locality is false.
+  adapt::LocalityTuner* locality_tuner() { return locality_tuner_.get(); }
   sync::AtomicDomain& atomic_domain() { return atomic_domain_; }
   rt::LoadBalancer& load_balancer() { return *load_balancer_; }
   const MachineOptions& options() const { return options_; }
@@ -165,6 +173,7 @@ class Machine {
   hints::KnowledgeBase knowledge_;
   std::unique_ptr<adapt::PerfMonitor> monitor_;
   std::unique_ptr<adapt::AdaptiveController> controller_;
+  std::unique_ptr<adapt::LocalityTuner> locality_tuner_;
   sync::AtomicDomain atomic_domain_;
   std::unique_ptr<obs::Sampler> sampler_;
   // Sampler-driven phase detector state (EWMA of the SGT completion rate).

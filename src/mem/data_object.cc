@@ -1,83 +1,193 @@
 #include "mem/data_object.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cstring>
 
 namespace htvm::mem {
 
-ObjectSpace::ObjectSpace(GlobalMemory& memory, Params params)
-    : memory_(memory), params_(params) {}
+namespace {
+// Optimistic read attempts before surrendering to the mutex path. Each
+// conflicted attempt means a writer was mid-section; the mutex path then
+// just queues behind it.
+constexpr int kFastReadAttempts = 4;
+}  // namespace
+
+ObjectSpace::ObjectSpace(GlobalMemory& memory, Params params,
+                         obs::MetricsRegistry* metrics)
+    : memory_(memory),
+      params_(params),
+      replicate_threshold_(params.replicate_threshold),
+      migrate_threshold_(params.migrate_threshold) {
+  obs::MetricsRegistry* reg = metrics;
+  if (reg == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>(16);
+    reg = own_metrics_.get();
+  }
+  c_reads_ = reg->counter("mem.reads");
+  c_writes_ = reg->counter("mem.writes");
+  c_remote_reads_ = reg->counter("mem.remote_reads");
+  c_replications_ = reg->counter("mem.replications");
+  c_invalidations_ = reg->counter("mem.invalidations");
+  c_migrations_ = reg->counter("mem.migrations");
+  c_lock_free_reads_ = reg->counter("mem.lock_free_reads");
+  c_read_retries_ = reg->counter("mem.read_retries");
+}
+
+ObjectSpace::~ObjectSpace() = default;
+
+void ObjectSpace::write_begin(Object& obj) {
+  // Odd version opens the write section; the release fence orders the
+  // odd store before any payload/metadata store inside the section, so a
+  // reader that observes in-section data must also observe a changed
+  // version at revalidation.
+  obj.version.store(obj.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void ObjectSpace::write_end(Object& obj) {
+  obj.version.fetch_add(1, std::memory_order_release);
+}
 
 ObjectSpace::ObjectId ObjectSpace::create(std::uint32_t home_node,
                                           std::uint64_t bytes) {
-  auto obj = std::make_unique<Object>();
-  obj->bytes = bytes;
-  obj->home = home_node;
-  obj->home_storage = memory_.alloc(home_node, bytes);
-  assert(!obj->home_storage.is_null() && "node memory exhausted");
-  std::memset(memory_.raw(obj->home_storage), 0, bytes);
-  obj->replica.assign(memory_.nodes(), GlobalAddress::null());
-  obj->replica_valid.assign(memory_.nodes(), 0);
-  obj->remote_reads.assign(memory_.nodes(), 0);
-  obj->accesses.assign(memory_.nodes(), 0);
-
   std::lock_guard<std::mutex> lock(objects_mutex_);
-  objects_.push_back(std::move(obj));
-  return static_cast<ObjectId>(objects_.size() - 1);
+  const std::uint32_t idx = count_.load(std::memory_order_relaxed);
+  assert(idx < kMaxChunks * kChunkSize && "object table full");
+  const std::uint32_t c = idx >> kChunkShift;
+  if (chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+    auto chunk = std::make_unique<Object[]>(kChunkSize);
+    chunks_[c].store(chunk.get(), std::memory_order_release);
+    chunk_owner_.push_back(std::move(chunk));
+  }
+  Object& obj =
+      chunks_[c].load(std::memory_order_relaxed)[idx & (kChunkSize - 1)];
+  obj.bytes = bytes;
+  obj.home.store(home_node, std::memory_order_relaxed);
+  const GlobalAddress storage = memory_.alloc(home_node, bytes);
+  assert(!storage.is_null() && "node memory exhausted");
+  // Zero-fill with atomic stores: a free-list block may still be probed
+  // by a stale optimistic reader of the object that released it.
+  const std::vector<std::byte> zeros(bytes);
+  memory_.put_atomic(home_node, storage, zeros.data(), bytes);
+  obj.home_storage.store(storage.bits(), std::memory_order_relaxed);
+  obj.node = std::make_unique<NodeSlot[]>(memory_.nodes());
+  count_.store(idx + 1, std::memory_order_release);
+  return idx;
 }
 
 GlobalAddress ObjectSpace::replica_storage_locked(Object& obj,
                                                   std::uint32_t node) {
-  if (obj.replica[node].is_null())
-    obj.replica[node] = memory_.alloc(node, obj.bytes);
-  return obj.replica[node];
+  GlobalAddress addr =
+      GlobalAddress::from_bits(obj.node[node].replica.load(
+          std::memory_order_relaxed));
+  if (addr.is_null()) {
+    addr = memory_.alloc(node, obj.bytes);
+    // Visible to readers immediately, but unused until replica_valid is
+    // set inside a write section.
+    obj.node[node].replica.store(addr.bits(), std::memory_order_relaxed);
+  }
+  return addr;
 }
 
 void ObjectSpace::read(std::uint32_t from_node, ObjectId id, void* dst) {
   read_at(from_node, id, 0, dst, size_of(id));
 }
 
+ObjectSpace::FastRead ObjectSpace::try_read_lock_free(
+    Object& obj, std::uint32_t from_node, std::uint64_t offset, void* dst,
+    std::uint64_t len) {
+  const std::uint64_t v1 = obj.version.load(std::memory_order_acquire);
+  if (v1 & 1) return FastRead::kConflict;  // writer mid-section
+  const std::uint32_t home = obj.home.load(std::memory_order_relaxed);
+  std::uint64_t src_bits;
+  if (from_node == home) {
+    src_bits = obj.home_storage.load(std::memory_order_relaxed);
+  } else if (obj.node[from_node].replica_valid.load(
+                 std::memory_order_relaxed) != 0) {
+    src_bits = obj.node[from_node].replica.load(std::memory_order_relaxed);
+  } else {
+    return FastRead::kMiss;
+  }
+  const GlobalAddress src = GlobalAddress::from_bits(src_bits);
+  // A concurrent migration can leave home/replica metadata mutually
+  // stale (e.g. valid flag seen set, pointer already cleared); the copy
+  // below would be discarded anyway, but a null pointer must not be
+  // dereferenced.
+  if (src.is_null()) return FastRead::kConflict;
+  memory_.get_atomic(from_node, src + offset, dst, len);
+  // Order the payload loads before the revalidation load: if any load
+  // saw in-section data, the version must be seen changed.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return obj.version.load(std::memory_order_relaxed) == v1
+             ? FastRead::kOk
+             : FastRead::kConflict;
+}
+
 void ObjectSpace::read_at(std::uint32_t from_node, ObjectId id,
                           std::uint64_t offset, void* dst,
                           std::uint64_t len) {
-  Object& obj = *objects_[id];
-  std::lock_guard<std::mutex> lock(obj.mutex);
-  ++obj.accesses[from_node];
-  {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.reads;
+  Object& obj = object(id);
+  const std::uint32_t shard = obs::this_thread_shard();
+  obj.node[from_node].accesses.fetch_add(1, std::memory_order_relaxed);
+  c_reads_->add(shard);
+  if (params_.lock_free_reads) {
+    for (int attempt = 0; attempt < kFastReadAttempts; ++attempt) {
+      const FastRead r = try_read_lock_free(obj, from_node, offset, dst,
+                                            len);
+      if (r == FastRead::kOk) {
+        c_lock_free_reads_->add(shard);
+        return;
+      }
+      if (r == FastRead::kMiss) break;
+      c_read_retries_->add(shard);
+    }
   }
-  if (from_node == obj.home) {
-    memory_.get(from_node, obj.home_storage + offset, dst, len);
+  read_at_slow(obj, from_node, offset, dst, len);
+}
+
+void ObjectSpace::read_at_slow(Object& obj, std::uint32_t from_node,
+                               std::uint64_t offset, void* dst,
+                               std::uint64_t len) {
+  std::lock_guard<std::mutex> lock(obj.mutex);
+  const std::uint32_t home = obj.home.load(std::memory_order_relaxed);
+  const GlobalAddress home_storage =
+      GlobalAddress::from_bits(obj.home_storage.load(
+          std::memory_order_relaxed));
+  if (from_node == home) {
+    memory_.get(from_node, home_storage + offset, dst, len);
     return;
   }
-  if (obj.replica_valid[from_node]) {
-    memory_.get(from_node, obj.replica[from_node] + offset, dst, len);
+  NodeSlot& slot = obj.node[from_node];
+  if (slot.replica_valid.load(std::memory_order_relaxed) != 0) {
+    memory_.get(from_node,
+                GlobalAddress::from_bits(
+                    slot.replica.load(std::memory_order_relaxed)) +
+                    offset,
+                dst, len);
     return;
   }
   // Remote read from home.
-  ++obj.remote_reads[from_node];
-  {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.remote_reads;
-  }
+  const std::uint32_t remote =
+      slot.remote_reads.fetch_add(1, std::memory_order_relaxed) + 1;
+  c_remote_reads_->add(obs::this_thread_shard());
   if (params_.replicate_reads &&
-      obj.remote_reads[from_node] >= params_.replicate_threshold) {
+      remote >= replicate_threshold_.load(std::memory_order_relaxed)) {
     const GlobalAddress copy = replica_storage_locked(obj, from_node);
     if (!copy.is_null()) {
-      // Pull the whole object across the network once; then read locally.
-      memory_.get(from_node, obj.home_storage, memory_.raw(copy), obj.bytes);
-      obj.replica_valid[from_node] = 1;
-      {
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++stats_.replications;
-      }
+      // Pull the whole object across the network once; then read
+      // locally. The fill + valid flip happen inside a write section so
+      // an optimistic reader can never validate a half-filled replica.
+      write_begin(obj);
+      memory_.copy_atomic(from_node, home_storage, copy, obj.bytes);
+      slot.replica_valid.store(1, std::memory_order_relaxed);
+      write_end(obj);
+      c_replications_->add(obs::this_thread_shard());
       memory_.get(from_node, copy + offset, dst, len);
       return;
     }
   }
-  memory_.get(from_node, obj.home_storage + offset, dst, len);
+  memory_.get(from_node, home_storage + offset, dst, len);
 }
 
 void ObjectSpace::write(std::uint32_t from_node, ObjectId id,
@@ -88,90 +198,128 @@ void ObjectSpace::write(std::uint32_t from_node, ObjectId id,
 void ObjectSpace::write_at(std::uint32_t from_node, ObjectId id,
                            std::uint64_t offset, const void* src,
                            std::uint64_t len) {
-  Object& obj = *objects_[id];
+  Object& obj = object(id);
+  obj.node[from_node].accesses.fetch_add(1, std::memory_order_relaxed);
+  c_writes_->add(obs::this_thread_shard());
   std::lock_guard<std::mutex> lock(obj.mutex);
-  ++obj.accesses[from_node];
-  {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.writes;
-  }
+  write_begin(obj);
   invalidate_replicas_locked(obj, from_node);
-  memory_.put(from_node, obj.home_storage + offset, src, len);
+  memory_.put_atomic(from_node,
+                     GlobalAddress::from_bits(obj.home_storage.load(
+                         std::memory_order_relaxed)) +
+                         offset,
+                     src, len);
+  write_end(obj);
   if (params_.allow_migration) maybe_migrate_locked(obj, from_node);
 }
 
 void ObjectSpace::invalidate_replicas_locked(Object& obj,
                                              std::uint32_t except_node) {
+  const std::uint32_t home = obj.home.load(std::memory_order_relaxed);
   for (std::uint32_t n = 0; n < memory_.nodes(); ++n) {
-    if (!obj.replica_valid[n]) continue;
-    obj.replica_valid[n] = 0;
+    if (obj.node[n].replica_valid.load(std::memory_order_relaxed) == 0)
+      continue;
+    obj.node[n].replica_valid.store(0, std::memory_order_relaxed);
     if (n != except_node) {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      ++stats_.invalidations;
+      c_invalidations_->add(obs::this_thread_shard());
       // Model the invalidation round trip from home to the replica holder.
-      memory_.injector().network_transfer(obj.home, n, 16);
-      memory_.injector().network_transfer(n, obj.home, 16);
+      memory_.injector().network_transfer(home, n, 16);
+      memory_.injector().network_transfer(n, home, 16);
     }
   }
 }
 
+void ObjectSpace::migrate_home_locked(Object& obj, std::uint32_t new_home,
+                                      GlobalAddress new_storage) {
+  const GlobalAddress old_storage =
+      GlobalAddress::from_bits(obj.home_storage.load(
+          std::memory_order_relaxed));
+  write_begin(obj);
+  obj.home.store(new_home, std::memory_order_relaxed);
+  obj.home_storage.store(new_storage.bits(), std::memory_order_relaxed);
+  // The promoted replica slot is now authoritative and must no longer be
+  // treated as a replica.
+  obj.node[new_home].replica.store(GlobalAddress::null().bits(),
+                                   std::memory_order_relaxed);
+  for (std::uint32_t n = 0; n < memory_.nodes(); ++n)
+    obj.node[n].replica_valid.store(0, std::memory_order_relaxed);
+  write_end(obj);
+  // The old home's block goes back to the allocator's free list: a later
+  // replica (of this or any same-sized object) on that node reuses it, so
+  // migration ping-pong cannot grow the node's watermark without bound.
+  memory_.release(old_storage, obj.bytes);
+  c_migrations_->add(obs::this_thread_shard());
+}
+
 void ObjectSpace::maybe_migrate_locked(Object& obj, std::uint32_t node) {
-  if (node == obj.home) return;
-  if (obj.accesses[node] < params_.migrate_threshold) return;
-  if (obj.accesses[node] <= 2 * obj.accesses[obj.home]) return;
+  const std::uint32_t home = obj.home.load(std::memory_order_relaxed);
+  if (node == home) return;
+  const std::uint64_t here =
+      obj.node[node].accesses.load(std::memory_order_relaxed);
+  if (here < migrate_threshold_.load(std::memory_order_relaxed)) return;
+  if (here <= 2 * obj.node[home].accesses.load(std::memory_order_relaxed))
+    return;
   // Move the authoritative copy to `node`.
   const GlobalAddress new_home = replica_storage_locked(obj, node);
   if (new_home.is_null()) return;  // destination node out of memory
-  memory_.get(node, obj.home_storage, memory_.raw(new_home), obj.bytes);
-  // Swap storage roles: the old home's block becomes reusable replica
-  // storage *on the old home node*; the new home's replica slot is now
-  // authoritative and must no longer be treated as a replica.
-  obj.replica[obj.home] = obj.home_storage;
-  obj.replica[node] = GlobalAddress::null();
-  obj.home = node;
-  obj.home_storage = new_home;
-  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) obj.replica_valid[n] = 0;
-  std::fill(obj.remote_reads.begin(), obj.remote_reads.end(), 0u);
-  std::fill(obj.accesses.begin(), obj.accesses.end(), 0u);
-  std::lock_guard<std::mutex> slock(stats_mutex_);
-  ++stats_.migrations;
+  memory_.copy_atomic(node,
+                      GlobalAddress::from_bits(obj.home_storage.load(
+                          std::memory_order_relaxed)),
+                      new_home, obj.bytes);
+  migrate_home_locked(obj, node, new_home);
+  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) {
+    obj.node[n].remote_reads.store(0, std::memory_order_relaxed);
+    obj.node[n].accesses.store(0, std::memory_order_relaxed);
+  }
 }
 
 void ObjectSpace::migrate(ObjectId id, std::uint32_t new_home) {
-  Object& obj = *objects_[id];
+  Object& obj = object(id);
   std::lock_guard<std::mutex> lock(obj.mutex);
-  if (obj.home == new_home) return;
+  if (obj.home.load(std::memory_order_relaxed) == new_home) return;
   const GlobalAddress dst = replica_storage_locked(obj, new_home);
   if (dst.is_null()) return;
-  memory_.get(new_home, obj.home_storage, memory_.raw(dst), obj.bytes);
-  obj.replica[obj.home] = obj.home_storage;
-  obj.replica[new_home] = GlobalAddress::null();
-  obj.home = new_home;
-  obj.home_storage = dst;
-  for (std::uint32_t n = 0; n < memory_.nodes(); ++n) obj.replica_valid[n] = 0;
-  std::lock_guard<std::mutex> slock(stats_mutex_);
-  ++stats_.migrations;
+  // If the destination held a valid replica its content already equals
+  // home's (coherence invariant), so this copy is idempotent from a
+  // racing reader's point of view.
+  memory_.copy_atomic(new_home,
+                      GlobalAddress::from_bits(obj.home_storage.load(
+                          std::memory_order_relaxed)),
+                      dst, obj.bytes);
+  migrate_home_locked(obj, new_home, dst);
 }
 
 std::uint32_t ObjectSpace::home_of(ObjectId id) const {
-  Object& obj = *objects_[id];
-  std::lock_guard<std::mutex> lock(obj.mutex);
-  return obj.home;
+  return object(id).home.load(std::memory_order_relaxed);
 }
 
 bool ObjectSpace::has_replica(ObjectId id, std::uint32_t node) const {
-  Object& obj = *objects_[id];
-  std::lock_guard<std::mutex> lock(obj.mutex);
-  return obj.replica_valid[node] != 0;
+  return object(id).node[node].replica_valid.load(
+             std::memory_order_relaxed) != 0;
 }
 
 std::uint64_t ObjectSpace::size_of(ObjectId id) const {
-  return objects_[id]->bytes;
+  return object(id).bytes;
 }
 
 ObjectStats ObjectSpace::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ObjectStats s;
+  s.reads = c_reads_->total();
+  s.writes = c_writes_->total();
+  s.remote_reads = c_remote_reads_->total();
+  s.replications = c_replications_->total();
+  s.invalidations = c_invalidations_->total();
+  s.migrations = c_migrations_->total();
+  s.lock_free_reads = c_lock_free_reads_->total();
+  s.read_retries = c_read_retries_->total();
+  return s;
+}
+
+void ObjectSpace::set_thresholds(std::uint32_t replicate_threshold,
+                                 std::uint32_t migrate_threshold) {
+  replicate_threshold_.store(replicate_threshold,
+                             std::memory_order_relaxed);
+  migrate_threshold_.store(migrate_threshold, std::memory_order_relaxed);
 }
 
 }  // namespace htvm::mem

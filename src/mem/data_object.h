@@ -9,13 +9,28 @@
 // the adaptive runtime migrate objects at run time. Consistency protocol:
 // single-home, read replicas, invalidate-on-write (entry consistency at
 // object granularity).
+//
+// Read hot path (DESIGN.md §6a): reads of the home copy or of a valid
+// local replica take NO locks. Each object carries a seqlock -- a version
+// counter that is odd while a writer (write/invalidate/migrate/replica
+// fill) is mutating under the object mutex. An optimistic reader loads
+// the version (must be even), copies the payload with relaxed atomic
+// word loads, and revalidates the version; a change means the copy may
+// be torn or stale and the reader retries, falling back to the mutex
+// path after a few conflicts or when it has no valid local copy. Object
+// lookup is a chunked stable-pointer table, so concurrent create() never
+// relocates an object another thread is reading.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "mem/global_memory.h"
+#include "obs/registry.h"
 
 namespace htvm::mem {
 
@@ -26,6 +41,8 @@ struct ObjectStats {
   std::uint64_t replications = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t migrations = 0;
+  std::uint64_t lock_free_reads = 0;  // reads served by the seqlock path
+  std::uint64_t read_retries = 0;     // seqlock conflicts (torn copies)
 };
 
 class ObjectSpace {
@@ -37,9 +54,19 @@ class ObjectSpace {
     bool allow_migration = true;
     std::uint32_t replicate_threshold = 4;  // remote reads before copying
     std::uint32_t migrate_threshold = 16;   // accesses before migrating
+    // Ablation knob: false forces every read through the mutex slow
+    // path (the pre-seqlock protocol); E8's read-scaling section
+    // measures both.
+    bool lock_free_reads = true;
   };
 
-  ObjectSpace(GlobalMemory& memory, Params params);
+  // When `metrics` is non-null the object space registers its "mem.*"
+  // counters there (the litlx Machine passes the runtime's registry, so
+  // telemetry_snapshot() covers the memory layer); otherwise it owns a
+  // private registry so stats() keeps working standalone.
+  ObjectSpace(GlobalMemory& memory, Params params,
+              obs::MetricsRegistry* metrics = nullptr);
+  ~ObjectSpace();
 
   // Creates an object of `bytes` bytes homed on `home_node`, zero-filled.
   ObjectId create(std::uint32_t home_node, std::uint64_t bytes);
@@ -65,33 +92,95 @@ class ObjectSpace {
   std::uint32_t home_of(ObjectId id) const;
   bool has_replica(ObjectId id, std::uint32_t node) const;
   std::uint64_t size_of(ObjectId id) const;
+  std::uint32_t object_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  // Materialized from the mem.* registry counters (legacy accessor).
   ObjectStats stats() const;
 
+  // Live-tunable consistency thresholds (the adaptive layer retunes them
+  // from sampled mem.* rates; see adapt::LocalityTuner). Plain Params
+  // values are the starting point.
+  void set_thresholds(std::uint32_t replicate_threshold,
+                      std::uint32_t migrate_threshold);
+  std::uint32_t replicate_threshold() const {
+    return replicate_threshold_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t migrate_threshold() const {
+    return migrate_threshold_.load(std::memory_order_relaxed);
+  }
+
  private:
-  struct Object {
-    std::uint64_t bytes = 0;
-    std::uint32_t home = 0;
-    GlobalAddress home_storage;                 // current authoritative copy
-    std::vector<GlobalAddress> replica;         // per-node storage, lazily
-                                                // allocated and then reused
-                                                // across invalidations
-    std::vector<std::uint8_t> replica_valid;    // per node: replica coherent
-    std::vector<std::uint32_t> remote_reads;    // per node, since last reset
-    std::vector<std::uint32_t> accesses;        // per node, since last reset
-    mutable std::mutex mutex;
+  // Per-node coherence/accounting state. All fields are atomics: the
+  // policy counters are bumped outside any lock, and the replica fields
+  // are read by the lock-free path (mutated only inside seqlock write
+  // sections).
+  struct NodeSlot {
+    std::atomic<std::uint64_t> replica{GlobalAddress::null().bits()};
+    std::atomic<std::uint32_t> replica_valid{0};
+    std::atomic<std::uint32_t> remote_reads{0};
+    std::atomic<std::uint64_t> accesses{0};
   };
 
-  // All helpers assume obj.mutex is held.
+  struct Object {
+    std::atomic<std::uint64_t> version{0};  // seqlock; odd = writer active
+    std::uint64_t bytes = 0;                // immutable after create
+    std::atomic<std::uint32_t> home{0};
+    std::atomic<std::uint64_t> home_storage{GlobalAddress::null().bits()};
+    std::unique_ptr<NodeSlot[]> node;       // memory_.nodes() entries
+    mutable std::mutex mutex;               // serializes all mutation
+  };
+
+  // Chunked stable-pointer table: ids index fixed-size chunks that are
+  // never reallocated, so readers need no lock (create publishes the
+  // chunk pointer and the count with release stores).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kMaxChunks = 4096;  // ~1M objects
+
+  Object& object(ObjectId id) const {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & (kChunkSize - 1)];
+  }
+
+  enum class FastRead { kOk, kConflict, kMiss };
+  FastRead try_read_lock_free(Object& obj, std::uint32_t from_node,
+                              std::uint64_t offset, void* dst,
+                              std::uint64_t len);
+  void read_at_slow(Object& obj, std::uint32_t from_node,
+                    std::uint64_t offset, void* dst, std::uint64_t len);
+
+  // Seqlock write section brackets; both assume obj.mutex is held.
+  static void write_begin(Object& obj);
+  static void write_end(Object& obj);
+
+  // All helpers assume obj.mutex is held (and, where they mutate
+  // reader-visible state, an open write section).
   void invalidate_replicas_locked(Object& obj, std::uint32_t except_node);
   void maybe_migrate_locked(Object& obj, std::uint32_t node);
   GlobalAddress replica_storage_locked(Object& obj, std::uint32_t node);
+  void migrate_home_locked(Object& obj, std::uint32_t new_home,
+                           GlobalAddress new_storage);
 
   GlobalMemory& memory_;
   Params params_;
-  std::vector<std::unique_ptr<Object>> objects_;
-  mutable std::mutex objects_mutex_;  // guards the objects_ vector itself
-  mutable std::mutex stats_mutex_;
-  ObjectStats stats_;
+  std::atomic<std::uint32_t> replicate_threshold_;
+  std::atomic<std::uint32_t> migrate_threshold_;
+
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::Counter* c_reads_;
+  obs::Counter* c_writes_;
+  obs::Counter* c_remote_reads_;
+  obs::Counter* c_replications_;
+  obs::Counter* c_invalidations_;
+  obs::Counter* c_migrations_;
+  obs::Counter* c_lock_free_reads_;
+  obs::Counter* c_read_retries_;
+
+  std::array<std::atomic<Object*>, kMaxChunks> chunks_{};
+  std::vector<std::unique_ptr<Object[]>> chunk_owner_;  // under objects_mutex_
+  std::atomic<std::uint32_t> count_{0};
+  mutable std::mutex objects_mutex_;  // serializes create()
 };
 
 }  // namespace htvm::mem

@@ -1,6 +1,61 @@
 #include "mem/global_memory.h"
 
+#include <cassert>
+
 namespace htvm::mem {
+namespace {
+
+// Relaxed atomic byte/word copies for seqlock payloads. The shared side
+// (global storage) is accessed through std::atomic_ref so an optimistic
+// reader racing a writer is torn-but-defined; the private side is plain.
+// Word accesses require 8-byte alignment of the shared pointer, so the
+// loops peel unaligned head/tail bytes.
+void atomic_load_bytes(const std::byte* src, std::byte* dst,
+                       std::uint64_t n) {
+  auto* s = const_cast<std::byte*>(src);
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(s) & 7) != 0) {
+    *dst++ = std::atomic_ref<std::byte>(*s++).load(std::memory_order_relaxed);
+    --n;
+  }
+  while (n >= 8) {
+    const std::uint64_t word =
+        std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(s))
+            .load(std::memory_order_relaxed);
+    std::memcpy(dst, &word, 8);
+    s += 8;
+    dst += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    *dst++ = std::atomic_ref<std::byte>(*s++).load(std::memory_order_relaxed);
+    --n;
+  }
+}
+
+void atomic_store_bytes(std::byte* dst, const std::byte* src,
+                        std::uint64_t n) {
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(dst) & 7) != 0) {
+    std::atomic_ref<std::byte>(*dst++).store(*src++,
+                                             std::memory_order_relaxed);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, src, 8);
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(dst))
+        .store(word, std::memory_order_relaxed);
+    dst += 8;
+    src += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    std::atomic_ref<std::byte>(*dst++).store(*src++,
+                                             std::memory_order_relaxed);
+    --n;
+  }
+}
+
+}  // namespace
 
 GlobalMemory::GlobalMemory(const machine::LatencyInjector& injector)
     : injector_(injector) {
@@ -17,11 +72,39 @@ GlobalMemory::GlobalMemory(const machine::LatencyInjector& injector)
 GlobalAddress GlobalMemory::alloc(std::uint32_t node, std::uint64_t bytes,
                                   std::uint64_t align) {
   Segment& seg = *segments_[node];
-  std::lock_guard<std::mutex> lock(seg.alloc_mutex);
-  const std::uint64_t aligned = (seg.used + align - 1) & ~(align - 1);
-  if (aligned + bytes > seg.capacity) return GlobalAddress::null();
-  seg.used = aligned + bytes;
+  // Free-list hit: only 8-aligned blocks are parked, so skip for larger
+  // alignment requests.
+  if (align <= 8 &&
+      seg.free_count.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(seg.free_mutex);
+    auto it = seg.free_by_size.find(rounded_size(bytes));
+    if (it != seg.free_by_size.end() && !it->second.empty()) {
+      const std::uint64_t offset = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) seg.free_by_size.erase(it);
+      seg.free_count.fetch_sub(1, std::memory_order_relaxed);
+      stats_.freelist_reuses.fetch_add(1, std::memory_order_relaxed);
+      return GlobalAddress(node, offset);
+    }
+  }
+  // Lock-free bump: CAS the watermark forward past the aligned block.
+  std::uint64_t cur = seg.used.load(std::memory_order_relaxed);
+  std::uint64_t aligned;
+  do {
+    aligned = (cur + align - 1) & ~(align - 1);
+    if (aligned + bytes > seg.capacity) return GlobalAddress::null();
+  } while (!seg.used.compare_exchange_weak(cur, aligned + bytes,
+                                           std::memory_order_relaxed));
   return GlobalAddress(node, aligned);
+}
+
+void GlobalMemory::release(GlobalAddress addr, std::uint64_t bytes) {
+  if (addr.is_null() || bytes == 0) return;
+  Segment& seg = *segments_[addr.node()];
+  std::lock_guard<std::mutex> lock(seg.free_mutex);
+  seg.free_by_size[rounded_size(bytes)].push_back(addr.offset());
+  seg.free_count.fetch_add(1, std::memory_order_relaxed);
+  stats_.freelist_releases.fetch_add(1, std::memory_order_relaxed);
 }
 
 void* GlobalMemory::raw(GlobalAddress addr) {
@@ -56,6 +139,29 @@ void GlobalMemory::put(std::uint32_t from_node, GlobalAddress dst,
   std::memcpy(raw(dst), src, bytes);
 }
 
+void GlobalMemory::get_atomic(std::uint32_t from_node, GlobalAddress src,
+                              void* dst, std::uint64_t bytes) {
+  charge(from_node, src.node(), bytes);
+  atomic_load_bytes(static_cast<const std::byte*>(raw(src)),
+                    static_cast<std::byte*>(dst), bytes);
+}
+
+void GlobalMemory::put_atomic(std::uint32_t from_node, GlobalAddress dst,
+                              const void* src, std::uint64_t bytes) {
+  charge(from_node, dst.node(), bytes);
+  atomic_store_bytes(static_cast<std::byte*>(raw(dst)),
+                     static_cast<const std::byte*>(src), bytes);
+}
+
+void GlobalMemory::copy_atomic(std::uint32_t from_node, GlobalAddress src,
+                               GlobalAddress dst, std::uint64_t bytes) {
+  charge(from_node, src.node(), bytes);
+  // Source is writer-serialized (callers hold the object mutex); only the
+  // destination may be raced by optimistic readers.
+  atomic_store_bytes(static_cast<std::byte*>(raw(dst)),
+                     static_cast<const std::byte*>(raw(src)), bytes);
+}
+
 std::int64_t GlobalMemory::fetch_add_i64(std::uint32_t from_node,
                                          GlobalAddress addr,
                                          std::int64_t delta) {
@@ -65,11 +171,20 @@ std::int64_t GlobalMemory::fetch_add_i64(std::uint32_t from_node,
 }
 
 std::uint64_t GlobalMemory::used_bytes(std::uint32_t node) const {
-  return segments_[node]->used;
+  return segments_[node]->used.load(std::memory_order_acquire);
 }
 
 std::uint64_t GlobalMemory::capacity_bytes(std::uint32_t node) const {
   return segments_[node]->capacity;
+}
+
+std::uint64_t GlobalMemory::free_list_bytes(std::uint32_t node) const {
+  Segment& seg = *segments_[node];
+  std::lock_guard<std::mutex> lock(seg.free_mutex);
+  std::uint64_t sum = 0;
+  for (const auto& [size, offsets] : seg.free_by_size)
+    sum += size * offsets.size();
+  return sum;
 }
 
 }  // namespace htvm::mem

@@ -10,11 +10,18 @@
 // segments. A GlobalAddress packs (node, offset); get/put on a remote node
 // incur the configured network latency via the LatencyInjector, so programs
 // on the real runtime *feel* the machine's memory hierarchy.
+//
+// Allocation is a lock-free bump (CAS on an atomic watermark) with a
+// per-node size-bucketed free list on the side: release() parks a block
+// for reuse by a later alloc() of the same rounded size, so patterns that
+// repeatedly retire and re-create equal-sized blocks (object migration
+// ping-pong, replica churn) do not grow the watermark without bound.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -72,6 +79,8 @@ struct MemoryStats {
   std::atomic<std::uint64_t> local_accesses{0};
   std::atomic<std::uint64_t> remote_accesses{0};
   std::atomic<std::uint64_t> bytes_moved_remote{0};
+  std::atomic<std::uint64_t> freelist_releases{0};
+  std::atomic<std::uint64_t> freelist_reuses{0};
 };
 
 class GlobalMemory {
@@ -87,10 +96,16 @@ class GlobalMemory {
     return static_cast<std::uint32_t>(segments_.size());
   }
 
-  // Allocates `bytes` in node-local memory (bump allocation; global memory
-  // segments live for the machine's lifetime). Returns null on exhaustion.
+  // Allocates `bytes` in node-local memory. Reuses a released block of the
+  // same rounded size when one is parked, otherwise CAS-bumps the segment
+  // watermark. Returns null on exhaustion.
   GlobalAddress alloc(std::uint32_t node, std::uint64_t bytes,
                       std::uint64_t align = 8);
+
+  // Returns a block obtained from alloc() to the node's free list so a
+  // later same-sized alloc can reuse it. `bytes` must be the original
+  // request size. Blocks allocated with align > 8 must not be released.
+  void release(GlobalAddress addr, std::uint64_t bytes);
 
   // Direct pointer to the backing storage. Valid for the machine lifetime.
   // This is the "I am on the owning node" fast path; remote code should use
@@ -104,6 +119,20 @@ class GlobalMemory {
            std::uint64_t bytes);
   void put(std::uint32_t from_node, GlobalAddress dst, const void* src,
            std::uint64_t bytes);
+
+  // Data-race-free variants for seqlock-coordinated payloads (the object
+  // space's lock-free read protocol): every touched shared byte is
+  // accessed with relaxed atomic word/byte operations, so an optimistic
+  // reader may observe a torn value but never a C++ data race -- the
+  // caller discards torn copies via its version check.
+  void get_atomic(std::uint32_t from_node, GlobalAddress src, void* dst,
+                  std::uint64_t bytes);
+  void put_atomic(std::uint32_t from_node, GlobalAddress dst,
+                  const void* src, std::uint64_t bytes);
+  // Global-to-global copy with atomic stores on the destination; charged
+  // like get(from_node, src) (one pull across the network).
+  void copy_atomic(std::uint32_t from_node, GlobalAddress src,
+                   GlobalAddress dst, std::uint64_t bytes);
 
   // Typed convenience accessors.
   template <typename T>
@@ -123,8 +152,11 @@ class GlobalMemory {
   std::int64_t fetch_add_i64(std::uint32_t from_node, GlobalAddress addr,
                              std::int64_t delta);
 
+  // Bump watermark (high-water, includes blocks parked on the free list).
   std::uint64_t used_bytes(std::uint32_t node) const;
   std::uint64_t capacity_bytes(std::uint32_t node) const;
+  // Bytes currently parked on the node's free list awaiting reuse.
+  std::uint64_t free_list_bytes(std::uint32_t node) const;
   const MemoryStats& stats() const { return stats_; }
   const machine::LatencyInjector& injector() const { return injector_; }
 
@@ -132,9 +164,17 @@ class GlobalMemory {
   struct Segment {
     std::unique_ptr<std::byte[]> data;
     std::uint64_t capacity = 0;
-    std::uint64_t used = 0;
-    std::mutex alloc_mutex;
+    std::atomic<std::uint64_t> used{0};
+    // Free list: rounded block size -> offsets, guarded by free_mutex.
+    // free_count lets alloc skip the lock when the list is empty.
+    std::atomic<std::uint64_t> free_count{0};
+    std::mutex free_mutex;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> free_by_size;
   };
+
+  static std::uint64_t rounded_size(std::uint64_t bytes) {
+    return (bytes + 7) & ~std::uint64_t{7};
+  }
 
   void charge(std::uint32_t from_node, std::uint32_t home_node,
               std::uint64_t bytes);

@@ -4,6 +4,13 @@
 
 namespace htvm::obs {
 
+std::uint32_t this_thread_shard() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 Counter::Counter(std::uint32_t shards)
     : shard_count_(shards == 0 ? 1 : shards),
       slots_(std::make_unique<Slot[]>(shard_count_)) {}

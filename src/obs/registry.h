@@ -43,6 +43,13 @@ namespace htvm::obs {
 
 enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1 };
 
+// Process-wide small integer id for the calling thread (0, 1, 2, ... in
+// first-use order). Counter shard index for components that have no
+// runtime worker id at hand (e.g. the memory layer, which sits below the
+// runtime): distinct threads get distinct ids, and Counter::add reduces
+// them modulo its shard count.
+std::uint32_t this_thread_shard();
+
 struct MetricValue {
   std::string name;
   MetricKind kind = MetricKind::kCounter;

@@ -94,6 +94,25 @@ Runtime::Runtime(RuntimeOptions options)
         for (const auto& fa : frame_allocators_) sum += fa->frames_live();
         return static_cast<double>(sum);
       }));
+  // Global-memory traffic joins the registry as sources over the atomics
+  // GlobalMemory already bumps; the object space's mem.* counters are
+  // registered by whoever constructs it with this registry (litlx).
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "mem.local_accesses", [this] {
+        return static_cast<double>(memory_->stats().local_accesses.load(
+            std::memory_order_relaxed));
+      }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "mem.remote_accesses", [this] {
+        return static_cast<double>(memory_->stats().remote_accesses.load(
+            std::memory_order_relaxed));
+      }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "mem.remote_bytes", [this] {
+        return static_cast<double>(
+            memory_->stats().bytes_moved_remote.load(
+                std::memory_order_relaxed));
+      }));
 
   // End-of-run dumps controlled by the environment: HTVM_TRACE=<path>
   // attaches an owned, enabled tracer whose Chrome JSON is written at

@@ -5,6 +5,7 @@
 
 #include "adapt/advisor.h"
 #include "adapt/controller.h"
+#include "adapt/locality_tuner.h"
 #include "adapt/monitor.h"
 #include "hints/knowledge_base.h"
 
@@ -361,6 +362,98 @@ TEST(Advisor, HighestPriorityFirst) {
   const auto hints_list = advisor.advise();
   ASSERT_GE(hints_list.size(), 2u);
   EXPECT_EQ(hints_list.front().site_name, "severe");
+}
+
+// ------------------------------------------------------------ LocalityTuner
+
+machine::LatencyInjector tuner_injector() {
+  machine::MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_memory_bytes = 1 << 20;
+  return machine::LatencyInjector(cfg, /*cycle_ns=*/0.0);
+}
+
+obs::SampleDelta mem_delta(double reads, double writes, double remote_reads,
+                           double invalidations, double replications = 0.0,
+                           double migrations = 0.0) {
+  obs::SampleDelta delta;
+  delta.sequence = 1;
+  delta.dt_seconds = 0.01;
+  delta.deltas = {
+      {"mem.invalidations", obs::MetricKind::kCounter, invalidations},
+      {"mem.migrations", obs::MetricKind::kCounter, migrations},
+      {"mem.reads", obs::MetricKind::kCounter, reads},
+      {"mem.remote_reads", obs::MetricKind::kCounter, remote_reads},
+      {"mem.replications", obs::MetricKind::kCounter, replications},
+      {"mem.writes", obs::MetricKind::kCounter, writes},
+  };
+  return delta;
+}
+
+TEST(LocalityTuner, ConstructionIsBehaviorNeutral) {
+  auto inj = tuner_injector();
+  mem::GlobalMemory gm(inj);
+  mem::ObjectSpace::Params params;
+  params.replicate_threshold = 7;  // matches no stock preset
+  params.migrate_threshold = 33;
+  mem::ObjectSpace space(gm, params);
+  LocalityTuner tuner(space);
+  // Until samples arrive, the user's thresholds stay in force (an
+  // "initial" preset is synthesized so the controller can score them).
+  EXPECT_EQ(space.replicate_threshold(), 7u);
+  EXPECT_EQ(space.migrate_threshold(), 33u);
+  EXPECT_EQ(tuner.current_preset(), "initial");
+  EXPECT_EQ(tuner.rounds(), 0u);
+}
+
+TEST(LocalityTuner, DefaultParamsMatchBalancedPreset) {
+  auto inj = tuner_injector();
+  mem::GlobalMemory gm(inj);
+  mem::ObjectSpace space(gm, mem::ObjectSpace::Params{});
+  LocalityTuner tuner(space);
+  EXPECT_EQ(tuner.current_preset(), "balanced");
+  EXPECT_EQ(tuner.presets().size(), 4u);  // no synthetic preset needed
+}
+
+TEST(LocalityTuner, IdleIntervalsCarryNoSignal) {
+  auto inj = tuner_injector();
+  mem::GlobalMemory gm(inj);
+  mem::ObjectSpace space(gm, mem::ObjectSpace::Params{});
+  LocalityTuner tuner(space);
+  for (int i = 0; i < 10; ++i) {
+    tuner.ingest(mem_delta(/*reads=*/2, /*writes=*/1, /*remote=*/2,
+                           /*invalidations=*/1));
+  }
+  EXPECT_EQ(tuner.rounds(), 0u);  // below min_accesses: ignored
+  EXPECT_EQ(space.replicate_threshold(), 4u);
+  EXPECT_EQ(space.migrate_threshold(), 16u);
+}
+
+TEST(LocalityTuner, ConvergesToCheapestPresetAndAppliesIt) {
+  auto inj = tuner_injector();
+  mem::GlobalMemory gm(inj);
+  mem::ObjectSpace space(gm, mem::ObjectSpace::Params{});
+  LocalityTuner tuner(space);
+  // Synthetic workload where aggressive replication churns: only the
+  // stay_home preset avoids remote traffic. The cost the tuner sees is
+  // a function of the preset currently in force, exactly as it would be
+  // live. The tuner starts pinned to the user's thresholds ("balanced")
+  // and reaches the others through the controller's periodic probes;
+  // once stay_home's low cost is on the scoreboard it wins every round
+  // and the expensive presets fall out of the probe viability band.
+  for (int i = 0; i < 60; ++i) {
+    if (tuner.current_preset() == "stay_home") {
+      tuner.ingest(mem_delta(900, 100, /*remote=*/50, /*inval=*/0));
+    } else {
+      tuner.ingest(mem_delta(900, 100, /*remote=*/400, /*inval=*/200,
+                             /*repl=*/50, /*migr=*/10));
+    }
+  }
+  EXPECT_EQ(tuner.current_preset(), "stay_home");
+  EXPECT_EQ(space.replicate_threshold(), 64u);
+  EXPECT_EQ(space.migrate_threshold(), 256u);
+  EXPECT_GE(tuner.rounds(), 60u);
+  EXPECT_GT(tuner.last_cost(), 0.0);
 }
 
 }  // namespace

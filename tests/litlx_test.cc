@@ -130,6 +130,59 @@ TEST(Machine, ReportAggregatesAllSubsystems) {
   EXPECT_NE(report.find("report_loop"), std::string::npos);
 }
 
+TEST(Machine, TelemetrySnapshotCoversMemoryLayer) {
+  Machine machine(small_options());
+  const auto obj = machine.objects().create(0, 32);
+  char buf[32] = {};
+  machine.objects().write(0, obj, buf);
+  for (int i = 0; i < 4; ++i) machine.objects().read(1, obj, buf);
+  machine.wait_idle();
+  const obs::TelemetrySnapshot snap = machine.telemetry_snapshot();
+  auto value_of = [&](const char* name) -> double {
+    for (const obs::MetricValue& m : snap.metrics)
+      if (m.name == name) return m.value;
+    return -1.0;  // metric not registered at all
+  };
+  // The object space registers its counters in the runtime registry, so
+  // one snapshot spans the memory layer alongside rt.* and parcel.*.
+  EXPECT_GE(value_of("mem.reads"), 4.0);
+  EXPECT_GE(value_of("mem.writes"), 1.0);
+  EXPECT_GE(value_of("mem.remote_reads"), 1.0);
+  EXPECT_GE(value_of("mem.replications"), 0.0);
+  EXPECT_GE(value_of("mem.invalidations"), 0.0);
+  EXPECT_GE(value_of("mem.migrations"), 0.0);
+  EXPECT_GE(value_of("mem.lock_free_reads"), 0.0);
+  EXPECT_GE(value_of("mem.read_retries"), 0.0);
+  // GlobalMemory's aggregate traffic gauges ride along as well.
+  EXPECT_GE(value_of("mem.local_accesses"), 0.0);
+  EXPECT_GE(value_of("mem.remote_accesses"), 1.0);
+}
+
+TEST(Machine, LocalityTunerFollowsSampledRates) {
+  MachineOptions opts = small_options();
+  opts.object_params.replicate_threshold = 4;  // "balanced" preset
+  opts.object_params.migrate_threshold = 16;
+  Machine machine(opts);
+  ASSERT_NE(machine.locality_tuner(), nullptr);
+  EXPECT_EQ(machine.locality_tuner()->current_preset(), "balanced");
+  // Drive object traffic, then tick the sampler deterministically; the
+  // tuner must see the interval's mem.* rates (one round ingested).
+  const auto obj = machine.objects().create(0, 64);
+  char buf[64] = {};
+  for (int i = 0; i < 200; ++i) machine.objects().read(1, obj, buf);
+  machine.start_sampler(std::chrono::milliseconds(1000));
+  machine.sampler()->sample_once();
+  machine.stop_sampler();
+  EXPECT_GE(machine.locality_tuner()->rounds(), 1u);
+}
+
+TEST(Machine, AdaptiveLocalityCanBeDisabled) {
+  MachineOptions opts = small_options();
+  opts.adaptive_locality = false;
+  Machine machine(opts);
+  EXPECT_EQ(machine.locality_tuner(), nullptr);
+}
+
 TEST(Forall, PullersOptionBoundsParallelClaimants) {
   Machine machine(small_options(1, 4));
   ForallOptions opts;

@@ -165,6 +165,46 @@ TEST(GlobalMemory, UsedBytesTracksAllocation) {
   EXPECT_EQ(gm.capacity_bytes(0), 1u << 20);
 }
 
+TEST(GlobalMemory, ReleaseThenAllocReusesBlock) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress a = gm.alloc(1, 64);
+  gm.release(a, 64);
+  EXPECT_EQ(gm.stats().freelist_releases.load(), 1u);
+  const GlobalAddress b = gm.alloc(1, 64);
+  EXPECT_EQ(b, a);  // same block handed back, not a fresh bump
+  EXPECT_EQ(gm.stats().freelist_reuses.load(), 1u);
+}
+
+TEST(GlobalMemory, FreeListMatchesOnRoundedSize) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  const GlobalAddress a = gm.alloc(0, 61);  // rounds to 64
+  gm.release(a, 61);
+  // A differently-rounded size must not reuse the parked block.
+  const GlobalAddress c = gm.alloc(0, 128);
+  EXPECT_NE(c, a);
+  // Same rounded size (61 -> 64, 58 -> 64) does.
+  const GlobalAddress b = gm.alloc(0, 58);
+  EXPECT_EQ(b, a);
+}
+
+TEST(GlobalMemory, FreeListKeepsUsedBytesBounded) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  gm.alloc(2, 256);
+  const std::uint64_t watermark = gm.used_bytes(2);
+  for (int i = 0; i < 1000; ++i) {
+    const GlobalAddress a = gm.alloc(2, 256);
+    ASSERT_FALSE(a.is_null());
+    gm.release(a, 256);
+  }
+  // One extra block of headroom at most: the watermark is a high-water
+  // mark, and every iteration reuses the previously released block.
+  EXPECT_LE(gm.used_bytes(2), watermark + 256);
+  EXPECT_GE(gm.stats().freelist_reuses.load(), 999u);
+}
+
 // -------------------------------------------------------------- ObjectSpace
 
 ObjectSpace::Params eager_params() {
@@ -296,6 +336,85 @@ TEST(ObjectSpace, ExplicitMigratePreservesData) {
   // Migrating to the current home is a no-op.
   space.migrate(id, 2);
   EXPECT_EQ(space.stats().migrations, 1u);
+}
+
+TEST(ObjectSpace, MigrationPingPongKeepsMemoryBounded) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 512);
+  // Prime both nodes' watermarks with one residency each.
+  space.migrate(id, 1);
+  space.migrate(id, 0);
+  const std::uint64_t high0 = gm.used_bytes(0);
+  const std::uint64_t high1 = gm.used_bytes(1);
+  // Every migration releases the old home block into the node's free
+  // list, and the next residency reuses it: 100 round trips must not
+  // grow either node's watermark.
+  for (int i = 0; i < 100; ++i) {
+    space.migrate(id, 1);
+    space.migrate(id, 0);
+  }
+  EXPECT_EQ(gm.used_bytes(0), high0);
+  EXPECT_EQ(gm.used_bytes(1), high1);
+  EXPECT_GT(gm.stats().freelist_reuses.load(), 0u);
+  // Data survives the storm.
+  std::vector<char> out(512, 'x');
+  space.read(0, id, out.data());
+  for (char c : out) EXPECT_EQ(c, 0);
+}
+
+TEST(ObjectSpace, SetThresholdsTakeEffectImmediately) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace::Params params;
+  params.replicate_threshold = 1000;  // never replicate...
+  params.migrate_threshold = 1000;
+  ObjectSpace space(gm, params);
+  const auto id = space.create(0, 8);
+  std::uint64_t v = 0;
+  space.read(1, id, &v);
+  EXPECT_FALSE(space.has_replica(id, 1));
+  // ...until the adaptive layer retunes the live thresholds.
+  space.set_thresholds(1, 1000);
+  EXPECT_EQ(space.replicate_threshold(), 1u);
+  EXPECT_EQ(space.migrate_threshold(), 1000u);
+  space.read(1, id, &v);
+  EXPECT_TRUE(space.has_replica(id, 1));
+}
+
+TEST(ObjectSpace, MutexOnlyModeStaysCoherent) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace::Params params = eager_params();
+  params.lock_free_reads = false;  // ablation: pre-seqlock protocol
+  ObjectSpace space(gm, params);
+  const auto id = space.create(0, 16);
+  const char data[16] = "no fast path!!!";
+  space.write(1, id, data);
+  char out[16] = {};
+  space.read(2, id, out);
+  EXPECT_STREQ(out, data);
+  space.read(2, id, out);
+  EXPECT_TRUE(space.has_replica(id, 2));
+  const ObjectStats s = space.stats();
+  EXPECT_EQ(s.lock_free_reads, 0u);
+  EXPECT_GT(s.reads, 0u);
+}
+
+TEST(ObjectSpace, StatsCountLockFreeReads) {
+  auto inj = test_injector();
+  GlobalMemory gm(inj);
+  ObjectSpace space(gm, eager_params());
+  const auto id = space.create(0, 8);
+  std::uint64_t v = 7;
+  space.write(0, id, &v);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) space.read(0, id, &out);
+  EXPECT_EQ(out, 7u);
+  const ObjectStats s = space.stats();
+  EXPECT_GT(s.lock_free_reads, 0u);   // home reads took the seqlock path
+  EXPECT_EQ(s.remote_reads, 0u);
 }
 
 TEST(ObjectSpace, ConcurrentReadersAndWritersStayCoherent) {

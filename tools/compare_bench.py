@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Diff a bench --json run against BENCH_baseline.json.
+
+    tools/compare_bench.py build/bench/bench_e8_smoke.json \
+        --baseline BENCH_baseline.json [--tolerance 0.3] [--strict]
+
+The candidate is one harness emission ({"experiment", "smoke",
+"sections": [...]}); the baseline is the repo-wide document whose
+"experiments" array holds one entry per harness. Matching is structural:
+experiment by name, sections by name, rows by their string-valued cells
+(policy="guided", mode="seqlock"), with sweep rows that share those
+cells matched by position. Numeric cells
+present in both rows are then compared with a relative tolerance, in the
+direction the column name implies:
+
+  higher is better:  *per_sec*, *per_second*, *speedup*, *throughput*
+  lower is better:   *_ns, *_cycles, *time*, *latency*, *makespan*
+
+Columns matching neither pattern (iteration counts, event tallies) are
+informational and never gate. A --smoke candidate only gets the
+structural check -- its iteration counts are too small for timing to
+mean anything -- unless --strict forces the numeric comparison.
+
+Exits 0 when every gated cell is within tolerance, 1 on a perf
+regression or structural mismatch (missing experiment/section/row), and
+2 on usage errors. Baselines move with hardware: regenerate on the same
+machine class before trusting a numeric failure.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = ("per_sec", "per_second", "speedup", "throughput")
+LOWER_BETTER = ("_ns", "_cycles", "time", "latency", "makespan")
+
+
+def direction(column):
+    name = column.lower()
+    if any(pat in name for pat in HIGHER_BETTER):
+        return "higher"
+    if any(pat in name for pat in LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def row_keys(rows):
+    """Row identity = the row's string-valued cells (policy="guided",
+    mode="seqlock", ...). Numeric cells stay out of the key -- tallies
+    like `iterations` legitimately differ between a smoke candidate and
+    the full-run baseline. Rows sharing the same string cells (parameter
+    sweeps, or rows with none) are disambiguated by their ordinal, which
+    the deterministic emission order makes stable."""
+    seen = {}
+    keys = []
+    for row in rows:
+        base = tuple((col, val) for col, val in sorted(row.items())
+                     if isinstance(val, str))
+        ordinal = seen.get(base, 0)
+        seen[base] = ordinal + 1
+        keys.append((base, ordinal))
+    return keys
+
+
+def fmt_key(key):
+    base, ordinal = key
+    cells = ", ".join(f"{c}={v}" for c, v in base) or "<unkeyed>"
+    return f"{cells}#{ordinal}" if ordinal else cells
+
+
+def compare(candidate, baseline_doc, tolerance, numeric):
+    problems = []
+    name = candidate.get("experiment")
+    base_exp = next(
+        (e for e in baseline_doc.get("experiments", [])
+         if e.get("experiment") == name), None)
+    if base_exp is None:
+        return [f"experiment {name!r} not present in baseline"]
+
+    cand_sections = {s["name"]: s for s in candidate.get("sections", [])}
+    for base_sec in base_exp.get("sections", []):
+        sec_name = base_sec["name"]
+        cand_sec = cand_sections.get(sec_name)
+        if cand_sec is None:
+            problems.append(f"section {sec_name!r} missing from candidate")
+            continue
+        cand_row_list = cand_sec.get("rows", [])
+        cand_rows = dict(zip(row_keys(cand_row_list), cand_row_list))
+        base_rows = base_sec.get("rows", [])
+        for key, base_row in zip(row_keys(base_rows), base_rows):
+            cand_row = cand_rows.get(key)
+            if cand_row is None:
+                problems.append(
+                    f"{sec_name}: row [{fmt_key(key)}] missing from candidate")
+                continue
+            if not numeric:
+                continue
+            for col, base_val in base_row.items():
+                sense = direction(col)
+                if sense is None or not is_number(base_val):
+                    continue
+                cand_val = cand_row.get(col)
+                if not is_number(cand_val):
+                    continue
+                if base_val == 0:
+                    continue
+                ratio = cand_val / base_val
+                regressed = (ratio < 1.0 - tolerance if sense == "higher"
+                             else ratio > 1.0 + tolerance)
+                if regressed:
+                    problems.append(
+                        f"{sec_name}: [{fmt_key(key)}] {col}: "
+                        f"{cand_val:g} vs baseline {base_val:g} "
+                        f"({'-' if sense == 'higher' else '+'}"
+                        f"{abs(ratio - 1.0) * 100:.1f}%, "
+                        f"tolerance {tolerance * 100:.0f}%)")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare a bench --json run against the perf baseline")
+    parser.add_argument("candidate", help="bench --json output file")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="baseline document (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative slip (default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="compare numbers even for --smoke candidates")
+    args = parser.parse_args()
+
+    try:
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_bench: cannot load input: {err}", file=sys.stderr)
+        return 2
+
+    if baseline.get("schema") != "htvm-bench-baseline-v1":
+        print("compare_bench: baseline is not htvm-bench-baseline-v1",
+              file=sys.stderr)
+        return 2
+
+    numeric = args.strict or not candidate.get("smoke", False)
+    problems = compare(candidate, baseline, args.tolerance, numeric)
+    mode = "numeric" if numeric else "structural (smoke run)"
+    if problems:
+        print(f"compare_bench: FAIL ({mode}) "
+              f"{candidate.get('experiment')!r} vs {args.baseline}:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"compare_bench: OK ({mode}) {candidate.get('experiment')!r} "
+          f"matches {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
