@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "sync/sync_slot.h"
 #include "util/spinlock.h"
 
 namespace htvm::litlx {
@@ -82,11 +83,16 @@ sync::Future<std::int64_t> reduce_i64(
     std::function<std::int64_t(std::int64_t, std::int64_t)> combine,
     std::uint64_t modeled_bytes) {
   const std::uint32_t n = machine.runtime().num_nodes();
+  // Each cell pairs a merge location with a dataflow enable: the SyncSlot
+  // is armed with (own value + child partials) and contributions signal
+  // it, so the "all inputs present" countdown rides the lock-free signal
+  // path instead of living inside the spinlock critical section. The lock
+  // only serializes the merge itself (combine is arbitrary user code).
   struct Cell {
     util::SpinLock lock;
     std::int64_t partial = 0;
     bool seeded = false;
-    std::uint32_t pending = 0;
+    sync::SyncSlot ready;
   };
   struct State {
     std::vector<Cell> cells;
@@ -104,20 +110,14 @@ sync::Future<std::int64_t> reduce_i64(
   state->root = root;
   state->n = n;
   state->bytes = modeled_bytes;
-  for (std::uint32_t node = 0; node < n; ++node) {
-    state->cells[node].pending =
-        static_cast<std::uint32_t>(tree_children(node, root, n).size()) + 1;
-  }
 
-  // contribute(node, v): merge v into node's cell; when the cell has its
-  // own value plus all child partials, forward up (or finish at root).
+  // contribute(node, v): merge v into node's cell, then signal its enable.
+  // The merge happens-before the fire (unlock release + the signal CAS
+  // release chain), so the firing continuation reads a complete partial.
   auto contribute =
       std::make_shared<std::function<void(std::uint32_t, std::int64_t)>>();
-  *contribute = [state, contribute, &machine](std::uint32_t node,
-                                              std::int64_t v) {
+  *contribute = [state](std::uint32_t node, std::int64_t v) {
     Cell& cell = state->cells[node];
-    std::int64_t forward = 0;
-    bool complete = false;
     {
       util::Guard<util::SpinLock> g(cell.lock);
       if (!cell.seeded) {
@@ -126,22 +126,33 @@ sync::Future<std::int64_t> reduce_i64(
       } else {
         cell.partial = state->combine(cell.partial, v);
       }
-      if (--cell.pending == 0) {
-        complete = true;
-        forward = cell.partial;
-      }
     }
-    if (!complete) return;
-    if (node == state->root) {
-      state->done.set(forward);
-      return;
-    }
-    const std::uint32_t parent =
-        tree_parent(node, state->root, state->n);
-    machine.invoke_at(parent, state->bytes, [contribute, parent, forward] {
-      (*contribute)(parent, forward);
-    });
+    cell.ready.signal();
   };
+  // Arm every cell before any seed can land: when a cell fires it forwards
+  // its partial up the tree (or fulfills the future at the root).
+  for (std::uint32_t node = 0; node < n; ++node) {
+    const auto pending = static_cast<std::uint32_t>(
+        tree_children(node, root, n).size() + 1);
+    state->cells[node].ready.arm(
+        pending, [state, contribute, &machine, node] {
+          std::int64_t forward = 0;
+          {
+            util::Guard<util::SpinLock> g(state->cells[node].lock);
+            forward = state->cells[node].partial;
+          }
+          if (node == state->root) {
+            state->done.set(forward);
+            return;
+          }
+          const std::uint32_t parent =
+              tree_parent(node, state->root, state->n);
+          machine.invoke_at(parent, state->bytes,
+                            [contribute, parent, forward] {
+                              (*contribute)(parent, forward);
+                            });
+        });
+  }
   // Seed every node with its own value, computed on that node.
   for (std::uint32_t node = 0; node < n; ++node) {
     machine.invoke_at(node, modeled_bytes, [state, contribute, node] {

@@ -223,10 +223,11 @@ T forall_reduce(Machine& machine, std::int64_t begin, std::int64_t end,
     const std::uint32_t slot =
         next_slot.fetch_add(1, std::memory_order_relaxed) % pullers;
     static_assert(std::is_copy_assignable_v<T>);
-    // Merge into the slot under a spin via atomic flag per slot is
-    // avoided: slots are contended only when two chunks pick the same
-    // slot concurrently, so serialize with a per-call mutex table.
-    machine.atomically({&partial[slot]}, [&] {
+    // Slots are contended only when two chunks pick the same slot
+    // concurrently; the merge names exactly one location, so it takes the
+    // domain's single-stripe fast path (one CAS acquire, no stripe-set
+    // collection).
+    machine.atomically(static_cast<const void*>(&partial[slot]), [&] {
       partial[slot] = combine(partial[slot], acc);
     });
   };

@@ -116,6 +116,14 @@ class Machine {
     atomic_domain_.atomically(addrs, static_cast<Fn&&>(fn));
   }
 
+  // Single-location fast path: one CAS stripe acquire, no stripe-set
+  // collection (see AtomicDomain). Prefer it when the block names exactly
+  // one location -- forall_reduce's partial merges use it.
+  template <typename Fn>
+  void atomically(const void* addr, Fn&& fn) {
+    atomic_domain_.atomically(addr, static_cast<Fn&&>(fn));
+  }
+
   // ----------------------------------------------------------------- hints
 
   // Returns the parse error or empty.

@@ -191,7 +191,12 @@ class Runtime {
 
   // Blocks the current LGT on a future without blocking its worker: the
   // fiber switches out and is re-enqueued when the value arrives. From a
-  // non-fiber context this falls back to a blocking get.
+  // non-fiber context on a worker thread (inside an SGT or TGT) the
+  // worker *helps*: it keeps running scheduler work until the future is
+  // ready, so the producer queued behind the awaiting task still runs --
+  // a blocking get here would park the worker and deadlock a 1-worker
+  // runtime (the PR-6 await regression). Only a genuinely external
+  // thread falls back to the blocking get.
   //
   // Exactly one wake consumer is registered per blocking episode, and the
   // consumer goes through the LGT's wake gate with the episode's epoch:
@@ -201,7 +206,14 @@ class Runtime {
   template <typename T>
   static const T& await(const sync::Future<T>& future) {
     Lgt* lgt = current_lgt();
-    if (lgt == nullptr) return future.get();
+    if (lgt == nullptr) {
+      Runtime* rt = current();
+      if (rt != nullptr && current_worker() >= 0) {
+        rt->help_while_not([&future] { return future.ready(); });
+        return future.get();  // ready: returns without blocking
+      }
+      return future.get();
+    }
     while (!future.ready()) {
       const std::uint64_t epoch =
           lgt->wake_epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -293,6 +305,13 @@ class Runtime {
   // Wakes parked workers so they notice poller work that arrived outside
   // the spawn APIs.
   void notify_work() { work_arrived(); }
+
+  // Help-first blocking for non-fiber contexts: runs scheduler work on the
+  // calling worker until `ready()` returns true. Must be called from a
+  // worker thread of this runtime (await()'s SGT/TGT fallback). TGTs
+  // enabled by the helped work run as usual when the interrupted task's
+  // own drain resumes.
+  void help_while_not(const std::function<bool()>& ready);
 
   // LGT wakeup protocol (public for Future callbacks) and load balancing.
   void lgt_checkin(Lgt* lgt);

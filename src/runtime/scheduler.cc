@@ -113,6 +113,27 @@ Runtime::Runtime(RuntimeOptions options)
             memory_->stats().bytes_moved_remote.load(
                 std::memory_order_relaxed));
       }));
+  // Sync-layer counters (PR-6): htvm_sync cannot depend on htvm_obs, so
+  // its sharded process-wide SyncStats bridge into the registry here, the
+  // same way GlobalMemory's mem.* traffic does. Note these totals are
+  // process-wide (all runtimes and external sync objects), not scoped to
+  // this runtime instance.
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "sync.signals",
+      [] { return static_cast<double>(sync::stats().signals()); }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "sync.fires",
+      [] { return static_cast<double>(sync::stats().fires()); }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "sync.over_signals",
+      [] { return static_cast<double>(sync::stats().over_signals()); }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "sync.buffered_waiters", [] {
+        return static_cast<double>(sync::stats().buffered_waiters());
+      }));
+  gauge_sources_.push_back(metrics_->add_counter_source(
+      "sync.node_reuse",
+      [] { return static_cast<double>(sync::stats().node_reuse()); }));
 
   // End-of-run dumps controlled by the environment: HTVM_TRACE=<path>
   // attaches an owned, enabled tracer whose Chrome JSON is written at

@@ -1,5 +1,6 @@
 // Worker scheduling loop: TGTs first, then own SGT deque, node inject
 // queue, ready LGTs, pollers (parcels), and finally work stealing.
+#include <cassert>
 #include <chrono>
 #include <thread>
 
@@ -105,6 +106,23 @@ void Runtime::drain_tgts(Worker& w) {
     counters_.tgts_executed->add(w.id);
     tgt.invoke();
     task_finished();
+  }
+}
+
+void Runtime::help_while_not(const std::function<bool()>& ready) {
+  // Await from a non-fiber task on a worker: instead of parking the OS
+  // thread (which would deadlock a 1-worker runtime whenever the producer
+  // sits behind the awaiting task in a deque), the worker keeps running
+  // scheduler work until the condition holds. Re-entrant: helped tasks may
+  // themselves await and help.
+  const std::int32_t wid = worker_hint();
+  assert(wid >= 0 && "help_while_not requires a worker of this runtime");
+  Worker& w = *workers_[static_cast<std::size_t>(wid)];
+  while (!ready()) {
+    if (try_run_one(w)) continue;
+    // No local/stealable work: the producer is on another thread (or an
+    // external one). Spin politely; the condition is the only exit.
+    std::this_thread::yield();
   }
 }
 

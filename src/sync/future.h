@@ -5,74 +5,132 @@
 // Unlike std::future, an htvm Future supports *continuation* consumption:
 // consumers that arrive before the value do not block a thread unit -- the
 // request is buffered at the future itself and replayed when the producer
-// fulfills it. get() is also available for LGT-level code, where blocking
-// is realized as a fiber switch by the runtime (see runtime/scheduler.h) or
-// as a condition-variable wait on plain threads.
+// fulfills it. The buffering is a lock-free Treiber stack of pooled
+// waiter nodes (sync/waiter_queue.h): on_ready and set are mutex-free and
+// allocation-free on the fast path, which is what lets a future sit on
+// the TGT-enabling critical path. get() is also available for LGT-level
+// code, where blocking is realized as a fiber switch by the runtime (see
+// runtime/runtime.h) or as a condition-variable wait on plain threads;
+// the cv is the only remaining blocking primitive and is reached only by
+// threads that actually block.
+//
+// Ablation: constructing a future while sync::lock_free_sync() is false
+// selects the pre-PR-6 mutex-and-vector buffering (E13's "mutex" rows).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "sync/sync_stats.h"
+#include "sync/waiter_queue.h"
+
 namespace htvm::sync {
 
 template <typename T>
 class FutureState {
  public:
-  // Registers a consumer continuation. Runs inline if already fulfilled.
-  void on_ready(std::function<void(const T&)> consumer) {
+  FutureState() : lock_free_(lock_free_sync()) {}
+
+  // Registers a consumer continuation. Runs inline if already fulfilled;
+  // otherwise buffers with one CAS (no lock, no allocation on a waiter-
+  // pool hit).
+  template <typename F>
+  void on_ready(F&& consumer) {
+    if (lock_free_) {
+      queue_.on_ready(std::forward<F>(consumer));
+      return;
+    }
+    std::function<void(const T&)> fn(std::forward<F>(consumer));
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (!ready_) {
-        buffered_.push_back(std::move(consumer));
+      if (!legacy_ready_) {
+        legacy_buffered_.push_back(std::move(fn));
         return;
       }
     }
-    consumer(value_);
+    fn(legacy_value_);
   }
 
   // Fulfills the future. Exactly once; a second set is a logic error and
-  // is ignored so a lost race stays benign in release builds.
+  // is ignored *before* it can touch the value, so a lost race stays
+  // benign (consumers released by the first set never observe a
+  // concurrent mutation).
   void set(T value) {
+    if (lock_free_) {
+      if (!queue_.fulfill(std::move(value))) return;
+      // Wake blocking get()ers. The Dekker handshake: get() bumps
+      // blockers_ (seq_cst) before its ready check; fulfill published
+      // ready with a seq_cst exchange before this load. Whichever order
+      // the two land in, either we see blockers_ > 0 and notify under
+      // the mutex, or the getter's predicate sees ready and never waits.
+      if (blockers_.load(std::memory_order_seq_cst) > 0) {
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        cv_.notify_all();
+      }
+      return;
+    }
     std::vector<std::function<void(const T&)>> pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (ready_) return;
-      value_ = std::move(value);
-      ready_ = true;
-      pending.swap(buffered_);
+      if (legacy_ready_) return;
+      legacy_value_ = std::move(value);
+      legacy_ready_ = true;
+      pending.swap(legacy_buffered_);
     }
     cv_.notify_all();
-    for (auto& c : pending) c(value_);
+    for (auto& c : pending) c(legacy_value_);
   }
 
   bool ready() const {
+    if (lock_free_) return queue_.ready();
     std::unique_lock<std::mutex> lock(mutex_);
-    return ready_;
+    return legacy_ready_;
   }
 
-  // Blocking get for plain-thread contexts.
+  // Blocking get for plain-thread contexts (the non-fiber slow path).
   const T& get() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return ready_; });
-    return value_;
+    if (!lock_free_) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return legacy_ready_; });
+      return legacy_value_;
+    }
+    if (queue_.ready()) return queue_.value();
+    blockers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return queue_.ready_strong(); });
+    }
+    blockers_.fetch_sub(1, std::memory_order_relaxed);
+    return queue_.value();
   }
 
-  // Number of consumers currently buffered (for tests and the monitor).
+  // Number of consumers currently buffered (for tests and the monitor;
+  // approximate under concurrency).
   std::size_t buffered_consumers() const {
+    if (lock_free_) return queue_.buffered();
     std::unique_lock<std::mutex> lock(mutex_);
-    return buffered_.size();
+    return legacy_buffered_.size();
   }
 
  private:
+  const bool lock_free_;
+  WaiterQueue<T> queue_;  // lock-free path: value + waiter stack
+  // Blocking-get slow path. Touched only by threads that actually block
+  // (blockers_ keeps set() off the mutex when nobody waits).
+  std::atomic<std::uint32_t> blockers_{0};
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  bool ready_ = false;
-  T value_{};
-  std::vector<std::function<void(const T&)>> buffered_;
+  // Mutex-ablation state (lock_free_ == false only): the pre-PR-6
+  // lock-plus-vector buffering, kept for E13's ablation rows.
+  bool legacy_ready_ = false;
+  T legacy_value_{};
+  std::vector<std::function<void(const T&)>> legacy_buffered_;
 };
 
 // Shared-handle future, copyable across producer and consumers.
@@ -84,8 +142,9 @@ class Future {
   void set(T value) const { state_->set(std::move(value)); }
   bool ready() const { return state_->ready(); }
   const T& get() const { return state_->get(); }
-  void on_ready(std::function<void(const T&)> consumer) const {
-    state_->on_ready(std::move(consumer));
+  template <typename F>
+  void on_ready(F&& consumer) const {
+    state_->on_ready(std::forward<F>(consumer));
   }
   std::size_t buffered_consumers() const {
     return state_->buffered_consumers();

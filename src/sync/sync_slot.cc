@@ -3,24 +3,54 @@
 namespace htvm::sync {
 
 void SyncSlot::arm(std::uint32_t count, std::function<void()> continuation) {
+  // Arm-while-pending is a protocol violation: in-flight signals of the
+  // previous round could still read continuation_ while we rewrite it.
+  // Debug builds assert; release builds are still protected against
+  // *stale decrements* because the CAS below bumps the round.
+  assert((!armed_ || fired()) &&
+         "SyncSlot::arm() while a previous round is still pending; use "
+         "rearm() for signal-safe reuse");
   continuation_ = std::move(continuation);
+  armed_ = true;
   reset_ = count;
-  count_.store(count, std::memory_order_release);
+  if (!lock_free_) {
+    util::Guard<util::SpinLock> g(lock_);
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    word_.store(((w >> kRoundShift) + 1) << kRoundShift | count,
+                std::memory_order_release);
+  } else {
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = ((w >> kRoundShift) + 1) << kRoundShift | count;
+    } while (!word_.compare_exchange_weak(w, next, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
   if (count == 0 && continuation_) {
-    fire_count_.fetch_add(1, std::memory_order_relaxed);
+    record_fire();
     continuation_();
   }
 }
 
 bool SyncSlot::signal(std::uint32_t n) {
+  stats().shard().signals.fetch_add(1, std::memory_order_relaxed);
+  if (!lock_free_) return signal_locked(n);
+  std::uint64_t w = word_.load(std::memory_order_acquire);
   while (true) {
-    std::uint32_t cur = count_.load(std::memory_order_acquire);
-    if (cur == 0) return false;  // already fired; benign over-signal
-    const std::uint32_t dec = n >= cur ? cur : n;
-    if (count_.compare_exchange_weak(cur, cur - dec,
-                                     std::memory_order_acq_rel)) {
-      if (cur - dec == 0) {
-        fire_count_.fetch_add(1, std::memory_order_relaxed);
+    const auto count = static_cast<std::uint32_t>(w & kCountMask);
+    if (count == 0) {
+      // Fired, not yet rearmed: a detected over-signal, dropped. It can
+      // never decrement a rearmed round -- a rearm changes the round
+      // bits, so this thread's stale CAS below would fail and land here
+      // on the reload.
+      record_over_signal();
+      return false;
+    }
+    const std::uint32_t dec = n >= count ? count : n;  // clamp at zero
+    if (word_.compare_exchange_weak(w, w - dec, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      if (count - dec == 0) {
+        record_fire();
         if (continuation_) continuation_();
         return true;
       }
@@ -29,8 +59,49 @@ bool SyncSlot::signal(std::uint32_t n) {
   }
 }
 
-void SyncSlot::rearm() {
-  count_.store(reset_, std::memory_order_release);
+bool SyncSlot::signal_locked(std::uint32_t n) {
+  // Ablation path: the whole transition under a spinlock (the pre-PR-6
+  // shape, minus its races). The continuation still runs outside the
+  // lock so a firing continuation may re-arm the slot.
+  bool fires = false;
+  {
+    util::Guard<util::SpinLock> g(lock_);
+    const std::uint64_t w = word_.load(std::memory_order_relaxed);
+    const auto count = static_cast<std::uint32_t>(w & kCountMask);
+    if (count == 0) {
+      record_over_signal();
+      return false;
+    }
+    const std::uint32_t dec = n >= count ? count : n;
+    word_.store(w - dec, std::memory_order_release);
+    fires = count - dec == 0;
+  }
+  if (fires) {
+    record_fire();
+    if (continuation_) continuation_();
+  }
+  return fires;
+}
+
+bool SyncSlot::rearm() {
+  if (!lock_free_) {
+    util::Guard<util::SpinLock> g(lock_);
+    const std::uint64_t w = word_.load(std::memory_order_relaxed);
+    if ((w & kCountMask) != 0) return false;
+    word_.store(((w >> kRoundShift) + 1) << kRoundShift | reset_,
+                std::memory_order_release);
+    return true;
+  }
+  std::uint64_t w = word_.load(std::memory_order_acquire);
+  while (true) {
+    if ((w & kCountMask) != 0) return false;  // only fired -> armed
+    const std::uint64_t next =
+        ((w >> kRoundShift) + 1) << kRoundShift | reset_;
+    if (word_.compare_exchange_weak(w, next, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return true;
+    }
+  }
 }
 
 }  // namespace htvm::sync

@@ -4,102 +4,143 @@
 // A SyncSlot holds a countdown: producers signal() it; when the count
 // reaches zero the slot *fires*, invoking the continuation installed with
 // arm(). Slots can be re-armed with a reset count, which is how iterative
-// dataflow code (one TGT per loop step) reuses a slot. All operations are
-// thread-safe and lock-free on the signal fast path.
+// dataflow code (one TGT per loop step) reuses a slot.
+//
+// The slot is one CAS state machine: count and round number pack into a
+// single atomic word (low 32 = remaining count, high 32 = round), so
+// signal and rearm are single-CAS transitions:
+//
+//        arm(c)            signal x c              rearm()
+//   idle ------> armed(r,c) ----------> fired(r,0) -------> armed(r+1,c)
+//
+// The round makes the rearm protocol exact: rearm only succeeds from the
+// fired state (count 0) and bumps the round, so a signal whose CAS was in
+// flight across the rearm fails its compare (the word changed even if the
+// count value coincides) and re-evaluates against the new round -- a late
+// signal can never double-fire the old round or leak a decrement into the
+// new one. Signals arriving on a fired, un-rearmed slot are detected and
+// counted (sync.over_signals / over_signals()) rather than silently
+// swallowed. See DESIGN.md §6b for the full protocol.
+//
+// Ablation: constructing a slot while sync::lock_free_sync() is false
+// selects a spinlock-guarded implementation (E13's "mutex" rows).
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <utility>
-#include <vector>
 
+#include "sync/sync_stats.h"
+#include "sync/waiter_queue.h"
 #include "util/spinlock.h"
 
 namespace htvm::sync {
 
 class SyncSlot {
  public:
-  SyncSlot() = default;
-  explicit SyncSlot(std::uint32_t count) : count_(count), reset_(count) {}
+  SyncSlot() : lock_free_(lock_free_sync()) {}
+  explicit SyncSlot(std::uint32_t count) : SyncSlot() {
+    word_.store(count, std::memory_order_relaxed);
+    reset_ = count;
+  }
 
   SyncSlot(const SyncSlot&) = delete;
   SyncSlot& operator=(const SyncSlot&) = delete;
 
   // Installs the continuation to run when the count reaches zero, and the
-  // count itself. Must be called before any signal that could fire the
-  // slot. If count is already zero, fires immediately.
+  // count itself. Must not race in-flight signals of a previous round:
+  // call it before any signal, or after the previous round fired and its
+  // signalers are quiesced (rearm() is the signal-safe reuse path). If
+  // count is already zero, fires immediately.
   void arm(std::uint32_t count, std::function<void()> continuation);
 
   // Decrements the count by n; fires the continuation exactly once when it
   // hits zero. Returns true if this call fired the slot. Extra signals on
-  // a fired, un-rearmed slot are ignored (EARTH semantics: sync counts are
-  // exact by construction; tolerate benign over-signal in release builds).
+  // a fired, un-rearmed slot are counted as over-signals and dropped
+  // (EARTH semantics: sync counts are exact by construction; a late
+  // over-signal must never decrement a rearmed round).
   bool signal(std::uint32_t n = 1);
 
-  // Re-arms with the count given at construction / last arm() call. The
-  // continuation is retained. Only valid after the slot has fired.
-  void rearm();
+  // Re-arms with the count given at construction / last arm() call, as a
+  // fired -> armed CAS that bumps the round. The continuation is
+  // retained. Returns false (a no-op) unless the slot is currently fired.
+  bool rearm();
 
   std::uint32_t pending() const {
-    return count_.load(std::memory_order_acquire);
+    return static_cast<std::uint32_t>(
+        word_.load(std::memory_order_acquire) & kCountMask);
   }
   bool fired() const { return pending() == 0; }
   std::uint64_t fire_count() const {
     return fire_count_.load(std::memory_order_relaxed);
   }
+  // Signals that arrived on a fired, un-rearmed slot (dropped).
+  std::uint64_t over_signals() const {
+    return over_signals_.load(std::memory_order_relaxed);
+  }
+  // Current round number (bumped by every arm/rearm; for tests).
+  std::uint32_t round() const {
+    return static_cast<std::uint32_t>(
+        word_.load(std::memory_order_acquire) >> kRoundShift);
+  }
 
  private:
-  std::atomic<std::uint32_t> count_{1};
-  std::uint32_t reset_ = 1;
+  static constexpr std::uint64_t kCountMask = 0xffffffffull;
+  static constexpr unsigned kRoundShift = 32;
+
+  bool signal_locked(std::uint32_t n);
+
+  void record_fire() {
+    fire_count_.fetch_add(1, std::memory_order_relaxed);
+    stats().shard().fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_over_signal() {
+    over_signals_.fetch_add(1, std::memory_order_relaxed);
+    stats().shard().over_signals.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // [ round:32 | count:32 ]. Default state: round 0, count 1 (matches the
+  // historical un-armed default). The round wraps at 2^32; a stale signal
+  // would need to stay suspended across exactly 2^32 rearms to alias.
+  std::atomic<std::uint64_t> word_{1};
+  std::uint32_t reset_ = 1;         // written by arm() only (quiescent)
+  bool armed_ = false;              // arm() has installed a continuation
+  const bool lock_free_;
+  util::SpinLock lock_;             // ablation path only
   std::function<void()> continuation_;
   std::atomic<std::uint64_t> fire_count_{0};
+  std::atomic<std::uint64_t> over_signals_{0};
 };
 
 // A write-once data slot: pairs a value location with a SyncSlot-like
-// enable, the primitive under EARTH's "data sync" operations. The producer
-// calls put(); consumers that registered with when_ready() run after the
-// value is visible.
+// enable, the primitive under EARTH's "data sync" operations. The
+// producer calls put(); consumers that registered with when_ready() run
+// after the value is visible. Implemented directly on the lock-free
+// WaiterQueue: put publishes with one exchange, when_ready buffers with
+// one CAS, and -- fixing the PR-6 races -- a second put is an exactly-once
+// no-op that never mutates the value consumers are reading, while a late
+// consumer only reads the value through the queue's acquire-ready edge.
 template <typename T>
 class DataSlot {
  public:
   DataSlot() = default;
 
-  void when_ready(std::function<void(const T&)> consumer) {
-    {
-      util::Guard<util::SpinLock> g(lock_);
-      if (!ready_) {
-        consumers_.push_back(std::move(consumer));
-        return;
-      }
-    }
-    consumer(value_);
+  template <typename F>
+  void when_ready(F&& consumer) {
+    queue_.on_ready(std::forward<F>(consumer));
   }
 
-  void put(T value) {
-    std::vector<std::function<void(const T&)>> pending;
-    {
-      util::Guard<util::SpinLock> g(lock_);
-      value_ = std::move(value);
-      ready_ = true;
-      pending.swap(consumers_);
-    }
-    for (auto& c : pending) c(value_);
-  }
+  void put(T value) { queue_.fulfill(std::move(value)); }
 
-  bool ready() const {
-    util::Guard<util::SpinLock> g(lock_);
-    return ready_;
-  }
+  bool ready() const { return queue_.ready(); }
 
   // Only valid when ready().
-  const T& value() const { return value_; }
+  const T& value() const { return queue_.value(); }
 
  private:
-  mutable util::SpinLock lock_;
-  bool ready_ = false;
-  T value_{};
-  std::vector<std::function<void(const T&)>> consumers_;
+  WaiterQueue<T> queue_;
 };
 
 }  // namespace htvm::sync

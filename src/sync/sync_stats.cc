@@ -1,0 +1,36 @@
+#include "sync/sync_stats.h"
+
+namespace htvm::sync {
+
+namespace {
+
+std::atomic<bool> g_lock_free{true};
+std::atomic<std::uint32_t> g_next_shard{0};
+
+std::uint32_t this_thread_sync_shard() {
+  thread_local const std::uint32_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+      SyncStats::kShards;
+  return shard;
+}
+
+}  // namespace
+
+SyncStats::Shard& SyncStats::shard() {
+  return shards_[this_thread_sync_shard()];
+}
+
+SyncStats& stats() {
+  static SyncStats instance;
+  return instance;
+}
+
+void set_lock_free_sync(bool enabled) {
+  g_lock_free.store(enabled, std::memory_order_relaxed);
+}
+
+bool lock_free_sync() {
+  return g_lock_free.load(std::memory_order_relaxed);
+}
+
+}  // namespace htvm::sync

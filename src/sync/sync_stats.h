@@ -1,0 +1,70 @@
+// Process-wide counters for the synchronization layer ("sync.*" metrics).
+//
+// htvm_sync sits below htvm_obs in the library graph, so the sync layer
+// cannot register obs::Counter objects itself. Instead it bumps these
+// sharded atomics (same cacheline-per-shard discipline as obs::Counter)
+// and the Runtime registers counter sources over the totals -- exactly
+// the bridge GlobalMemory uses for mem.local_accesses/remote_accesses.
+//
+// The stats are process-wide, not per-runtime: two live Machines share
+// one SyncStats (documented at the registration site). Tests therefore
+// assert on *deltas*, never absolute values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace htvm::sync {
+
+class SyncStats {
+ public:
+  static constexpr std::uint32_t kShards = 16;
+
+  // One shard per hashed thread; every bump is a relaxed fetch_add on a
+  // thread-private cacheline, never a shared one.
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> signals{0};
+    std::atomic<std::uint64_t> fires{0};
+    std::atomic<std::uint64_t> over_signals{0};
+    std::atomic<std::uint64_t> buffered_waiters{0};
+    std::atomic<std::uint64_t> node_allocs{0};
+    std::atomic<std::uint64_t> node_reuse{0};
+    std::atomic<std::uint64_t> atomic_fast_hits{0};
+  };
+
+  Shard& shard();  // the calling thread's shard
+
+  std::uint64_t signals() const { return sum(&Shard::signals); }
+  std::uint64_t fires() const { return sum(&Shard::fires); }
+  std::uint64_t over_signals() const { return sum(&Shard::over_signals); }
+  std::uint64_t buffered_waiters() const {
+    return sum(&Shard::buffered_waiters);
+  }
+  std::uint64_t node_allocs() const { return sum(&Shard::node_allocs); }
+  std::uint64_t node_reuse() const { return sum(&Shard::node_reuse); }
+  std::uint64_t atomic_fast_hits() const {
+    return sum(&Shard::atomic_fast_hits);
+  }
+
+ private:
+  std::uint64_t sum(std::atomic<std::uint64_t> Shard::* member) const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_)
+      total += (s.*member).load(std::memory_order_relaxed);
+    return total;
+  }
+
+  Shard shards_[kShards];
+};
+
+// The process-wide instance (trivially destructible members, so safe to
+// touch from thread_local destructors during shutdown).
+SyncStats& stats();
+
+// Global ablation knob (E13's lock-free vs mutex comparison, mirroring
+// ObjectSpace::Params::lock_free_reads): SyncSlot and FutureState sample
+// it at construction. Defaults to true; flip only in benches/tests.
+void set_lock_free_sync(bool enabled);
+bool lock_free_sync();
+
+}  // namespace htvm::sync

@@ -1,0 +1,97 @@
+#include "sync/waiter_pool.h"
+
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace htvm::sync {
+
+namespace {
+
+// Tunables follow rt::TaskPool's shape scaled to sync traffic: caches
+// flush half above 128 nodes and refill 16 at a time, so producer ->
+// consumer node flows cross the shared lock once per ~64 waiters.
+constexpr std::size_t kCacheCap = 128;
+constexpr std::size_t kRefillBatch = 16;
+
+struct SharedPool {
+  util::SpinLock lock;
+  std::vector<WaiterNode*> free;
+};
+
+// Leaky singleton: thread caches flush into it from thread_local
+// destructors, which may run after static destruction would have torn a
+// Meyers singleton down. Nodes are reclaimed by the OS at exit.
+SharedPool& shared_pool() {
+  static SharedPool* pool = new SharedPool();
+  return *pool;
+}
+
+struct ThreadCache {
+  std::vector<WaiterNode*> free;
+  ~ThreadCache() {
+    if (free.empty()) return;
+    SharedPool& pool = shared_pool();
+    util::Guard<util::SpinLock> g(pool.lock);
+    pool.free.insert(pool.free.end(), free.begin(), free.end());
+  }
+};
+
+ThreadCache& cache() {
+  thread_local ThreadCache c;
+  return c;
+}
+
+}  // namespace
+
+WaiterNode* acquire_waiter_node() {
+  ThreadCache& c = cache();
+  if (!c.free.empty()) {
+    WaiterNode* node = c.free.back();
+    c.free.pop_back();
+    stats().shard().node_reuse.fetch_add(1, std::memory_order_relaxed);
+    return node;
+  }
+  // Cache miss: batch-refill from the shared list.
+  {
+    SharedPool& pool = shared_pool();
+    util::Guard<util::SpinLock> g(pool.lock);
+    while (!pool.free.empty() && c.free.size() < kRefillBatch) {
+      c.free.push_back(pool.free.back());
+      pool.free.pop_back();
+    }
+  }
+  if (!c.free.empty()) {
+    WaiterNode* node = c.free.back();
+    c.free.pop_back();
+    stats().shard().node_reuse.fetch_add(1, std::memory_order_relaxed);
+    return node;
+  }
+  stats().shard().node_allocs.fetch_add(1, std::memory_order_relaxed);
+  return new WaiterNode();
+}
+
+void release_waiter_node(WaiterNode* node) {
+  node->next = nullptr;
+  node->invoke = nullptr;
+  node->drop = nullptr;
+  ThreadCache& c = cache();
+  c.free.push_back(node);
+  if (c.free.size() > kCacheCap) {
+    // Flush half: rebalances nodes toward producer threads, like
+    // TaskPool's overflow flush.
+    SharedPool& pool = shared_pool();
+    util::Guard<util::SpinLock> g(pool.lock);
+    const std::size_t keep = c.free.size() / 2;
+    pool.free.insert(pool.free.end(), c.free.begin() + keep, c.free.end());
+    c.free.resize(keep);
+  }
+}
+
+std::size_t waiter_pool_shared_size() {
+  SharedPool& pool = shared_pool();
+  util::Guard<util::SpinLock> g(pool.lock);
+  return pool.free.size();
+}
+
+}  // namespace htvm::sync

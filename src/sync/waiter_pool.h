@@ -1,0 +1,85 @@
+// Pooled, type-erased waiter nodes: the buffering substrate for the
+// lock-free future/data-slot protocol (paper §3.2, "efficient localized
+// buffering of requests at the site of the needed values").
+//
+// A WaiterNode carries one consumer continuation in inline storage plus
+// the intrusive `next` link that threads it onto a future's Treiber
+// stack. Nodes are recycled through a two-tier pool mirroring
+// rt::TaskPool: a per-thread cache (owner-only, lock-free by
+// construction) backed by a shared free list under a spin lock, refilled
+// and flushed in batches. Steady-state producer/consumer churn therefore
+// touches neither the heap nor the shared lock: acquire pops the thread
+// cache, release pushes it back. SyncStats records allocs vs reuse so
+// benches and tests can assert the fast path stays allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sync/sync_stats.h"
+
+namespace htvm::sync {
+
+struct WaiterNode {
+  // Fits a lambda capturing a shared_ptr + a few words, or any
+  // std::function. Larger callables spill to one heap cell owned by the
+  // node for the callable's life (rare; counted as a plain node still).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  WaiterNode* next = nullptr;
+  // Runs the stored consumer with `value` (a const T* for the queue's T)
+  // and destroys the callable. Exactly one of invoke/drop is called
+  // between acquire and release.
+  void (*invoke)(WaiterNode*, const void* value) = nullptr;
+  // Destroys the callable without running it (queue teardown).
+  void (*drop)(WaiterNode*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+};
+
+// Pool entry points. acquire returns a node with undefined callable
+// state; release requires the callable already invoked or dropped.
+WaiterNode* acquire_waiter_node();
+void release_waiter_node(WaiterNode* node);
+
+// Pool occupancy (shared list + thread caches are not distinguishable
+// cheaply; this is the shared-list size, for tests).
+std::size_t waiter_pool_shared_size();
+
+// Binds a consumer callable to a pooled node. T is the value type the
+// queue will invoke with; F must be callable as f(const T&).
+template <typename T, typename F>
+WaiterNode* make_waiter(F&& fn) {
+  using Fn = std::decay_t<F>;
+  WaiterNode* node = acquire_waiter_node();
+  if constexpr (sizeof(Fn) <= WaiterNode::kInlineBytes &&
+                alignof(Fn) <= alignof(std::max_align_t)) {
+    ::new (static_cast<void*>(node->storage)) Fn(std::forward<F>(fn));
+    node->invoke = [](WaiterNode* n, const void* value) {
+      Fn* f = std::launder(reinterpret_cast<Fn*>(n->storage));
+      (*f)(*static_cast<const T*>(value));
+      f->~Fn();
+    };
+    node->drop = [](WaiterNode* n) {
+      std::launder(reinterpret_cast<Fn*>(n->storage))->~Fn();
+    };
+  } else {
+    // Spilled callable: the node stores an owning pointer instead.
+    auto* heap = new Fn(std::forward<F>(fn));
+    ::new (static_cast<void*>(node->storage)) Fn*(heap);
+    node->invoke = [](WaiterNode* n, const void* value) {
+      Fn* f = *std::launder(reinterpret_cast<Fn**>(n->storage));
+      (*f)(*static_cast<const T*>(value));
+      delete f;
+    };
+    node->drop = [](WaiterNode* n) {
+      delete *std::launder(reinterpret_cast<Fn**>(n->storage));
+    };
+  }
+  return node;
+}
+
+}  // namespace htvm::sync

@@ -1,0 +1,141 @@
+// WaiterQueue<T>: the lock-free write-once value + waiter-stack state
+// machine under FutureState and DataSlot.
+//
+// One atomic head word encodes the whole state:
+//
+//     nullptr          -- empty, no value, no waiters
+//     WaiterNode* list -- no value yet; Treiber stack of buffered waiters
+//     kReadyTag (1)    -- value published; value_ is immutable from here on
+//
+// Consumers CAS-push pooled nodes while the head is a list; the producer
+// claims exactly-once delivery on a separate flag, stores the value, and
+// swaps the whole stack out with one exchange to kReadyTag. Waiters run
+// in registration order (the LIFO stack is reversed once). A consumer
+// whose push loses the race against the exchange observes kReadyTag on
+// the failed CAS's reload and runs inline. Every transition is a single
+// CAS/exchange; no path takes a lock and the fast paths allocate nothing
+// (nodes come from the waiter pool).
+//
+// Safety properties the lock era lacked (the PR-6 race fixes):
+//   * double fulfill: the claim flag makes the second producer a counted
+//     no-op *before* it can touch value_, so consumers released by the
+//     first producer never observe a concurrent mutation;
+//   * late consumers: value_ is read only after an acquire load of the
+//     head sees kReadyTag, which the producer published with a release
+//     exchange after the value store -- no read-after-unlock window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "sync/waiter_pool.h"
+
+namespace htvm::sync {
+
+template <typename T>
+class WaiterQueue {
+ public:
+  WaiterQueue() = default;
+
+  WaiterQueue(const WaiterQueue&) = delete;
+  WaiterQueue& operator=(const WaiterQueue&) = delete;
+
+  ~WaiterQueue() {
+    // Unfulfilled queue: drop buffered waiters without running them.
+    WaiterNode* h = head_.load(std::memory_order_acquire);
+    if (h == ready_tag()) return;
+    while (h != nullptr) {
+      WaiterNode* next = h->next;
+      h->drop(h);
+      release_waiter_node(h);
+      h = next;
+    }
+  }
+
+  bool ready() const {
+    return head_.load(std::memory_order_acquire) == ready_tag();
+  }
+  // seq_cst variant for the futex-style blocking-get handshake (see
+  // FutureState::get): pairs with fulfill's seq_cst exchange.
+  bool ready_strong() const {
+    return head_.load(std::memory_order_seq_cst) == ready_tag();
+  }
+
+  // Only valid when ready().
+  const T& value() const { return value_; }
+
+  // Registers `fn` to run with the value. Runs inline when the value is
+  // already (or becomes, mid-push) available; otherwise buffers it on
+  // the stack with one CAS. fn must be callable as fn(const T&).
+  template <typename F>
+  void on_ready(F&& fn) {
+    WaiterNode* h = head_.load(std::memory_order_acquire);
+    if (h == ready_tag()) {
+      fn(value_);
+      return;
+    }
+    WaiterNode* node = make_waiter<T>(std::forward<F>(fn));
+    while (true) {
+      node->next = h;
+      if (head_.compare_exchange_weak(h, node, std::memory_order_release,
+                                      std::memory_order_acquire)) {
+        buffered_.fetch_add(1, std::memory_order_relaxed);
+        stats().shard().buffered_waiters.fetch_add(
+            1, std::memory_order_relaxed);
+        return;
+      }
+      if (h == ready_tag()) {
+        // Lost the race against fulfill: the stack is gone, the value is
+        // visible (the failed CAS reloaded with acquire). Run the node's
+        // own callable inline and recycle it.
+        node->invoke(node, &value_);
+        release_waiter_node(node);
+        return;
+      }
+    }
+  }
+
+  // Publishes the value and drains the waiter stack, exactly once.
+  // Returns false (without touching value_) on the second and later
+  // calls. The exchange is seq_cst so FutureState's blocking get can
+  // pair a Dekker-style blockers handshake with it.
+  bool fulfill(T value) {
+    if (claimed_.exchange(true, std::memory_order_acq_rel)) return false;
+    value_ = std::move(value);
+    WaiterNode* list = head_.exchange(ready_tag(), std::memory_order_seq_cst);
+    buffered_.store(0, std::memory_order_relaxed);
+    // Reverse the LIFO stack so waiters run in registration order.
+    WaiterNode* run = nullptr;
+    while (list != nullptr) {
+      WaiterNode* next = list->next;
+      list->next = run;
+      run = list;
+      list = next;
+    }
+    while (run != nullptr) {
+      WaiterNode* next = run->next;
+      run->invoke(run, &value_);
+      release_waiter_node(run);
+      run = next;
+    }
+    return true;
+  }
+
+  // Approximate under concurrency (for tests and the monitor).
+  std::size_t buffered() const {
+    return buffered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static WaiterNode* ready_tag() {
+    return reinterpret_cast<WaiterNode*>(static_cast<std::uintptr_t>(1));
+  }
+
+  std::atomic<WaiterNode*> head_{nullptr};
+  std::atomic<bool> claimed_{false};
+  std::atomic<std::size_t> buffered_{0};
+  T value_{};
+};
+
+}  // namespace htvm::sync

@@ -379,6 +379,73 @@ TEST(Runtime, AwaitFromExternalThreadFallsBackToBlockingGet) {
   producer.join();
 }
 
+TEST(Runtime, AwaitFromSgtHelpRunsInsteadOfDeadlocking) {
+  // Regression: await from an SGT (non-fiber context) on a worker used to
+  // fall back to a blocking get, parking the only worker while the
+  // producer SGT sat behind it in the deque -- a guaranteed deadlock on a
+  // 1-worker runtime. The worker must help-run queued tasks instead.
+  Runtime rt(small_options(1, 1));
+  ASSERT_EQ(rt.num_workers(), 1u);
+  std::atomic<int> got{0};
+  rt.spawn_sgt([&] {
+    sync::Future<int> f;
+    Runtime::current()->spawn_sgt([f] { f.set(21); });
+    got = Runtime::await(f) * 2;
+  });
+  rt.wait_idle();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(Runtime, AwaitFromSgtHelpsReentrantly) {
+  // Helped tasks may themselves await: a chain of awaiting SGTs on one
+  // worker must resolve by nested helping, not deadlock.
+  Runtime rt(small_options(1, 1));
+  constexpr int kDepth = 8;
+  std::vector<sync::Future<int>> links(kDepth + 1);
+  std::atomic<int> got{0};
+  rt.spawn_sgt([&] {
+    Runtime* r = Runtime::current();
+    for (int s = 0; s < kDepth; ++s) {
+      r->spawn_sgt([&links, s] {
+        links[static_cast<std::size_t>(s) + 1].set(
+            Runtime::await(links[static_cast<std::size_t>(s)]) + 1);
+      });
+    }
+    r->spawn_sgt([&links] { links[0].set(0); });
+    got = Runtime::await(links[kDepth]);
+  });
+  rt.wait_idle();
+  EXPECT_EQ(got.load(), kDepth);
+}
+
+TEST(Runtime, TelemetrySnapshotIncludesSyncFamily) {
+  Runtime rt(small_options(1, 1));
+  // Drive the process-wide sync counters so the registered sources have
+  // nonzero totals to report (they are process-wide: assert presence and
+  // monotonicity, never absolute values).
+  sync::SyncSlot slot;
+  slot.arm(2, [] {});
+  slot.signal();
+  slot.signal();
+  slot.signal();  // over-signal on the fired slot
+  const auto snap = rt.telemetry_snapshot();
+  const auto value_of = [&](const std::string& name) -> const double* {
+    for (const auto& m : snap.metrics)
+      if (m.name == name) return &m.value;
+    return nullptr;
+  };
+  for (const char* name :
+       {"sync.signals", "sync.fires", "sync.over_signals",
+        "sync.buffered_waiters", "sync.node_reuse"}) {
+    const double* v = value_of(name);
+    ASSERT_NE(v, nullptr) << name;
+    EXPECT_GE(*v, 0.0) << name;
+  }
+  EXPECT_GE(*value_of("sync.signals"), 3.0);
+  EXPECT_GE(*value_of("sync.fires"), 1.0);
+  EXPECT_GE(*value_of("sync.over_signals"), 1.0);
+}
+
 TEST(Runtime, ManyLgtsWithFuturesDrain) {
   Runtime rt(small_options(2, 2));
   constexpr int kLgts = 16;

@@ -1,0 +1,219 @@
+// Race-regression stress suite for the lock-free sync layer (run under
+// -DHTVM_SANITIZE=thread via the `tsan` ctest label).
+//
+// These tests pin down the exact guarantees of the CAS state-word
+// protocol (DESIGN.md §6b): exact signal accounting across concurrent
+// rearm round-trips, write-once put/set under racing producers, and the
+// allocation-free steady state of the pooled waiter nodes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sync/future.h"
+#include "sync/sync_slot.h"
+#include "sync/sync_stats.h"
+#include "sync/waiter_pool.h"
+
+namespace htvm::sync {
+namespace {
+
+// Every signal on a count-1 self-rearming slot must be accounted exactly
+// once: it either fires the round (the continuation rearms inline) or is
+// detected as an over-signal in the fired->rearm window. Nothing may be
+// double-counted or silently swallowed, and no stale CAS may leak a
+// decrement into a later round (the round bits guarantee this).
+TEST(SyncStress, SelfRearmingSlotAccountsEverySignal) {
+  constexpr int kThreads = 4;
+  constexpr int kSignalsPerThread = 20000;
+  SyncSlot slot;
+  slot.arm(1, [&slot] { slot.rearm(); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSignalsPerThread; ++i) slot.signal();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t total = kThreads * kSignalsPerThread;
+  EXPECT_EQ(slot.fire_count() + slot.over_signals(), total);
+  EXPECT_GE(slot.fire_count(), 1u);
+}
+
+// A rearm racing in-flight signals: the rearmer only succeeds from the
+// fired state, so fires can exceed successful rearms by at most one, and
+// the decrement ledger must balance exactly -- every sent signal either
+// decremented some round or was counted as an over-signal.
+TEST(SyncStress, ConcurrentRearmerKeepsExactDecrementLedger) {
+  constexpr int kThreads = 4;
+  constexpr int kSignalsPerThread = 20000;
+  constexpr std::uint32_t kCount = 2;
+  SyncSlot slot;
+  slot.arm(kCount, [] {});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rearms{0};
+  std::thread rearmer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (slot.rearm()) rearms.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSignalsPerThread; ++i) slot.signal();
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  rearmer.join();
+
+  EXPECT_LE(slot.fire_count(), rearms.load() + 1);
+  // Ledger: decrements = kCount per completed round, plus the partial
+  // consumption of a round still armed at the end (pending > 0 means the
+  // last rearm's round absorbed kCount - pending signals).
+  const std::uint32_t pending = slot.pending();
+  const std::uint64_t decremented =
+      kCount * slot.fire_count() +
+      (pending > 0 ? kCount - pending : 0);
+  const std::uint64_t total = kThreads * kSignalsPerThread;
+  EXPECT_EQ(decremented + slot.over_signals(), total);
+}
+
+// Racing put() against when_ready() registration: exactly one put wins,
+// every consumer runs exactly once, and no consumer ever observes a torn
+// value (the two halves of the pair must match).
+TEST(SyncStress, ConcurrentPutAndWhenReadyNeverTears) {
+  for (int round = 0; round < 50; ++round) {
+    DataSlot<std::pair<int, int>> slot;
+    std::atomic<int> runs{0};
+    std::atomic<bool> torn{false};
+    std::vector<std::thread> threads;
+    constexpr int kConsumerThreads = 3;
+    constexpr int kPerThread = 50;
+    for (int t = 0; t < kConsumerThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          slot.when_ready([&](const std::pair<int, int>& v) {
+            if (v.first != v.second) torn.store(true);
+            runs.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    threads.emplace_back([&] { slot.put({1, 1}); });
+    threads.emplace_back([&] { slot.put({2, 2}); });
+    for (auto& t : threads) t.join();
+    EXPECT_FALSE(torn.load());
+    EXPECT_EQ(runs.load(), kConsumerThreads * kPerThread);
+    EXPECT_TRUE(slot.ready());
+    EXPECT_EQ(slot.value().first, slot.value().second);
+  }
+}
+
+// Racing set() from several producers against on_ready() registration:
+// one producer wins, all consumers observe the winner's (untorn) value.
+TEST(SyncStress, ConcurrentSetAndOnReadySeeOneValue) {
+  for (int round = 0; round < 50; ++round) {
+    Future<std::pair<int, int>> f;
+    std::atomic<int> runs{0};
+    std::atomic<bool> torn{false};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&f, p] { f.set({p + 1, p + 1}); });
+    }
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&, f] {
+        for (int i = 0; i < 50; ++i) {
+          f.on_ready([&](const std::pair<int, int>& v) {
+            if (v.first != v.second) torn.store(true);
+            runs.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_FALSE(torn.load());
+    EXPECT_EQ(runs.load(), 3 * 50);
+    const auto& v = f.get();
+    EXPECT_EQ(v.first, v.second);
+  }
+}
+
+// The waiter-node pool must reach an allocation-free steady state: after
+// warmup, buffer/fulfill churn is served entirely from the per-thread
+// cache (sync.node_reuse grows, sync.node_allocs does not).
+TEST(SyncStress, WaiterPoolReusesNodesWithoutAllocating) {
+  auto churn = [](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      Future<int> f;
+      int seen = 0;
+      f.on_ready([&seen](const int& v) { seen = v; });  // buffers a node
+      f.set(i);                                         // runs + recycles it
+      ASSERT_EQ(seen, i);
+    }
+  };
+  churn(32);  // warmup: populate this thread's cache
+  const std::uint64_t allocs_before = stats().node_allocs();
+  const std::uint64_t reuse_before = stats().node_reuse();
+  churn(1000);
+  EXPECT_EQ(stats().node_allocs(), allocs_before)
+      << "steady-state churn must not allocate waiter nodes";
+  EXPECT_GE(stats().node_reuse(), reuse_before + 1000);
+}
+
+// Cross-thread churn: nodes buffered on one thread are recycled by the
+// fulfilling thread; caches flush to the shared pool at thread exit, so
+// repeated short-lived threads keep reusing the same nodes.
+TEST(SyncStress, WaiterPoolSurvivesCrossThreadChurn) {
+  const std::uint64_t reuse_before = stats().node_reuse();
+  for (int round = 0; round < 8; ++round) {
+    Future<int> f;
+    std::atomic<int> runs{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, f] {
+        for (int i = 0; i < 100; ++i)
+          f.on_ready([&](const int&) {
+            runs.fetch_add(1, std::memory_order_relaxed);
+          });
+      });
+    }
+    threads.emplace_back([f] {
+      // Let consumers buffer first so nodes actually cycle through the
+      // pool (a too-early set would run every consumer inline).
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      f.set(7);
+    });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(runs.load(), 400);
+  }
+  EXPECT_GT(stats().node_reuse(), reuse_before);
+}
+
+// The global ablation knob: a slot built with lock_free_sync()==false uses
+// the spinlock path but must satisfy the identical protocol under the
+// same concurrent load.
+TEST(SyncStress, MutexAblationSlotKeepsExactAccounting) {
+  set_lock_free_sync(false);
+  SyncSlot slot;
+  set_lock_free_sync(true);
+  constexpr int kThreads = 4;
+  constexpr int kSignalsPerThread = 10000;
+  slot.arm(1, [&slot] { slot.rearm(); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSignalsPerThread; ++i) slot.signal();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t total = kThreads * kSignalsPerThread;
+  EXPECT_EQ(slot.fire_count() + slot.over_signals(), total);
+}
+
+}  // namespace
+}  // namespace htvm::sync

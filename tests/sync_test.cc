@@ -70,6 +70,57 @@ TEST(SyncSlot, RearmRestoresCount) {
   EXPECT_EQ(slot.fire_count(), 2u);
 }
 
+TEST(SyncSlot, RearmOnlySucceedsFromFiredState) {
+  SyncSlot slot;
+  int fired = 0;
+  slot.arm(2, [&] { ++fired; });
+  EXPECT_FALSE(slot.rearm());  // still pending: a no-op
+  EXPECT_EQ(slot.pending(), 2u);
+  slot.signal(2);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(slot.rearm());
+  EXPECT_FALSE(slot.rearm());  // already armed again
+  EXPECT_EQ(slot.pending(), 2u);
+}
+
+TEST(SyncSlot, RearmBumpsTheRound) {
+  SyncSlot slot;
+  slot.arm(1, [] {});
+  const std::uint32_t r0 = slot.round();
+  slot.signal();
+  EXPECT_TRUE(slot.rearm());
+  EXPECT_EQ(slot.round(), r0 + 1);
+}
+
+TEST(SyncSlot, OverSignalsAreCountedPerSlot) {
+  SyncSlot slot;
+  slot.arm(1, [] {});
+  slot.signal();
+  EXPECT_EQ(slot.over_signals(), 0u);
+  slot.signal();
+  slot.signal();
+  EXPECT_EQ(slot.over_signals(), 2u);
+  EXPECT_EQ(slot.fire_count(), 1u);
+}
+
+TEST(SyncSlot, MutexAblationPathMatchesSemantics) {
+  set_lock_free_sync(false);
+  SyncSlot slot;  // samples the knob at construction
+  set_lock_free_sync(true);
+  int fired = 0;
+  slot.arm(2, [&] { ++fired; });
+  EXPECT_FALSE(slot.rearm());
+  EXPECT_FALSE(slot.signal());
+  EXPECT_TRUE(slot.signal());
+  EXPECT_EQ(fired, 1);
+  slot.signal();
+  EXPECT_EQ(slot.over_signals(), 1u);
+  EXPECT_TRUE(slot.rearm());
+  EXPECT_EQ(slot.pending(), 2u);
+  slot.signal(2);
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(SyncSlot, ConcurrentSignalsFireExactlyOnce) {
   for (int round = 0; round < 20; ++round) {
     SyncSlot slot;
@@ -140,6 +191,18 @@ TEST(DataSlot, ReadyFlag) {
   slot.put(1);
   EXPECT_TRUE(slot.ready());
   EXPECT_EQ(slot.value(), 1);
+}
+
+// Regression: a second put used to overwrite value_ while consumers could
+// already be reading it. Write-once now: the loser is dropped entirely.
+TEST(DataSlot, SecondPutIsIgnored) {
+  DataSlot<int> slot;
+  slot.put(1);
+  slot.put(2);
+  EXPECT_EQ(slot.value(), 1);
+  int seen = 0;
+  slot.when_ready([&](const int& v) { seen = v; });
+  EXPECT_EQ(seen, 1);
 }
 
 // ------------------------------------------------------------------- Future
