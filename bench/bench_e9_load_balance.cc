@@ -135,6 +135,64 @@ void run_real_runtime_section(bench::Reporter& reporter) {
               "sampler ring is embedded under \"telemetry\".)\n\n");
 }
 
+// ------------------------------------------------ steal-locality section
+
+// Topology-aware vs flat stealing on the real runtime. One hot node gets
+// every SGT; the other workers can only steal. The hierarchical config
+// (distance-ordered victims + steal-half batching + per-socket inject
+// queues) is compared against the flat ablation (cyclic victim order,
+// single-task steals) on throughput, and its rt.steal.* counters bucket
+// the successful rounds by the victim's topology distance — the
+// distance histogram the LoadBalancer and LocalityTuner consume.
+//
+// NOTE (single-core hosts): both configs timeshare one core here, so
+// tasks_per_sec differences are scheduling-overhead shape, not parallel
+// speedup; the distance buckets are the load-bearing output.
+void run_steal_locality_section(bench::Reporter& reporter) {
+  std::printf("--- steal locality: flat vs topology-aware stealing "
+              "(2 nodes x 4 TUs, sockets=2, smt=2, all spawns on node 0) "
+              "---\n");
+  const int kSgts = reporter.smoke() ? 4000 : 80000;
+  bench::TextTable table({"config", "ms", "tasks_per_sec", "steals", "smt",
+                          "core", "socket", "remote", "batch_tasks"});
+  for (const bool topo : {false, true}) {
+    rt::RuntimeOptions opts;
+    opts.config.nodes = 2;
+    opts.config.thread_units_per_node = 4;
+    opts.config.sockets_per_node = 2;
+    opts.config.smt_per_core = 2;
+    opts.config.node_memory_bytes = 1 << 20;
+    opts.topology_aware = topo;
+    rt::Runtime rt(opts);
+    std::atomic<std::uint64_t> sink{0};
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSgts; ++i) {
+      rt.spawn_sgt_on(0, [&sink] {
+        volatile std::uint64_t x = 0;
+        for (int k = 0; k < 64; ++k) x += static_cast<std::uint64_t>(k);
+        sink.fetch_add(x != 0 ? 1 : 0, std::memory_order_relaxed);
+      });
+    }
+    rt.wait_idle();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    const obs::TelemetrySnapshot snap = rt.telemetry_snapshot();
+    table.add_row(
+        {topo ? "hier" : "flat", bench::TextTable::fmt(ms, 2),
+         bench::TextTable::fmt(ms > 0.0 ? kSgts / (ms / 1e3) : 0.0),
+         bench::TextTable::fmt(metric_of(snap, "rt.steals")),
+         bench::TextTable::fmt(metric_of(snap, "rt.steal.smt")),
+         bench::TextTable::fmt(metric_of(snap, "rt.steal.core")),
+         bench::TextTable::fmt(metric_of(snap, "rt.steal.socket")),
+         bench::TextTable::fmt(metric_of(snap, "rt.steal.remote")),
+         bench::TextTable::fmt(metric_of(snap, "rt.steal.batch_tasks"))});
+  }
+  reporter.table("steal_locality", table);
+  std::printf("(hier buckets steals by distance: smt -> core -> socket -> "
+              "remote, nearest first.)\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +234,7 @@ int main(int argc, char** argv) {
                     bench::TextTable::fmt(distributed.utilization, 3)});
   std::printf("--- central-queue ablation ---\n");
   reporter.table("central_queue_ablation", ablation);
+  run_steal_locality_section(reporter);
   run_real_runtime_section(reporter);
   return 0;
 }

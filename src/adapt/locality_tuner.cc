@@ -75,12 +75,17 @@ double LocalityTuner::cost_of(const obs::SampleDelta& delta) const {
   // Network events per object access, weighted by their modeled expense:
   // a remote read is one round trip, an invalidation is a home->holder
   // round trip per stale replica, a replication pulls the whole object,
-  // a migration moves the authoritative copy. Lower = better locality.
+  // a migration moves the authoritative copy. Remote SGT steals
+  // (rt.steal.remote) join at round-trip weight: each one drags a task
+  // away from the node its data placement assumed, so under a preset
+  // that concentrates objects they show up as locality cost the mem.*
+  // counters alone cannot see. Lower = better locality.
   const double reads = delta_of(delta, "mem.reads");
   const double writes = delta_of(delta, "mem.writes");
   const double accesses = reads + writes;
   if (accesses <= 0.0) return 0.0;
   const double cost = delta_of(delta, "mem.remote_reads") +
+                      delta_of(delta, "rt.steal.remote") +
                       2.0 * delta_of(delta, "mem.invalidations") +
                       4.0 * delta_of(delta, "mem.replications") +
                       8.0 * delta_of(delta, "mem.migrations");

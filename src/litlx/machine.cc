@@ -11,6 +11,7 @@ Machine::Machine(MachineOptions options) : options_(std::move(options)) {
   rt_opts.cycle_ns = options_.cycle_ns;
   rt_opts.steal_scope = options_.steal_scope;
   rt_opts.max_workers = options_.max_workers;
+  rt_opts.topology_aware = options_.topology_aware;
   runtime_ = std::make_unique<rt::Runtime>(rt_opts);
   parcels_ = std::make_unique<parcel::ParcelEngine>(*runtime_);
   // The object space registers its mem.* counters in the runtime's
@@ -43,10 +44,24 @@ std::string Machine::report() const {
   out << "machine: " << cfg.nodes << " nodes x " << cfg.thread_units_per_node
       << " thread units (" << runtime_->num_workers() << " workers), "
       << machine::to_string(cfg.network.topology) << " network\n";
+  out << "topology: " << runtime_->topology().to_string()
+      << (options_.topology_aware ? "" : " [flat steal order]") << "\n";
   const rt::WorkerStats agg = runtime_->aggregate_stats();
   out << "runtime: sgts=" << agg.sgts_executed
       << " tgts=" << agg.tgts_executed << " lgt_resumes=" << agg.lgt_resumes
       << " steals=" << agg.steals << " parks=" << agg.parks << "\n";
+  // unique_ptr does not propagate const, so the registry's create-or-get
+  // counter() is reachable; every rt.steal.* name was registered by the
+  // runtime constructor, so these are pure lookups.
+  obs::MetricsRegistry& reg = runtime_->metrics();
+  auto steal_total = [&reg](const char* name) {
+    return reg.counter(name)->total();
+  };
+  out << "steal distances: smt=" << steal_total("rt.steal.smt")
+      << " core=" << steal_total("rt.steal.core")
+      << " socket=" << steal_total("rt.steal.socket")
+      << " remote=" << steal_total("rt.steal.remote")
+      << " batch_tasks=" << steal_total("rt.steal.batch_tasks") << "\n";
   const parcel::EngineStats pstats = parcels_->stats();
   out << "parcels: sent=" << pstats.sent << " delivered=" << pstats.delivered
       << " replies=" << pstats.replies << " bytes=" << pstats.bytes << "\n";

@@ -40,6 +40,10 @@ struct MachineOptions {
   double cycle_ns = 0.0;  // 0 = functional mode (no latency injection)
   rt::StealScope steal_scope = rt::StealScope::kGlobal;
   std::uint32_t max_workers = 0;
+  // Topology-aware stealing (rt::RuntimeOptions::topology_aware): victims
+  // in steal-distance order with steal-half batching. false = flat
+  // ablation (cyclic victim order, single-task steals).
+  bool topology_aware = true;
   mem::ObjectSpace::Params object_params;
   // When true (default) and the sampler is running, an
   // adapt::LocalityTuner retunes the object space's replicate/migrate

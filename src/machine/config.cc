@@ -98,6 +98,8 @@ std::uint64_t MachineConfig::remote_access_cycles(std::uint32_t from,
 std::string MachineConfig::validate() const {
   if (nodes == 0) return "nodes must be > 0";
   if (thread_units_per_node == 0) return "thread_units_per_node must be > 0";
+  if (sockets_per_node == 0) return "sockets_per_node must be > 0";
+  if (smt_per_core == 0) return "smt_per_core must be > 0";
   if (node_memory_bytes == 0) return "node_memory_bytes must be > 0";
   if (frame_memory_bytes == 0) return "frame_memory_bytes must be > 0";
   if (!(latency_frame >= latency_register))
@@ -138,6 +140,8 @@ std::string MachineConfig::parse(const std::string& text) {
   std::unordered_map<std::string, std::uint32_t*> u32_keys = {
       {"nodes", &nodes},
       {"thread_units_per_node", &thread_units_per_node},
+      {"sockets_per_node", &sockets_per_node},
+      {"smt_per_core", &smt_per_core},
       {"latency_register", &latency_register},
       {"latency_frame", &latency_frame},
       {"latency_local_sram", &latency_local_sram},
@@ -211,6 +215,8 @@ std::string MachineConfig::to_string() const {
   std::ostringstream out;
   out << "nodes = " << nodes << '\n'
       << "thread_units_per_node = " << thread_units_per_node << '\n'
+      << "sockets_per_node = " << sockets_per_node << '\n'
+      << "smt_per_core = " << smt_per_core << '\n'
       << "topology = " << machine::to_string(network.topology) << '\n'
       << "latency_register = " << latency_register << '\n'
       << "latency_frame = " << latency_frame << '\n'

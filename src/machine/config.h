@@ -76,6 +76,13 @@ struct MachineConfig {
   std::uint32_t nodes = 4;
   std::uint32_t thread_units_per_node = 8;
 
+  // Intra-node execution hierarchy (machine/topology.h): thread units
+  // group into SMT slots per core and cores per socket. The defaults — one
+  // socket, no SMT — reproduce the pre-topology flat behaviour; the
+  // HTVM_TOPOLOGY env var can override both at runtime construction.
+  std::uint32_t sockets_per_node = 1;
+  std::uint32_t smt_per_core = 1;
+
   // Memory latency per level, in cycles (kRemote adds network cost on top
   // of the remote node's kLocalDram latency).
   std::uint32_t latency_register = 0;

@@ -1,0 +1,155 @@
+#include "machine/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace htvm::machine {
+
+const char* to_string(StealDistance distance) {
+  switch (distance) {
+    case StealDistance::kSelf: return "self";
+    case StealDistance::kSmt: return "smt";
+    case StealDistance::kCore: return "core";
+    case StealDistance::kSocket: return "socket";
+    case StealDistance::kRemote: return "remote";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string TopologyShape::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    part = trim(part);
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) return "expected key=value in '" + part + "'";
+    const std::string key = trim(part.substr(0, eq));
+    const std::string value = trim(part.substr(eq + 1));
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0' || v == 0)
+      return "bad value for '" + key + "' (want a positive integer)";
+    if (key == "sockets") {
+      sockets_per_node = static_cast<std::uint32_t>(v);
+    } else if (key == "smt") {
+      smt_per_core = static_cast<std::uint32_t>(v);
+    } else {
+      return "unknown key '" + key + "' (want sockets= or smt=)";
+    }
+  }
+  return {};
+}
+
+TopologyTree::TopologyTree(const MachineConfig& config,
+                           const std::vector<std::uint32_t>& workers_per_node,
+                           TopologyShape shape)
+    : shape_(shape), nodes_(static_cast<std::uint32_t>(workers_per_node.size())) {
+  (void)config;
+  if (shape_.sockets_per_node == 0) shape_.sockets_per_node = 1;
+  if (shape_.smt_per_core == 0) shape_.smt_per_core = 1;
+  node_workers_.resize(nodes_);
+  std::uint32_t id = 0;
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    const std::uint32_t count = workers_per_node[n];
+    // Cores per socket sized so every worker has a seat; the last socket
+    // and core may run short when the count does not divide evenly.
+    const std::uint32_t per_socket =
+        (count + shape_.sockets_per_node - 1) / shape_.sockets_per_node;
+    const std::uint32_t cores_per_socket =
+        std::max<std::uint32_t>(1, (per_socket + shape_.smt_per_core - 1) /
+                                       shape_.smt_per_core);
+    for (std::uint32_t k = 0; k < count; ++k, ++id) {
+      const std::uint32_t local_socket = k / per_socket;
+      const std::uint32_t in_socket = k % per_socket;
+      const std::uint32_t local_core = in_socket / shape_.smt_per_core;
+      Place p;
+      p.node = n;
+      p.socket = n * shape_.sockets_per_node + local_socket;
+      p.core = p.socket * cores_per_socket + local_core;
+      p.smt = in_socket % shape_.smt_per_core;
+      places_.push_back(p);
+      node_workers_[n].push_back(id);
+      sockets_ = std::max(sockets_, p.socket + 1);
+      cores_ = std::max(cores_, p.core + 1);
+    }
+  }
+  socket_workers_.resize(sockets_);
+  for (std::uint32_t w = 0; w < places_.size(); ++w)
+    socket_workers_[places_[w].socket].push_back(w);
+}
+
+TopologyTree TopologyTree::from_config(
+    const MachineConfig& config,
+    const std::vector<std::uint32_t>& workers_per_node) {
+  TopologyShape shape;
+  shape.sockets_per_node = config.sockets_per_node;
+  shape.smt_per_core = config.smt_per_core;
+  if (const char* env = std::getenv("HTVM_TOPOLOGY");
+      env != nullptr && *env != '\0') {
+    TopologyShape from_env = shape;
+    const std::string err = from_env.parse(env);
+    if (err.empty()) {
+      shape = from_env;
+    } else {
+      std::fprintf(stderr, "machine: ignoring HTVM_TOPOLOGY='%s': %s\n", env,
+                   err.c_str());
+    }
+  }
+  return TopologyTree(config, workers_per_node, shape);
+}
+
+StealDistance TopologyTree::distance(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return StealDistance::kSelf;
+  const Place& pa = places_[a];
+  const Place& pb = places_[b];
+  if (pa.node != pb.node) return StealDistance::kRemote;
+  if (pa.socket != pb.socket) return StealDistance::kSocket;
+  if (pa.core != pb.core) return StealDistance::kCore;
+  return StealDistance::kSmt;
+}
+
+std::vector<std::uint32_t> TopologyTree::victim_order(
+    std::uint32_t worker) const {
+  const std::uint32_t n = num_workers();
+  std::vector<std::uint32_t> order;
+  order.reserve(n > 0 ? n - 1 : 0);
+  // Cyclic sweep starting just past the thief: a stable sort on distance
+  // then keeps each class in that rotated order, so two thieves in the
+  // same class start their scans at different victims.
+  for (std::uint32_t i = 1; i < n; ++i) order.push_back((worker + i) % n);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return distance(worker, a) < distance(worker, b);
+                   });
+  return order;
+}
+
+std::size_t TopologyTree::local_prefix(std::uint32_t worker) const {
+  // Every same-node victim sorts before every remote one, so the prefix
+  // length is simply the node's population minus the thief itself.
+  return node_workers_[places_[worker].node].size() - 1;
+}
+
+std::string TopologyTree::to_string() const {
+  std::ostringstream out;
+  out << nodes_ << " nodes, " << sockets_ << " sockets ("
+      << shape_.sockets_per_node << "/node), " << cores_ << " cores, smt="
+      << shape_.smt_per_core << ", " << num_workers() << " workers";
+  return out.str();
+}
+
+}  // namespace htvm::machine

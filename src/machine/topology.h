@@ -1,0 +1,133 @@
+// Execution-unit topology tree for topology-aware scheduling.
+//
+// The paper's premise is that thread management must mirror the machine
+// hierarchy; Thibault's "A Flexible Thread Scheduler for Hierarchical
+// Multiprocessor Machines" (PAPERS.md) gives the runtime-side blueprint:
+// an explicit tree of execution levels, with placement and stealing
+// decided level by level. This module is that tree for the real runtime:
+//
+//   machine  >  node  >  socket  >  core  >  SMT slot (one worker)
+//
+// A TopologyTree places every worker at a (node, socket, core, smt)
+// coordinate, derived from MachineConfig (`sockets_per_node`,
+// `smt_per_core` config keys; thread units fill cores round-robin-free,
+// SMT siblings first). The HTVM_TOPOLOGY environment variable overrides
+// the per-node shape (`sockets=S,smt=T`) so steal-locality benches are
+// reproducible on arbitrary hosts without editing configs.
+//
+// (Note on naming: `machine::Topology` is the pre-existing *network*
+// topology enum — crossbar/mesh/torus between nodes. TopologyTree is the
+// intra-node execution hierarchy; the two compose: TopologyTree decides
+// steal order inside a node, the network topology prices hops between
+// nodes.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/config.h"
+
+namespace htvm::machine {
+
+// Distance between two workers in the execution hierarchy: the level of
+// their lowest common ancestor, ordered nearest-first. Migration cost is
+// monotone in this value (shared L1/L2 -> shared LLC -> same DRAM ->
+// network), which is what makes "steal nearest first" the right policy.
+enum class StealDistance : std::uint8_t {
+  kSelf = 0,    // same worker
+  kSmt = 1,     // SMT sibling: same core, shared L1/L2
+  kCore = 2,    // same socket, different core: shared LLC
+  kSocket = 3,  // same node, different socket: same DRAM, cross-socket bus
+  kRemote = 4,  // different node: network hop(s)
+};
+
+const char* to_string(StealDistance distance);
+
+// Per-node shape of the execution hierarchy. Parsed from MachineConfig
+// or the HTVM_TOPOLOGY override; validated so every worker has a seat.
+struct TopologyShape {
+  std::uint32_t sockets_per_node = 1;
+  std::uint32_t smt_per_core = 1;
+
+  // Parses "sockets=S,smt=T" (either key optional, any order). Returns
+  // an error description, or empty on success.
+  std::string parse(const std::string& text);
+};
+
+class TopologyTree {
+ public:
+  struct Place {
+    std::uint32_t node = 0;
+    std::uint32_t socket = 0;  // global socket id (unique across nodes)
+    std::uint32_t core = 0;    // global core id (unique across sockets)
+    std::uint32_t smt = 0;     // slot within the core
+  };
+
+  TopologyTree() = default;
+
+  // Builds the tree for `workers_per_node[n]` workers on node n (the
+  // runtime's post-cap layout, not the nominal thread-unit count).
+  // Workers are numbered in node-major order, matching Runtime's worker
+  // ids. Within a node, consecutive workers fill a core's SMT slots
+  // before moving to the next core, and a socket's cores before the next
+  // socket, so low worker counts still produce near neighbours.
+  TopologyTree(const MachineConfig& config,
+               const std::vector<std::uint32_t>& workers_per_node,
+               TopologyShape shape);
+
+  // Same, with the shape taken from the config's `sockets_per_node` /
+  // `smt_per_core` keys unless HTVM_TOPOLOGY is set in the environment
+  // (malformed overrides are reported on stderr and ignored).
+  static TopologyTree from_config(
+      const MachineConfig& config,
+      const std::vector<std::uint32_t>& workers_per_node);
+
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(places_.size());
+  }
+  std::uint32_t num_nodes() const { return nodes_; }
+  std::uint32_t num_sockets() const { return sockets_; }
+  std::uint32_t num_cores() const { return cores_; }
+  const TopologyShape& shape() const { return shape_; }
+
+  const Place& place(std::uint32_t worker) const { return places_[worker]; }
+
+  StealDistance distance(std::uint32_t a, std::uint32_t b) const;
+
+  // Victim list for `worker`, every other worker exactly once, ordered by
+  // ascending StealDistance (SMT siblings, then same-socket cores, then
+  // other sockets on the node, then remote nodes). Within one distance
+  // class victims appear in cyclic id order starting just past the thief,
+  // so concurrent thieves fan out over different victims instead of
+  // convoying on the lowest id. Deterministic (unit-testable).
+  std::vector<std::uint32_t> victim_order(std::uint32_t worker) const;
+
+  // Index of the first victim in victim_order(worker) that lies on a
+  // different node — i.e. the length of the same-node prefix. A
+  // node-scoped steal round scans exactly [0, local_prefix) and never
+  // touches the full worker list.
+  std::size_t local_prefix(std::uint32_t worker) const;
+
+  // Worker ids living on `node` / on global socket `socket`, ascending.
+  const std::vector<std::uint32_t>& node_workers(std::uint32_t node) const {
+    return node_workers_[node];
+  }
+  const std::vector<std::uint32_t>& socket_workers(
+      std::uint32_t socket) const {
+    return socket_workers_[socket];
+  }
+
+  std::string to_string() const;
+
+ private:
+  TopologyShape shape_;
+  std::uint32_t nodes_ = 0;
+  std::uint32_t sockets_ = 0;
+  std::uint32_t cores_ = 0;
+  std::vector<Place> places_;  // indexed by worker id
+  std::vector<std::vector<std::uint32_t>> node_workers_;
+  std::vector<std::vector<std::uint32_t>> socket_workers_;
+};
+
+}  // namespace htvm::machine

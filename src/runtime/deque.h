@@ -81,6 +81,32 @@ class WsDeque {
     return std::nullopt;
   }
 
+  // Any thread. Steal-half batching: surrenders up to half the victim's
+  // visible backlog (capped at `max_items`) into `out`, oldest first, and
+  // returns how many were taken. Each element is claimed with the same
+  // read-then-CAS top advance as steal() — the only weak-memory-safe way
+  // to take multiple items from a Chase-Lev deque, since a one-CAS range
+  // claim races the owner's pop (which never touches top except for the
+  // last element). What the batch amortizes is therefore not the CAS but
+  // everything around the round: victim selection, the migration latency
+  // charge, trace/counter writes, and the thief's next N scheduling
+  // rounds (the surplus goes straight into its own deque). Stops early
+  // the moment a CAS loses (owner or another thief got there first).
+  std::size_t steal_batch(T* out, std::size_t max_items) {
+    if (max_items == 0) return 0;
+    std::size_t taken = 0;
+    // Half of the backlog observed at entry, re-checked per iteration so
+    // a concurrently drained victim is never over-stolen.
+    const std::size_t want =
+        std::min(max_items, (size_estimate() + 1) / 2);
+    while (taken < want) {
+      std::optional<T> item = steal();
+      if (!item.has_value()) break;
+      out[taken++] = *item;
+    }
+    return taken;
+  }
+
   // Approximate size; exact when called by the owner with no concurrent
   // steals. Never negative.
   std::size_t size_estimate() const {

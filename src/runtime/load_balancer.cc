@@ -9,6 +9,7 @@ LoadBalancer::LoadBalancer(Runtime& runtime, Policy policy)
         return static_cast<double>(
             total_moves_.load(std::memory_order_relaxed));
       });
+  remote_steals_ = runtime_.metrics().counter("rt.steal.remote");
 }
 
 LoadBalancer::~LoadBalancer() {
@@ -24,6 +25,19 @@ std::size_t LoadBalancer::node_load(std::uint32_t node) const {
 std::uint32_t LoadBalancer::rebalance_once() {
   const std::uint32_t nodes = runtime_.num_nodes();
   if (nodes < 2) return 0;
+  // Cross-node SGT stealing since the last round is evidence the steal
+  // path is already levelling the imbalance; raise the migration bar so
+  // LGT moves (which pay a 4 KiB context transfer) only fire when fine-
+  // grain migration is visibly not keeping up.
+  double factor = policy_.imbalance_factor;
+  const std::uint64_t remote =
+      remote_steals_->total();
+  const std::uint64_t delta = remote - last_remote_steals_;
+  last_remote_steals_ = remote;
+  if (policy_.remote_steal_relax_threshold > 0 &&
+      delta >= policy_.remote_steal_relax_threshold) {
+    factor *= policy_.remote_steal_relax;
+  }
   std::uint32_t moved = 0;
   for (std::uint32_t round = 0; round < policy_.max_moves_per_round;
        ++round) {
@@ -44,7 +58,7 @@ std::uint32_t LoadBalancer::rebalance_once() {
     }
     if (max_node == min_node) break;
     if (static_cast<double>(max_load) <
-        policy_.imbalance_factor * static_cast<double>(min_load + 1)) {
+        factor * static_cast<double>(min_load + 1)) {
       break;
     }
     if (!runtime_.migrate_one_lgt(max_node, min_node)) break;

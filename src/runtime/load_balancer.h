@@ -25,6 +25,13 @@ class LoadBalancer {
     // Max LGTs moved per rebalancing round.
     std::uint32_t max_moves_per_round = 4;
     std::chrono::milliseconds interval{5};
+    // Remote SGT steals (rt.steal.remote) observed since the last round
+    // already migrate work across nodes at a much finer grain than an
+    // LGT move; when at least this many happened, the imbalance factor
+    // is scaled by `remote_steal_relax` so the balancer defers to the
+    // cheaper mechanism instead of double-migrating. 0 disables.
+    std::uint32_t remote_steal_relax_threshold = 8;
+    double remote_steal_relax = 1.5;
   };
 
   LoadBalancer(Runtime& runtime, Policy policy);
@@ -55,6 +62,10 @@ class LoadBalancer {
   std::thread thread_;
   std::atomic<std::uint64_t> total_moves_{0};
   obs::MetricsRegistry::SourceId moves_source_ = 0;
+  // Remote-steal pressure input: the runtime's rt.steal.remote counter
+  // and the total seen at the end of the previous round.
+  obs::Counter* remote_steals_ = nullptr;
+  std::uint64_t last_remote_steals_ = 0;
 };
 
 }  // namespace htvm::rt

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "machine/latency.h"
+#include "machine/topology.h"
 #include "mem/frame.h"
 #include "mem/global_memory.h"
 #include "mem/pool_stats.h"
@@ -64,6 +65,15 @@ struct RuntimeOptions {
   // Workers default to one per modeled thread unit; cap for small hosts
   // (at least one worker per node is always kept).
   std::uint32_t max_workers = 0;  // 0 = no cap
+  // Topology-aware stealing (machine::TopologyTree): victims are scanned
+  // in ascending steal-distance order (SMT sibling, same socket, same
+  // node, remote) from a per-worker precomputed list, and a successful
+  // round takes up to half the victim's backlog. false = the flat
+  // ablation: cyclic same-node-first victim order, one task per steal —
+  // the pre-topology behaviour, kept for A/B benches.
+  bool topology_aware = true;
+  // Cap on tasks taken per steal round (>=1; 1 disables batching).
+  std::uint32_t steal_batch_max = 16;
 };
 
 // Legacy-shaped view of the worker counters. The counters themselves now
@@ -246,6 +256,19 @@ class Runtime {
     return workers_[worker]->node;
   }
 
+  // The execution-unit topology the steal path is built around (shape from
+  // the config / HTVM_TOPOLOGY, placement over the post-cap worker layout).
+  const machine::TopologyTree& topology() const { return topology_; }
+  // The precomputed steal order worker `worker` actually uses, and the
+  // length of its same-node prefix (what a node-scoped round scans).
+  // Introspection for tests and benches.
+  std::span<const std::uint32_t> victim_list(std::uint32_t worker) const {
+    return workers_[worker]->victims;
+  }
+  std::size_t victim_local_prefix(std::uint32_t worker) const {
+    return workers_[worker]->local_prefix;
+  }
+
   mem::GlobalMemory& memory() { return *memory_; }
   mem::FrameAllocator& frames(std::uint32_t node) {
     return *frame_allocators_[node];
@@ -328,10 +351,20 @@ class Runtime {
   struct NodeState {
     mutable std::mutex lgt_mutex;
     std::deque<std::unique_ptr<Lgt>> lgt_ready;  // parked ready fibers
-    // External / cross-node SGT arrivals: a two-list swap queue. Producers
-    // append under the lock; the consuming worker swaps the whole vector
-    // with its private scratch and drains it lock-free. `inject_size` is a
-    // monotonic hint so idle workers skip the lock entirely when empty.
+    // Global socket ids living on this node, and a round-robin cursor
+    // spreading external SGT injections over them.
+    std::vector<std::uint32_t> sockets;
+    std::atomic<std::uint32_t> inject_cursor{0};
+  };
+
+  // External / cross-node SGT arrivals, one queue per socket (was one per
+  // node: with many workers per node the single inject mutex was the
+  // hottest lock in the inject path). A two-list swap queue: producers
+  // append under the lock; a consuming worker on the socket swaps the
+  // whole vector with its private scratch and drains it lock-free.
+  // `inject_size` is a hint so idle workers skip the lock when empty.
+  struct SocketState {
+    std::uint32_t node = 0;
     mutable std::mutex inject_mutex;
     std::vector<Task*> inject;
     std::atomic<std::size_t> inject_size{0};
@@ -340,10 +373,20 @@ class Runtime {
   struct Worker {
     std::uint32_t id = 0;
     std::uint32_t node = 0;
+    std::uint32_t socket = 0;  // global socket id (TopologyTree::place)
     Runtime* runtime = nullptr;
     WsDeque<Task*> deque;
     std::vector<Task> tgt_stack;
     std::vector<Task*> inject_scratch;  // swap target for the inject queue
+    // Precomputed steal order: every other worker once, nearest distance
+    // class first (flat cyclic order in the ablation), with the distance
+    // of each victim alongside so the hot path never recomputes it.
+    // `local_prefix` bounds the same-node portion: a node-scoped round
+    // scans victims[0, local_prefix) and never walks the full list.
+    std::vector<std::uint32_t> victims;
+    std::vector<machine::StealDistance> victim_distance;
+    std::size_t local_prefix = 0;
+    std::vector<Task*> steal_buf;  // steal_batch landing area
     util::Xoshiro256 rng{1};
     std::thread thread;
   };
@@ -358,14 +401,34 @@ class Runtime {
     obs::Counter* steals = nullptr;
     obs::Counter* failed_steal_rounds = nullptr;
     obs::Counter* parks = nullptr;
+    // Successful steal rounds bucketed by victim distance (rt.steal.*),
+    // plus the total tasks moved by batching and the rounds that hit a
+    // remote socket's inject queue rather than a deque.
+    obs::Counter* steal_smt = nullptr;
+    obs::Counter* steal_core = nullptr;
+    obs::Counter* steal_socket = nullptr;
+    obs::Counter* steal_remote = nullptr;
+    obs::Counter* steal_batch_tasks = nullptr;
+    obs::Counter* steal_inject = nullptr;
   };
 
   // Worker id of the calling thread if it belongs to THIS runtime, else -1
   // (external threads, and workers of other runtimes).
   std::int32_t worker_hint() const;
   // Routes a pooled task to `node`: own-deque push when the caller is a
-  // worker on that node, otherwise the node's inject queue.
+  // worker on that node, otherwise one of the node's per-socket inject
+  // queues (round-robin, so bursts spread over the sockets).
   void enqueue_sgt(std::uint32_t node, Task* task);
+  // The inject queue an external enqueue to `node` should use next.
+  SocketState& next_inject_socket(std::uint32_t node);
+
+  // Shared accounting for every successful steal round, whatever the
+  // source (victim deque or a remote inject queue): migration latency for
+  // cross-node moves, the rt.steals and rt.steal.<distance> counters, the
+  // batch-size counter, and one trace event carrying the task count.
+  void record_steal(Worker& w, std::uint32_t victim_node,
+                    machine::StealDistance distance, std::size_t tasks);
+  obs::Counter* distance_counter(machine::StealDistance distance);
 
   void worker_main(Worker& worker);
   bool try_run_one(Worker& worker);
@@ -402,7 +465,10 @@ class Runtime {
   std::unique_ptr<mem::GlobalMemory> memory_;
   std::vector<std::unique_ptr<mem::FrameAllocator>> frame_allocators_;
   std::unique_ptr<TaskPool> task_pool_;
+  machine::TopologyTree topology_;
+  std::uint32_t steal_batch_max_ = 1;  // effective cap (1 in flat mode)
   std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::unique_ptr<SocketState>> sockets_;  // by global socket id
   std::vector<std::unique_ptr<Worker>> workers_;
   mutable std::shared_mutex poller_mutex_;
   std::vector<std::pair<PollerId, Poller>> pollers_;

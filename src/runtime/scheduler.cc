@@ -18,7 +18,6 @@ Runtime::Runtime(RuntimeOptions options)
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     frame_allocators_.push_back(std::make_unique<mem::FrameAllocator>());
     nodes_.push_back(std::make_unique<NodeState>());
-    nodes_.back()->inject.reserve(64);
   }
 
   // One worker per modeled thread unit, capped by max_workers. The cap is
@@ -40,6 +39,14 @@ Runtime::Runtime(RuntimeOptions options)
   for (const std::uint32_t count : node_workers) total += count;
   assert(options_.max_workers == 0 ||
          total <= std::max(options_.max_workers, cfg.nodes));
+
+  // The topology tree is built over the post-cap layout, so steal order
+  // reflects the workers that actually exist, not the nominal config.
+  topology_ = machine::TopologyTree::from_config(cfg, node_workers);
+  steal_batch_max_ = options_.topology_aware
+                         ? std::max<std::uint32_t>(1, options_.steal_batch_max)
+                         : 1;
+
   workers_.reserve(total);
   std::uint32_t id = 0;
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
@@ -47,12 +54,54 @@ Runtime::Runtime(RuntimeOptions options)
       auto w = std::make_unique<Worker>();
       w->id = id;
       w->node = n;
+      w->socket = topology_.place(id).socket;
       w->runtime = this;
       w->rng = util::Xoshiro256(0x5eed + id);
       workers_.push_back(std::move(w));
     }
   }
-  task_pool_ = std::make_unique<TaskPool>(total);
+  // Per-worker victim lists. Topology mode: ascending steal distance, so
+  // a round probes SMT siblings, then the socket, then the node, then
+  // remote nodes, and the same-node prefix bound makes a node-scoped
+  // round O(node width). Flat ablation: cyclic id order with same-node
+  // victims first — the pre-topology scan, minus its O(total) filter
+  // passes. Distances are precomputed either way so the steal hot path
+  // only indexes an array.
+  for (auto& w : workers_) {
+    if (options_.topology_aware) {
+      w->victims = topology_.victim_order(w->id);
+      w->local_prefix = topology_.local_prefix(w->id);
+    } else {
+      for (std::uint32_t i = 1; i < total; ++i)
+        w->victims.push_back((w->id + i) % total);
+      const auto mid = std::stable_partition(
+          w->victims.begin(), w->victims.end(), [&](std::uint32_t v) {
+            return topology_.place(v).node == w->node;
+          });
+      w->local_prefix =
+          static_cast<std::size_t>(mid - w->victims.begin());
+    }
+    w->victim_distance.reserve(w->victims.size());
+    for (const std::uint32_t v : w->victims)
+      w->victim_distance.push_back(topology_.distance(w->id, v));
+    w->steal_buf.resize(steal_batch_max_);
+  }
+  // Per-socket inject queues (indexed by global socket id), and each
+  // node's roster of populated sockets for routing. A socket id with no
+  // workers (node narrower than sockets_per_node) gets a queue slot for
+  // uniform indexing but joins no roster, so nothing ever routes to it.
+  for (std::uint32_t s = 0; s < topology_.num_sockets(); ++s) {
+    auto ss = std::make_unique<SocketState>();
+    const auto& members = topology_.socket_workers(s);
+    if (!members.empty()) {
+      ss->node = topology_.place(members.front()).node;
+      ss->inject.reserve(64);
+      nodes_[ss->node]->sockets.push_back(s);
+    }
+    sockets_.push_back(std::move(ss));
+  }
+
+  task_pool_ = std::make_unique<TaskPool>(topology_);
 
   // Unified telemetry: one registry, sharded per worker. The runtime's
   // own counters resolve to stable Counter pointers before any worker
@@ -66,6 +115,12 @@ Runtime::Runtime(RuntimeOptions options)
   counters_.failed_steal_rounds =
       metrics_->counter("rt.failed_steal_rounds");
   counters_.parks = metrics_->counter("rt.parks");
+  counters_.steal_smt = metrics_->counter("rt.steal.smt");
+  counters_.steal_core = metrics_->counter("rt.steal.core");
+  counters_.steal_socket = metrics_->counter("rt.steal.socket");
+  counters_.steal_remote = metrics_->counter("rt.steal.remote");
+  counters_.steal_batch_tasks = metrics_->counter("rt.steal.batch_tasks");
+  counters_.steal_inject = metrics_->counter("rt.steal.inject");
   gauge_sources_.push_back(metrics_->add_counter_source(
       "pool.task.allocations",
       [this] { return static_cast<double>(task_pool_->stats().allocations); }));
@@ -200,19 +255,27 @@ std::int32_t Runtime::worker_hint() const {
   return detail::tl_runtime == this ? detail::tl_worker_id : -1;
 }
 
+Runtime::SocketState& Runtime::next_inject_socket(std::uint32_t node) {
+  NodeState& ns = *nodes_[node];
+  const std::uint32_t pick =
+      ns.inject_cursor.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<std::uint32_t>(ns.sockets.size());
+  return *sockets_[ns.sockets[pick]];
+}
+
 void Runtime::enqueue_sgt(std::uint32_t node, Task* task) {
   const std::int32_t wid = worker_hint();
   if (wid >= 0 && workers_[static_cast<std::size_t>(wid)]->node == node) {
     workers_[static_cast<std::size_t>(wid)]->deque.push(task);
     return;
   }
-  NodeState& ns = *nodes_[node];
+  SocketState& ss = next_inject_socket(node);
   {
-    std::lock_guard<std::mutex> lock(ns.inject_mutex);
-    ns.inject.push_back(task);
+    std::lock_guard<std::mutex> lock(ss.inject_mutex);
+    ss.inject.push_back(task);
     // Counter mutations stay under the lock so a concurrent swap-drain
     // (which zeroes it) cannot interleave and leave a stale count.
-    ns.inject_size.fetch_add(1, std::memory_order_release);
+    ss.inject_size.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -229,14 +292,16 @@ void Runtime::spawn_sgt_batch(std::uint32_t node, std::span<Task> tasks) {
       w.deque.push(slot);
     }
   } else {
-    NodeState& ns = *nodes_[node];
-    std::lock_guard<std::mutex> lock(ns.inject_mutex);
+    // One socket queue takes the whole batch under a single lock hold;
+    // the round-robin cursor moves the next batch to a different socket.
+    SocketState& ss = next_inject_socket(node);
+    std::lock_guard<std::mutex> lock(ss.inject_mutex);
     for (Task& t : tasks) {
       Task* slot = task_pool_->allocate(wid);
       *slot = std::move(t);
-      ns.inject.push_back(slot);
+      ss.inject.push_back(slot);
     }
-    ns.inject_size.fetch_add(tasks.size(), std::memory_order_release);
+    ss.inject_size.fetch_add(tasks.size(), std::memory_order_release);
   }
   work_arrived();
 }
@@ -312,12 +377,15 @@ std::size_t Runtime::lgt_queue_depth(std::uint32_t node) const {
 }
 
 std::size_t Runtime::sgt_backlog(std::uint32_t node) const {
+  // The topology's per-node index list bounds this to the node's own
+  // workers; the old full-vector scan made every balancer round O(total
+  // workers) per node, O(total * nodes) per pass.
   std::size_t total = 0;
-  for (const auto& w : workers_) {
-    if (w->node == node) total += w->deque.size_estimate();
-  }
-  const NodeState& ns = *nodes_[node];
-  return total + ns.inject_size.load(std::memory_order_acquire);
+  for (const std::uint32_t w : topology_.node_workers(node))
+    total += workers_[w]->deque.size_estimate();
+  for (const std::uint32_t s : nodes_[node]->sockets)
+    total += sockets_[s]->inject_size.load(std::memory_order_acquire);
+  return total;
 }
 
 bool Runtime::migrate_one_lgt(std::uint32_t from, std::uint32_t to) {

@@ -7,7 +7,21 @@ namespace htvm::rt {
 
 TaskPool::TaskPool(std::uint32_t workers) : caches_(workers) {
   for (WorkerCache& c : caches_) c.free.reserve(kCacheCap);
-  shared_free_.reserve(kSlabSlots);
+  sockets_.push_back(std::make_unique<SocketShared>());
+  sockets_.back()->free.reserve(kSlabSlots);
+}
+
+TaskPool::TaskPool(const machine::TopologyTree& topology)
+    : caches_(topology.num_workers()) {
+  for (std::uint32_t w = 0; w < topology.num_workers(); ++w) {
+    caches_[w].free.reserve(kCacheCap);
+    caches_[w].socket = topology.place(w).socket;
+  }
+  const std::uint32_t sockets = std::max(1u, topology.num_sockets());
+  for (std::uint32_t s = 0; s < sockets; ++s) {
+    sockets_.push_back(std::make_unique<SocketShared>());
+    sockets_.back()->free.reserve(kSlabSlots);
+  }
 }
 
 TaskPool::~TaskPool() {
@@ -15,19 +29,25 @@ TaskPool::~TaskPool() {
   // work) are destroyed by ~Task when the slabs go away.
 }
 
-Task* TaskPool::carve_slab(std::vector<Task*>* cache) {
+TaskPool::SocketShared& TaskPool::shared_of(std::int32_t worker) {
+  if (worker >= 0 && static_cast<std::size_t>(worker) < caches_.size())
+    return *sockets_[caches_[static_cast<std::size_t>(worker)].socket];
+  return *sockets_.front();
+}
+
+Task* TaskPool::carve_slab(std::vector<Task*>* cache, SocketShared& shared) {
   auto slab = std::make_unique<Task[]>(kSlabSlots);
   Task* base = slab.get();
   {
-    util::Guard<util::SpinLock> g(shared_lock_);
+    util::Guard<util::SpinLock> g(slabs_lock_);
     slabs_.push_back(std::move(slab));
-    if (cache == nullptr) {
-      for (std::size_t i = 1; i < kSlabSlots; ++i)
-        shared_free_.push_back(base + i);
-    }
   }
   if (cache != nullptr) {
     for (std::size_t i = 1; i < kSlabSlots; ++i) cache->push_back(base + i);
+  } else {
+    util::Guard<util::SpinLock> g(shared.lock);
+    for (std::size_t i = 1; i < kSlabSlots; ++i)
+      shared.free.push_back(base + i);
   }
   return base;
 }
@@ -44,24 +64,45 @@ Task* TaskPool::allocate(std::int32_t worker) {
       return slot;
     }
   }
-  // Recycle miss in the local cache: refill a batch from the shared list.
+  // Recycle miss in the local cache: refill a batch from the caller's
+  // socket list, whose lock is contended only by that socket's workers.
+  SocketShared& home = shared_of(worker);
   {
-    util::Guard<util::SpinLock> g(shared_lock_);
-    if (!shared_free_.empty()) {
+    util::Guard<util::SpinLock> g(home.lock);
+    if (!home.free.empty()) {
       stats_.record_recycle_hit();
-      Task* slot = shared_free_.back();
-      shared_free_.pop_back();
+      Task* slot = home.free.back();
+      home.free.pop_back();
       if (cache != nullptr) {
         const std::size_t take =
-            std::min(kRefillBatch - 1, shared_free_.size());
-        cache->insert(cache->end(), shared_free_.end() - take,
-                      shared_free_.end());
-        shared_free_.resize(shared_free_.size() - take);
+            std::min(kRefillBatch - 1, home.free.size());
+        cache->insert(cache->end(), home.free.end() - take,
+                      home.free.end());
+        home.free.resize(home.free.size() - take);
       }
       return slot;
     }
   }
-  return carve_slab(cache);
+  // Home socket dry: raid the other sockets before carving. Keeps a
+  // cross-socket producer/consumer flow (releases pile up on the consumer
+  // socket) from growing the slab set forever.
+  for (const auto& other : sockets_) {
+    if (other.get() == &home) continue;
+    util::Guard<util::SpinLock> g(other->lock);
+    if (other->free.empty()) continue;
+    stats_.record_recycle_hit();
+    Task* slot = other->free.back();
+    other->free.pop_back();
+    if (cache != nullptr) {
+      const std::size_t take =
+          std::min(kRefillBatch - 1, other->free.size());
+      cache->insert(cache->end(), other->free.end() - take,
+                    other->free.end());
+      other->free.resize(other->free.size() - take);
+    }
+    return slot;
+  }
+  return carve_slab(cache, home);
 }
 
 void TaskPool::release(Task* slot, std::int32_t worker) {
@@ -71,20 +112,22 @@ void TaskPool::release(Task* slot, std::int32_t worker) {
     std::vector<Task*>& cache = caches_[static_cast<std::size_t>(worker)].free;
     cache.push_back(slot);
     if (cache.size() > kCacheCap) {
-      // Rebalance: flush the older half back to the shared list so
+      // Rebalance: flush the older half back to the socket list so
       // producer workers (who keep missing) can refill from it.
       const std::size_t keep = kCacheCap / 2;
-      util::Guard<util::SpinLock> g(shared_lock_);
-      shared_free_.insert(shared_free_.end(), cache.begin(),
-                          cache.begin() + static_cast<std::ptrdiff_t>(
-                                              cache.size() - keep));
+      SocketShared& home = shared_of(worker);
+      util::Guard<util::SpinLock> g(home.lock);
+      home.free.insert(home.free.end(), cache.begin(),
+                       cache.begin() + static_cast<std::ptrdiff_t>(
+                                           cache.size() - keep));
       cache.erase(cache.begin(), cache.begin() + static_cast<std::ptrdiff_t>(
                                                      cache.size() - keep));
     }
     return;
   }
-  util::Guard<util::SpinLock> g(shared_lock_);
-  shared_free_.push_back(slot);
+  SocketShared& home = shared_of(worker);
+  util::Guard<util::SpinLock> g(home.lock);
+  home.free.push_back(slot);
 }
 
 }  // namespace htvm::rt

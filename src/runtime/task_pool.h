@@ -7,23 +7,27 @@
 //   * per-worker caches -- a worker releases the task it just ran into its
 //     own cache and the next spawn on that worker pops it back, both
 //     lock-free (the cache is owner-only by construction);
-//   * a shared overflow list -- when a worker's cache exceeds its cap
+//   * per-socket overflow lists -- when a worker's cache exceeds its cap
 //     (work flowed from producer workers to consumer workers, e.g. one
-//     node spawns and others steal), half the cache is flushed to the
-//     shared list under a spin lock, rebalancing slots back toward the
-//     producers, which refill from it in batches on a cache miss;
-//   * external threads (no worker identity) allocate/release directly on
-//     the shared list.
+//     node spawns and others steal), half the cache is flushed to its
+//     socket's shared list under that socket's spin lock. Workers refill
+//     from their own socket first -- slots recirculate among cache-sharing
+//     neighbours and the flush/refill locks are per-socket, not global --
+//     and fall back to raiding other sockets' lists before carving a new
+//     slab, so cross-socket producer/consumer flows cannot grow the slab
+//     set without bound;
+//   * external threads (no worker identity) allocate/release on socket 0.
 //
 // A slot's contents are synchronized by whatever handed the Task* between
 // threads (deque publish fence, inject mutex); the pool itself only needs
-// the shared-list lock.
+// the per-socket list locks (and one slab lock on the carve path).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "machine/topology.h"
 #include "mem/pool_stats.h"
 #include "runtime/task.h"
 #include "util/spinlock.h"
@@ -34,12 +38,16 @@ class TaskPool {
  public:
   // Tunables: slabs of 64 slots (8 KiB at sizeof(Task)==128); caches flush
   // half above 256 slots and refill 32 at a time, so steady-state producer
-  // -> consumer flows touch the shared lock once per ~128 tasks.
+  // -> consumer flows touch a shared lock once per ~128 tasks.
   static constexpr std::size_t kSlabSlots = 64;
   static constexpr std::size_t kCacheCap = 256;
   static constexpr std::size_t kRefillBatch = 32;
 
+  // Flat pool: every worker shares one overflow list (socket 0).
   explicit TaskPool(std::uint32_t workers);
+  // Topology-aware pool: one overflow list per socket, workers mapped to
+  // theirs via the tree's placement.
+  explicit TaskPool(const machine::TopologyTree& topology);
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -56,16 +64,25 @@ class TaskPool {
  private:
   struct alignas(64) WorkerCache {
     std::vector<Task*> free;  // touched only by the owning worker
+    std::uint32_t socket = 0;
   };
 
+  struct alignas(64) SocketShared {
+    util::SpinLock lock;
+    std::vector<Task*> free;
+  };
+
+  // The socket list serving `worker` (socket 0 for external threads).
+  SocketShared& shared_of(std::int32_t worker);
+
   // Carves a fresh slab and returns one slot, pushing the rest onto
-  // `cache` (nullptr: onto the shared list). Called on recycle miss.
-  Task* carve_slab(std::vector<Task*>* cache);
+  // `cache` (nullptr: onto `shared`'s list). Called on recycle miss.
+  Task* carve_slab(std::vector<Task*>* cache, SocketShared& shared);
 
   std::vector<WorkerCache> caches_;
-  util::SpinLock shared_lock_;
-  std::vector<Task*> shared_free_;
-  std::vector<std::unique_ptr<Task[]>> slabs_;  // guarded by shared_lock_
+  std::vector<std::unique_ptr<SocketShared>> sockets_;
+  util::SpinLock slabs_lock_;
+  std::vector<std::unique_ptr<Task[]>> slabs_;  // guarded by slabs_lock_
   mem::PoolStats stats_;
 };
 

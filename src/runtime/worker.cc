@@ -15,6 +15,31 @@ thread_local std::int32_t tl_worker_id = -1;
 thread_local Lgt* tl_lgt = nullptr;
 }  // namespace detail
 
+namespace {
+
+// One step of the spin-then-park ladder: a pause-loop whose length
+// doubles with each consecutive failed round. Early failures cost a few
+// dozen cycles and keep the worker hot on its own cacheline (no yield,
+// no syscall); only a sustained drought escalates to yield and then, at
+// park_threshold, to the condition variable.
+inline void backoff_spin(std::uint32_t failures) {
+  constexpr std::uint32_t kSpinRounds = 6;  // 1<<6 = 64 pauses max
+  if (failures <= kSpinRounds) {
+    const std::uint32_t spins = 1u << failures;
+    for (std::uint32_t i = 0; i < spins; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+    return;
+  }
+  std::this_thread::yield();
+}
+
+}  // namespace
+
 void Runtime::worker_main(Worker& w) {
   detail::tl_runtime = this;
   detail::tl_worker_id = static_cast<std::int32_t>(w.id);
@@ -39,7 +64,7 @@ void Runtime::worker_main(Worker& w) {
       });
       failures = 0;
     } else {
-      std::this_thread::yield();
+      backoff_spin(failures);
     }
   }
   detail::tl_runtime = nullptr;
@@ -82,20 +107,29 @@ bool Runtime::try_run_one(Worker& w) {
 }
 
 bool Runtime::drain_inject(Worker& w) {
-  NodeState& ns = *nodes_[w.node];
-  if (ns.inject_size.load(std::memory_order_acquire) == 0) return false;
-  {
-    std::lock_guard<std::mutex> lock(ns.inject_mutex);
-    if (ns.inject.empty()) return false;
-    // Two-list swap: take the whole producer list in O(1) and give the
-    // producers back our (empty, capacity-retaining) scratch vector.
-    ns.inject.swap(w.inject_scratch);
-    ns.inject_size.store(0, std::memory_order_release);
+  // Own socket's queue first (its producers targeted this neighbourhood),
+  // then the node's sibling sockets, so no queue is ever orphaned when
+  // its socket's workers are all busy elsewhere.
+  const std::vector<std::uint32_t>& roster = nodes_[w.node]->sockets;
+  for (std::size_t i = 0; i < roster.size() + 1; ++i) {
+    SocketState& ss =
+        i == 0 ? *sockets_[w.socket] : *sockets_[roster[i - 1]];
+    if (i > 0 && roster[i - 1] == w.socket) continue;  // already probed
+    if (ss.inject_size.load(std::memory_order_acquire) == 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(ss.inject_mutex);
+      if (ss.inject.empty()) continue;
+      // Two-list swap: take the whole producer list in O(1) and give the
+      // producers back our (empty, capacity-retaining) scratch vector.
+      ss.inject.swap(w.inject_scratch);
+      ss.inject_size.store(0, std::memory_order_release);
+    }
+    // Drain lock-free into the own deque, keeping the batch stealable.
+    for (Task* task : w.inject_scratch) w.deque.push(task);
+    w.inject_scratch.clear();
+    return true;
   }
-  // Drain lock-free into the own deque, keeping the batch stealable.
-  for (Task* task : w.inject_scratch) w.deque.push(task);
-  w.inject_scratch.clear();
-  return true;
+  return false;
 }
 
 void Runtime::drain_tgts(Worker& w) {
@@ -178,54 +212,87 @@ void Runtime::resume_lgt(Worker& w, std::unique_ptr<Lgt> lgt) {
   lgt_checkin(raw);
 }
 
+obs::Counter* Runtime::distance_counter(machine::StealDistance distance) {
+  switch (distance) {
+    case machine::StealDistance::kSmt: return counters_.steal_smt;
+    case machine::StealDistance::kCore: return counters_.steal_core;
+    case machine::StealDistance::kSocket: return counters_.steal_socket;
+    case machine::StealDistance::kRemote: return counters_.steal_remote;
+    case machine::StealDistance::kSelf: break;
+  }
+  return nullptr;
+}
+
+void Runtime::record_steal(Worker& w, std::uint32_t victim_node,
+                           machine::StealDistance distance,
+                           std::size_t tasks) {
+  // One accounting path for every steal source (victim deque or remote
+  // inject queue): the previous inject branch skipped the tracer and
+  // re-implemented the counter bumps by hand, so traces under-reported
+  // migrations and new counters had to be added twice.
+  if (victim_node != w.node)
+    injector_.network_transfer(victim_node, w.node, 64 * tasks);
+  counters_.steals->add(w.id);
+  if (obs::Counter* c = distance_counter(distance)) c->add(w.id);
+  counters_.steal_batch_tasks->add(w.id, tasks);
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->record("runtime", "steal", w.id, trace_now_us(), tasks);
+}
+
 bool Runtime::try_steal(Worker& w) {
   if (options_.steal_scope == StealScope::kNone) return false;
-  const std::size_t n = workers_.size();
-  const std::size_t start =
-      static_cast<std::size_t>(w.rng.next_below(n ? n : 1));
-
-  auto attempt = [&](Worker& victim) -> bool {
-    if (&victim == &w) return false;
-    if (auto task = victim.deque.steal()) {
-      if (victim.node != w.node)
-        injector_.network_transfer(victim.node, w.node, 64);
-      counters_.steals->add(w.id);
-      if (tracer_ != nullptr && tracer_->enabled())
-        tracer_->record("runtime", "steal", w.id, trace_now_us(), 1);
-      run_sgt(w, *task);
-      return true;
-    }
-    return false;
-  };
-
-  // Same-node victims first: cheapest migration.
-  for (std::size_t i = 0; i < n; ++i) {
-    Worker& v = *workers_[(start + i) % n];
-    if (v.node == w.node && attempt(v)) return true;
+  // Distance-ordered victim scan over the precomputed list: SMT siblings,
+  // then same-socket cores, other sockets on the node, and only then
+  // remote nodes. Node scope stops at the same-node prefix, so a local
+  // round is O(level width), never O(total workers).
+  const std::size_t limit = options_.steal_scope == StealScope::kGlobal
+                                ? w.victims.size()
+                                : w.local_prefix;
+  for (std::size_t i = 0; i < limit; ++i) {
+    Worker& v = *workers_[w.victims[i]];
+    const std::size_t got =
+        v.deque.steal_batch(w.steal_buf.data(), steal_batch_max_);
+    if (got == 0) continue;
+    record_steal(w, v.node, w.victim_distance[i], got);
+    // Steal-half: the surplus lands in the thief's own deque (stealable
+    // again, so a convoy of idle thieves disperses it further) and the
+    // oldest task runs immediately.
+    for (std::size_t j = 1; j < got; ++j) w.deque.push(w.steal_buf[j]);
+    if (got > 1) work_arrived();
+    run_sgt(w, w.steal_buf[0]);
+    return true;
   }
   if (options_.steal_scope == StealScope::kGlobal) {
-    for (std::size_t i = 0; i < n; ++i) {
-      Worker& v = *workers_[(start + i) % n];
-      if (v.node != w.node && attempt(v)) return true;
-    }
-    // Remote inject queues are also fair game under global stealing.
-    for (std::uint32_t node = 0; node < nodes_.size(); ++node) {
-      if (node == w.node) continue;
-      NodeState& other = *nodes_[node];
+    // Remote sockets' inject queues are also fair game under global
+    // stealing; same accounting path as deque steals. Steal-half applies
+    // here too: taking one task per lock acquisition serializes every
+    // thief on the hot node's inject mutex and leaves the thief's own
+    // deque empty, so its neighbours can never redistribute the load
+    // locally. Batching moves half the queue (capped at the batch limit)
+    // per grab, and the surplus lands in the thief's deque where
+    // same-socket thieves pick it up at SMT/core distance.
+    for (std::uint32_t s = 0; s < sockets_.size(); ++s) {
+      SocketState& other = *sockets_[s];
+      if (other.node == w.node) continue;
       if (other.inject_size.load(std::memory_order_acquire) == 0) continue;
-      Task* task = nullptr;
+      std::size_t got = 0;
       {
         std::lock_guard<std::mutex> lock(other.inject_mutex);
-        if (!other.inject.empty()) {
-          task = other.inject.back();
+        const std::size_t want = std::min<std::size_t>(
+            steal_batch_max_, (other.inject.size() + 1) / 2);
+        while (got < want && !other.inject.empty()) {
+          w.steal_buf[got++] = other.inject.back();
           other.inject.pop_back();
-          other.inject_size.fetch_sub(1, std::memory_order_release);
         }
+        if (got > 0)
+          other.inject_size.fetch_sub(got, std::memory_order_release);
       }
-      if (task != nullptr) {
-        injector_.network_transfer(node, w.node, 64);
-        counters_.steals->add(w.id);
-        run_sgt(w, task);
+      if (got > 0) {
+        record_steal(w, other.node, machine::StealDistance::kRemote, got);
+        counters_.steal_inject->add(w.id);
+        for (std::size_t j = 1; j < got; ++j) w.deque.push(w.steal_buf[j]);
+        if (got > 1) work_arrived();
+        run_sgt(w, w.steal_buf[0]);
         return true;
       }
     }

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "machine/config.h"
+#include "machine/topology.h"
+
+namespace htvm::machine {
+namespace {
+
+std::vector<std::uint32_t> per_node(std::uint32_t nodes,
+                                    std::uint32_t workers) {
+  return std::vector<std::uint32_t>(nodes, workers);
+}
+
+// ------------------------------------------------------------ construction
+
+TEST(TopologyShape, ParsesSocketsAndSmt) {
+  TopologyShape shape;
+  EXPECT_EQ(shape.parse("sockets=4,smt=2"), "");
+  EXPECT_EQ(shape.sockets_per_node, 4u);
+  EXPECT_EQ(shape.smt_per_core, 2u);
+}
+
+TEST(TopologyShape, EitherKeyAloneAndSpacesOk) {
+  TopologyShape shape;
+  EXPECT_EQ(shape.parse(" smt = 4 "), "");
+  EXPECT_EQ(shape.sockets_per_node, 1u);
+  EXPECT_EQ(shape.smt_per_core, 4u);
+}
+
+TEST(TopologyShape, RejectsMalformedInput) {
+  TopologyShape shape;
+  EXPECT_NE(shape.parse("sockets=0"), "");       // zero is invalid
+  EXPECT_NE(shape.parse("sockets=abc"), "");     // not a number
+  EXPECT_NE(shape.parse("cores=2"), "");         // unknown key
+  EXPECT_NE(shape.parse("sockets2"), "");        // no '='
+}
+
+TEST(TopologyTree, FlatDefaultIsOneSocketPerNode) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyTree tree(cfg, per_node(2, 4), TopologyShape{});
+  EXPECT_EQ(tree.num_workers(), 8u);
+  EXPECT_EQ(tree.num_nodes(), 2u);
+  EXPECT_EQ(tree.num_sockets(), 2u);  // one per node
+  // Every worker on a node shares its socket; nodes are disjoint.
+  EXPECT_EQ(tree.place(0).socket, tree.place(3).socket);
+  EXPECT_NE(tree.place(3).socket, tree.place(4).socket);
+}
+
+TEST(TopologyTree, PlacementFillsSmtSlotsThenCoresThenSockets) {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  shape.smt_per_core = 2;
+  TopologyTree tree(cfg, per_node(1, 8), shape);
+  // 8 workers, 2 sockets of 4, cores of 2 SMT slots: workers 0,1 share a
+  // core; 0..3 share socket 0; 4..7 share socket 1.
+  EXPECT_EQ(tree.place(0).core, tree.place(1).core);
+  EXPECT_NE(tree.place(1).core, tree.place(2).core);
+  EXPECT_EQ(tree.place(0).socket, tree.place(3).socket);
+  EXPECT_NE(tree.place(3).socket, tree.place(4).socket);
+  EXPECT_EQ(tree.place(0).smt, 0u);
+  EXPECT_EQ(tree.place(1).smt, 1u);
+}
+
+TEST(TopologyTree, ConstructionFromConfigKeys) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.sockets_per_node = 2;
+  cfg.smt_per_core = 2;
+  ::unsetenv("HTVM_TOPOLOGY");
+  TopologyTree tree = TopologyTree::from_config(cfg, per_node(2, 4));
+  EXPECT_EQ(tree.num_sockets(), 4u);
+  EXPECT_EQ(tree.shape().sockets_per_node, 2u);
+  EXPECT_EQ(tree.shape().smt_per_core, 2u);
+}
+
+TEST(TopologyTree, EnvOverrideWinsOverConfig) {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.sockets_per_node = 1;
+  ::setenv("HTVM_TOPOLOGY", "sockets=2,smt=2", 1);
+  TopologyTree tree = TopologyTree::from_config(cfg, per_node(1, 8));
+  ::unsetenv("HTVM_TOPOLOGY");
+  EXPECT_EQ(tree.shape().sockets_per_node, 2u);
+  EXPECT_EQ(tree.shape().smt_per_core, 2u);
+  EXPECT_EQ(tree.num_sockets(), 2u);
+}
+
+TEST(TopologyTree, MalformedEnvOverrideIsIgnored) {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.sockets_per_node = 2;
+  ::setenv("HTVM_TOPOLOGY", "sockets=zero", 1);
+  TopologyTree tree = TopologyTree::from_config(cfg, per_node(1, 4));
+  ::unsetenv("HTVM_TOPOLOGY");
+  // Falls back to the config's shape instead of crashing or zeroing.
+  EXPECT_EQ(tree.shape().sockets_per_node, 2u);
+}
+
+// --------------------------------------------------------------- distance
+
+TEST(TopologyTree, DistanceLadder) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  shape.smt_per_core = 2;
+  // 2 nodes x 8: node 0 holds workers 0..7 (sockets 0,1), node 1 holds
+  // 8..15 (sockets 2,3).
+  TopologyTree tree(cfg, per_node(2, 8), shape);
+  EXPECT_EQ(tree.distance(0, 0), StealDistance::kSelf);
+  EXPECT_EQ(tree.distance(0, 1), StealDistance::kSmt);     // same core
+  EXPECT_EQ(tree.distance(0, 2), StealDistance::kCore);    // same socket
+  EXPECT_EQ(tree.distance(0, 4), StealDistance::kSocket);  // same node
+  EXPECT_EQ(tree.distance(0, 8), StealDistance::kRemote);  // other node
+  // Symmetric.
+  EXPECT_EQ(tree.distance(8, 0), StealDistance::kRemote);
+  EXPECT_EQ(tree.distance(1, 0), StealDistance::kSmt);
+}
+
+// ------------------------------------------------------------ victim order
+
+TEST(TopologyTree, VictimOrderIsNondecreasingInDistance) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  shape.smt_per_core = 2;
+  TopologyTree tree(cfg, per_node(2, 8), shape);
+  for (std::uint32_t w = 0; w < tree.num_workers(); ++w) {
+    const std::vector<std::uint32_t> order = tree.victim_order(w);
+    ASSERT_EQ(order.size(), tree.num_workers() - 1u);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LE(static_cast<int>(tree.distance(w, order[i - 1])),
+                static_cast<int>(tree.distance(w, order[i])))
+          << "worker " << w << " victims " << order[i - 1] << " then "
+          << order[i];
+    }
+  }
+}
+
+TEST(TopologyTree, VictimOrderStartsWithSmtSibling) {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  shape.smt_per_core = 2;
+  TopologyTree tree(cfg, per_node(1, 8), shape);
+  // Worker 0's SMT sibling is 1; worker 1's is 0.
+  EXPECT_EQ(tree.victim_order(0).front(), 1u);
+  EXPECT_EQ(tree.victim_order(1).front(), 0u);
+}
+
+TEST(TopologyTree, LocalPrefixCoversExactlyTheNode) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  TopologyTree tree(cfg, per_node(2, 6), shape);
+  for (std::uint32_t w = 0; w < tree.num_workers(); ++w) {
+    const std::vector<std::uint32_t> order = tree.victim_order(w);
+    const std::size_t prefix = tree.local_prefix(w);
+    ASSERT_EQ(prefix, 5u);  // 6 per node, minus the thief
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(tree.place(order[i]).node == tree.place(w).node, i < prefix);
+    }
+  }
+}
+
+TEST(TopologyTree, ThievesInOneClassStartAtDifferentVictims) {
+  MachineConfig cfg;
+  cfg.nodes = 1;
+  // Flat node of 8: all victims are one distance class, so the order is
+  // purely the cyclic sweep -- thief w starts at w+1.
+  TopologyTree tree(cfg, per_node(1, 8), TopologyShape{});
+  EXPECT_EQ(tree.victim_order(0).front(), 1u);
+  EXPECT_EQ(tree.victim_order(3).front(), 4u);
+  EXPECT_EQ(tree.victim_order(7).front(), 0u);
+}
+
+TEST(TopologyTree, NodeAndSocketRosters) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyShape shape;
+  shape.sockets_per_node = 2;
+  TopologyTree tree(cfg, per_node(2, 4), shape);
+  ASSERT_EQ(tree.node_workers(0).size(), 4u);
+  ASSERT_EQ(tree.node_workers(1).size(), 4u);
+  EXPECT_EQ(tree.node_workers(1).front(), 4u);
+  // 4 sockets of 2 workers.
+  ASSERT_EQ(tree.num_sockets(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_EQ(tree.socket_workers(s).size(), 2u);
+}
+
+TEST(TopologyTree, UnevenWorkerCountsStillSeatEveryone) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  TopologyShape shape;
+  shape.sockets_per_node = 4;  // more sockets than workers on a node
+  std::vector<std::uint32_t> counts = {3, 1};
+  TopologyTree tree(cfg, counts, shape);
+  EXPECT_EQ(tree.num_workers(), 4u);
+  EXPECT_EQ(tree.local_prefix(3), 0u);  // alone on its node
+  const std::vector<std::uint32_t> order = tree.victim_order(3);
+  ASSERT_EQ(order.size(), 3u);
+  for (const std::uint32_t v : order)
+    EXPECT_EQ(tree.distance(3, v), StealDistance::kRemote);
+}
+
+}  // namespace
+}  // namespace htvm::machine
