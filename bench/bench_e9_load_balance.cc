@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 
 #include "common.h"
 #include "obs/export.h"
@@ -193,6 +194,129 @@ void run_steal_locality_section(bench::Reporter& reporter) {
               "remote, nearest first.)\n\n");
 }
 
+// ------------------------------------------------------- latency section
+
+obs::HistogramStats histogram_of(const obs::TelemetrySnapshot& snap,
+                                 const char* name) {
+  for (const obs::HistogramStats& h : snap.histograms)
+    if (h.name == name) return h;
+  return obs::HistogramStats{};
+}
+
+// Task-lifecycle latency distributions (rt.lat.*) under the same
+// hot-node skew, flat vs topology-aware stealing: queue-wait (spawn ->
+// dispatch) and run (dispatch -> complete) percentiles in nanoseconds.
+// Topology-aware batching drains the hot deque in steal-half chunks, so
+// its queue-wait tail is the number to watch against flat's.
+void run_latency_section(bench::Reporter& reporter) {
+  if (!obs::kLatencyCompiledIn) {
+    std::printf("--- latency section skipped (built with "
+                "-DHTVM_LATENCY=OFF) ---\n\n");
+    return;
+  }
+  std::printf("--- task-lifecycle latency: flat vs topology-aware "
+              "(2 nodes x 4 TUs, all spawns on node 0, values in ns) "
+              "---\n");
+  obs::set_latency_enabled(true);
+  const int kSgts = reporter.smoke() ? 4000 : 80000;
+  bench::TextTable table({"config", "sgts", "qw_p50", "qw_p90", "qw_p99",
+                          "run_p50", "run_p99"});
+  for (const bool topo : {false, true}) {
+    rt::RuntimeOptions opts;
+    opts.config.nodes = 2;
+    opts.config.thread_units_per_node = 4;
+    opts.config.sockets_per_node = 2;
+    opts.config.smt_per_core = 2;
+    opts.config.node_memory_bytes = 1 << 20;
+    opts.topology_aware = topo;
+    rt::Runtime rt(opts);
+    std::atomic<std::uint64_t> sink{0};
+    for (int i = 0; i < kSgts; ++i) {
+      rt.spawn_sgt_on(0, [&sink] {
+        volatile std::uint64_t x = 0;
+        for (int k = 0; k < 64; ++k) x += static_cast<std::uint64_t>(k);
+        sink.fetch_add(x != 0 ? 1 : 0, std::memory_order_relaxed);
+      });
+    }
+    rt.wait_idle();
+    const obs::TelemetrySnapshot snap = rt.telemetry_snapshot();
+    const obs::HistogramStats qw =
+        histogram_of(snap, "rt.lat.queue_wait");
+    const obs::HistogramStats run = histogram_of(snap, "rt.lat.run");
+    table.add_row({topo ? "hier" : "flat",
+                   bench::TextTable::fmt(static_cast<double>(qw.count)),
+                   bench::TextTable::fmt(qw.p50),
+                   bench::TextTable::fmt(qw.p90),
+                   bench::TextTable::fmt(qw.p99),
+                   bench::TextTable::fmt(run.p50),
+                   bench::TextTable::fmt(run.p99)});
+  }
+  reporter.table("latency", table);
+
+  // Spawn-path overhead of the instrumentation itself: the stamp is the
+  // only cost the producer pays (dispatch and completion timing ride on
+  // the worker side), so time the spawn loop alone with recording on vs
+  // off (runtime toggle, same binary), min of several reps to shrug off
+  // single-core preemption noise. Both workers are parked on yield-spin
+  // gate tasks for the duration of the timed loop; otherwise, on a
+  // single-core host, the workers' own dispatch/run instrumentation
+  // steals cycles from the spawner and masquerades as spawn cost. The
+  // on/off delta is one published-clock load + one store per spawn; the
+  // acceptance bound is <= 5%.
+  std::printf("--- spawn-path overhead: HTVM_LATENCY on vs off "
+              "(min of reps) ---\n");
+  const int kSpawns = reporter.smoke() ? 5000 : 100000;
+  const int kReps = reporter.smoke() ? 3 : 5;
+  double best_ns[2] = {1e300, 1e300};  // [0] = off, [1] = on
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const int mode : {0, 1}) {
+      obs::set_latency_enabled(mode == 1);
+      rt::RuntimeOptions opts;
+      opts.config.nodes = 1;
+      opts.config.thread_units_per_node = 2;
+      opts.config.node_memory_bytes = 1 << 20;
+      rt::Runtime rt(opts);
+      std::atomic<bool> release{false};
+      std::atomic<int> gates_running{0};
+      for (int g = 0; g < 2; ++g) {
+        rt.spawn_sgt_on(0, [&release, &gates_running] {
+          gates_running.fetch_add(1, std::memory_order_relaxed);
+          while (!release.load(std::memory_order_relaxed))
+            std::this_thread::yield();
+        });
+      }
+      while (gates_running.load(std::memory_order_relaxed) < 2)
+        std::this_thread::yield();
+      std::atomic<std::uint64_t> sink{0};
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kSpawns; ++i) {
+        rt.spawn_sgt_on(0, [&sink] {
+          sink.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      const double ns = std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - start)
+                            .count() /
+                        kSpawns;
+      release.store(true, std::memory_order_relaxed);
+      rt.wait_idle();
+      if (ns < best_ns[mode]) best_ns[mode] = ns;
+    }
+  }
+  obs::set_latency_enabled(true);
+  const double overhead_pct =
+      best_ns[0] > 0.0 ? (best_ns[1] - best_ns[0]) / best_ns[0] * 100.0
+                       : 0.0;
+  bench::TextTable overhead({"mode", "ns_per_task", "overhead_pct"});
+  overhead.add_row({"off", bench::TextTable::fmt(best_ns[0], 1), "0.0"});
+  overhead.add_row({"on", bench::TextTable::fmt(best_ns[1], 1),
+                    bench::TextTable::fmt(overhead_pct, 1)});
+  reporter.table("latency_overhead", overhead);
+  std::printf("(queue_wait/run percentiles also ride in the telemetry "
+              "member's \"histograms\"; overhead acceptance bound is "
+              "5%%.)\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +359,7 @@ int main(int argc, char** argv) {
   std::printf("--- central-queue ablation ---\n");
   reporter.table("central_queue_ablation", ablation);
   run_steal_locality_section(reporter);
+  run_latency_section(reporter);
   run_real_runtime_section(reporter);
   return 0;
 }

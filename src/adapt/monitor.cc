@@ -33,12 +33,28 @@ void PerfMonitor::register_with(obs::MetricsRegistry& registry) {
 }
 
 void PerfMonitor::ingest(const obs::SampleDelta& delta) {
-  if (delta.dt_seconds <= 0.0) return;
   std::lock_guard<std::mutex> lock(rates_mutex_);
+  // Histogram levels are meaningful on every sample, including the
+  // dt==0 priming one; rates need a real interval to divide by.
+  for (const obs::HistogramStats& h : delta.histograms)
+    latest_histograms_[h.name] = h;
+  if (delta.dt_seconds <= 0.0) return;
   for (const obs::MetricValue& m : delta.deltas) {
     if (m.kind != obs::MetricKind::kCounter) continue;
     rates_[m.name].add(m.value / delta.dt_seconds);
   }
+}
+
+obs::HistogramStats PerfMonitor::latest_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(rates_mutex_);
+  const auto it = latest_histograms_.find(name);
+  if (it == latest_histograms_.end()) {
+    obs::HistogramStats empty;
+    empty.name = name;
+    return empty;
+  }
+  return it->second;
 }
 
 util::RunningStats PerfMonitor::rate_stats(const std::string& metric) const {

@@ -95,6 +95,12 @@ class PerfMonitor {
   // Rate distribution (per-second) observed for a sampled counter metric,
   // e.g. "rt.sgts_executed". Empty stats if never sampled.
   util::RunningStats rate_stats(const std::string& metric) const;
+  // Latest registry histogram seen in an ingested delta (cumulative
+  // percentiles at the most recent sample instant), e.g.
+  // "rt.lat.queue_wait". The tail-latency feedback channel: the adaptive
+  // controller reads p99 here instead of re-walking registry shards.
+  // Returns a zero-count stats object if never sampled.
+  obs::HistogramStats latest_histogram(const std::string& name) const;
 
  private:
   struct alignas(64) WorkerSlot {
@@ -127,6 +133,7 @@ class PerfMonitor {
   std::vector<obs::MetricsRegistry::SourceId> metric_sources_;
   mutable std::mutex rates_mutex_;
   std::map<std::string, util::RunningStats> rates_;
+  std::map<std::string, obs::HistogramStats> latest_histograms_;
 };
 
 }  // namespace htvm::adapt

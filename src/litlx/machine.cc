@@ -116,6 +116,29 @@ void Machine::start_sampler(std::chrono::milliseconds period) {
       ++sgt_rate_samples_;
       break;
     }
+    // Tail-latency detector: the same EWMA-jump scheme over the
+    // rt.lat.queue_wait p99. A queue-wait tail blowing up means tasks sit
+    // behind something new (skewed spawn burst, a node gone cold) even if
+    // the completion rate looks steady, so it is an independent
+    // re-explore trigger for the controller and locality tuner.
+    for (const obs::HistogramStats& h : delta.histograms) {
+      if (h.name != "rt.lat.queue_wait") continue;
+      if (h.count == 0 || h.p99 <= 0.0) break;  // latency off or idle
+      constexpr double kTailJump = 8.0;
+      constexpr std::uint64_t kTailWarmup = 4;
+      if (qw_p99_samples_ >= kTailWarmup && qw_p99_ewma_ > 0.0 &&
+          h.p99 > kTailJump * qw_p99_ewma_) {
+        controller_->signal_phase_change();
+        qw_p99_ewma_ = h.p99;
+        qw_p99_samples_ = 0;
+        break;
+      }
+      qw_p99_ewma_ = qw_p99_samples_ == 0
+                         ? h.p99
+                         : 0.7 * qw_p99_ewma_ + 0.3 * h.p99;
+      ++qw_p99_samples_;
+      break;
+    }
   });
   sampler_->start();
 }

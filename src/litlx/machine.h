@@ -191,6 +191,9 @@ class Machine {
   // Sampler-driven phase detector state (EWMA of the SGT completion rate).
   double sgt_rate_ewma_ = 0.0;
   std::uint64_t sgt_rate_samples_ = 0;
+  // Tail-latency detector state (EWMA of the rt.lat.queue_wait p99).
+  double qw_p99_ewma_ = 0.0;
+  std::uint64_t qw_p99_samples_ = 0;
 };
 
 }  // namespace htvm::litlx

@@ -69,6 +69,15 @@ void body_into(std::ostringstream& out, const TelemetrySnapshot& snapshot,
     out << "\":\""
         << (m.kind == MetricKind::kCounter ? "counter" : "gauge") << '"';
   }
+  // Histograms are first-class kinds: their names live in "kinds" like
+  // every other metric, their values in the "histograms" object.
+  for (const HistogramStats& h : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    escape_into(out, h.name);
+    out << "\":\"histogram\"";
+  }
   out << "},\"timers\":{";
   first = true;
   for (const TimerStats& t : snapshot.timers) {
@@ -83,6 +92,31 @@ void body_into(std::ostringstream& out, const TelemetrySnapshot& snapshot,
     out << ",\"max\":";
     number_into(out, t.max);
     out << '}';
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const HistogramStats& h : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    escape_into(out, h.name);
+    out << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"p50\":";
+    number_into(out, h.p50);
+    out << ",\"p90\":";
+    number_into(out, h.p90);
+    out << ",\"p99\":";
+    number_into(out, h.p99);
+    out << ",\"max\":";
+    number_into(out, h.max);
+    out << ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [hi, count] : h.buckets) {
+      if (!bfirst) out << ',';
+      bfirst = false;
+      out << '[' << hi << ',' << count << ']';
+    }
+    out << "]}";
   }
   out << '}';
   if (samples != nullptr) {
@@ -145,6 +179,32 @@ std::string to_prometheus(const TelemetrySnapshot& snapshot) {
       const char* suffix;
       double value;
     } quantiles[] = {{"_p50", t.p50}, {"_p95", t.p95}, {"_max", t.max}};
+    for (const auto& q : quantiles) {
+      out << "# TYPE " << name << q.suffix << " gauge\n"
+          << name << q.suffix << ' ';
+      number_into(out, q.value);
+      out << '\n';
+    }
+  }
+  for (const HistogramStats& h : snapshot.histograms) {
+    // Classic Prometheus histogram exposition: cumulative _bucket{le=}
+    // series plus _sum/_count, and the pre-computed percentiles as
+    // gauges for consumers that don't run histogram_quantile().
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [hi, count] : h.buckets) {
+      cumulative += count;
+      out << name << "_bucket{le=\"" << hi << "\"} " << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << name << "_sum " << h.sum << '\n';
+    out << name << "_count " << h.count << '\n';
+    const struct {
+      const char* suffix;
+      double value;
+    } quantiles[] = {{"_p50", h.p50}, {"_p90", h.p90},
+                     {"_p99", h.p99}, {"_max", h.max}};
     for (const auto& q : quantiles) {
       out << "# TYPE " << name << q.suffix << " gauge\n"
           << name << q.suffix << ' ';

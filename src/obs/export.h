@@ -6,10 +6,17 @@
 //   { "schema": "htvm.telemetry.v1",
 //     "sequence": N, "uptime_seconds": S,
 //     "metrics": { "<name>": <number>, ... },           // sorted by name
-//     "kinds":   { "<name>": "counter"|"gauge", ... },
+//     "kinds":   { "<name>": "counter"|"gauge"|"histogram", ... },
 //     "timers":  { "<name>": {"count":N,"p50":X,"p95":X,"max":X}, ... },
+//     "histograms": { "<name>": {"count":N,"sum":N,"p50":X,"p90":X,
+//                                "p99":X,"max":X,
+//                                "buckets":[[le,count],...]}, ... },
 //     "samples": [ { "sequence": N, "dt_seconds": S,
 //                    "deltas": { "<name>": <number>, ... } }, ... ] }
+// "kinds" covers the union of "metrics" and "histograms" names (the
+// histogram entries carry kind "histogram" and live only in
+// "histograms"). Histogram buckets are sparse, ascending {exclusive
+// upper bound, count} pairs from the log-bucketed obs::Histogram.
 // "samples" is present only when Sampler deltas are passed in; counter
 // deltas are per-interval increments, gauge entries are the level at the
 // sample instant.

@@ -1,0 +1,64 @@
+#include "obs/histogram.h"
+
+namespace htvm::obs {
+
+Histogram::Histogram(std::uint32_t shards)
+    : shard_count_(shards == 0 ? 1 : shards) {
+  shards_.reserve(shard_count_);
+  for (std::uint32_t i = 0; i < shard_count_; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const auto& shard : shards_) {
+    for (std::uint32_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      const std::uint64_t c =
+          shard->counts[b].load(std::memory_order_relaxed);
+      out.counts[b] += c;
+      out.count += c;
+    }
+    out.sum += shard->sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = shard->max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  return out;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::uint32_t b = 0; b < kBuckets; ++b) counts[b] += other.counts[b];
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q >= 1.0) return static_cast<double>(max);
+  if (q < 0.0) q = 0.0;
+  // Target rank in [0, count-1]; walk buckets until it lands.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t below = 0;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t in_bucket = counts[b];
+    if (rank < static_cast<double>(below + in_bucket)) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      // The top bucket's nominal upper bound is 2^63; the recorded max
+      // is a tighter (and exact) cap for interpolation in any bucket
+      // that contains it.
+      double hi = static_cast<double>(bucket_hi(b));
+      if (max >= bucket_lo(b) && static_cast<double>(max) < hi)
+        hi = static_cast<double>(max) + 1.0;
+      const double frac = in_bucket == 1
+                              ? 0.0
+                              : (rank - static_cast<double>(below)) /
+                                    static_cast<double>(in_bucket - 1);
+      return lo + frac * (hi - 1.0 - lo >= 0.0 ? hi - 1.0 - lo : 0.0);
+    }
+    below += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace htvm::obs

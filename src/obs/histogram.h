@@ -1,0 +1,102 @@
+// Lock-free log-bucketed latency histogram (the "distributions" half of
+// the obs layer: counters say how often, this says how long).
+//
+// Values are unsigned 64-bit magnitudes (nanoseconds on every current
+// call site). Bucket i holds values v with bit_width(v) == i, i.e.
+// [2^(i-1), 2^i); bucket 0 holds v == 0. Power-of-two boundaries bound
+// the relative error of any reconstructed quantile by 2x, which is the
+// right trade for scheduler latencies that span six decades -- a p99
+// that reads 1.4ms when the truth is 1.1ms still says "tail blew up",
+// and recording stays two relaxed fetch_adds with no float math.
+//
+// Sharding mirrors obs::Counter: each shard (worker) owns a
+// cacheline-aligned block of atomic bucket counts plus a sum and a
+// CAS-max, so concurrent record()s from different workers never share a
+// line. record() is wait-free apart from the max update, which only
+// loops while the observed maximum is actually rising (cold after
+// warmup). snapshot() folds the shards into one HistogramSnapshot --
+// counts add, sums add, maxes max -- which is exact for counts/sum/max
+// because every shard uses identical bucket boundaries; only quantiles
+// are approximate, and only within one bucket. Snapshots merge the same
+// way, so per-interval deltas and cross-runtime rollups compose.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace htvm::obs {
+
+// Point-in-time, single-owner view of a Histogram (or a merge of
+// several). Plain data: safe to copy into telemetry documents.
+struct HistogramSnapshot {
+  static constexpr std::uint32_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t count = 0;  // sum of counts
+  std::uint64_t sum = 0;    // sum of recorded values
+  std::uint64_t max = 0;    // exact largest recorded value
+
+  // Inclusive lower / exclusive upper bound of bucket i.
+  static std::uint64_t bucket_lo(std::uint32_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t bucket_hi(std::uint32_t i) {
+    return i >= kBuckets - 1 ? ~std::uint64_t{0}
+                             : std::uint64_t{1} << i;
+  }
+  static std::uint32_t bucket_of(std::uint64_t value) {
+    // bit_width hits 64 for values >= 2^63; the last bucket absorbs them
+    // (its upper bound is already saturated to the max uint64).
+    const auto w = static_cast<std::uint32_t>(std::bit_width(value));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  void merge(const HistogramSnapshot& other);
+
+  // Approximate quantile (q in [0,1]): walk the buckets to the target
+  // rank and interpolate linearly inside the landing bucket. q >= 1
+  // returns the exact max; an empty histogram returns 0.
+  double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::uint32_t shards);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Wait-free-modulo-max record of one value on `shard` (worker id; any
+  // integer works, reduced modulo the shard count).
+  void record(std::uint32_t shard, std::uint64_t value) {
+    Shard& s = *shards_[shard % shard_count_];
+    s.counts[HistogramSnapshot::bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+  std::uint32_t shard_count() const { return shard_count_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        counts{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  std::uint32_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace htvm::obs

@@ -1,0 +1,24 @@
+#include "obs/latency.h"
+
+#ifndef HTVM_LATENCY_OFF
+
+#include <cstdlib>
+#include <cstring>
+
+namespace htvm::obs::detail {
+
+namespace {
+bool initial_state() {
+  const char* v = std::getenv("HTVM_LATENCY");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+}  // namespace
+
+std::atomic<bool> g_latency_enabled{initial_state()};
+PublishedClock g_published_clock;
+
+}  // namespace htvm::obs::detail
+
+#endif  // HTVM_LATENCY_OFF

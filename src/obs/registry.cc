@@ -78,6 +78,35 @@ Timer* MetricsRegistry::timer(const std::string& name, double lo, double hi,
   return it->second.get();
 }
 
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(default_shards_))
+             .first;
+  }
+  return it->second.get();
+}
+
+HistogramStats HistogramStats::from(std::string name,
+                                    const HistogramSnapshot& snap) {
+  HistogramStats out;
+  out.name = std::move(name);
+  out.count = snap.count;
+  out.sum = snap.sum;
+  out.p50 = snap.quantile(0.50);
+  out.p90 = snap.quantile(0.90);
+  out.p99 = snap.quantile(0.99);
+  out.max = static_cast<double>(snap.max);
+  for (std::uint32_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (snap.counts[b] != 0)
+      out.buckets.emplace_back(HistogramSnapshot::bucket_hi(b),
+                               snap.counts[b]);
+  }
+  return out;
+}
+
 MetricsRegistry::SourceId MetricsRegistry::add_source(std::string name,
                                                       MetricKind kind,
                                                       Source source) {
@@ -135,6 +164,9 @@ TelemetrySnapshot MetricsRegistry::snapshot() const {
                                     merged.quantile(0.95),
                                     merged.quantile(1.0)});
   }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_)
+    out.histograms.push_back(HistogramStats::from(name, hist->snapshot()));
   return out;
 }
 

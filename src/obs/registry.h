@@ -14,6 +14,11 @@
 //              monotonic; gauge-kind sources are levels (may go down).
 //   Timer   -- a util::Histogram per shard, merged on snapshot; records
 //              latency/duration distributions (p50/p95/max exposition).
+//   Histogram -- obs::Histogram (see obs/histogram.h): lock-free
+//              per-shard log-bucketed distribution for hot-path latency
+//              recording (rt.lat.*). Exposed in snapshots with full
+//              bucket vectors and p50/p90/p99/max, mergeable across
+//              shards and snapshots.
 //
 // Naming convention: dotted lowercase paths, "<subsystem>.<counter>"
 // (rt.sgts_executed, parcel.sent, pool.task.allocations, monitor.tasks,
@@ -36,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 #include "util/spinlock.h"
 
@@ -64,6 +70,24 @@ struct TimerStats {
   double max = 0.0;
 };
 
+// One registered obs::Histogram, rendered for a snapshot: summary
+// percentiles plus the sparse bucket vector (upper bound, count) so
+// consumers can re-derive any quantile or merge documents offline.
+struct HistogramStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  // Non-empty buckets only, ascending: {exclusive upper bound, count}.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  static HistogramStats from(std::string name,
+                             const HistogramSnapshot& snap);
+};
+
 // One coherent point-in-time view of every registered metric. `metrics`
 // is sorted by name and names are unique; this is the document that
 // obs::to_json / to_prometheus serialize and the Sampler diffs.
@@ -72,6 +96,7 @@ struct TelemetrySnapshot {
   double uptime_seconds = 0.0;      // since registry construction
   std::vector<MetricValue> metrics;
   std::vector<TimerStats> timers;
+  std::vector<HistogramStats> histograms;  // sorted by name
 };
 
 // Monotonic counter with per-shard slots. Shard by worker id: each worker
@@ -143,6 +168,7 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Timer* timer(const std::string& name, double lo, double hi,
                std::size_t buckets = 64);
+  Histogram* histogram(const std::string& name);
 
   // Registers a read callback over component-owned state. Counter sources
   // are monotonic (the Sampler emits their deltas); gauge sources are
@@ -173,6 +199,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::vector<SourceEntry> sources_;
   SourceId next_source_ = 1;
   mutable std::uint64_t snapshots_ = 0;

@@ -51,6 +51,7 @@ void Sampler::sample_once() {
       }
       delta.deltas.push_back(MetricValue{m.name, m.kind, value});
     }
+    delta.histograms = snap.histograms;
     prev_time_ = now;
     primed_ = true;
     ring_.push_back(delta);

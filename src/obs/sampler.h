@@ -30,6 +30,11 @@ struct SampleDelta {
   std::uint64_t sequence = 0;  // sample index, starting at 1
   double dt_seconds = 0.0;     // wall time since the previous sample
   std::vector<MetricValue> deltas;  // sorted by name
+  // Registered histograms at the sample instant (cumulative since
+  // registry birth, NOT per-interval: percentiles don't difference
+  // meaningfully, so consumers get the level and diff counts if they
+  // need rates). Sorted by name.
+  std::vector<HistogramStats> histograms;
 };
 
 struct SamplerOptions {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -36,6 +37,7 @@
 #include "mem/frame.h"
 #include "mem/global_memory.h"
 #include "mem/pool_stats.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "runtime/deque.h"
 #include "runtime/fiber.h"
@@ -54,6 +56,17 @@ enum class StealScope : std::uint8_t {
   kNode = 1,    // steal within the spawning node only
   kGlobal = 2,  // steal anywhere; cross-node steals pay migration latency
 };
+
+// How a task reached the worker that dispatches it. Splits the
+// rt.lat.queue_wait distribution: a local pop is the deque fast path, a
+// steal adds victim-scan plus migration latency, an inject drain adds
+// the socket queue's batching delay.
+enum class TaskSource : std::uint8_t { kLocal = 0, kSteal, kInject };
+
+// What a worker is doing right now (live inspector) and where its
+// nanoseconds went (rt.state.* counters, shard = worker id).
+enum class WorkerState : std::uint8_t { kBusy = 0, kSteal, kPark };
+const char* to_string(WorkerState state);
 
 struct RuntimeOptions {
   machine::MachineConfig config;
@@ -160,6 +173,13 @@ class Runtime {
     task_started();
     Task* slot = task_pool_->allocate(worker_hint());
     slot->emplace(std::forward<F>(fn));
+    // Unconditional store: recycled slots carry the previous tenant's
+    // stamp, and a stale stamp would fabricate a huge queue-wait. The
+    // stamp is a published-clock load when other work is in flight
+    // (task_started() above counted this task, hence > 1), a real
+    // clock read only on the idle-to-active transition.
+    slot->stamp_ns = obs::spawn_stamp(
+        outstanding_.load(std::memory_order_relaxed) > 1);
     enqueue_sgt(node, slot);
     work_arrived();
   }
@@ -301,6 +321,18 @@ class Runtime {
   // invoke this first; the destructor is the fallback.
   void dump_metrics();
 
+  // ------------------------------------------------------- live inspector
+
+  // One-screen human-readable status table: per-worker state, deque
+  // depth, executed/steal/park counters and state-time split, followed
+  // by the rt.lat.* percentiles and the steal distance mix. Safe to call
+  // from any thread while workers run (reads are relaxed snapshots).
+  void dump_status(std::ostream& out) const;
+  // The same information as one line of htvm.status.v1 JSON — what the
+  // HTVM_STATUS_PERIOD_MS periodic dump emits and tools/htvm_top.py
+  // tails.
+  std::string status_json() const;
+
   // ------------------------------------------------------------- extension
 
   // Per-node pollers (the parcel engine registers its inbox drain here).
@@ -388,6 +420,9 @@ class Runtime {
     std::size_t local_prefix = 0;
     std::vector<Task*> steal_buf;  // steal_batch landing area
     util::Xoshiro256 rng{1};
+    // Live-inspector state flag; written by the owning worker with
+    // relaxed stores, read by dump_status from any thread.
+    std::atomic<WorkerState> state{WorkerState::kSteal};
     std::thread thread;
   };
 
@@ -410,6 +445,25 @@ class Runtime {
     obs::Counter* steal_remote = nullptr;
     obs::Counter* steal_batch_tasks = nullptr;
     obs::Counter* steal_inject = nullptr;
+    // State-time accounting (rt.state.*): where each worker's wall
+    // nanoseconds went. busy = running work, steal = hunting (failed
+    // rounds + spin backoff), park = blocked on the idle CV. Only
+    // advanced while obs::latency_enabled().
+    obs::Counter* busy_ns = nullptr;
+    obs::Counter* steal_ns = nullptr;
+    obs::Counter* park_ns = nullptr;
+  };
+
+  // rt.lat.* histograms (registry-owned, shard = worker id). Recording
+  // is gated on obs::latency_enabled(); with HTVM_LATENCY=off the spawn
+  // and dispatch paths never read the clock.
+  struct LatencyMetrics {
+    obs::Histogram* queue_wait = nullptr;         // all sources
+    obs::Histogram* queue_wait_local = nullptr;   // own-deque pop
+    obs::Histogram* queue_wait_steal = nullptr;   // arrived via steal
+    obs::Histogram* queue_wait_inject = nullptr;  // socket inject drain
+    obs::Histogram* run = nullptr;                // dispatch -> complete
+    obs::Histogram* steal_round = nullptr;  // failed-round backoff time
   };
 
   // Worker id of the calling thread if it belongs to THIS runtime, else -1
@@ -435,7 +489,17 @@ class Runtime {
   bool try_steal(Worker& worker);
   bool drain_inject(Worker& worker);
   bool run_pollers(std::uint32_t node);
-  void run_sgt(Worker& worker, Task* task);
+  void run_sgt(Worker& worker, Task* task,
+               TaskSource source = TaskSource::kLocal);
+  // Turns `task`'s spawn stamp into a queue-wait observation (total +
+  // per-source split) at dispatch time; returns `now` so run_sgt reuses
+  // one clock read for the run-time measurement.
+  std::uint64_t observe_dispatch(Worker& worker, Task* task,
+                                 TaskSource source);
+  // HTVM_STATUS_PERIOD_MS / SIGUSR1 periodic status emitter.
+  void start_status_thread();
+  void stop_status_thread();
+  void emit_status_line();
   void drain_tgts(Worker& worker);
   void resume_lgt(Worker& worker, std::unique_ptr<Lgt> lgt);
   void block_current_lgt(Lgt* lgt);
@@ -461,7 +525,15 @@ class Runtime {
       std::chrono::steady_clock::now()};
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   WorkerCounters counters_;
+  LatencyMetrics lat_;
   std::vector<obs::MetricsRegistry::SourceId> gauge_sources_;
+  // Periodic status dump (HTVM_STATUS_PERIOD_MS= / SIGUSR1): a small
+  // thread appending htvm.status.v1 JSON lines to HTVM_STATUS_PATH
+  // (default stderr). Null when neither env var requested it.
+  std::thread status_thread_;
+  std::atomic<bool> status_stop_{false};
+  std::chrono::milliseconds status_period_{0};
+  std::string status_path_;
   std::unique_ptr<mem::GlobalMemory> memory_;
   std::vector<std::unique_ptr<mem::FrameAllocator>> frame_allocators_;
   std::unique_ptr<TaskPool> task_pool_;

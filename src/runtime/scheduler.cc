@@ -121,6 +121,18 @@ Runtime::Runtime(RuntimeOptions options)
   counters_.steal_remote = metrics_->counter("rt.steal.remote");
   counters_.steal_batch_tasks = metrics_->counter("rt.steal.batch_tasks");
   counters_.steal_inject = metrics_->counter("rt.steal.inject");
+  counters_.busy_ns = metrics_->counter("rt.state.busy_ns");
+  counters_.steal_ns = metrics_->counter("rt.state.steal_ns");
+  counters_.park_ns = metrics_->counter("rt.state.park_ns");
+  // Latency histograms (sharded like the counters, shard = worker id).
+  // Registered even with HTVM_LATENCY=off so the telemetry schema is
+  // stable; they just stay empty when recording is disabled.
+  lat_.queue_wait = metrics_->histogram("rt.lat.queue_wait");
+  lat_.queue_wait_local = metrics_->histogram("rt.lat.queue_wait.local");
+  lat_.queue_wait_steal = metrics_->histogram("rt.lat.queue_wait.steal");
+  lat_.queue_wait_inject = metrics_->histogram("rt.lat.queue_wait.inject");
+  lat_.run = metrics_->histogram("rt.lat.run");
+  lat_.steal_round = metrics_->histogram("rt.lat.steal_round");
   gauge_sources_.push_back(metrics_->add_counter_source(
       "pool.task.allocations",
       [this] { return static_cast<double>(task_pool_->stats().allocations); }));
@@ -204,15 +216,30 @@ Runtime::Runtime(RuntimeOptions options)
       path != nullptr && *path != '\0') {
     env_metrics_path_ = path;
   }
+  // Live inspector: HTVM_STATUS_PERIOD_MS=<ms> starts a status thread
+  // appending one htvm.status.v1 JSON line per period (plus a final line
+  // at shutdown) to HTVM_STATUS_PATH (default stderr). SIGUSR1 prints the
+  // human-readable dump_status table on demand regardless of the period.
+  if (const char* ms = std::getenv("HTVM_STATUS_PERIOD_MS");
+      ms != nullptr && *ms != '\0') {
+    const long parsed = std::strtol(ms, nullptr, 10);
+    if (parsed > 0) status_period_ = std::chrono::milliseconds(parsed);
+  }
+  if (const char* path = std::getenv("HTVM_STATUS_PATH");
+      path != nullptr && *path != '\0') {
+    status_path_ = path;
+  }
 
   for (auto& w : workers_) {
     Worker* raw = w.get();
     raw->thread = std::thread([this, raw] { worker_main(*raw); });
   }
+  start_status_thread();
 }
 
 Runtime::~Runtime() {
   wait_idle();
+  stop_status_thread();  // final status line sees the idle end state
   stop_.store(true, std::memory_order_release);
   work_arrived();  // wake parked workers so they observe stop_
   for (auto& w : workers_) w->thread.join();
@@ -283,12 +310,19 @@ void Runtime::spawn_sgt_batch(std::uint32_t node, std::span<Task> tasks) {
   if (tasks.empty()) return;
   for (std::size_t i = 0; i < tasks.size(); ++i) injector_.spawn_cost(1);
   outstanding_.fetch_add(tasks.size(), std::memory_order_acq_rel);
+  // One real clock read stamps the whole batch (they are enqueued
+  // together; per-task reads would only spread the stamps across the
+  // lock hold) and re-seeds the published spawn clock. Unconditional
+  // store: pool slots recycle and a stale stamp would fabricate a huge
+  // queue-wait.
+  const std::uint64_t stamp = obs::spawn_stamp(false);
   const std::int32_t wid = worker_hint();
   if (wid >= 0 && workers_[static_cast<std::size_t>(wid)]->node == node) {
     Worker& w = *workers_[static_cast<std::size_t>(wid)];
     for (Task& t : tasks) {
       Task* slot = task_pool_->allocate(wid);
       *slot = std::move(t);
+      slot->stamp_ns = stamp;
       w.deque.push(slot);
     }
   } else {
@@ -299,6 +333,7 @@ void Runtime::spawn_sgt_batch(std::uint32_t node, std::span<Task> tasks) {
     for (Task& t : tasks) {
       Task* slot = task_pool_->allocate(wid);
       *slot = std::move(t);
+      slot->stamp_ns = stamp;
       ss.inject.push_back(slot);
     }
     ss.inject_size.fetch_add(tasks.size(), std::memory_order_release);

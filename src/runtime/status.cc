@@ -1,0 +1,186 @@
+// Live inspector: the one-screen status table (dump_status), its JSON
+// twin (status_json, schema htvm.status.v1), and the background emitter
+// driven by HTVM_STATUS_PERIOD_MS / SIGUSR1. Everything here reads
+// relaxed snapshots of state the workers already publish (sharded
+// counters, the per-worker state flag, deque size estimates), so a dump
+// never perturbs the scheduling hot path beyond cache traffic.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "runtime/runtime.h"
+
+namespace htvm::rt {
+
+namespace {
+
+// SIGUSR1 sets a flag the status thread polls; the handler itself must
+// stay async-signal-safe (one lock-free store, nothing else).
+std::atomic<bool> g_status_signal{false};
+
+extern "C" void status_signal_handler(int) {
+  g_status_signal.store(true, std::memory_order_relaxed);
+}
+
+struct LatRow {
+  const char* name;
+  obs::HistogramSnapshot snap;
+};
+
+void append_lat_json(std::ostringstream& out, const LatRow& row,
+                     bool first) {
+  if (!first) out << ',';
+  out << '"' << row.name << "\":{\"count\":" << row.snap.count
+      << ",\"p50\":" << std::llround(row.snap.quantile(0.50))
+      << ",\"p90\":" << std::llround(row.snap.quantile(0.90))
+      << ",\"p99\":" << std::llround(row.snap.quantile(0.99))
+      << ",\"max\":" << row.snap.max << '}';
+}
+
+void print_lat_row(std::ostream& out, const LatRow& row) {
+  out << "  " << std::left << std::setw(22) << row.name << std::right
+      << std::setw(10) << row.snap.count << std::setw(12)
+      << std::llround(row.snap.quantile(0.50)) << std::setw(12)
+      << std::llround(row.snap.quantile(0.90)) << std::setw(12)
+      << std::llround(row.snap.quantile(0.99)) << std::setw(12)
+      << row.snap.max << '\n';
+}
+
+}  // namespace
+
+void Runtime::dump_status(std::ostream& out) const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  out << "htvm status: " << workers_.size() << " workers, "
+      << options_.config.nodes << " nodes, uptime " << std::fixed
+      << std::setprecision(2) << uptime << "s, outstanding "
+      << outstanding() << '\n'
+      << std::defaultfloat;
+  out << "  " << std::right << std::setw(3) << "wkr" << std::setw(5)
+      << "node" << std::setw(7) << "state" << std::setw(7) << "deque"
+      << std::setw(10) << "sgts" << std::setw(8) << "steals"
+      << std::setw(12) << "busy_ms" << std::setw(10) << "steal_ms"
+      << std::setw(9) << "park_ms" << '\n';
+  for (const auto& w : workers_) {
+    const std::uint32_t id = w->id;
+    out << "  " << std::setw(3) << id << std::setw(5) << w->node
+        << std::setw(7)
+        << to_string(w->state.load(std::memory_order_relaxed))
+        << std::setw(7) << w->deque.size_estimate() << std::setw(10)
+        << counters_.sgts_executed->shard(id) << std::setw(8)
+        << counters_.steals->shard(id) << std::setw(12)
+        << counters_.busy_ns->shard(id) / 1000000 << std::setw(10)
+        << counters_.steal_ns->shard(id) / 1000000 << std::setw(9)
+        << counters_.park_ns->shard(id) / 1000000 << '\n';
+  }
+  out << "  " << std::left << std::setw(22) << "latency (ns)"
+      << std::right << std::setw(10) << "count" << std::setw(12) << "p50"
+      << std::setw(12) << "p90" << std::setw(12) << "p99" << std::setw(12)
+      << "max" << '\n';
+  print_lat_row(out, {"rt.lat.queue_wait", lat_.queue_wait->snapshot()});
+  print_lat_row(out, {"rt.lat.run", lat_.run->snapshot()});
+  print_lat_row(out, {"rt.lat.steal_round", lat_.steal_round->snapshot()});
+  out << "  steal mix: smt=" << counters_.steal_smt->total()
+      << " core=" << counters_.steal_core->total()
+      << " socket=" << counters_.steal_socket->total()
+      << " remote=" << counters_.steal_remote->total()
+      << " inject=" << counters_.steal_inject->total() << '\n';
+  out.flush();
+}
+
+std::string Runtime::status_json() const {
+  std::ostringstream out;
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  out << "{\"schema\":\"htvm.status.v1\",\"uptime_s\":" << std::fixed
+      << std::setprecision(3) << uptime << std::defaultfloat
+      << ",\"outstanding\":" << outstanding() << ",\"workers\":[";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    if (i != 0) out << ',';
+    out << "{\"id\":" << w.id << ",\"node\":" << w.node << ",\"state\":\""
+        << to_string(w.state.load(std::memory_order_relaxed))
+        << "\",\"deque\":" << w.deque.size_estimate()
+        << ",\"sgts\":" << counters_.sgts_executed->shard(w.id)
+        << ",\"steals\":" << counters_.steals->shard(w.id)
+        << ",\"busy_ns\":" << counters_.busy_ns->shard(w.id)
+        << ",\"steal_ns\":" << counters_.steal_ns->shard(w.id)
+        << ",\"park_ns\":" << counters_.park_ns->shard(w.id) << '}';
+  }
+  out << "],\"lat\":{";
+  append_lat_json(out, {"queue_wait", lat_.queue_wait->snapshot()}, true);
+  append_lat_json(out, {"run", lat_.run->snapshot()}, false);
+  append_lat_json(out, {"steal_round", lat_.steal_round->snapshot()},
+                  false);
+  out << "},\"steal_mix\":{\"smt\":" << counters_.steal_smt->total()
+      << ",\"core\":" << counters_.steal_core->total()
+      << ",\"socket\":" << counters_.steal_socket->total()
+      << ",\"remote\":" << counters_.steal_remote->total()
+      << ",\"inject\":" << counters_.steal_inject->total() << "}}";
+  return out.str();
+}
+
+void Runtime::emit_status_line() {
+  const std::string line = status_json();
+  if (status_path_.empty()) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  // Append mode: a bench that constructs several Runtimes in sequence
+  // accumulates one JSONL stream instead of each truncating the last.
+  if (std::FILE* f = std::fopen(status_path_.c_str(), "a")) {
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
+void Runtime::start_status_thread() {
+  if (status_period_.count() <= 0) return;
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, status_signal_handler);
+#endif
+  status_stop_.store(false, std::memory_order_release);
+  status_thread_ = std::thread([this] {
+    // Poll at a bounded granularity so a long period still answers
+    // SIGUSR1 and stop requests promptly.
+    const auto tick =
+        std::min(status_period_, std::chrono::milliseconds(50));
+    auto next = std::chrono::steady_clock::now() + status_period_;
+    while (!status_stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(tick);
+      if (g_status_signal.exchange(false, std::memory_order_relaxed))
+        dump_status(std::cerr);
+      if (std::chrono::steady_clock::now() >= next) {
+        emit_status_line();
+        next += status_period_;
+      }
+    }
+  });
+}
+
+void Runtime::stop_status_thread() {
+  if (status_thread_.joinable()) {
+    status_stop_.store(true, std::memory_order_release);
+    status_thread_.join();
+    // Final line at shutdown: even a run shorter than the period yields
+    // at least one record, which the smoke test and htvm_top rely on.
+    emit_status_line();
+  } else if (!status_path_.empty()) {
+    // HTVM_STATUS_PATH without a period: one end-of-run record.
+    emit_status_line();
+  }
+}
+
+}  // namespace htvm::rt

@@ -137,10 +137,19 @@ class Task {
     ops_ = other.ops_;
     other.ops_ = nullptr;
     if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+    stamp_ns = other.stamp_ns;
   }
 
   alignas(std::max_align_t) std::byte storage_[kInlineBytes];
   const Ops* ops_ = nullptr;
+
+ public:
+  // Spawn timestamp (obs::now_ns at enqueue; 0 = unstamped). Lives in
+  // what was the struct's tail padding, so sizeof(Task) stays 128 and
+  // the slab/freelist layout is untouched. The dispatching worker turns
+  // it into the rt.lat.queue_wait observation and the stamp travels
+  // with moves (inject-queue drains relocate tasks before they run).
+  std::uint64_t stamp_ns = 0;
 };
 
 static_assert(sizeof(Task) == 128, "Task must stay two cache lines");

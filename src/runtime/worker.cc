@@ -40,6 +40,15 @@ inline void backoff_spin(std::uint32_t failures) {
 
 }  // namespace
 
+const char* to_string(WorkerState state) {
+  switch (state) {
+    case WorkerState::kBusy: return "busy";
+    case WorkerState::kSteal: return "steal";
+    case WorkerState::kPark: return "park";
+  }
+  return "?";
+}
+
 void Runtime::worker_main(Worker& w) {
   detail::tl_runtime = this;
   detail::tl_worker_id = static_cast<std::int32_t>(w.id);
@@ -49,24 +58,53 @@ void Runtime::worker_main(Worker& w) {
     // hunt bumps it, so the park predicate below cannot miss a wakeup.
     const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_acquire)) break;
+    // State-time accounting: one clock read per loop round when latency
+    // instrumentation is on (run_sgt's internal reads are the expensive
+    // part; this adds the round boundary). A round that found work bills
+    // [t0, now) to busy, a failed hunt bills it to steal, and the
+    // backoff/park below is billed to steal/park respectively.
+    const bool timed = obs::latency_enabled();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+    if (timed) obs::publish_now(t0);
+    w.state.store(WorkerState::kBusy, std::memory_order_relaxed);
     if (try_run_one(w)) {
+      if (timed) counters_.busy_ns->add(w.id, obs::now_ns() - t0);
       failures = 0;
       continue;
     }
+    w.state.store(WorkerState::kSteal, std::memory_order_relaxed);
+    if (timed) counters_.steal_ns->add(w.id, obs::now_ns() - t0);
     if (++failures >= options_.park_threshold) {
-      std::unique_lock<std::mutex> lock(park_mutex_);
-      counters_.parks->add(w.id);
-      // Bounded wait: pollers (e.g. parcels with modeled in-flight delay)
-      // can make work become due without any enqueue bumping the epoch.
-      park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return stop_.load(std::memory_order_acquire) ||
-               work_epoch_.load(std::memory_order_acquire) != epoch;
-      });
+      const std::uint64_t p0 = timed ? obs::now_ns() : 0;
+      w.state.store(WorkerState::kPark, std::memory_order_relaxed);
+      {
+        std::unique_lock<std::mutex> lock(park_mutex_);
+        counters_.parks->add(w.id);
+        // Bounded wait: pollers (e.g. parcels with modeled in-flight
+        // delay) can make work become due without any enqueue bumping
+        // the epoch.
+        park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+          return stop_.load(std::memory_order_acquire) ||
+                 work_epoch_.load(std::memory_order_acquire) != epoch;
+        });
+      }
+      if (timed) {
+        const std::uint64_t waited = obs::now_ns() - p0;
+        counters_.park_ns->add(w.id, waited);
+        lat_.steal_round->record(w.id, waited);
+      }
       failures = 0;
     } else {
+      const std::uint64_t b0 = timed ? obs::now_ns() : 0;
       backoff_spin(failures);
+      if (timed) {
+        const std::uint64_t waited = obs::now_ns() - b0;
+        counters_.steal_ns->add(w.id, waited);
+        lat_.steal_round->record(w.id, waited);
+      }
     }
   }
+  w.state.store(WorkerState::kPark, std::memory_order_relaxed);
   detail::tl_runtime = nullptr;
   detail::tl_worker_id = -1;
 }
@@ -79,11 +117,11 @@ bool Runtime::try_run_one(Worker& w) {
     return true;
   }
   if (auto task = w.deque.pop()) {
-    run_sgt(w, *task);
+    run_sgt(w, *task, TaskSource::kLocal);
     return true;
   }
   if (drain_inject(w)) {
-    if (auto task = w.deque.pop()) run_sgt(w, *task);
+    if (auto task = w.deque.pop()) run_sgt(w, *task, TaskSource::kInject);
     return true;
   }
   NodeState& ns = *nodes_[w.node];
@@ -170,13 +208,47 @@ std::uint64_t Runtime::trace_now_us() const {
           .count());
 }
 
-void Runtime::run_sgt(Worker& w, Task* task) {
+std::uint64_t Runtime::observe_dispatch(Worker& w, Task* task,
+                                        TaskSource source) {
+  // One clock read serves both ends: it closes the queue-wait interval
+  // (spawn stamp -> here) and opens the run interval for run_sgt. The
+  // reading is re-published so concurrent spawners can stamp with a
+  // relaxed load instead of their own clock read.
+  const std::uint64_t now = obs::now_ns();
+  obs::publish_now(now);
+  const std::uint64_t stamp = task->stamp_ns;
+  if (stamp != 0 && now >= stamp) {
+    const std::uint64_t wait = now - stamp;
+    lat_.queue_wait->record(w.id, wait);
+    switch (source) {
+      case TaskSource::kLocal:
+        lat_.queue_wait_local->record(w.id, wait);
+        break;
+      case TaskSource::kSteal:
+        lat_.queue_wait_steal->record(w.id, wait);
+        break;
+      case TaskSource::kInject:
+        lat_.queue_wait_inject->record(w.id, wait);
+        break;
+    }
+  }
+  return now;
+}
+
+void Runtime::run_sgt(Worker& w, Task* task, TaskSource source) {
   counters_.sgts_executed->add(w.id);
+  const bool timed = obs::latency_enabled();
+  const std::uint64_t d0 = timed ? observe_dispatch(w, task, source) : 0;
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   const std::uint64_t t0 = traced ? trace_now_us() : 0;
   task->invoke();
   if (traced)
     tracer_->record("runtime", "sgt", w.id, t0, trace_now_us() - t0);
+  if (timed) {
+    const std::uint64_t end = obs::now_ns();
+    obs::publish_now(end);
+    lat_.run->record(w.id, end - d0);
+  }
   task_pool_->release(task, static_cast<std::int32_t>(w.id));
   task_finished();
   drain_tgts(w);
@@ -259,7 +331,7 @@ bool Runtime::try_steal(Worker& w) {
     // oldest task runs immediately.
     for (std::size_t j = 1; j < got; ++j) w.deque.push(w.steal_buf[j]);
     if (got > 1) work_arrived();
-    run_sgt(w, w.steal_buf[0]);
+    run_sgt(w, w.steal_buf[0], TaskSource::kSteal);
     return true;
   }
   if (options_.steal_scope == StealScope::kGlobal) {
@@ -292,7 +364,7 @@ bool Runtime::try_steal(Worker& w) {
         counters_.steal_inject->add(w.id);
         for (std::size_t j = 1; j < got; ++j) w.deque.push(w.steal_buf[j]);
         if (got > 1) work_arrived();
-        run_sgt(w, w.steal_buf[0]);
+        run_sgt(w, w.steal_buf[0], TaskSource::kSteal);
         return true;
       }
     }

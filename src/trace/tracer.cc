@@ -1,6 +1,7 @@
 #include "trace/tracer.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 namespace htvm::trace {
@@ -113,6 +114,38 @@ void escape_into(std::ostringstream& out, std::string_view s) {
 }
 }  // namespace
 
+std::vector<Tracer::SpanSummary> Tracer::span_summaries() const {
+  const std::vector<Event> events = snapshot();
+  // Durations grouped by "category/name"; the ring holds at most
+  // `capacity_` events so the per-name sort below is bounded.
+  std::map<std::string, std::vector<std::uint64_t>> by_name;
+  for (const Event& e : events) {
+    if (e.phase != Phase::kComplete) continue;
+    std::string key(e.category);
+    key += '/';
+    key += e.name();
+    by_name[std::move(key)].push_back(e.duration);
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, durations] : by_name) {
+    std::sort(durations.begin(), durations.end());
+    SpanSummary s;
+    s.name = name;
+    s.count = durations.size();
+    for (const std::uint64_t d : durations) s.total += d;
+    // Nearest-rank percentiles: index = ceil(q*n) - 1.
+    s.p50 = durations[(durations.size() + 1) / 2 - 1];
+    s.p95 = durations[(durations.size() * 95 + 99) / 100 - 1];
+    s.max = durations.back();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total > b.total;
+  });
+  return out;
+}
+
 std::string Tracer::to_chrome_json() const {
   const std::vector<Event> events = snapshot();
   std::ostringstream out;
@@ -164,6 +197,20 @@ std::string Tracer::to_chrome_json() const {
         << ",\"args\":{\"name\":\"workers\"}},"
            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
         << kLaneParcelNodes << ",\"args\":{\"name\":\"parcel nodes\"}}";
+  }
+  // Self-describing rollup: viewers ignore unknown top-level members, so
+  // the file stays loadable in chrome://tracing / Perfetto while a plain
+  // `jq .spanSummary` answers "where did the time go".
+  out << "],\"spanSummary\":[";
+  bool first_summary = true;
+  for (const SpanSummary& s : span_summaries()) {
+    if (!first_summary) out << ',';
+    first_summary = false;
+    out << "{\"name\":\"";
+    escape_into(out, s.name);
+    out << "\",\"count\":" << s.count << ",\"total\":" << s.total
+        << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95
+        << ",\"max\":" << s.max << '}';
   }
   out << "]}";
   return out.str();

@@ -144,8 +144,22 @@ class Tracer {
   // outside it.
   std::vector<Event> snapshot() const;
 
-  // Chrome trace-event JSON ("traceEvents" array). Serialization runs on
-  // a snapshot copy, never under the recording lock.
+  // Per-span-name duration rollup over the retained kComplete events,
+  // sorted by descending total time. Makes a trace file self-describing:
+  // "where did the time go" without loading it into a viewer.
+  struct SpanSummary {
+    std::string name;           // "category/name"
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;    // sum of durations (us or cycles)
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t max = 0;
+  };
+  std::vector<SpanSummary> span_summaries() const;
+
+  // Chrome trace-event JSON ("traceEvents" array, plus a "spanSummary"
+  // member carrying span_summaries()). Serialization runs on a snapshot
+  // copy, never under the recording lock.
   std::string to_chrome_json() const;
 
  private:

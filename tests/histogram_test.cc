@@ -1,0 +1,142 @@
+// obs::Histogram: bucket geometry, concurrent-record exactness, quantile
+// accuracy against a sorted-vector oracle, and registry/export plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+
+namespace {
+
+using htvm::obs::Histogram;
+using htvm::obs::HistogramSnapshot;
+
+TEST(LatHistogram, BucketBoundaries) {
+  // Bucket i holds bit_width(v) == i: [2^(i-1), 2^i), with 0 alone in
+  // bucket 0 and everything >= 2^62 absorbed by the last bucket.
+  EXPECT_EQ(HistogramSnapshot::bucket_of(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(2), 2u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(3), 2u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(4), 3u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1023), 10u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1024), 11u);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(std::uint64_t{1} << 62),
+            HistogramSnapshot::kBuckets - 1);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(std::uint64_t{1} << 63),
+            HistogramSnapshot::kBuckets - 1);
+  EXPECT_EQ(HistogramSnapshot::bucket_of(~std::uint64_t{0}),
+            HistogramSnapshot::kBuckets - 1);
+  // lo/hi are consistent with bucket_of over every bucket.
+  for (std::uint32_t i = 0; i < HistogramSnapshot::kBuckets - 1; ++i) {
+    EXPECT_EQ(HistogramSnapshot::bucket_of(HistogramSnapshot::bucket_lo(i)),
+              i);
+    EXPECT_LT(HistogramSnapshot::bucket_lo(i),
+              HistogramSnapshot::bucket_hi(i));
+  }
+}
+
+TEST(LatHistogram, RecordFoldsShardsExactly) {
+  Histogram h(4);
+  h.record(0, 10);
+  h.record(1, 100);
+  h.record(2, 1000);
+  h.record(7, 1);  // shard index reduces modulo the shard count
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1111u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.counts[HistogramSnapshot::bucket_of(10)], 1u);
+}
+
+TEST(LatHistogram, ConcurrentRecordsAreExact) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  Histogram h(kThreads);
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) h.record(t, i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(snap.max, kPerThread);
+}
+
+TEST(LatHistogram, MergeAddsSnapshots) {
+  Histogram a(1);
+  Histogram b(1);
+  a.record(0, 5);
+  a.record(0, 50);
+  b.record(0, 500);
+  HistogramSnapshot snap = a.snapshot();
+  snap.merge(b.snapshot());
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 555u);
+  EXPECT_EQ(snap.max, 500u);
+}
+
+TEST(LatHistogram, QuantilesWithinTwoXOfOracle) {
+  // Log-bucketed boundaries bound any quantile's relative error by the
+  // bucket width (2x); verify against an exact sorted-vector oracle over
+  // a six-decade skewed distribution.
+  Histogram h(3);
+  htvm::util::Xoshiro256 rng(42);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    // Skew: mostly small values, a long tail up to ~1e7.
+    const std::uint64_t v =
+        1 + static_cast<std::uint64_t>(rng.next_double() *
+                                       rng.next_double() * 1e7);
+    values.push_back(v);
+    h.record(static_cast<std::uint32_t>(i), v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double oracle = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    const double approx = snap.quantile(q);
+    EXPECT_GE(approx, oracle / 2.0) << "q=" << q;
+    EXPECT_LE(approx, oracle * 2.0) << "q=" << q;
+  }
+  EXPECT_EQ(snap.quantile(1.0), static_cast<double>(values.back()));
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+TEST(LatHistogram, RegistryExportsHistogramKind) {
+  htvm::obs::MetricsRegistry registry(2);
+  registry.counter("x.count")->add(0);
+  Histogram* h = registry.histogram("x.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(registry.histogram("x.lat"), h);  // create-or-get is stable
+  for (std::uint64_t v = 1; v <= 100; ++v) h->record(0, v * 10);
+
+  const htvm::obs::TelemetrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "x.lat");
+  EXPECT_EQ(snap.histograms[0].count, 100u);
+  EXPECT_GT(snap.histograms[0].p50, 0.0);
+  EXPECT_FALSE(snap.histograms[0].buckets.empty());
+
+  const std::string json = htvm::obs::to_json(snap);
+  EXPECT_NE(json.find("\"x.lat\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"x.lat\":{\"count\":100"),
+            std::string::npos);
+
+  const std::string prom = htvm::obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"} 100"), std::string::npos);
+  EXPECT_NE(prom.find("x_lat_p99"), std::string::npos);
+}
+
+}  // namespace

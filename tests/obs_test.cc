@@ -409,5 +409,40 @@ TEST(Feedback, SamplerDrivesMonitorRatesEndToEnd) {
   EXPECT_GT(rates.mean(), 0.0);
 }
 
+TEST(Feedback, SamplerCarriesHistogramsIntoMonitor) {
+  if (!kLatencyCompiledIn) GTEST_SKIP() << "built with HTVM_LATENCY=OFF";
+  set_latency_enabled(true);
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 1;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  rt::Runtime runtime(opts);
+  adapt::PerfMonitor monitor(runtime.num_workers());
+
+  Sampler sampler(runtime.metrics());
+  sampler.set_callback(
+      [&monitor](const SampleDelta& d) { monitor.ingest(d); });
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) runtime.spawn_sgt_on(0, [&done] { ++done; });
+  runtime.wait_idle();
+  sampler.sample_once();
+
+  // The delta ring carries the cumulative histogram levels...
+  const std::vector<SampleDelta> ring = sampler.recent();
+  ASSERT_FALSE(ring.empty());
+  bool found = false;
+  for (const HistogramStats& h : ring.back().histograms)
+    found = found || (h.name == "rt.lat.queue_wait" && h.count == 64);
+  EXPECT_TRUE(found);
+
+  // ...and the monitor retains the latest level for the controller.
+  const HistogramStats latest =
+      monitor.latest_histogram("rt.lat.queue_wait");
+  EXPECT_EQ(latest.count, 64u);
+  EXPECT_GT(latest.p99, 0.0);
+  EXPECT_EQ(monitor.latest_histogram("no.such.histogram").count, 0u);
+}
+
 }  // namespace
 }  // namespace htvm::obs

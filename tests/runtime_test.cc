@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -892,6 +893,85 @@ TEST(Runtime, StealLocalityStressOneHotVictim) {
   // The hot victim spawned everything; with 7 thieves the work must
   // actually have been stolen (not all run locally).
   EXPECT_GT(rt.aggregate_stats().steals, 0u);
+}
+
+// ------------------------------------------------------- latency telemetry
+
+TEST(Latency, QueueWaitAndRunHistogramsPopulate) {
+  if (!obs::kLatencyCompiledIn) GTEST_SKIP() << "built with HTVM_LATENCY=OFF";
+  obs::set_latency_enabled(true);
+  Runtime rt(small_options());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i)
+    rt.spawn_sgt_on(0, [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  rt.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+  const obs::TelemetrySnapshot snap = rt.telemetry_snapshot();
+  std::uint64_t queue_wait = 0;
+  std::uint64_t run = 0;
+  for (const obs::HistogramStats& h : snap.histograms) {
+    if (h.name == "rt.lat.queue_wait") queue_wait = h.count;
+    if (h.name == "rt.lat.run") run = h.count;
+  }
+  // Every dispatched SGT closes one queue-wait and one run interval.
+  EXPECT_EQ(queue_wait, 64u);
+  EXPECT_EQ(run, 64u);
+  // The per-source split partitions the total.
+  std::uint64_t split = 0;
+  for (const obs::HistogramStats& h : snap.histograms) {
+    if (h.name == "rt.lat.queue_wait.local" ||
+        h.name == "rt.lat.queue_wait.steal" ||
+        h.name == "rt.lat.queue_wait.inject") {
+      split += h.count;
+    }
+  }
+  EXPECT_EQ(split, queue_wait);
+  // State-time accounting advanced somewhere.
+  double state_ns = 0.0;
+  for (const obs::MetricValue& m : snap.metrics) {
+    if (m.name == "rt.state.busy_ns" || m.name == "rt.state.steal_ns" ||
+        m.name == "rt.state.park_ns") {
+      state_ns += m.value;
+    }
+  }
+  EXPECT_GT(state_ns, 0.0);
+}
+
+TEST(Latency, RuntimeToggleOffLeavesHistogramsEmpty) {
+  if (!obs::kLatencyCompiledIn) GTEST_SKIP() << "built with HTVM_LATENCY=OFF";
+  obs::set_latency_enabled(false);
+  Runtime rt(small_options());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    rt.spawn_sgt_on(0, [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  rt.wait_idle();
+  obs::set_latency_enabled(true);  // restore for later tests
+  EXPECT_EQ(ran.load(), 16);
+  const obs::TelemetrySnapshot snap = rt.telemetry_snapshot();
+  for (const obs::HistogramStats& h : snap.histograms)
+    EXPECT_EQ(h.count, 0u) << h.name;  // registered but never recorded
+}
+
+TEST(Latency, DumpStatusRendersWhileRunning) {
+  Runtime rt(small_options());
+  std::atomic<bool> release{false};
+  rt.spawn_sgt_on(0, [&] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  std::ostringstream table;
+  rt.dump_status(table);
+  const std::string text = table.str();
+  EXPECT_NE(text.find("htvm status:"), std::string::npos);
+  EXPECT_NE(text.find("rt.lat.queue_wait"), std::string::npos);
+  EXPECT_NE(text.find("steal mix:"), std::string::npos);
+
+  const std::string json = rt.status_json();
+  EXPECT_EQ(json.find("{\"schema\":\"htvm.status.v1\""), 0u);
+  EXPECT_NE(json.find("\"workers\":["), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  release.store(true, std::memory_order_release);
+  rt.wait_idle();
 }
 
 }  // namespace

@@ -274,5 +274,34 @@ TEST(SimTracing, LanesFollowThreadUnits) {
   EXPECT_EQ(lanes.size(), 3u);
 }
 
+TEST(Tracer, SpanSummariesRollUpCompleteEvents) {
+  Tracer tracer;
+  tracer.enable();
+  for (std::uint64_t d = 1; d <= 10; ++d)
+    tracer.record("runtime", "sgt", 0, d * 100, d);
+  tracer.record("litlx", "forall", 1, 0, 1000);
+  tracer.record_flow("parcel", "flight", Phase::kFlowStart, 7, 1, 0, 5);
+
+  const auto summaries = tracer.span_summaries();
+  ASSERT_EQ(summaries.size(), 2u);  // flow events don't roll up
+  // Sorted by descending total: forall (1000) before sgt (55).
+  EXPECT_EQ(summaries[0].name, "litlx/forall");
+  EXPECT_EQ(summaries[0].count, 1u);
+  EXPECT_EQ(summaries[0].total, 1000u);
+  EXPECT_EQ(summaries[0].p50, 1000u);
+  EXPECT_EQ(summaries[1].name, "runtime/sgt");
+  EXPECT_EQ(summaries[1].count, 10u);
+  EXPECT_EQ(summaries[1].total, 55u);
+  EXPECT_EQ(summaries[1].p50, 5u);   // nearest-rank over 1..10
+  EXPECT_EQ(summaries[1].p95, 10u);
+  EXPECT_EQ(summaries[1].max, 10u);
+
+  // The JSON stays a valid Chrome trace but carries the rollup.
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"spanSummary\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"litlx/forall\",\"count\":1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace htvm::trace

@@ -18,8 +18,9 @@ import numbers
 import sys
 
 SCHEMA = "htvm.telemetry.v1"
-KINDS = {"counter", "gauge"}
+KINDS = {"counter", "gauge", "histogram"}
 TIMER_FIELDS = {"count", "p50", "p95", "max"}
+HISTOGRAM_FIELDS = {"count", "sum", "p50", "p90", "p99", "max", "buckets"}
 
 
 def fail(msg):
@@ -55,16 +56,48 @@ def check_telemetry(doc):
 
     metrics = doc.get("metrics")
     check_metrics_object(metrics, '"metrics"')
+    histograms = doc.get("histograms")
+    if histograms is None:
+        histograms = {}
+    require(isinstance(histograms, dict), '"histograms" must be an object')
+    for name, h in histograms.items():
+        where = f"histograms[{name!r}]"
+        require(isinstance(h, dict) and HISTOGRAM_FIELDS <= set(h),
+                f"{where} must carry {sorted(HISTOGRAM_FIELDS)}")
+        for field in HISTOGRAM_FIELDS - {"buckets"}:
+            require(is_number(h[field]) or h[field] is None,
+                    f"{where}[{field!r}] must be a number")
+        buckets = h["buckets"]
+        require(isinstance(buckets, list),
+                f'{where}["buckets"] must be an array of [hi, count] pairs')
+        prev_hi = -1
+        total = 0
+        for i, pair in enumerate(buckets):
+            require(isinstance(pair, list) and len(pair) == 2
+                    and is_number(pair[0]) and is_number(pair[1]),
+                    f'{where}["buckets"][{i}] must be a [hi, count] pair')
+            require(pair[0] > prev_hi,
+                    f'{where}["buckets"] upper bounds must ascend')
+            prev_hi = pair[0]
+            total += pair[1]
+        require(total == h["count"],
+                f'{where} bucket counts sum to {total}, '
+                f'but "count" is {h["count"]}')
+
     kinds = doc.get("kinds")
     require(isinstance(kinds, dict), '"kinds" must be an object')
-    require(set(kinds) == set(metrics),
-            '"kinds" keys must exactly match "metrics" keys '
-            f"(only in metrics: {sorted(set(metrics) - set(kinds))}, "
-            f"only in kinds: {sorted(set(kinds) - set(metrics))})")
+    named = set(metrics) | set(histograms)
+    require(set(kinds) == named,
+            '"kinds" keys must exactly match "metrics" + "histograms" keys '
+            f"(unnamed kinds: {sorted(set(kinds) - named)}, "
+            f"missing kinds: {sorted(named - set(kinds))})")
     for name, kind in kinds.items():
         require(kind in KINDS,
-                f'kinds[{name!r}] must be "counter" or "gauge", '
+                f"kinds[{name!r}] must be one of {sorted(KINDS)}, "
                 f"got {kind!r}")
+        require((kind == "histogram") == (name in histograms),
+                f"kinds[{name!r}] is {kind!r} but the value lives in "
+                f'{"histograms" if name in metrics else "metrics"}')
 
     timers = doc.get("timers")
     require(isinstance(timers, dict), '"timers" must be an object')
@@ -105,6 +138,9 @@ def main():
     parser.add_argument("--require-metrics", nargs="*", default=[],
                         metavar="NAME",
                         help="metric names that must be present")
+    parser.add_argument("--require-histograms", nargs="*", default=[],
+                        metavar="NAME",
+                        help="histogram names that must be present")
     args = parser.parse_args()
 
     try:
@@ -128,11 +164,15 @@ def main():
 
     missing = [m for m in args.require_metrics if m not in doc["metrics"]]
     require(not missing, f"required metrics missing: {missing}")
+    missing = [h for h in args.require_histograms
+               if h not in (doc.get("histograms") or {})]
+    require(not missing, f"required histograms missing: {missing}")
     if args.require_samples:
         require(doc.get("samples"), '"samples" ring is absent or empty')
 
     print(f"check_metrics_schema: OK: {args.path} "
           f"({len(doc['metrics'])} metrics, "
+          f"{len(doc.get('histograms') or {})} histograms, "
           f"{len(doc.get('samples') or [])} samples)")
 
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Live runtime inspector over the htvm.status.v1 JSONL stream.
+
+A runtime started with HTVM_STATUS_PERIOD_MS=<ms> (and optionally
+HTVM_STATUS_PATH=<file>, default stderr) appends one JSON status line per
+period plus a final one at shutdown. This tool renders that stream as a
+top-style table:
+
+    HTVM_STATUS_PERIOD_MS=100 HTVM_STATUS_PATH=/tmp/htvm.status ./my_bench &
+    tools/htvm_top.py /tmp/htvm.status              # follow live
+    tools/htvm_top.py /tmp/htvm.status --once       # latest record, one shot
+
+--once parses the whole file, prints the newest valid record, and exits
+nonzero if the file holds no valid htvm.status.v1 line — which is what the
+bench-smoke ctest gate runs.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+SCHEMA = "htvm.status.v1"
+
+
+def parse_line(line):
+    """Returns the status dict, or None for blank/foreign/corrupt lines."""
+    line = line.strip()
+    if not line or not line.startswith("{"):
+        return None
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        return None
+    if not isinstance(doc.get("workers"), list):
+        return None
+    return doc
+
+
+def fmt_ns(ns):
+    ns = float(ns)
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def render(doc, out=sys.stdout):
+    print(f"htvm_top: uptime {doc.get('uptime_s', 0):.2f}s  "
+          f"outstanding {doc.get('outstanding', 0)}", file=out)
+    header = (f"{'wkr':>4} {'node':>4} {'state':>6} {'deque':>6} "
+              f"{'sgts':>10} {'steals':>8} {'busy':>9} {'steal':>9} "
+              f"{'park':>9}")
+    print(header, file=out)
+    for w in doc["workers"]:
+        print(f"{w.get('id', '?'):>4} {w.get('node', '?'):>4} "
+              f"{w.get('state', '?'):>6} {w.get('deque', 0):>6} "
+              f"{w.get('sgts', 0):>10} {w.get('steals', 0):>8} "
+              f"{fmt_ns(w.get('busy_ns', 0)):>9} "
+              f"{fmt_ns(w.get('steal_ns', 0)):>9} "
+              f"{fmt_ns(w.get('park_ns', 0)):>9}", file=out)
+    lat = doc.get("lat", {})
+    for name in ("queue_wait", "run", "steal_round"):
+        h = lat.get(name)
+        if not isinstance(h, dict):
+            continue
+        print(f"  lat.{name:<12} count={h.get('count', 0):<10} "
+              f"p50={fmt_ns(h.get('p50', 0)):<8} "
+              f"p90={fmt_ns(h.get('p90', 0)):<8} "
+              f"p99={fmt_ns(h.get('p99', 0)):<8} "
+              f"max={fmt_ns(h.get('max', 0))}", file=out)
+    mix = doc.get("steal_mix", {})
+    if mix:
+        print("  steal mix: " +
+              " ".join(f"{k}={mix[k]}" for k in sorted(mix)), file=out)
+
+
+def follow(path, interval):
+    """Tail the file, re-rendering on every new valid record."""
+    pos = 0
+    while True:
+        try:
+            with open(path) as f:
+                f.seek(pos)
+                for line in f:
+                    doc = parse_line(line)
+                    if doc is not None:
+                        print("\033[2J\033[H", end="")
+                        render(doc)
+                pos = f.tell()
+        except OSError:
+            pass  # not created yet; keep polling
+        time.sleep(interval)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="htvm.status.v1 JSONL file to read")
+    parser.add_argument("--once", action="store_true",
+                        help="print the newest record and exit; nonzero "
+                             "exit if the file holds no valid record")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval in seconds when following")
+    args = parser.parse_args()
+
+    if not args.once:
+        try:
+            follow(args.path, args.interval)
+        except KeyboardInterrupt:
+            return 0
+        return 0
+
+    try:
+        with open(args.path) as f:
+            records = [d for d in map(parse_line, f) if d is not None]
+    except OSError as e:
+        print(f"htvm_top: {args.path}: {e}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"htvm_top: {args.path}: no valid {SCHEMA} records",
+              file=sys.stderr)
+        return 1
+    render(records[-1])
+    print(f"htvm_top: {len(records)} records in {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
