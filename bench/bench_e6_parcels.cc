@@ -91,8 +91,7 @@ struct FaultyRunResult {
   bool all_resolved = false;
 };
 
-FaultyRunResult run_faulty(double drop, double dup, int requests,
-                           std::string* telemetry_out = nullptr) {
+FaultyRunResult run_faulty(double drop, double dup, int requests) {
   rt::RuntimeOptions opts;
   opts.config.nodes = 2;
   opts.config.thread_units_per_node = 2;
@@ -124,18 +123,13 @@ FaultyRunResult run_faulty(double drop, double dup, int requests,
   r.dead_letters = s.dead_letters;
   r.all_resolved = true;
   for (auto& reply : replies) r.all_resolved &= reply.ready();
-  if (telemetry_out != nullptr) {
-    // One unified snapshot covering the runtime's rt.* counters and the
-    // engine's parcel.* sources, embedded into the --json document.
-    *telemetry_out = obs::to_json(rt.telemetry_snapshot());
-  }
   return r;
 }
 
 void run_faulty_network_section(bench::Reporter& reporter) {
   std::printf(
       "--- reliable transport on a faulty network (real runtime) ---\n");
-  constexpr int kRequests = 2000;
+  const int kRequests = reporter.smoke() ? 200 : 2000;
   bench::TextTable table({"drop", "dup", "ms", "retries", "drops",
                           "dup_suppr", "dead_letters", "resolved"});
   struct Setting {
@@ -143,11 +137,8 @@ void run_faulty_network_section(bench::Reporter& reporter) {
   };
   const Setting settings[] = {Setting{0.0, 0.0}, Setting{0.05, 0.0},
                               Setting{0.2, 0.05}, Setting{0.4, 0.1}};
-  std::string telemetry;
   for (const Setting& s : settings) {
-    const bool last = &s == &settings[std::size(settings) - 1];
-    const FaultyRunResult r =
-        run_faulty(s.drop, s.dup, kRequests, last ? &telemetry : nullptr);
+    const FaultyRunResult r = run_faulty(s.drop, s.dup, kRequests);
     char drop_buf[16], dup_buf[16], ms_buf[32];
     std::snprintf(drop_buf, sizeof drop_buf, "%.2f", s.drop);
     std::snprintf(dup_buf, sizeof dup_buf, "%.2f", s.dup);
@@ -158,10 +149,122 @@ void run_faulty_network_section(bench::Reporter& reporter) {
                    r.all_resolved ? "all" : "MISSING"});
   }
   reporter.table("faulty_network", table);
-  if (!telemetry.empty()) reporter.set_telemetry(telemetry);
   std::printf(
       "(drop=dup=0 must show zero retries/drops: reliability is free on an "
       "ideal network)\n\n");
+}
+
+// ------------------------------------------------ serving-shaped section
+
+// Request/response serving on the REAL runtime under the reliable
+// transport: node 0 serves, nodes 1..3 run closed-loop clients with
+// `window` requests in flight each (completions chain the next request).
+// This is the parcel fast path's home turf -- sustained small-message
+// round trips -- so it A/Bs the pooled/coalesced engine against the
+// lock_free_parcels=off ablation (heap parcels, one ack per copy, linear
+// retransmit scan). msgs counts logical data parcels (request + reply);
+// RTT quantiles come from the engine's parcel.rtt histogram.
+struct ServingResult {
+  double msgs_per_sec = 0.0;
+  double rtt_p50_us = 0.0;
+  double rtt_p99_us = 0.0;
+  std::uint64_t acks = 0;
+  std::uint64_t ack_parcels = 0;
+  std::uint64_t acks_coalesced = 0;
+  double pool_hit_rate = 0.0;
+};
+
+ServingResult run_serving(bool fast_path, int rounds_per_client, int window,
+                          std::string* telemetry_out = nullptr) {
+  parcel::set_lock_free_parcels(fast_path);
+  rt::RuntimeOptions opts;
+  opts.config.nodes = 4;
+  opts.config.thread_units_per_node = 2;
+  opts.config.node_memory_bytes = 1 << 20;
+  // Keep clients pinned to their nodes: a cross-node steal would turn
+  // the request into same-node traffic and bypass the transport.
+  opts.steal_scope = rt::StealScope::kNode;
+  rt::Runtime rt(opts);
+  parcel::ReliabilityOptions rel;
+  rel.mode = parcel::ReliabilityOptions::Mode::kOn;  // acked though ideal
+  rel.base_timeout = std::chrono::milliseconds(100);  // no spurious retries
+  parcel::ParcelEngine engine(rt, rel);
+  parcel::set_lock_free_parcels(true);  // engine sampled the flag at ctor
+  const parcel::HandlerId h = engine.register_handler(
+      "serve", [](const parcel::Payload& p, std::uint32_t) {
+        return parcel::pack(parcel::unpack<int>(p) + 1);
+      });
+
+  constexpr std::uint32_t kClients = 3;  // nodes 1..3; node 0 serves
+  std::vector<std::atomic<int>> budget(kClients);
+  std::vector<std::function<void()>> issue(kClients);
+  for (std::uint32_t c = 0; c < kClients; ++c)
+    budget[c].store(rounds_per_client, std::memory_order_relaxed);
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    issue[c] = [&engine, &budget, &issue, c, h] {
+      if (budget[c].fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+      engine.request(0, h, parcel::pack(1))
+          .on_ready([&issue, c](const parcel::Payload&) { issue[c](); });
+    };
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    // Prime each client's window from an SGT on its own node, so every
+    // request in the chain originates (and its reply lands) there.
+    rt.spawn_sgt_on(c + 1, [&issue, c, window] {
+      for (int i = 0; i < window; ++i) issue[c]();
+    });
+  }
+  rt.wait_idle();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ServingResult r;
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  const double msgs = 2.0 * kClients * rounds_per_client;  // req + reply
+  r.msgs_per_sec = secs > 0.0 ? msgs / secs : 0.0;
+  const obs::HistogramSnapshot rtt =
+      rt.metrics().histogram("parcel.rtt")->snapshot();
+  r.rtt_p50_us = rtt.quantile(0.5) / 1000.0;
+  r.rtt_p99_us = rtt.quantile(0.99) / 1000.0;
+  const parcel::EngineStats s = engine.stats();
+  r.acks = s.acks;
+  r.ack_parcels = s.ack_parcels;
+  r.acks_coalesced = s.acks_coalesced;
+  r.pool_hit_rate = engine.pool_stats().hit_rate();
+  if (telemetry_out != nullptr) {
+    // One unified snapshot covering the runtime's rt.* counters, the
+    // engine's parcel.*/pool.parcel.* sources, and the parcel.rtt
+    // histogram, embedded into the --json document.
+    *telemetry_out = obs::to_json(rt.telemetry_snapshot());
+  }
+  return r;
+}
+
+void run_serving_section(bench::Reporter& reporter) {
+  std::printf("--- serving: closed-loop request/response (real runtime) ---\n");
+  const int rounds = reporter.smoke() ? 150 : 4000;
+  const int window = 8;
+  bench::TextTable table({"mode", "msgs_per_sec", "rtt_p50_us", "rtt_p99_us",
+                          "acks", "ack_parcels", "acks_coalesced",
+                          "pool_hit_rate"});
+  std::string telemetry;
+  for (const bool fast : {true, false}) {
+    const ServingResult r =
+        run_serving(fast, rounds, window, fast ? &telemetry : nullptr);
+    table.add_row({fast ? "pooled+coalesced" : "lock_free_parcels=off",
+                   bench::TextTable::fmt(r.msgs_per_sec, 0),
+                   bench::TextTable::fmt(r.rtt_p50_us, 1),
+                   bench::TextTable::fmt(r.rtt_p99_us, 1),
+                   std::to_string(r.acks), std::to_string(r.ack_parcels),
+                   std::to_string(r.acks_coalesced),
+                   bench::TextTable::fmt(r.pool_hit_rate, 3)});
+  }
+  reporter.table("serving", table);
+  if (!telemetry.empty()) reporter.set_telemetry(telemetry);
+  std::printf(
+      "(single core: both modes share one CPU, so msgs/sec differences are "
+      "per-message overhead, not parallel-contention wins; ack_parcels << "
+      "acks on the fast path is the coalescing at work)\n\n");
 }
 
 }  // namespace
@@ -192,5 +295,6 @@ int main(int argc, char** argv) {
     reporter.table("bytes=" + std::to_string(bytes), table);
   }
   run_faulty_network_section(reporter);
+  run_serving_section(reporter);
   return 0;
 }

@@ -3,28 +3,34 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/latency.h"
+
 namespace htvm::parcel {
 
 ParcelEngine::ParcelEngine(rt::Runtime& runtime,
                            ReliabilityOptions reliability)
     : runtime_(runtime),
       reliability_options_(reliability),
+      fast_path_(lock_free_parcels()),
       faults_(runtime.options().config.faults) {
   switch (reliability_options_.mode) {
     case ReliabilityOptions::Mode::kOn: reliable_ = true; break;
     case ReliabilityOptions::Mode::kOff: reliable_ = false; break;
     case ReliabilityOptions::Mode::kAuto: reliable_ = faults_.active(); break;
   }
-  const std::uint32_t nodes = runtime_.num_nodes();
-  for (std::uint32_t n = 0; n < nodes; ++n) {
-    inboxes_.push_back(std::make_unique<Inbox>());
-    tx_.push_back(std::make_unique<TxState>());
-    auto rx = std::make_unique<RxState>();
-    rx->streams.resize(nodes);
-    rx_.push_back(std::move(rx));
-  }
-  tx_seq_ = std::vector<std::atomic<std::uint64_t>>(
-      static_cast<std::size_t>(nodes) * nodes);
+  nodes_ = runtime_.num_nodes();
+  // Pool shards scale with worker parallelism (+1 for external threads);
+  // the ablation flag turns the pool into plain new/delete.
+  pool_ = std::make_unique<ParcelPool>(
+      std::min<std::uint32_t>(runtime_.num_workers() + 1,
+                              ParcelPool::kMaxShards),
+      fast_path_);
+  channels_.reserve(static_cast<std::size_t>(nodes_) * nodes_);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nodes_) * nodes_; ++i)
+    channels_.push_back(std::make_unique<Channel>());
+  handlers_snapshot_.store(std::make_shared<const HandlerTable>(),
+                           std::memory_order_release);
+  rtt_hist_ = runtime_.metrics().histogram("parcel.rtt");
   poller_id_ =
       runtime_.add_poller([this](std::uint32_t node) { return poll(node); });
   register_metrics();
@@ -32,7 +38,9 @@ ParcelEngine::ParcelEngine(rt::Runtime& runtime,
 
 ParcelEngine::~ParcelEngine() {
   // Let every in-flight parcel deliver (or dead-letter), then detach from
-  // the runtime so no worker can call into a dead engine.
+  // the runtime so no worker can call into a dead engine. Channels are
+  // destroyed before the pool (member order), returning every parked
+  // ParcelRef; the pool then asserts its live ledger is zero.
   runtime_.wait_idle();
   runtime_.remove_poller(poller_id_);
   for (const auto id : metric_sources_) runtime_.metrics().remove_source(id);
@@ -54,6 +62,8 @@ void ParcelEngine::register_metrics() {
       {"parcel.dup_suppressed", &stats_.dup_suppressed},
       {"parcel.acks", &stats_.acks},
       {"parcel.dead_letters", &stats_.dead_letters},
+      {"parcel.ack_parcels", &stats_.ack_parcels},
+      {"parcel.acks_coalesced", &stats_.acks_coalesced},
   };
   for (const auto& c : counters) {
     metric_sources_.push_back(reg.add_counter_source(
@@ -62,6 +72,28 @@ void ParcelEngine::register_metrics() {
               value->load(std::memory_order_relaxed));
         }));
   }
+  metric_sources_.push_back(reg.add_counter_source(
+      "pool.parcel.allocations",
+      [this] { return static_cast<double>(pool_->stats().allocations); }));
+  metric_sources_.push_back(reg.add_counter_source(
+      "pool.parcel.recycle_hits",
+      [this] { return static_cast<double>(pool_->stats().recycle_hits); }));
+  metric_sources_.push_back(reg.add_gauge_source(
+      "pool.parcel.live",
+      [this] { return static_cast<double>(pool_->stats().live); }));
+  metric_sources_.push_back(reg.add_gauge_source(
+      "parcel.pending_tx", [this] {
+        std::size_t sum = 0;
+        for (const auto& ch : channels_)
+          sum += ch->pending_size.load(std::memory_order_relaxed);
+        return static_cast<double>(sum);
+      }));
+  metric_sources_.push_back(reg.add_gauge_source(
+      "parcel.wheel.scheduled", [this] {
+        std::size_t sum = 0;
+        for (const auto& ch : channels_) sum += ch->wheel.scheduled();
+        return static_cast<double>(sum);
+      }));
 }
 
 EngineStats ParcelEngine::stats() const {
@@ -76,14 +108,22 @@ EngineStats ParcelEngine::stats() const {
   out.dup_suppressed = stats_.dup_suppressed.load(std::memory_order_relaxed);
   out.acks = stats_.acks.load(std::memory_order_relaxed);
   out.dead_letters = stats_.dead_letters.load(std::memory_order_relaxed);
+  out.ack_parcels = stats_.ack_parcels.load(std::memory_order_relaxed);
+  out.acks_coalesced =
+      stats_.acks_coalesced.load(std::memory_order_relaxed);
   return out;
 }
 
 HandlerId ParcelEngine::register_handler(std::string name, Handler handler) {
   std::lock_guard<std::mutex> lock(handlers_mutex_);
-  const auto id = static_cast<HandlerId>(handlers_.size());
-  handlers_.push_back(std::move(handler));
+  const auto id = static_cast<HandlerId>(handlers_build_.size());
+  handlers_build_.push_back(std::move(handler));
   handler_names_.emplace(std::move(name), id);
+  // Republish the whole table; in-flight deliveries keep their old
+  // snapshot alive through the shared_ptr.
+  handlers_snapshot_.store(
+      std::make_shared<const HandlerTable>(handlers_build_),
+      std::memory_order_release);
   return id;
 }
 
@@ -109,7 +149,7 @@ ParcelEngine::Clock::duration ParcelEngine::retransmit_timeout(
   // Base floor (covers poll cadence in functional mode) plus twice the
   // modeled round trip when latency injection is on.
   const auto rtt =
-      network_delay(parcel.src_node, parcel.dst_node, parcel.payload.size()) +
+      network_delay(parcel.src_node, parcel.dst_node, parcel.model_size()) +
       network_delay(parcel.dst_node, parcel.src_node, 8);
   return std::chrono::duration_cast<Clock::duration>(
              reliability_options_.base_timeout) +
@@ -131,8 +171,7 @@ void ParcelEngine::trace_transport(const char* name, const Parcel& parcel) {
 
 std::uint64_t ParcelEngine::flow_key(const Parcel& parcel) const {
   const std::uint64_t stream =
-      static_cast<std::uint64_t>(parcel.src_node) * runtime_.num_nodes() +
-      parcel.dst_node;
+      static_cast<std::uint64_t>(parcel.src_node) * nodes_ + parcel.dst_node;
   return (stream << 32) | (parcel.seq & 0xFFFFFFFFull);
 }
 
@@ -145,23 +184,28 @@ void ParcelEngine::trace_flow(const char* name, trace::Phase phase,
                       runtime_.trace_now_us());
 }
 
-void ParcelEngine::enqueue_physical(std::shared_ptr<Parcel> parcel,
-                                    Clock::time_point due) {
-  Inbox& inbox = *inboxes_[parcel->dst_node];
+ParcelRef ParcelEngine::make_parcel() {
+  return ParcelRef::adopt(pool_->acquire());
+}
+
+void ParcelEngine::enqueue_physical(ParcelRef parcel, Clock::time_point due) {
+  Channel& ch = channel(parcel->src_node, parcel->dst_node);
   {
-    std::lock_guard<std::mutex> lock(inbox.mutex);
-    inbox.queue.push(
+    util::Guard<util::SpinLock> g(ch.submit_lock);
+    ch.submit.push_back(
         Timed{due, order_.fetch_add(1, std::memory_order_relaxed),
               std::move(parcel)});
+    ch.submit_size.store(ch.submit.size(), std::memory_order_relaxed);
   }
-  // A physical parcel in an inbox is pending work: hold a work token so
-  // wait_idle() cannot return while it sits there, and wake parked workers
-  // to poll. The token is released when poll() pops the copy.
+  ch.queued.fetch_add(1, std::memory_order_relaxed);
+  // A physical parcel in a channel is pending work: hold a work token so
+  // wait_idle() cannot return while it sits there, and wake parked
+  // workers to poll. The token is released when a drain pops the copy.
   runtime_.hold_work();
   runtime_.notify_work();
 }
 
-void ParcelEngine::transmit(const std::shared_ptr<Parcel>& parcel) {
+void ParcelEngine::transmit(const ParcelRef& parcel) {
   const bool cross = parcel->dst_node != parcel->src_node;
   // Only acknowledged traffic may be dropped: losing an unreliable parcel
   // would leak its pending work forever. Reliable data recovers via
@@ -170,9 +214,8 @@ void ParcelEngine::transmit(const std::shared_ptr<Parcel>& parcel) {
       faults_.active() && cross &&
       (parcel->reliable || parcel->kind == ParcelKind::kAck);
   const auto now = Clock::now();
-  const auto base_delay =
-      network_delay(parcel->src_node, parcel->dst_node,
-                    parcel->payload.size());
+  const auto base_delay = network_delay(parcel->src_node, parcel->dst_node,
+                                        parcel->model_size());
   if (!faulty) {
     enqueue_physical(parcel, now + base_delay);
     return;
@@ -197,27 +240,41 @@ void ParcelEngine::transmit(const std::shared_ptr<Parcel>& parcel) {
   }
 }
 
-void ParcelEngine::submit(std::shared_ptr<Parcel> parcel) {
+void ParcelEngine::submit(ParcelRef parcel) {
   stats_.sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes.fetch_add(parcel->payload.size(), std::memory_order_relaxed);
+  stats_.bytes.fetch_add(parcel->model_size(), std::memory_order_relaxed);
   const std::uint32_t src = parcel->src_node;
   const std::uint32_t dst = parcel->dst_node;
   if (reliable_ && src != dst) {
     // Same-node parcels never traverse the network, so only cross-node
     // traffic pays for sequencing and acknowledgment.
     parcel->reliable = true;
-    const std::uint32_t nodes = runtime_.num_nodes();
-    parcel->seq =
-        tx_seq_[static_cast<std::size_t>(src) * nodes + dst].fetch_add(
-            1, std::memory_order_relaxed) +
-        1;
+    Channel& tx = channel(src, dst);
+    parcel->seq = tx.next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fast_path_) {
+      // Piggyback the reverse stream's receive watermark: dst learns how
+      // much of its dst->src traffic we have delivered without an
+      // explicit ack message. piggy_cum remembers the best watermark
+      // already carried out so the drain can skip redundant acks.
+      Channel& rx = channel(dst, src);
+      const std::uint64_t cum =
+          rx.rx_contiguous.load(std::memory_order_relaxed);
+      if (cum > 0) {
+        parcel->ack_cum = cum;
+        std::uint64_t prev = rx.piggy_cum.load(std::memory_order_relaxed);
+        while (prev < cum && !rx.piggy_cum.compare_exchange_weak(
+                                 prev, cum, std::memory_order_relaxed)) {
+        }
+      }
+    }
     const auto timeout = retransmit_timeout(*parcel);
+    const auto now = Clock::now();
     {
-      TxState& tx = *tx_[src];
-      std::lock_guard<std::mutex> lock(tx.mutex);
-      tx.pending.emplace(tx_key(dst, parcel->seq),
-                         PendingTx{parcel, Clock::now() + timeout, timeout,
-                                   0});
+      util::Guard<util::SpinLock> g(tx.tx_lock);
+      tx.pending.insert(parcel->seq,
+                        PendingTx{parcel, now + timeout, timeout, 0});
+      if (fast_path_) tx.wheel.schedule(parcel->seq, now + timeout);
+      tx.pending_size.store(tx.pending.size(), std::memory_order_relaxed);
     }
     // One logical work token per un-acked parcel: wait_idle() stays
     // blocked until the message is acknowledged or dead-lettered.
@@ -231,7 +288,7 @@ void ParcelEngine::submit(std::shared_ptr<Parcel> parcel) {
 
 void ParcelEngine::send(std::uint32_t dst_node, HandlerId handler,
                         Payload payload) {
-  auto p = std::make_shared<Parcel>();
+  ParcelRef p = make_parcel();
   p->dst_node = dst_node;
   p->src_node = runtime_.current_node();
   p->handler = handler;
@@ -243,11 +300,14 @@ sync::Future<Payload> ParcelEngine::request(std::uint32_t dst_node,
                                             HandlerId handler,
                                             Payload payload) {
   sync::Future<Payload> reply;
-  auto p = std::make_shared<Parcel>();
+  ParcelRef p = make_parcel();
   p->dst_node = dst_node;
   p->src_node = runtime_.current_node();
   p->handler = handler;
   p->payload = std::move(payload);
+  // Round-trip stamp, echoed on the reply parcel (a field, not a lambda
+  // capture: keeps on_reply inside std::function's inline buffer).
+  p->send_ns = obs::now_ns();
   p->on_reply = [reply](Payload value) { reply.set(std::move(value)); };
   submit(std::move(p));
   return reply;
@@ -256,91 +316,283 @@ sync::Future<Payload> ParcelEngine::request(std::uint32_t dst_node,
 void ParcelEngine::invoke_at(std::uint32_t dst_node,
                              std::uint64_t modeled_bytes,
                              std::function<void()> fn) {
-  auto p = std::make_shared<Parcel>();
+  ParcelRef p = make_parcel();
   p->dst_node = dst_node;
   p->src_node = runtime_.current_node();
   p->closure = std::move(fn);
-  p->payload.resize(modeled_bytes);  // sizing for the latency model only
+  // Sizing for the latency model only: no bytes are materialized.
+  p->modeled_bytes = modeled_bytes;
   submit(std::move(p));
 }
 
-void ParcelEngine::send_ack(const Parcel& data, std::uint32_t node) {
-  auto ack = std::make_shared<Parcel>();
-  ack->kind = ParcelKind::kAck;
-  ack->dst_node = data.src_node;
-  ack->src_node = node;
-  ack->seq = data.seq;
-  ack->payload.resize(8);  // sizing for the latency model only
-  transmit(std::move(ack));
-}
-
-void ParcelEngine::handle_ack(const Parcel& ack, std::uint32_t node) {
-  bool erased = false;
-  {
-    TxState& tx = *tx_[node];
-    std::lock_guard<std::mutex> lock(tx.mutex);
-    erased = tx.pending.erase(tx_key(ack.src_node, ack.seq)) > 0;
+bool ParcelEngine::poll(std::uint32_t node) {
+  bool did = false;
+  for (std::uint32_t src = 0; src < nodes_; ++src) {
+    Channel& ch = channel(src, node);
+    if (ch.queued.load(std::memory_order_relaxed) > 0 ||
+        ch.ack_debt.load(std::memory_order_relaxed) > 0)
+      did |= drain_channel(ch, src, node);
   }
-  if (erased) {
-    stats_.acks.fetch_add(1, std::memory_order_relaxed);
-    runtime_.release_work();  // the logical in-flight token
-  }
-  // else: duplicate ack, or ack for an already dead-lettered parcel.
-}
-
-bool ParcelEngine::already_seen(const Parcel& parcel, std::uint32_t node) {
-  RxState& rx = *rx_[node];
-  std::lock_guard<std::mutex> lock(rx.mutex);
-  RxStream& stream = rx.streams[parcel.src_node];
-  if (parcel.seq <= stream.contiguous) return true;
-  if (stream.out_of_order.count(parcel.seq) > 0) return true;
-  if (parcel.seq == stream.contiguous + 1) {
-    ++stream.contiguous;
-    // Fold in any out-of-order arrivals the gap closure reaches.
-    auto it = stream.out_of_order.begin();
-    while (it != stream.out_of_order.end() && *it == stream.contiguous + 1) {
-      ++stream.contiguous;
-      it = stream.out_of_order.erase(it);
+  if (reliable_) {
+    for (std::uint32_t dst = 0; dst < nodes_; ++dst) {
+      if (dst == node) continue;
+      Channel& ch = channel(node, dst);
+      if (ch.pending_size.load(std::memory_order_relaxed) > 0)
+        did |= run_channel_timer(ch);
     }
-  } else {
-    stream.out_of_order.insert(parcel.seq);
   }
-  return false;
+  return did;
 }
 
-bool ParcelEngine::run_retransmit_timer(std::uint32_t node) {
-  std::vector<std::shared_ptr<Parcel>> expired;
-  std::vector<std::shared_ptr<Parcel>> exhausted;
-  {
-    TxState& tx = *tx_[node];
-    std::lock_guard<std::mutex> lock(tx.mutex);
-    if (tx.pending.empty()) return false;
+bool ParcelEngine::drain_channel(Channel& ch, std::uint32_t src,
+                                 std::uint32_t node) {
+  bool did = false;
+  // Pop-one-deliver-one: the drain lock is never held across a handler,
+  // so a handler that blocks on a reply arriving through this same
+  // channel cannot deadlock -- its help-loop poll re-enters here.
+  while (true) {
+    if (!ch.drain_lock.try_lock()) return did;  // another worker drains
     const auto now = Clock::now();
-    for (auto it = tx.pending.begin(); it != tx.pending.end();) {
-      PendingTx& entry = it->second;
-      if (entry.deadline > now) {
-        ++it;
+    if (ch.submit_size.load(std::memory_order_relaxed) > 0) {
+      // Two-list swap: take the whole producer batch in one lock hit.
+      {
+        util::Guard<util::SpinLock> g(ch.submit_lock);
+        ch.swap_scratch.swap(ch.submit);
+        ch.submit_size.store(0, std::memory_order_relaxed);
+      }
+      for (Timed& t : ch.swap_scratch) {
+        if (t.due <= now)
+          ch.ready.push_back(std::move(t));
+        else
+          ch.delayed.push(std::move(t));
+      }
+      ch.swap_scratch.clear();
+    }
+    while (!ch.delayed.empty() && ch.delayed.top().due <= now) {
+      // priority_queue::top is const; moving out is safe because pop()
+      // immediately discards the moved-from element.
+      ch.ready.push_back(std::move(const_cast<Timed&>(ch.delayed.top())));
+      ch.delayed.pop();
+    }
+    if (ch.ready_pos >= ch.ready.size()) {
+      ch.ready.clear();
+      ch.ready_pos = 0;
+      // Batch boundary: settle the ack debt this drain accumulated.
+      AckFlush flush;
+      settle_ack_debt(ch, flush);
+      ch.drain_lock.unlock();
+      if (flush.send) {
+        send_ack_parcel(src, node, flush);
+        did = true;
+      }
+      return did;
+    }
+    Timed t = std::move(ch.ready[ch.ready_pos++]);
+    ParcelRef parcel = std::move(t.parcel);
+    bool suppressed = false;
+    if (parcel->kind == ParcelKind::kData && parcel->reliable)
+      suppressed = classify_rx(ch, *parcel);
+    ch.drain_lock.unlock();
+    ch.queued.fetch_sub(1, std::memory_order_relaxed);
+    process_popped(parcel, suppressed, node);
+    // Drop the reference before the token: wait_idle() returning implies
+    // the pool's live ledger is back to zero.
+    parcel.reset();
+    runtime_.release_work();  // the physical in-flight token
+    did = true;
+  }
+}
+
+bool ParcelEngine::classify_rx(Channel& ch, const Parcel& parcel) {
+  // Drain lock held: rx state is single-writer here.
+  const std::uint64_t seq = parcel.seq;
+  std::uint64_t c = ch.rx_contiguous.load(std::memory_order_relaxed);
+  bool suppressed = false;
+  if (seq <= c || ch.rx_out_of_order.count(seq) > 0) {
+    suppressed = true;
+  } else if (seq == c + 1) {
+    ++c;
+    // Fold in any out-of-order arrivals the gap closure reaches.
+    auto it = ch.rx_out_of_order.begin();
+    while (it != ch.rx_out_of_order.end() && *it == c + 1) {
+      ++c;
+      it = ch.rx_out_of_order.erase(it);
+    }
+    ch.rx_contiguous.store(c, std::memory_order_relaxed);
+  } else {
+    ch.rx_out_of_order.insert(seq);
+  }
+  if (fast_path_) {
+    // Every copy (duplicates included) leaves ack debt: the previous ack
+    // may have been dropped.
+    ch.ack_debt.fetch_add(1, std::memory_order_relaxed);
+    if (seq > ch.rx_contiguous.load(std::memory_order_relaxed)) {
+      // Above the watermark: only a selective ack can confirm it. On
+      // overflow the seq is simply not sel-acked this batch; the
+      // sender's retransmit re-offers it.
+      bool listed = false;
+      for (std::uint32_t i = 0; i < ch.ack_sel_count; ++i)
+        if (ch.ack_sel[i] == seq) listed = true;
+      if (!listed && ch.ack_sel_count < Parcel::kMaxSelAcks)
+        ch.ack_sel[ch.ack_sel_count++] = seq;
+    }
+  }
+  return suppressed;
+}
+
+void ParcelEngine::process_popped(const ParcelRef& parcel, bool suppressed,
+                                  std::uint32_t node) {
+  if (parcel->kind == ParcelKind::kAck) {
+    Channel& tx = channel(node, parcel->src_node);
+    const std::uint64_t erased =
+        apply_acks(tx, parcel->ack_cum, parcel->ack_seqs, parcel->ack_count);
+    if (erased > 0) {
+      stats_.acks.fetch_add(erased, std::memory_order_relaxed);
+      // One ack message confirming N parcels saved N-1 messages.
+      if (erased > 1)
+        stats_.acks_coalesced.fetch_add(erased - 1,
+                                        std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (parcel->reliable && parcel->ack_cum > 0) {
+    // Piggybacked watermark on a reverse-direction data parcel: every
+    // confirmation here is an ack message that never had to exist.
+    Channel& tx = channel(node, parcel->src_node);
+    const std::uint64_t erased = apply_acks(tx, parcel->ack_cum, nullptr, 0);
+    if (erased > 0) {
+      stats_.acks.fetch_add(erased, std::memory_order_relaxed);
+      stats_.acks_coalesced.fetch_add(erased, std::memory_order_relaxed);
+    }
+  }
+  if (parcel->reliable && !fast_path_) {
+    // Ablation: ack every received copy individually (pre-coalescing
+    // behavior), including duplicates.
+    AckFlush flush;
+    flush.send = true;
+    flush.cum = 0;
+    flush.sel_count = 1;
+    flush.sel[0] = parcel->seq;
+    send_ack_parcel(parcel->src_node, node, flush);
+  }
+  if (suppressed) {
+    stats_.dup_suppressed.fetch_add(1, std::memory_order_relaxed);
+    trace_transport("dup_suppressed", *parcel);
+    return;
+  }
+  deliver(*parcel, node);
+}
+
+void ParcelEngine::settle_ack_debt(Channel& ch, AckFlush& flush) {
+  // Drain lock held.
+  if (ch.ack_debt.load(std::memory_order_relaxed) == 0) return;
+  const std::uint64_t cum = ch.rx_contiguous.load(std::memory_order_relaxed);
+  if (ch.ack_sel_count == 0 &&
+      ch.piggy_cum.load(std::memory_order_relaxed) >= cum) {
+    // Reverse-direction data already carried a watermark covering the
+    // whole debt: no explicit ack needed.
+    ch.ack_debt.store(0, std::memory_order_relaxed);
+    return;
+  }
+  flush.send = true;
+  flush.cum = cum;
+  flush.sel_count = ch.ack_sel_count;
+  for (std::uint32_t i = 0; i < ch.ack_sel_count; ++i)
+    flush.sel[i] = ch.ack_sel[i];
+  ch.ack_sel_count = 0;
+  ch.ack_debt.store(0, std::memory_order_relaxed);
+}
+
+void ParcelEngine::send_ack_parcel(std::uint32_t data_src, std::uint32_t node,
+                                   const AckFlush& flush) {
+  ParcelRef ack = make_parcel();
+  ack->kind = ParcelKind::kAck;
+  ack->dst_node = data_src;
+  ack->src_node = node;
+  ack->ack_cum = flush.cum;
+  ack->ack_count = flush.sel_count;
+  for (std::uint32_t i = 0; i < flush.sel_count; ++i)
+    ack->ack_seqs[i] = flush.sel[i];
+  // Sizing for the latency model only (watermark + selective list).
+  ack->modeled_bytes = 8 + 8ull * flush.sel_count;
+  stats_.ack_parcels.fetch_add(1, std::memory_order_relaxed);
+  transmit(ack);
+}
+
+std::uint64_t ParcelEngine::apply_acks(Channel& ch, std::uint64_t cum,
+                                       const std::uint64_t* sel,
+                                       std::uint32_t sel_count) {
+  std::uint64_t erased = 0;
+  {
+    util::Guard<util::SpinLock> g(ch.tx_lock);
+    // Dense walk from the acked floor: each seq is O(1) in the ring, and
+    // already-erased holes (selective acks, dead letters) just miss.
+    while (ch.acked_floor < cum) {
+      ++ch.acked_floor;
+      if (ch.pending.erase(ch.acked_floor)) ++erased;
+    }
+    for (std::uint32_t i = 0; i < sel_count; ++i)
+      if (ch.pending.erase(sel[i])) ++erased;
+    ch.pending_size.store(ch.pending.size(), std::memory_order_relaxed);
+  }
+  // The wheel entry of an erased seq cancels lazily on expiry.
+  for (std::uint64_t i = 0; i < erased; ++i)
+    runtime_.release_work();  // the logical in-flight tokens
+  return erased;
+}
+
+bool ParcelEngine::run_channel_timer(Channel& ch) {
+  if (!ch.tx_lock.try_lock()) return false;
+  const auto now = Clock::now();
+  // Local so concurrent timer runs on other channels cannot alias; they
+  // only allocate when something actually expired (exceptional path).
+  std::vector<ParcelRef> expired;
+  std::vector<ParcelRef> exhausted;
+  const auto max_timeout = std::chrono::duration_cast<Clock::duration>(
+      reliability_options_.max_timeout);
+  if (fast_path_) {
+    ch.expired_scratch.clear();
+    ch.wheel.advance(now, ch.expired_scratch);
+    for (const std::uint64_t seq : ch.expired_scratch) {
+      PendingTx* entry = ch.pending.find(seq);
+      if (entry == nullptr) continue;  // acked meanwhile: lazy cancel
+      if (entry->retries >= reliability_options_.max_retries) {
+        exhausted.push_back(std::move(ch.pending.take(seq).parcel));
         continue;
       }
+      ++entry->retries;
+      const auto backed_off = std::chrono::duration_cast<Clock::duration>(
+          entry->timeout * reliability_options_.backoff);
+      entry->timeout = std::min(backed_off, max_timeout);
+      entry->deadline = now + entry->timeout;
+      ch.wheel.schedule(seq, entry->deadline);
+      expired.push_back(entry->parcel);
+    }
+  } else {
+    // Ablation: the pre-wheel O(pending) deadline scan.
+    std::vector<std::uint64_t> exhausted_seqs;
+    ch.pending.for_each([&](std::uint64_t seq, PendingTx& entry) {
+      if (entry.deadline > now) return;
       if (entry.retries >= reliability_options_.max_retries) {
-        exhausted.push_back(entry.parcel);
-        it = tx.pending.erase(it);
-        continue;
+        exhausted_seqs.push_back(seq);
+        return;
       }
       ++entry.retries;
       const auto backed_off = std::chrono::duration_cast<Clock::duration>(
           entry.timeout * reliability_options_.backoff);
-      entry.timeout = std::min(
-          backed_off, std::chrono::duration_cast<Clock::duration>(
-                          reliability_options_.max_timeout));
+      entry.timeout = std::min(backed_off, max_timeout);
       entry.deadline = now + entry.timeout;
       expired.push_back(entry.parcel);
-      ++it;
-    }
+    });
+    for (const std::uint64_t seq : exhausted_seqs)
+      exhausted.push_back(std::move(ch.pending.take(seq).parcel));
   }
-  // Act outside the lock: transmit takes inbox locks and dead_letter can
-  // run arbitrary continuations (which may send parcels themselves).
-  for (auto& parcel : expired) {
+  ch.pending_size.store(ch.pending.size(), std::memory_order_relaxed);
+  ch.tx_lock.unlock();
+  // Act outside the lock: transmit takes channel submit locks and
+  // dead_letter can run arbitrary continuations (which may send parcels
+  // themselves).
+  for (const auto& parcel : expired) {
     stats_.retries.fetch_add(1, std::memory_order_relaxed);
     trace_transport("retry", *parcel);
     trace_flow("xfer", trace::Phase::kFlowStep, *parcel, parcel->src_node);
@@ -350,46 +602,16 @@ bool ParcelEngine::run_retransmit_timer(std::uint32_t node) {
   return !expired.empty() || !exhausted.empty();
 }
 
-void ParcelEngine::dead_letter(std::shared_ptr<Parcel> parcel) {
+void ParcelEngine::dead_letter(ParcelRef parcel) {
   stats_.dead_letters.fetch_add(1, std::memory_order_relaxed);
   trace_transport("dead_letter", *parcel);
   // Resolve the requester's future with an empty payload so nothing ever
   // blocks on a message the network has eaten. claim() excludes the
   // (unlikely) race with a late copy still being delivered.
   if (parcel->claim() && parcel->on_reply) parcel->on_reply(Payload{});
+  // Reference before token (see drain_channel): wait_idle() => live == 0.
+  parcel.reset();
   runtime_.release_work();  // the logical in-flight token
-}
-
-bool ParcelEngine::poll(std::uint32_t node) {
-  bool did = run_retransmit_timer(node);
-  Inbox& inbox = *inboxes_[node];
-  while (true) {
-    std::shared_ptr<Parcel> parcel;
-    {
-      std::lock_guard<std::mutex> lock(inbox.mutex);
-      if (inbox.queue.empty()) break;
-      if (inbox.queue.top().due > Clock::now()) break;
-      parcel = inbox.queue.top().parcel;
-      inbox.queue.pop();
-    }
-    if (parcel->kind == ParcelKind::kAck) {
-      handle_ack(*parcel, node);
-    } else if (parcel->reliable) {
-      if (already_seen(*parcel, node)) {
-        stats_.dup_suppressed.fetch_add(1, std::memory_order_relaxed);
-        trace_transport("dup_suppressed", *parcel);
-      } else {
-        deliver(*parcel, node);
-      }
-      // Ack every copy: the previous ack may have been dropped.
-      send_ack(*parcel, node);
-    } else {
-      deliver(*parcel, node);
-    }
-    runtime_.release_work();  // the physical inbox token
-    did = true;
-  }
-  return did;
 }
 
 void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
@@ -408,26 +630,31 @@ void ParcelEngine::deliver(Parcel& parcel, std::uint32_t node) {
     return;
   }
   if (parcel.is_reply) {
+    if (parcel.send_ns != 0) {
+      // Request round trip, recorded requester-side (shard = worker id;
+      // external threads fold into shard 0).
+      rtt_hist_->record(
+          static_cast<std::uint32_t>(
+              std::max<std::int32_t>(rt::Runtime::current_worker(), 0)),
+          obs::now_ns() - parcel.send_ns);
+    }
     // Keep the payload intact (a retransmitted copy may still be in
     // flight); Future::set ignores a second resolution anyway.
     if (parcel.on_reply) parcel.on_reply(parcel.payload);
     return;
   }
-  Handler* handler = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(handlers_mutex_);
-    assert(parcel.handler < handlers_.size());
-    handler = &handlers_[parcel.handler];
-  }
-  Payload reply = (*handler)(parcel.payload, parcel.src_node);
+  const auto table = handlers_snapshot_.load(std::memory_order_acquire);
+  assert(table != nullptr && parcel.handler < table->size());
+  Payload reply = (*table)[parcel.handler](parcel.payload, parcel.src_node);
   if (parcel.on_reply) {
     stats_.replies.fetch_add(1, std::memory_order_relaxed);
     // The reply travels back over the network (reliably, if the request
     // did) before the requester sees it.
-    auto back = std::make_shared<Parcel>();
+    ParcelRef back = make_parcel();
     back->dst_node = parcel.src_node;
     back->src_node = node;
     back->is_reply = true;
+    back->send_ns = parcel.send_ns;  // echo the round-trip stamp
     back->on_reply = std::move(parcel.on_reply);
     parcel.on_reply = nullptr;
     back->payload = std::move(reply);

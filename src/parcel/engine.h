@@ -1,5 +1,6 @@
-// ParcelEngine: per-node inboxes + delivery timing + handler dispatch,
-// with an optional reliable-delivery protocol over a faulty network model.
+// ParcelEngine: sharded per-(src,dst) channels + delivery timing + handler
+// dispatch, with an optional reliable-delivery protocol over a faulty
+// network model.
 //
 // Senders never block (split-transaction discipline): send/request/invoke_at
 // enqueue the parcel with a delivery deadline derived from the machine's
@@ -8,19 +9,45 @@
 // receiving node. Replies are parcels in the opposite direction, fulfilling
 // the requester's Future -- the paper's split transaction.
 //
+// Data-path layout (the parcel fast path). All transport state is sharded
+// into one Channel per (src,dst) node pair; nothing global is locked on
+// the message path:
+//   * parcels come from a ParcelPool (intrusive refcount, <=64 B payloads
+//     inline in the slot) -- a steady-state request/ack/reply round
+//     performs zero heap allocations;
+//   * the submit side of a channel is a two-list-swap queue (producers
+//     append under a spinlock; a draining worker swaps the whole vector
+//     out and classifies it lock-free), the consumer side keeps a ready
+//     FIFO plus a min-heap for copies with modeled in-flight delay;
+//   * each channel owns its sequence counter, its pending-retransmit ring
+//     (dense-seq open ring: O(1) insert/erase, allocation-free once
+//     grown), and a hashed TimerWheel, so a retransmit tick is O(expired)
+//     instead of O(pending);
+//   * acks are piggybacked and coalesced: a receiver accumulates ack debt
+//     per channel while draining and settles it either implicitly (any
+//     reliable data parcel traveling the reverse direction carries the
+//     cumulative watermark in `ack_cum`) or with one explicit ack parcel
+//     per drain batch carrying the watermark plus up to
+//     Parcel::kMaxSelAcks out-of-order seqs -- collapsing the previous
+//     one-ack-per-copy storm (parcel.ack_parcels / parcel.acks_coalesced
+//     count the savings).
+// The lock_free_parcels=off ablation (parcel/parcel.h) reverts to heap
+// parcels, per-copy acks, and a linear pending scan for A/B benches.
+//
 // Reliability. When the machine's NetworkFaultModel is active (or
-// reliability is forced on), every cross-node data parcel travels under a
-// stop-and-wait-per-message protocol:
+// reliability is forced on), every cross-node data parcel travels under
+// the ack/retransmit protocol:
 //   * the sender assigns a per-(src,dst) sequence number and keeps the
-//     parcel in a per-source retransmit table;
+//     parcel in the channel's pending ring;
 //   * each physical traversal is subject to the fault model (drop,
 //     duplicate, jitter), realized by machine::NetworkFaultInjector;
-//   * the receiver suppresses duplicates (per-stream contiguous watermark +
-//     out-of-order set, so state stays bounded) and acks every copy;
-//   * acks erase the retransmit entry; a timeout (exponential backoff,
-//     capped) retransmits; after max_retries the parcel is dead-lettered:
-//     its requester Future is resolved with an empty payload so callers
-//     and wait_idle() never hang on a lost message.
+//   * the receiver suppresses duplicates (per-channel contiguous watermark
+//     + out-of-order set, so state stays bounded) and accumulates ack debt
+//     for every copy;
+//   * acks erase pending entries; a timeout (exponential backoff, capped)
+//     retransmits; after max_retries the parcel is dead-lettered: its
+//     requester Future is resolved with an empty payload so callers and
+//     wait_idle() never hang on a lost message.
 // The retransmit timer rides the runtime's per-node poller hook, and each
 // in-flight reliable parcel holds a runtime work token, so idleness
 // accounting stays exact: wait_idle() returns only once every logical
@@ -38,8 +65,11 @@
 #include <vector>
 
 #include "parcel/parcel.h"
+#include "parcel/pool.h"
+#include "parcel/timer_wheel.h"
 #include "runtime/runtime.h"
 #include "sync/future.h"
+#include "util/spinlock.h"
 
 namespace htvm::parcel {
 
@@ -58,8 +88,14 @@ struct EngineStats {
   std::uint64_t drops = 0;           // physical copies lost
   std::uint64_t duplicates = 0;      // physical copies cloned
   std::uint64_t dup_suppressed = 0;  // receiver-side dedup hits
-  std::uint64_t acks = 0;            // acks received by senders
+  std::uint64_t acks = 0;            // pending entries confirmed at senders
   std::uint64_t dead_letters = 0;    // parcels given up on
+  // Ack-coalescing counters.
+  std::uint64_t ack_parcels = 0;  // explicit ack messages sent
+  // Confirmations that needed no dedicated ack message: piggybacked on
+  // reverse-direction data, or folded into a batched ack beyond its
+  // first entry. acks - acks_coalesced ~= ack_parcels' useful work.
+  std::uint64_t acks_coalesced = 0;
 };
 
 // Reliable-delivery knobs. Timeouts are host-time: the floor covers the
@@ -81,7 +117,8 @@ struct ReliabilityOptions {
 class ParcelEngine {
  public:
   // Registers itself as a poller on the runtime; construct the engine
-  // before spawning work that sends parcels.
+  // before spawning work that sends parcels. The lock_free_parcels()
+  // ablation flag is sampled here.
   explicit ParcelEngine(rt::Runtime& runtime,
                         ReliabilityOptions reliability = {});
   ~ParcelEngine();
@@ -90,6 +127,9 @@ class ParcelEngine {
   ParcelEngine& operator=(const ParcelEngine&) = delete;
 
   // Handler registration (do this before any sends that use the id).
+  // Dispatch reads an immutable snapshot published via atomic shared_ptr,
+  // so registration is safe while parcels fly, but each registration
+  // republishes the whole table -- keep it to startup.
   HandlerId register_handler(std::string name, Handler handler);
   HandlerId handler_id(const std::string& name) const;
 
@@ -101,12 +141,13 @@ class ParcelEngine {
   // work and awaits the future later (or chains with .on_ready). If the
   // request (or its reply) is dead-lettered, the future resolves with an
   // empty payload and stats().dead_letters is incremented -- it never
-  // hangs.
+  // hangs. Round-trip latency lands in the "parcel.rtt" histogram.
   sync::Future<Payload> request(std::uint32_t dst_node, HandlerId handler,
                                 Payload payload);
 
   // Move work to data: run `fn` on `dst_node`. `modeled_bytes` sizes the
-  // parcel for the network-latency model (code descriptor + captured args).
+  // parcel for the network-latency model (code descriptor + captured
+  // args); no payload bytes are materialized.
   void invoke_at(std::uint32_t dst_node, std::uint64_t modeled_bytes,
                  std::function<void()> fn);
 
@@ -114,8 +155,14 @@ class ParcelEngine {
   rt::Runtime& runtime() { return runtime_; }
   // True when cross-node data parcels are sequence-numbered and acked.
   bool reliable() const { return reliable_; }
+  // Parcel-slot pool ledger (pool.parcel.* in telemetry): after warmup
+  // the message path should be ~all recycle hits, and live returns to 0
+  // once the runtime is idle.
+  mem::PoolStatsSnapshot pool_stats() const { return pool_->stats(); }
+  // False in the lock_free_parcels=off ablation.
+  bool fast_path() const { return fast_path_; }
 
-  // Drains due parcels for `node` and runs its retransmit timer; returns
+  // Drains due parcels for `node` and runs its retransmit timers; returns
   // true if any work ran. Wired into the runtime's poller hook
   // automatically; exposed for deterministic tests.
   bool poll(std::uint32_t node);
@@ -136,74 +183,187 @@ class ParcelEngine {
     std::atomic<std::uint64_t> dup_suppressed{0};
     std::atomic<std::uint64_t> acks{0};
     std::atomic<std::uint64_t> dead_letters{0};
+    std::atomic<std::uint64_t> ack_parcels{0};
+    std::atomic<std::uint64_t> acks_coalesced{0};
   };
 
   struct Timed {
     Clock::time_point due;
-    std::uint64_t order;
-    std::shared_ptr<Parcel> parcel;
+    std::uint64_t order = 0;
+    ParcelRef parcel;
     bool operator>(const Timed& other) const {
       if (due != other.due) return due > other.due;
       return order > other.order;
     }
   };
 
-  struct Inbox {
-    std::mutex mutex;
-    std::priority_queue<Timed, std::vector<Timed>, std::greater<>> queue;
-  };
-
   // Sender-side retransmit record for one un-acked reliable parcel.
   struct PendingTx {
-    std::shared_ptr<Parcel> parcel;
-    Clock::time_point deadline;
-    Clock::duration timeout;  // current (pre-backoff) value
+    ParcelRef parcel;
+    Clock::time_point deadline;  // consulted by the ablation linear scan
+    Clock::duration timeout{};   // current (pre-backoff) value
     std::uint32_t retries = 0;
   };
 
-  // Per source node: everything this node has in flight, keyed by
-  // (dst_node, seq) packed into 64 bits.
-  struct TxState {
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, PendingTx> pending;
+  // Open-addressed ring over the dense per-channel sequence space:
+  // pending seqs occupy a sliding window, so seq & (capacity-1) is
+  // collision-free once capacity covers the window (grow() doubles until
+  // it does). O(1) find/insert/erase, and -- unlike the unordered_map it
+  // replaces -- no per-entry node allocation on the message path.
+  class PendingRing {
+   public:
+    PendingTx* find(std::uint64_t seq) {
+      if (slots_.empty()) return nullptr;
+      Slot& s = slots_[seq & (slots_.size() - 1)];
+      return (s.used && s.seq == seq) ? &s.tx : nullptr;
+    }
+    void insert(std::uint64_t seq, PendingTx tx) {
+      if (slots_.empty()) slots_.resize(kInitialSlots);
+      while (slots_[seq & (slots_.size() - 1)].used) grow();
+      Slot& s = slots_[seq & (slots_.size() - 1)];
+      s.seq = seq;
+      s.used = true;
+      s.tx = std::move(tx);
+      ++count_;
+    }
+    bool erase(std::uint64_t seq) {
+      PendingTx* tx = find(seq);
+      if (tx == nullptr) return false;
+      *tx = PendingTx{};  // drops the ParcelRef
+      slots_[seq & (slots_.size() - 1)].used = false;
+      --count_;
+      return true;
+    }
+    // Moves the entry out (dead-letter path) -- caller checked find().
+    PendingTx take(std::uint64_t seq) {
+      Slot& s = slots_[seq & (slots_.size() - 1)];
+      PendingTx out = std::move(s.tx);
+      s.tx = PendingTx{};
+      s.used = false;
+      --count_;
+      return out;
+    }
+    std::size_t size() const { return count_; }
+    template <typename F>
+    void for_each(F&& fn) {  // ablation-mode linear scan
+      for (Slot& s : slots_)
+        if (s.used) fn(s.seq, s.tx);
+    }
+
+   private:
+    static constexpr std::size_t kInitialSlots = 64;
+    struct Slot {
+      std::uint64_t seq = 0;
+      bool used = false;
+      PendingTx tx;
+    };
+    void grow() {
+      std::vector<Slot> old;
+      old.swap(slots_);
+      slots_.resize(old.size() * 2);
+      for (Slot& s : old) {
+        if (!s.used) continue;
+        Slot& d = slots_[s.seq & (slots_.size() - 1)];
+        d.seq = s.seq;
+        d.used = true;
+        d.tx = std::move(s.tx);
+      }
+    }
+    std::vector<Slot> slots_;
+    std::size_t count_ = 0;
   };
 
-  // Receiver-side duplicate suppression for one (src -> this node) stream:
-  // every seq <= contiguous has been delivered; out-of-order arrivals
-  // above the watermark are tracked explicitly and folded in when the gap
-  // closes, so memory stays proportional to reordering, not traffic.
-  struct RxStream {
-    std::uint64_t contiguous = 0;
-    std::set<std::uint64_t> out_of_order;
+  // All transport state for one (src,dst) node pair. Three independent
+  // lock domains -- submit (producers), drain (the consuming worker), tx
+  // (sender-side reliability) -- so senders, receivers, and the ack path
+  // never contend on one lock, let alone a global one.
+  struct alignas(64) Channel {
+    // --- submit side (producers, any thread) ---
+    util::SpinLock submit_lock;
+    std::vector<Timed> submit;  // guarded by submit_lock
+    std::atomic<std::size_t> submit_size{0};
+    // Physical copies anywhere between submit and delivery (hint that a
+    // drain is worthwhile; maintained relaxed).
+    std::atomic<std::size_t> queued{0};
+
+    // --- drain side (whichever worker wins the try_lock) ---
+    util::SpinLock drain_lock;
+    std::vector<Timed> swap_scratch;  // two-list-swap landing area
+    std::vector<Timed> ready;         // due copies, FIFO
+    std::size_t ready_pos = 0;
+    std::priority_queue<Timed, std::vector<Timed>, std::greater<>> delayed;
+    // Receiver-side duplicate suppression: every seq <= rx_contiguous has
+    // been delivered; out-of-order arrivals above the watermark are
+    // tracked explicitly and folded in when the gap closes. The watermark
+    // is atomic so the piggyback stamp on the submit path can read it
+    // without the drain lock.
+    std::atomic<std::uint64_t> rx_contiguous{0};
+    std::set<std::uint64_t> rx_out_of_order;
+    // Ack debt accumulated while draining (guarded by drain_lock; the
+    // atomic counter doubles as the poller's flush hint).
+    std::atomic<std::uint64_t> ack_debt{0};
+    std::uint32_t ack_sel_count = 0;
+    std::uint64_t ack_sel[Parcel::kMaxSelAcks] = {};
+    // Highest watermark already carried out by a piggybacking reverse-
+    // direction data parcel: debt covered up to here needs no explicit
+    // ack message.
+    std::atomic<std::uint64_t> piggy_cum{0};
+
+    // --- tx side (sender-side reliability for this stream) ---
+    std::atomic<std::uint64_t> next_seq{0};
+    util::SpinLock tx_lock;
+    PendingRing pending;           // guarded by tx_lock
+    std::uint64_t acked_floor = 0;  // guarded by tx_lock
+    TimerWheel wheel;              // guarded by tx_lock
+    std::vector<std::uint64_t> expired_scratch;  // guarded by tx_lock
+    std::atomic<std::size_t> pending_size{0};
   };
 
-  struct RxState {
-    std::mutex mutex;
-    std::vector<RxStream> streams;  // indexed by src node
-  };
-
-  static std::uint64_t tx_key(std::uint32_t dst, std::uint64_t seq) {
-    return (static_cast<std::uint64_t>(dst) << 48) | (seq & 0xFFFFFFFFFFFFull);
+  Channel& channel(std::uint32_t src, std::uint32_t dst) {
+    return *channels_[static_cast<std::size_t>(src) * nodes_ + dst];
   }
 
+  ParcelRef make_parcel();
   // Logical submission: stats, sequence assignment, retransmit
-  // registration, then first physical transmission.
-  void submit(std::shared_ptr<Parcel> parcel);
+  // registration, ack piggybacking, then first physical transmission.
+  void submit(ParcelRef parcel);
   // One physical transmission attempt: applies the fault model (drop /
   // duplicate / jitter) and enqueues the surviving copies.
-  void transmit(const std::shared_ptr<Parcel>& parcel);
-  void enqueue_physical(std::shared_ptr<Parcel> parcel,
-                        Clock::time_point due);
-  void send_ack(const Parcel& data, std::uint32_t node);
-  void handle_ack(const Parcel& ack, std::uint32_t node);
-  // True if this reliable parcel was already delivered (duplicate).
-  bool already_seen(const Parcel& parcel, std::uint32_t node);
-  // Scans `node`'s retransmit table: re-sends expired entries, dead-letters
-  // exhausted ones. Returns true if it acted on anything.
-  bool run_retransmit_timer(std::uint32_t node);
-  void dead_letter(std::shared_ptr<Parcel> parcel);
+  void transmit(const ParcelRef& parcel);
+  void enqueue_physical(ParcelRef parcel, Clock::time_point due);
 
+  // --- drain path ---
+  bool drain_channel(Channel& ch, std::uint32_t src, std::uint32_t node);
+  // Dedup + ack bookkeeping for one reliable data copy (drain_lock held).
+  // Returns true if the copy is a duplicate to suppress.
+  bool classify_rx(Channel& ch, const Parcel& parcel);
+  // Ack/piggyback handling + delivery for one popped copy (no locks).
+  void process_popped(const ParcelRef& parcel, bool suppressed,
+                      std::uint32_t node);
   void deliver(Parcel& parcel, std::uint32_t node);
+
+  // --- ack path ---
+  struct AckFlush {
+    bool send = false;
+    std::uint64_t cum = 0;
+    std::uint32_t sel_count = 0;
+    std::uint64_t sel[Parcel::kMaxSelAcks] = {};
+  };
+  // Decides under drain_lock whether the channel's ack debt needs an
+  // explicit message (or was covered by piggybacks) and snapshots it.
+  void settle_ack_debt(Channel& ch, AckFlush& flush);
+  void send_ack_parcel(std::uint32_t data_src, std::uint32_t node,
+                       const AckFlush& flush);
+  // Erases pending entries up to `cum` plus the selective seqs on the
+  // sender channel `ch`, releasing one logical work token per
+  // confirmation; returns how many entries it confirmed.
+  std::uint64_t apply_acks(Channel& ch, std::uint64_t cum,
+                           const std::uint64_t* sel, std::uint32_t sel_count);
+
+  // --- retransmit path ---
+  bool run_channel_timer(Channel& ch);
+  void dead_letter(ParcelRef parcel);
+
   Clock::duration network_delay(std::uint32_t src, std::uint32_t dst,
                                 std::uint64_t bytes) const;
   Clock::duration retransmit_timeout(const Parcel& parcel) const;
@@ -219,17 +379,23 @@ class ParcelEngine {
   rt::Runtime::PollerId poller_id_ = 0;
   ReliabilityOptions reliability_options_;
   bool reliable_ = false;
+  bool fast_path_ = true;  // lock_free_parcels() at construction
   machine::NetworkFaultInjector faults_;
-  std::vector<std::unique_ptr<Inbox>> inboxes_;
-  std::vector<std::unique_ptr<TxState>> tx_;
-  std::vector<std::unique_ptr<RxState>> rx_;
-  // Per (src,dst) stream sequence counters, row-major [src * nodes + dst].
-  std::vector<std::atomic<std::uint64_t>> tx_seq_;
-  mutable std::mutex handlers_mutex_;
-  std::vector<Handler> handlers_;
+  std::uint32_t nodes_ = 0;
+  std::unique_ptr<ParcelPool> pool_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // [src * nodes_ + dst]
+
+  using HandlerTable = std::vector<Handler>;
+  mutable std::mutex handlers_mutex_;  // writers and the name map
+  HandlerTable handlers_build_;        // registration working copy
   std::unordered_map<std::string, HandlerId> handler_names_;
-  std::atomic<std::uint64_t> order_{0};  // inbox FIFO tie-break
+  // Immutable dispatch snapshot: deliver() does one atomic load instead
+  // of taking handlers_mutex_ per parcel.
+  std::atomic<std::shared_ptr<const HandlerTable>> handlers_snapshot_;
+
+  std::atomic<std::uint64_t> order_{0};  // delayed-heap FIFO tie-break
   AtomicEngineStats stats_;
+  obs::Histogram* rtt_hist_ = nullptr;  // parcel.rtt (request round trips)
   std::vector<obs::MetricsRegistry::SourceId> metric_sources_;
 };
 

@@ -1,8 +1,24 @@
-// Parcel types are header-only; this TU anchors the library target.
 #include "parcel/parcel.h"
+
+#include <atomic>
 
 namespace htvm::parcel {
 
 static_assert(sizeof(Parcel) > 0);
+
+namespace {
+// Process-wide ablation flag (mirrors sync::set_lock_free_sync): read
+// once at ParcelEngine construction, so flipping it mid-flight affects
+// only engines built afterwards.
+std::atomic<bool> g_lock_free_parcels{true};
+}  // namespace
+
+void set_lock_free_parcels(bool on) {
+  g_lock_free_parcels.store(on, std::memory_order_relaxed);
+}
+
+bool lock_free_parcels() {
+  return g_lock_free_parcels.load(std::memory_order_relaxed);
+}
 
 }  // namespace htvm::parcel

@@ -8,7 +8,15 @@
 // payload; the destination executes the handler and may send a reply
 // parcel, completing the split transaction. For intra-process convenience
 // a parcel may instead carry a closure ("code moves to data"); its network
-// cost is modeled from a declared payload size.
+// cost is modeled from a declared payload size (`modeled_bytes`), without
+// materializing bytes that nobody reads.
+//
+// Lifetime: parcels are pool-allocated (parcel/pool.h) and intrusively
+// reference-counted -- the pending-retransmit entry and every physical
+// in-flight copy hold one reference through ParcelRef, and the last
+// release returns the slot to its ParcelPool. Small payloads (<= 64 B)
+// live inline in the parcel itself, so a steady-state request/ack/reply
+// round allocates nothing.
 #pragma once
 
 #include <atomic>
@@ -18,23 +26,123 @@
 #include <functional>
 #include <string>
 #include <type_traits>
-#include <vector>
+#include <utility>
 
 namespace htvm::parcel {
 
 using HandlerId = std::uint32_t;
-using Payload = std::vector<std::byte>;
+
+// Byte buffer with small-buffer optimization: payloads up to kInlineBytes
+// are stored inside the object (inside the pooled Parcel slot), larger
+// ones fall back to one heap block. Keeps the subset of the
+// std::vector<std::byte> API the parcel layer and its callers use, so a
+// handler signature like `Payload(const Payload&, uint32_t)` compiles
+// unchanged.
+class Payload {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Payload() = default;
+  // Like the vector size constructor: `n` zero bytes.
+  explicit Payload(std::size_t n) { resize(n); }
+  Payload(const Payload& other) { assign(other); }
+  Payload(Payload&& other) noexcept { take(other); }
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      release_heap();
+      assign(other);
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      take(other);
+    }
+    return *this;
+  }
+  ~Payload() { release_heap(); }
+
+  std::byte* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const std::byte* data() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Grown bytes are zero-filled (vector semantics). Never shrinks
+  // capacity, so a pooled parcel that once carried a big payload keeps
+  // its heap block until clear().
+  void resize(std::size_t n) {
+    if (n > capacity_) {
+      auto* grown = new std::byte[n];
+      std::memcpy(grown, data(), size_);
+      delete[] heap_;
+      heap_ = grown;
+      capacity_ = n;
+    }
+    if (n > size_) std::memset(data() + size_, 0, n - size_);
+    size_ = n;
+  }
+
+  // Empties the buffer AND releases any heap block (pool-recycle reset:
+  // slots must not pin past tenants' big payloads).
+  void clear() { release_heap(); }
+
+ private:
+  void release_heap() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = kInlineBytes;
+    size_ = 0;
+  }
+  // Precondition: *this is empty (fresh or just release_heap()'d).
+  void assign(const Payload& other) {
+    if (other.size_ > kInlineBytes) {
+      heap_ = new std::byte[other.size_];
+      capacity_ = other.size_;
+    }
+    size_ = other.size_;
+    std::memcpy(data(), other.data(), size_);
+  }
+  void take(Payload& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = kInlineBytes;
+      other.size_ = 0;
+    } else {
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, size_);
+      other.size_ = 0;
+    }
+  }
+
+  std::byte* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = kInlineBytes;
+  std::byte inline_[kInlineBytes];
+};
 
 // Handler: receives the payload and source node, returns the reply payload
 // (empty = no reply content; one-way sends ignore the return value).
 using Handler = std::function<Payload(const Payload&, std::uint32_t)>;
 
 // Transport-level parcel class. Data parcels carry application work; ack
-// parcels confirm delivery of a reliable data parcel (they are themselves
+// parcels confirm delivery of reliable data parcels (they are themselves
 // unreliable -- a lost ack is recovered by the data retransmit).
 enum class ParcelKind : std::uint8_t { kData = 0, kAck = 1 };
 
+class ParcelPool;
+
 struct Parcel {
+  // How many selective-ack sequence numbers one ack parcel carries inline
+  // (beyond the cumulative watermark). Out-of-order receipt past this is
+  // recovered by the sender's retransmit.
+  static constexpr std::uint32_t kMaxSelAcks = 7;
+
   std::uint32_t dst_node = 0;
   std::uint32_t src_node = 0;
   HandlerId handler = 0;
@@ -54,14 +162,126 @@ struct Parcel {
   // deduplicated at the receiver.
   bool reliable = false;
   // Position in the (src_node, dst_node) stream, starting at 1; 0 = unset.
-  // Acks echo the sequence number of the data parcel they confirm.
   std::uint64_t seq = 0;
+  // Network-model size for parcels whose real payload is empty (acks,
+  // closure parcels): the latency injector charges for these bytes but
+  // nothing is materialized. model_size() is the single accessor.
+  std::uint64_t modeled_bytes = 0;
+  // obs::now_ns() at request submission; echoed on the reply so the
+  // requester side can record round-trip latency (parcel.rtt histogram).
+  std::uint64_t send_ns = 0;
+
+  // --- piggybacked / coalesced acknowledgments ---
+  // Cumulative ack for the reverse stream (dst -> src): every data seq
+  // <= ack_cum that dst sent to src has been delivered at src. Carried by
+  // reliable data parcels (piggyback) and by explicit ack parcels.
+  std::uint64_t ack_cum = 0;
+  // Selective acks above the watermark (explicit ack parcels only).
+  std::uint32_t ack_count = 0;
+  std::uint64_t ack_seqs[kMaxSelAcks] = {};
+
   // Settled exactly once, by whichever of delivery and sender-side
   // dead-lettering happens first; the loser backs off. Only consulted for
   // reliable parcels.
   std::atomic<bool> settled{false};
   bool claim() { return !settled.exchange(true, std::memory_order_acq_rel); }
+
+  // --- intrusive lifetime (parcel/pool.h) ---
+  std::atomic<std::uint32_t> refs{0};
+  ParcelPool* pool = nullptr;
+
+  // Bytes the latency model charges for one traversal.
+  std::uint64_t model_size() const {
+    return payload.empty() ? modeled_bytes : payload.size();
+  }
+
+  // Returns the slot to its freshly-constructed state for pool reuse.
+  // Called with refs == 0 (sole owner), so plain stores suffice.
+  void reset() {
+    dst_node = 0;
+    src_node = 0;
+    handler = 0;
+    payload.clear();
+    closure = nullptr;
+    on_reply = nullptr;
+    kind = ParcelKind::kData;
+    is_reply = false;
+    reliable = false;
+    seq = 0;
+    modeled_bytes = 0;
+    send_ns = 0;
+    ack_cum = 0;
+    ack_count = 0;
+    settled.store(false, std::memory_order_relaxed);
+  }
 };
+
+inline void parcel_retain(Parcel* p) {
+  p->refs.fetch_add(1, std::memory_order_relaxed);
+}
+// Defined in pool.cc: returns the slot to its pool (or deletes it in the
+// unpooled ablation) when the last reference drops.
+void parcel_release(Parcel* p);
+
+// Intrusive smart pointer over pooled parcels: copy = refcount bump, no
+// control block, no allocation (the shared_ptr<Parcel> it replaces paid
+// one control-block allocation per message).
+class ParcelRef {
+ public:
+  ParcelRef() = default;
+  // Takes ownership of an existing reference (pool acquire returns
+  // refs == 1; adopt does not bump).
+  static ParcelRef adopt(Parcel* p) {
+    ParcelRef r;
+    r.p_ = p;
+    return r;
+  }
+  ParcelRef(const ParcelRef& other) : p_(other.p_) {
+    if (p_ != nullptr) parcel_retain(p_);
+  }
+  ParcelRef(ParcelRef&& other) noexcept : p_(other.p_) {
+    other.p_ = nullptr;
+  }
+  ParcelRef& operator=(const ParcelRef& other) {
+    if (this != &other) {
+      if (other.p_ != nullptr) parcel_retain(other.p_);
+      if (p_ != nullptr) parcel_release(p_);
+      p_ = other.p_;
+    }
+    return *this;
+  }
+  ParcelRef& operator=(ParcelRef&& other) noexcept {
+    if (this != &other) {
+      if (p_ != nullptr) parcel_release(p_);
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~ParcelRef() {
+    if (p_ != nullptr) parcel_release(p_);
+  }
+
+  Parcel* get() const { return p_; }
+  Parcel& operator*() const { return *p_; }
+  Parcel* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  void reset() {
+    if (p_ != nullptr) parcel_release(p_);
+    p_ = nullptr;
+  }
+
+ private:
+  Parcel* p_ = nullptr;
+};
+
+// Ablation switch for the pooled/coalesced fast path (mirrors
+// sync::set_lock_free_sync): `false` reverts to heap-allocated parcels,
+// one ack per received data copy (no piggybacking or coalescing), and a
+// linear retransmit-table scan instead of the timer wheel. Sampled at
+// ParcelEngine construction; flip it before building the engine.
+void set_lock_free_parcels(bool on);
+bool lock_free_parcels();
 
 // Payload packing helpers for POD types.
 template <typename T>

@@ -10,6 +10,31 @@ PercolationManager::PercolationManager(rt::Runtime& runtime,
     : runtime_(runtime), objects_(objects), capacity_(buffer_capacity_bytes) {
   for (std::uint32_t n = 0; n < runtime_.num_nodes(); ++n)
     buffers_.push_back(std::make_unique<Buffer>());
+  // Join the "perc.*" metric family so percolation effectiveness (hit
+  // rate, eviction pressure, staged volume) shows up in telemetry
+  // snapshots next to the parcel.* transport counters.
+  obs::MetricsRegistry& reg = runtime_.metrics();
+  const struct {
+    const char* name;
+    const std::atomic<std::uint64_t>* value;
+  } counters[] = {
+      {"perc.stage_requests", &stats_.stage_requests},
+      {"perc.buffer_hits", &stats_.buffer_hits},
+      {"perc.evictions", &stats_.evictions},
+      {"perc.bytes_staged", &stats_.bytes_staged},
+      {"perc.tasks_gated", &stats_.tasks_gated},
+  };
+  for (const auto& c : counters) {
+    metric_sources_.push_back(reg.add_counter_source(
+        c.name, [value = c.value] {
+          return static_cast<double>(
+              value->load(std::memory_order_relaxed));
+        }));
+  }
+}
+
+PercolationManager::~PercolationManager() {
+  for (const auto id : metric_sources_) runtime_.metrics().remove_source(id);
 }
 
 void PercolationManager::evict_until_fits(Buffer& buffer,

@@ -38,6 +38,7 @@ class PercolationManager {
 
   PercolationManager(rt::Runtime& runtime, mem::ObjectSpace& objects,
                      std::uint64_t buffer_capacity_bytes);
+  ~PercolationManager();
 
   PercolationManager(const PercolationManager&) = delete;
   PercolationManager& operator=(const PercolationManager&) = delete;
@@ -112,6 +113,9 @@ class PercolationManager {
   mutable std::mutex code_mutex_;
   std::vector<CodeBlock> code_blocks_;
   PercolationStats stats_;
+  // "perc.*" registrations in the runtime's metrics registry (removed in
+  // the destructor, before the stats block they read dies).
+  std::vector<obs::MetricsRegistry::SourceId> metric_sources_;
 };
 
 }  // namespace htvm::parcel

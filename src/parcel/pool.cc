@@ -1,0 +1,97 @@
+#include "parcel/pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/registry.h"
+
+namespace htvm::parcel {
+
+void parcel_release(Parcel* p) {
+  if (p->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last reference: the pool backpointer is set for every parcel an
+  // engine creates (pooled and unpooled alike), so accounting and
+  // recycling share one path.
+  assert(p->pool != nullptr && "parcel released without an owning pool");
+  p->pool->release(p);
+}
+
+ParcelPool::ParcelPool(std::uint32_t shards, bool pooled)
+    : pooled_(pooled),
+      shard_count_(std::clamp<std::uint32_t>(shards, 1, kMaxShards)) {
+  shards_.reserve(shard_count_);
+  for (std::uint32_t i = 0; i < shard_count_; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ParcelPool::~ParcelPool() {
+  // Slabs own the slots; by the engine-destructor contract (wait_idle
+  // before teardown) every reference has been dropped, so no live parcel
+  // outlives its slab.
+  assert(stats_.live() == 0 && "parcels leaked past engine teardown");
+}
+
+std::uint32_t ParcelPool::home_shard() const {
+  return obs::this_thread_shard() % shard_count_;
+}
+
+Parcel* ParcelPool::carve_slab(Shard& home) {
+  auto slab = std::make_unique<Parcel[]>(kSlabSlots);
+  Parcel* out = &slab[0];
+  {
+    util::Guard<util::SpinLock> g(home.lock);
+    for (std::size_t i = 1; i < kSlabSlots; ++i)
+      home.free.push_back(&slab[i]);
+  }
+  util::Guard<util::SpinLock> g(slabs_lock_);
+  slabs_.push_back(std::move(slab));
+  return out;
+}
+
+Parcel* ParcelPool::acquire() {
+  stats_.record_allocation();
+  if (!pooled_) {
+    Parcel* p = new Parcel;
+    p->pool = this;
+    p->refs.store(1, std::memory_order_relaxed);
+    return p;
+  }
+  const std::uint32_t home = home_shard();
+  Parcel* slot = nullptr;
+  // Home shard first, then raid the others: only when every freelist is
+  // empty (working set genuinely grew) does a new slab get carved, so
+  // steady state is all recycle hits.
+  for (std::uint32_t i = 0; i < shard_count_ && slot == nullptr; ++i) {
+    Shard& shard = *shards_[(home + i) % shard_count_];
+    util::Guard<util::SpinLock> g(shard.lock);
+    if (!shard.free.empty()) {
+      slot = shard.free.back();
+      shard.free.pop_back();
+    }
+  }
+  if (slot != nullptr) {
+    stats_.record_recycle_hit();
+  } else {
+    slot = carve_slab(*shards_[home]);
+  }
+  slot->pool = this;
+  slot->refs.store(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void ParcelPool::release(Parcel* parcel) {
+  assert(parcel->refs.load(std::memory_order_relaxed) == 0);
+  stats_.record_release();
+  if (!pooled_) {
+    delete parcel;
+    return;
+  }
+  // Reset before publishing back to the freelist: frees any heap payload
+  // block and destroys captured closures, so a parked slot pins nothing.
+  parcel->reset();
+  Shard& shard = *shards_[home_shard()];
+  util::Guard<util::SpinLock> g(shard.lock);
+  shard.free.push_back(parcel);
+}
+
+}  // namespace htvm::parcel

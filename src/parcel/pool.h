@@ -1,0 +1,71 @@
+// Slab/freelist pool of Parcel slots: the allocation-free parcel path.
+//
+// Mirrors rt::TaskPool's recycle design and shares its stats surface
+// (mem/pool_stats.h), reported under the "pool.parcel.*" metric family:
+// slots are carved from slabs once and recycled forever, so after warmup
+// a steady-state request/ack/reply round touches the heap zero times
+// (payloads <= Payload::kInlineBytes live inside the slot).
+//
+// Sharding: freelists are spread over util::SpinLock-guarded shards,
+// indexed by obs::this_thread_shard() -- parcels are produced on one node
+// and released on another, so there is no owner-only cache invariant to
+// lean on (unlike TaskPool's worker caches); a spinlocked per-shard list
+// keeps cross-node release/acquire pairs off one global lock. An acquire
+// that misses its home shard raids the others before carving a new slab,
+// so the slab set stays bounded under producer/consumer flows and the
+// hit-rate invariant (allocations - recycle_hits stops growing once the
+// working set is carved) is deterministic.
+//
+// Unpooled mode (`pooled = false`, the lock_free_parcels=off ablation):
+// acquire/release become new/delete and every acquire counts as a miss;
+// the live ledger keeps working so leak tests cover both modes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/pool_stats.h"
+#include "parcel/parcel.h"
+#include "util/spinlock.h"
+
+namespace htvm::parcel {
+
+class ParcelPool {
+ public:
+  static constexpr std::size_t kSlabSlots = 64;
+  static constexpr std::uint32_t kMaxShards = 16;
+
+  explicit ParcelPool(std::uint32_t shards, bool pooled = true);
+  ~ParcelPool();
+
+  ParcelPool(const ParcelPool&) = delete;
+  ParcelPool& operator=(const ParcelPool&) = delete;
+
+  // Returns a freshly-reset parcel with refs == 1 and the pool
+  // backpointer set; release it by dropping the last ParcelRef.
+  Parcel* acquire();
+  // Called by parcel_release when the last reference drops.
+  void release(Parcel* parcel);
+
+  mem::PoolStatsSnapshot stats() const { return stats_.snapshot(); }
+  bool pooled() const { return pooled_; }
+
+ private:
+  struct alignas(64) Shard {
+    util::SpinLock lock;
+    std::vector<Parcel*> free;  // guarded by lock
+  };
+
+  std::uint32_t home_shard() const;
+  Parcel* carve_slab(Shard& home);
+
+  bool pooled_;
+  std::uint32_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::SpinLock slabs_lock_;
+  std::vector<std::unique_ptr<Parcel[]>> slabs_;  // guarded by slabs_lock_
+  mem::PoolStats stats_;
+};
+
+}  // namespace htvm::parcel

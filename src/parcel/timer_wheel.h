@@ -1,0 +1,103 @@
+// Hashed timer wheel for retransmit timeouts.
+//
+// Replaces the O(pending) full-table scan the retransmit timer used to do
+// on every poller tick: deadlines hash into kSlots circular buckets of
+// kTickNs granularity, advance() visits only the slots the clock crossed
+// since the last call, and each visit touches only that slot's entries --
+// the common tick (clock still in the same slot, or one ahead with an
+// empty slot) is O(1).
+//
+// Entries are (seq, deadline_tick) pairs; cancellation is lazy -- an
+// acked sequence simply misses the pending map when it pops, so the ack
+// path never touches the wheel. Deadlines far beyond one revolution stay
+// in their hashed slot and are re-kept each revolution until their tick
+// arrives (no overflow hierarchy needed at parcel-timeout scales: a 10 ms
+// backoff cap is < 1 revolution at the default geometry).
+//
+// Scheduling rounds deadlines UP to a tick boundary and advance() rounds
+// the clock DOWN, so a timer never fires before its deadline -- late by
+// at most one tick, which sits well under the 100 us+ timeout floor.
+//
+// Not thread-safe: the owning channel's tx lock serializes all calls.
+// scheduled() is an atomic so metric gauges may read it from any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace htvm::parcel {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr std::uint32_t kSlots = 128;
+  static constexpr std::int64_t kTickNs = 100'000;  // 100 us
+
+  TimerWheel() : epoch_(Clock::now()), slots_(kSlots) {}
+
+  void schedule(std::uint64_t seq, Clock::time_point deadline) {
+    std::int64_t tick = tick_ceil(deadline);
+    // Never behind the cursor: a deadline already in the past fires on
+    // the next advance instead of waiting a full revolution.
+    if (tick <= cursor_) tick = cursor_ + 1;
+    slots_[static_cast<std::size_t>(tick) % kSlots].push_back(
+        Entry{seq, tick});
+    scheduled_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Appends every sequence whose deadline has passed to `expired` and
+  // removes it from the wheel. Callers re-schedule retransmissions and
+  // drop sequences no longer pending (lazy cancellation).
+  void advance(Clock::time_point now, std::vector<std::uint64_t>& expired) {
+    const std::int64_t now_tick = tick_floor(now);
+    if (now_tick <= cursor_) return;
+    const std::int64_t steps =
+        std::min<std::int64_t>(now_tick - cursor_, kSlots);
+    for (std::int64_t t = cursor_ + 1; t <= cursor_ + steps; ++t) {
+      auto& slot = slots_[static_cast<std::size_t>(t) % kSlots];
+      std::size_t keep = 0;
+      for (Entry& e : slot) {
+        if (e.tick <= now_tick) {
+          expired.push_back(e.seq);
+          scheduled_.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          slot[keep++] = e;  // future revolution: keep in place
+        }
+      }
+      slot.resize(keep);
+    }
+    cursor_ = now_tick;
+  }
+
+  std::size_t scheduled() const {
+    return scheduled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seq;
+    std::int64_t tick;
+  };
+
+  std::int64_t tick_floor(Clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+               .count() /
+           kTickNs;
+  }
+  std::int64_t tick_ceil(Clock::time_point t) const {
+    const std::int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+            .count();
+    return (ns + kTickNs - 1) / kTickNs;
+  }
+
+  Clock::time_point epoch_;
+  std::int64_t cursor_ = 0;  // last fully-processed tick
+  std::vector<std::vector<Entry>> slots_;
+  std::atomic<std::size_t> scheduled_{0};
+};
+
+}  // namespace htvm::parcel
